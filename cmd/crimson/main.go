@@ -1,0 +1,739 @@
+// Command crimson is the command-line interface to the Crimson system —
+// the scripting surface the paper provides via Python. It exposes loading,
+// sampling, projection, structure queries, benchmarking, query history and
+// tree viewing over a repository page file.
+//
+// Usage:
+//
+//	crimson <command> [flags]
+//
+// Commands: gen, seqgen, load, trees, info, lca, clade, sample, project,
+// match, bench, history, view, help.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	crimson "repro"
+	"repro/internal/benchmark"
+	"repro/internal/recon"
+	"repro/internal/seqsim"
+	"repro/internal/treegen"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "crimson:", err)
+		os.Exit(1)
+	}
+}
+
+type command struct {
+	name, help string
+	fn         func(args []string) error
+}
+
+var commands []command
+
+func init() {
+	commands = []command{
+		{"gen", "generate a gold-standard simulation tree (Newick to stdout or --out)", cmdGen},
+		{"seqgen", "simulate sequence evolution along a tree (NEXUS output)", cmdSeqGen},
+		{"load", "load a Newick/NEXUS tree (and sequences) into a repository", cmdLoad},
+		{"trees", "list trees in a repository", cmdTrees},
+		{"info", "show a stored tree's decomposition statistics", cmdInfo},
+		{"lca", "least common ancestor of two species", cmdLCA},
+		{"clade", "minimal spanning clade of a species set", cmdClade},
+		{"sample", "sample species uniformly or with respect to time", cmdSample},
+		{"project", "project the stored tree over a species set", cmdProject},
+		{"match", "tree pattern match against a stored tree", cmdMatch},
+		{"bench", "benchmark reconstruction algorithms against a stored gold tree", cmdBench},
+		{"history", "show the query history", cmdHistory},
+		{"rerun", "re-execute a query from the history by id", cmdRerun},
+		{"view", "render a Newick file as ascii/dot/libsea/nexus", cmdView},
+		{"fsck", "verify the integrity of a repository's trees and indexes", cmdFsck},
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 || args[0] == "help" || args[0] == "-h" || args[0] == "--help" {
+		usage()
+		return nil
+	}
+	for _, c := range commands {
+		if c.name == args[0] {
+			return c.fn(args[1:])
+		}
+	}
+	usage()
+	return fmt.Errorf("unknown command %q", args[0])
+}
+
+func usage() {
+	fmt.Println("crimson — data management for evaluating phylogenetic tree reconstruction (VLDB 2006 reproduction)")
+	fmt.Println("\ncommands:")
+	for _, c := range commands {
+		fmt.Printf("  %-8s %s\n", c.name, c.help)
+	}
+}
+
+func outWriter(path string) (*os.File, func(), error) {
+	if path == "" || path == "-" {
+		return os.Stdout, func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, func() { f.Close() }, nil
+}
+
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ContinueOnError)
+	model := fs.String("model", "yule", "yule | bd | caterpillar | balanced")
+	n := fs.Int("n", 1000, "number of leaves (or depth for balanced)")
+	lambda := fs.Float64("lambda", 1.0, "birth rate")
+	mu := fs.Float64("mu", 0.3, "death rate (bd only)")
+	keepExtinct := fs.Bool("keep-extinct", false, "keep extinct lineages (bd only)")
+	seed := fs.Int64("seed", 1, "RNG seed")
+	out := fs.String("out", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	r := rand.New(rand.NewSource(*seed))
+	var t *crimson.Tree
+	var err error
+	switch *model {
+	case "yule":
+		t, err = treegen.Yule(*n, *lambda, r)
+	case "bd":
+		t, err = treegen.BirthDeath(*n, *lambda, *mu, *keepExtinct, r)
+	case "caterpillar":
+		t, err = treegen.Caterpillar(*n, r)
+	case "balanced":
+		t, err = treegen.Balanced(*n, r)
+	default:
+		return fmt.Errorf("unknown model %q", *model)
+	}
+	if err != nil {
+		return err
+	}
+	w, done, err := outWriter(*out)
+	if err != nil {
+		return err
+	}
+	defer done()
+	fmt.Fprintln(w, crimson.FormatNewick(t))
+	minD, maxD, meanD := treegen.DepthStats(t)
+	fmt.Fprintf(os.Stderr, "generated %d nodes, %d leaves, depth min/mean/max = %d/%.1f/%d\n",
+		t.NumNodes(), t.NumLeaves(), minD, meanD, maxD)
+	return nil
+}
+
+func cmdSeqGen(args []string) error {
+	fs := flag.NewFlagSet("seqgen", flag.ContinueOnError)
+	treeFile := fs.String("tree", "", "Newick tree file (required)")
+	length := fs.Int("len", 500, "sequence length")
+	model := fs.String("model", "jc", "jc | k2p | hky")
+	kappa := fs.Float64("kappa", 2.0, "transition/transversion ratio")
+	gamma := fs.Float64("gamma", 0, "gamma shape alpha (0 = uniform rates)")
+	seed := fs.Int64("seed", 1, "RNG seed")
+	out := fs.String("out", "", "output NEXUS file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *treeFile == "" {
+		return fmt.Errorf("seqgen: --tree is required")
+	}
+	t, err := crimson.ReadNewickFile(*treeFile)
+	if err != nil {
+		return err
+	}
+	var m crimson.Model
+	switch *model {
+	case "jc":
+		m = seqsim.JC69{}
+	case "k2p":
+		m = seqsim.K2P{Kappa: *kappa}
+	case "hky":
+		m = seqsim.HKY85{Kappa: *kappa, BaseFreqs: [4]float64{0.3, 0.2, 0.2, 0.3}}
+	default:
+		return fmt.Errorf("unknown model %q", *model)
+	}
+	aln, err := crimson.SimulateSequences(t, crimson.SeqConfig{Length: *length, Model: m, GammaAlpha: *gamma},
+		rand.New(rand.NewSource(*seed)))
+	if err != nil {
+		return err
+	}
+	doc := &crimson.NexusDocument{Taxa: aln.Names, Characters: aln.Characters()}
+	doc.Trees = append(doc.Trees, crimson.NamedTree{Name: "sim", Rooted: true, Tree: t})
+	w, done, err := outWriter(*out)
+	if err != nil {
+		return err
+	}
+	defer done()
+	return crimson.WriteNexus(w, doc)
+}
+
+func openRepo(path string) (*crimson.Repository, error) {
+	if path == "" {
+		return nil, fmt.Errorf("--repo is required")
+	}
+	return crimson.Open(path)
+}
+
+func cmdLoad(args []string) error {
+	fs := flag.NewFlagSet("load", flag.ContinueOnError)
+	repoPath := fs.String("repo", "", "repository page file")
+	name := fs.String("name", "", "tree name (default: NEXUS tree name or 'tree')")
+	f := fs.Int("f", crimson.DefaultFanout, "hierarchical label depth bound")
+	newickFile := fs.String("newick", "", "Newick input file")
+	nexusFile := fs.String("nexus", "", "NEXUS input file (loads sequences too)")
+	quiet := fs.Bool("quiet", false, "suppress progress messages")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	repo, err := openRepo(*repoPath)
+	if err != nil {
+		return err
+	}
+	defer repo.Close()
+	progress := func(msg string) {
+		if !*quiet {
+			fmt.Fprintln(os.Stderr, msg)
+		}
+	}
+	switch {
+	case *nexusFile != "":
+		fh, err := os.Open(*nexusFile)
+		if err != nil {
+			return err
+		}
+		defer fh.Close()
+		doc, err := crimson.ParseNexus(fh)
+		if err != nil {
+			return err
+		}
+		st, err := repo.LoadNexus(doc, *name, *f, progress)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("loaded %q: %d nodes, %d leaves, %d layers\n",
+			st.Info().Name, st.Info().Nodes, st.Info().Leaves, st.Info().Layers)
+	case *newickFile != "":
+		t, err := crimson.ReadNewickFile(*newickFile)
+		if err != nil {
+			return err
+		}
+		if *name == "" {
+			*name = "tree"
+		}
+		st, err := repo.LoadTree(*name, t, *f, progress)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("loaded %q: %d nodes, %d leaves, %d layers\n",
+			*name, st.Info().Nodes, st.Info().Leaves, st.Info().Layers)
+	default:
+		return fmt.Errorf("load: one of --newick or --nexus is required")
+	}
+	return nil
+}
+
+func cmdTrees(args []string) error {
+	fs := flag.NewFlagSet("trees", flag.ContinueOnError)
+	repoPath := fs.String("repo", "", "repository page file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	repo, err := openRepo(*repoPath)
+	if err != nil {
+		return err
+	}
+	defer repo.Close()
+	infos, err := repo.Trees.Trees()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-20s %10s %10s %4s %7s %7s\n", "name", "nodes", "leaves", "f", "layers", "depth")
+	for _, i := range infos {
+		fmt.Printf("%-20s %10d %10d %4d %7d %7d\n", i.Name, i.Nodes, i.Leaves, i.F, i.Layers, i.Depth)
+	}
+	return nil
+}
+
+func cmdInfo(args []string) error {
+	fs := flag.NewFlagSet("info", flag.ContinueOnError)
+	repoPath := fs.String("repo", "", "repository page file")
+	name := fs.String("name", "", "tree name")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	repo, err := openRepo(*repoPath)
+	if err != nil {
+		return err
+	}
+	defer repo.Close()
+	st, err := repo.Tree(*name)
+	if err != nil {
+		return err
+	}
+	i := st.Info()
+	fmt.Printf("tree %q\n  nodes: %d\n  leaves: %d\n  depth: %d\n  depth bound f: %d\n  layers: %d\n",
+		i.Name, i.Nodes, i.Leaves, i.Depth, i.F, i.Layers)
+	return nil
+}
+
+func splitSpecies(s string) []string {
+	parts := strings.Split(s, ",")
+	var out []string
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func cmdLCA(args []string) error {
+	fs := flag.NewFlagSet("lca", flag.ContinueOnError)
+	repoPath := fs.String("repo", "", "repository page file")
+	name := fs.String("name", "", "tree name")
+	speciesArg := fs.String("species", "", "two species names, comma separated")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	names := splitSpecies(*speciesArg)
+	if len(names) != 2 {
+		return fmt.Errorf("lca: --species needs exactly two names")
+	}
+	repo, err := openRepo(*repoPath)
+	if err != nil {
+		return err
+	}
+	defer repo.Close()
+	st, err := repo.Tree(*name)
+	if err != nil {
+		return err
+	}
+	a, err := st.NodeByName(names[0])
+	if err != nil {
+		return err
+	}
+	b, err := st.NodeByName(names[1])
+	if err != nil {
+		return err
+	}
+	l, err := st.LCA(a.ID, b.ID)
+	if err != nil {
+		return err
+	}
+	lrow, err := st.Node(l)
+	if err != nil {
+		return err
+	}
+	label := lrow.Name
+	if label == "" {
+		label = fmt.Sprintf("interior node %d", lrow.ID)
+	}
+	fmt.Printf("LCA(%s, %s) = %s (depth %d, time %g)\n", names[0], names[1], label, lrow.Depth, lrow.Dist)
+	_, _ = repo.Queries.Record("lca",
+		map[string]any{"tree": *name, "a": names[0], "b": names[1]},
+		fmt.Sprintf("node %d", lrow.ID))
+	return repo.Commit()
+}
+
+func cmdClade(args []string) error {
+	fs := flag.NewFlagSet("clade", flag.ContinueOnError)
+	repoPath := fs.String("repo", "", "repository page file")
+	name := fs.String("name", "", "tree name")
+	speciesArg := fs.String("species", "", "species names, comma separated")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	names := splitSpecies(*speciesArg)
+	if len(names) == 0 {
+		return fmt.Errorf("clade: --species is required")
+	}
+	repo, err := openRepo(*repoPath)
+	if err != nil {
+		return err
+	}
+	defer repo.Close()
+	st, err := repo.Tree(*name)
+	if err != nil {
+		return err
+	}
+	ids := make([]int, len(names))
+	for i, n := range names {
+		row, err := st.NodeByName(n)
+		if err != nil {
+			return err
+		}
+		ids[i] = row.ID
+	}
+	clade, err := st.MinimalSpanningClade(ids)
+	if err != nil {
+		return err
+	}
+	leaves := 0
+	var leafNames []string
+	for _, n := range clade {
+		if n.Leaf {
+			leaves++
+			leafNames = append(leafNames, n.Name)
+		}
+	}
+	sort.Strings(leafNames)
+	fmt.Printf("minimal spanning clade: %d nodes, %d leaves\n", len(clade), leaves)
+	if leaves <= 50 {
+		fmt.Println(strings.Join(leafNames, " "))
+	}
+	_, _ = repo.Queries.Record("clade", map[string]any{"tree": *name, "species": names},
+		fmt.Sprintf("%d nodes", len(clade)))
+	return repo.Commit()
+}
+
+func cmdSample(args []string) error {
+	fs := flag.NewFlagSet("sample", flag.ContinueOnError)
+	repoPath := fs.String("repo", "", "repository page file")
+	name := fs.String("name", "", "tree name")
+	k := fs.Int("k", 10, "number of species")
+	timeArg := fs.Float64("time", -1, "evolutionary time constraint (negative = uniform)")
+	seed := fs.Int64("seed", 1, "RNG seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	repo, err := openRepo(*repoPath)
+	if err != nil {
+		return err
+	}
+	defer repo.Close()
+	st, err := repo.Tree(*name)
+	if err != nil {
+		return err
+	}
+	r := rand.New(rand.NewSource(*seed))
+	var rows []crimson.StoredNode
+	if *timeArg >= 0 {
+		rows, err = st.SampleWithTime(*timeArg, *k, r)
+	} else {
+		rows, err = st.SampleUniform(*k, r)
+	}
+	if err != nil {
+		return err
+	}
+	var names []string
+	for _, n := range rows {
+		names = append(names, n.Name)
+	}
+	sort.Strings(names)
+	fmt.Println(strings.Join(names, " "))
+	_, _ = repo.Queries.Record("sample",
+		map[string]any{"tree": *name, "k": *k, "time": *timeArg, "seed": *seed},
+		strings.Join(names, " "))
+	return repo.Commit()
+}
+
+func cmdProject(args []string) error {
+	fs := flag.NewFlagSet("project", flag.ContinueOnError)
+	repoPath := fs.String("repo", "", "repository page file")
+	name := fs.String("name", "", "tree name")
+	speciesArg := fs.String("species", "", "species names, comma separated")
+	format := fs.String("format", "newick", "newick | ascii")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	names := splitSpecies(*speciesArg)
+	if len(names) == 0 {
+		return fmt.Errorf("project: --species is required")
+	}
+	repo, err := openRepo(*repoPath)
+	if err != nil {
+		return err
+	}
+	defer repo.Close()
+	st, err := repo.Tree(*name)
+	if err != nil {
+		return err
+	}
+	t, err := st.ProjectNames(names)
+	if err != nil {
+		return err
+	}
+	switch *format {
+	case "ascii":
+		fmt.Print(crimson.ASCII(t))
+	default:
+		fmt.Println(crimson.FormatNewick(t))
+	}
+	_, _ = repo.Queries.Record("project", map[string]any{"tree": *name, "species": names},
+		crimson.FormatNewick(t))
+	return repo.Commit()
+}
+
+func cmdMatch(args []string) error {
+	fs := flag.NewFlagSet("match", flag.ContinueOnError)
+	repoPath := fs.String("repo", "", "repository page file")
+	name := fs.String("name", "", "tree name")
+	patternFile := fs.String("pattern", "", "Newick pattern file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *patternFile == "" {
+		return fmt.Errorf("match: --pattern is required")
+	}
+	repo, err := openRepo(*repoPath)
+	if err != nil {
+		return err
+	}
+	defer repo.Close()
+	st, err := repo.Tree(*name)
+	if err != nil {
+		return err
+	}
+	pattern, err := crimson.ReadNewickFile(*patternFile)
+	if err != nil {
+		return err
+	}
+	projected, err := st.ProjectNames(pattern.LeafNames())
+	if err != nil {
+		return err
+	}
+	rf, err := crimson.RobinsonFoulds(projected, pattern)
+	if err != nil {
+		return err
+	}
+	if rf == 0 {
+		fmt.Println("MATCH (projection equals pattern)")
+	} else {
+		fmt.Printf("NO MATCH (Robinson-Foulds distance %d)\n", rf)
+	}
+	_, _ = repo.Queries.Record("match", map[string]any{"tree": *name, "pattern": crimson.FormatNewick(pattern)},
+		fmt.Sprintf("RF=%d", rf))
+	return repo.Commit()
+}
+
+func cmdBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	repoPath := fs.String("repo", "", "repository page file (optional; uses --gold otherwise)")
+	name := fs.String("name", "", "stored tree name (with --repo)")
+	goldFile := fs.String("gold", "", "Newick gold tree file (without --repo)")
+	sizes := fs.String("sizes", "10,50,100", "sample sizes, comma separated")
+	reps := fs.Int("reps", 3, "replicates per size")
+	algs := fs.String("alg", "NJ,UPGMA", "algorithms, comma separated")
+	seqLen := fs.Int("len", 500, "simulated sequence length")
+	timeArg := fs.Float64("time", -1, "time-constrained sampling (negative = uniform)")
+	seed := fs.Int64("seed", 1, "RNG seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var gold *crimson.Tree
+	var repo *crimson.Repository
+	var err error
+	switch {
+	case *goldFile != "":
+		if gold, err = crimson.ReadNewickFile(*goldFile); err != nil {
+			return err
+		}
+	case *repoPath != "":
+		if repo, err = openRepo(*repoPath); err != nil {
+			return err
+		}
+		defer repo.Close()
+		st, err := repo.Tree(*name)
+		if err != nil {
+			return err
+		}
+		// Rebuild the in-memory tree from the store for the benchmark run.
+		gold, err = st.Export()
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("bench: one of --gold or --repo is required")
+	}
+
+	var sizeList []int
+	for _, s := range splitSpecies(*sizes) {
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			return fmt.Errorf("bench: bad size %q", s)
+		}
+		sizeList = append(sizeList, v)
+	}
+	var algorithms []recon.Algorithm
+	var seqAlgorithms []recon.SeqAlgorithm
+	for _, a := range splitSpecies(*algs) {
+		if a == "MP" || a == "mp" {
+			seqAlgorithms = append(seqAlgorithms, recon.Parsimony{Seed: *seed})
+			continue
+		}
+		alg, err := recon.ByName(a)
+		if err != nil {
+			return err
+		}
+		algorithms = append(algorithms, alg)
+	}
+	cfg := crimson.BenchConfig{
+		Gold:          gold,
+		SeqLength:     *seqLen,
+		SampleSizes:   sizeList,
+		Replicates:    *reps,
+		Algorithms:    algorithms,
+		SeqAlgorithms: seqAlgorithms,
+		Seed:          *seed,
+	}
+	if *timeArg >= 0 {
+		cfg.Method = benchmark.TimeConstrained
+		cfg.Time = *timeArg
+	}
+	rep, err := crimson.RunBenchmark(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(rep.String())
+	if repo != nil {
+		_, _ = repo.Queries.Record("bench",
+			map[string]any{"tree": *name, "sizes": sizeList, "reps": *reps, "algs": *algs},
+			"benchmark complete")
+		return repo.Commit()
+	}
+	return nil
+}
+
+func cmdHistory(args []string) error {
+	fs := flag.NewFlagSet("history", flag.ContinueOnError)
+	repoPath := fs.String("repo", "", "repository page file")
+	limit := fs.Int("limit", 20, "entries to show (0 = all)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	repo, err := openRepo(*repoPath)
+	if err != nil {
+		return err
+	}
+	defer repo.Close()
+	entries, err := repo.Queries.History(*limit)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		fmt.Printf("#%d %s %-8s %s => %s\n", e.ID, e.Time.Format("2006-01-02 15:04:05"), e.Kind, e.Args, e.Summary)
+	}
+	return nil
+}
+
+// cmdRerun re-executes a recorded query (§2.1: the Query Repository
+// "makes it convenient for users to recall and rerun historical queries").
+// It reads the entry, closes the repository, and dispatches the matching
+// command with the recorded arguments.
+func cmdRerun(args []string) error {
+	fs := flag.NewFlagSet("rerun", flag.ContinueOnError)
+	repoPath := fs.String("repo", "", "repository page file")
+	id := fs.Int64("id", 0, "history entry id")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	repo, err := openRepo(*repoPath)
+	if err != nil {
+		return err
+	}
+	entry, err := repo.Queries.Get(*id)
+	if err != nil {
+		repo.Close()
+		return err
+	}
+	if err := repo.Close(); err != nil {
+		return err
+	}
+	var a struct {
+		Tree    string   `json:"tree"`
+		A       string   `json:"a"`
+		B       string   `json:"b"`
+		Species []string `json:"species"`
+		K       int      `json:"k"`
+		Time    float64  `json:"time"`
+		Seed    int64    `json:"seed"`
+	}
+	if err := entry.UnmarshalArgs(&a); err != nil {
+		return fmt.Errorf("rerun: decoding #%d: %w", *id, err)
+	}
+	fmt.Printf("rerunning #%d (%s)\n", entry.ID, entry.Kind)
+	switch entry.Kind {
+	case "lca":
+		return cmdLCA([]string{"--repo", *repoPath, "--name", a.Tree, "--species", a.A + "," + a.B})
+	case "project":
+		return cmdProject([]string{"--repo", *repoPath, "--name", a.Tree, "--species", strings.Join(a.Species, ",")})
+	case "clade":
+		return cmdClade([]string{"--repo", *repoPath, "--name", a.Tree, "--species", strings.Join(a.Species, ",")})
+	case "sample":
+		return cmdSample([]string{"--repo", *repoPath, "--name", a.Tree,
+			"--k", strconv.Itoa(a.K), "--time", strconv.FormatFloat(a.Time, 'g', -1, 64),
+			"--seed", strconv.FormatInt(a.Seed, 10)})
+	}
+	return fmt.Errorf("rerun: query kind %q is not rerunnable", entry.Kind)
+}
+
+func cmdFsck(args []string) error {
+	fs := flag.NewFlagSet("fsck", flag.ContinueOnError)
+	repoPath := fs.String("repo", "", "repository page file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	repo, err := openRepo(*repoPath)
+	if err != nil {
+		return err
+	}
+	defer repo.Close()
+	if err := repo.Check(); err != nil {
+		return fmt.Errorf("INTEGRITY FAILURE: %w", err)
+	}
+	fmt.Println("ok: all tables, trees and indexes are consistent")
+	return nil
+}
+
+func cmdView(args []string) error {
+	fs := flag.NewFlagSet("view", flag.ContinueOnError)
+	treeFile := fs.String("tree", "", "Newick tree file")
+	format := fs.String("format", "ascii", "ascii | dot | libsea | newick | nexus")
+	out := fs.String("out", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *treeFile == "" {
+		return fmt.Errorf("view: --tree is required")
+	}
+	t, err := crimson.ReadNewickFile(*treeFile)
+	if err != nil {
+		return err
+	}
+	w, done, err := outWriter(*out)
+	if err != nil {
+		return err
+	}
+	defer done()
+	switch *format {
+	case "ascii":
+		fmt.Fprint(w, crimson.ASCII(t))
+	case "dot":
+		fmt.Fprint(w, crimson.DOT(t, "tree"))
+	case "libsea":
+		fmt.Fprint(w, crimson.LibSea(t, "tree"))
+	case "newick":
+		fmt.Fprintln(w, crimson.FormatNewick(t))
+	case "nexus":
+		doc := &crimson.NexusDocument{Taxa: t.LeafNames()}
+		doc.Trees = append(doc.Trees, crimson.NamedTree{Name: "tree", Rooted: true, Tree: t})
+		return crimson.WriteNexus(w, doc)
+	default:
+		return fmt.Errorf("unknown format %q", *format)
+	}
+	return nil
+}

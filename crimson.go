@@ -1,0 +1,317 @@
+// Package crimson is a data management system for phylogenetic trees,
+// reproducing "Crimson: A Data Management System to Support Evaluating
+// Phylogenetic Tree Reconstruction Algorithms" (Zheng et al., VLDB 2006).
+//
+// Crimson stores huge simulation trees in relational form with a
+// hierarchical Dewey labeling scheme whose label sizes are bounded by a
+// constant f regardless of tree depth, supports the structure-based
+// queries phylogenetics needs (least common ancestor, minimal spanning
+// clade, tree projection, tree pattern match), samples species uniformly
+// or with respect to evolutionary time, and benchmarks tree
+// reconstruction algorithms against gold-standard simulation trees.
+//
+// The package is a facade over the internal subsystems:
+//
+//   - storage/relstore — embedded relational engine (pager, B+tree, WAL)
+//   - core             — hierarchical bounded-depth Dewey labels
+//   - treestore/species/queryrepo — the three repositories of §2.1
+//   - sample/project/treecmp — the §2.2 queries
+//   - treegen/seqsim   — gold-standard simulation
+//   - distance/recon/benchmark — the Benchmark Manager
+//   - newick/nexus/viz — formats and viewers
+//
+// # Quick start
+//
+//	repo := crimson.OpenMem()
+//	defer repo.Close()
+//	tree, _ := crimson.ParseNewick("(Syn:2.5,((Lla:1,Spy:1):1.5,Bha:0.75):0.5,Bsu:1.25);")
+//	stored, _ := repo.LoadTree("gold", tree, crimson.DefaultFanout, nil)
+//	projected, _ := stored.ProjectNames([]string{"Bha", "Lla", "Syn"})
+//	fmt.Print(crimson.ASCII(projected))
+package crimson
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"repro/internal/benchmark"
+	"repro/internal/core"
+	"repro/internal/dewey"
+	"repro/internal/newick"
+	"repro/internal/nexus"
+	"repro/internal/phylo"
+	"repro/internal/project"
+	"repro/internal/queryrepo"
+	"repro/internal/recon"
+	"repro/internal/relstore"
+	"repro/internal/sample"
+	"repro/internal/seqsim"
+	"repro/internal/species"
+	"repro/internal/treecmp"
+	"repro/internal/treegen"
+	"repro/internal/treestore"
+	"repro/internal/viz"
+)
+
+// Core type aliases, so downstream code needs only this package.
+type (
+	// Tree is an in-memory rooted, edge-weighted phylogenetic tree.
+	Tree = phylo.Tree
+	// Node is one vertex of a Tree.
+	Node = phylo.Node
+	// Index is the hierarchical bounded-depth label index (the paper's
+	// primary contribution).
+	Index = core.Index
+	// Label is a Dewey label ("2.1.1").
+	Label = dewey.Label
+	// StoredTree is a handle on a tree in the relational repository; all
+	// its queries execute against the store row by row.
+	StoredTree = treestore.Tree
+	// StoredNode is one stored tree node row.
+	StoredNode = treestore.Node
+	// TreeInfo summarizes a stored tree.
+	TreeInfo = treestore.TreeInfo
+	// Alignment is a set of aligned sequences keyed by species.
+	Alignment = seqsim.Alignment
+	// SeqConfig parameterizes sequence simulation.
+	SeqConfig = seqsim.Config
+	// Model is a nucleotide substitution model.
+	Model = seqsim.Model
+	// BenchConfig parameterizes a Benchmark Manager run.
+	BenchConfig = benchmark.Config
+	// BenchReport is a completed benchmark run.
+	BenchReport = benchmark.Report
+	// MatchResult reports a tree pattern match.
+	MatchResult = treecmp.MatchResult
+	// NexusDocument is a parsed NEXUS file.
+	NexusDocument = nexus.Document
+	// NamedTree is one TREE statement of a NEXUS TREES block.
+	NamedTree = nexus.NamedTree
+	// Planner performs repeated projections over one in-memory tree.
+	Planner = project.Planner
+)
+
+// DefaultFanout is the default depth bound f for hierarchical labels.
+const DefaultFanout = core.DefaultFanout
+
+// Reconstruction algorithms (re-exported constructors).
+var (
+	// NeighborJoining returns the NJ distance algorithm.
+	NeighborJoining = func() recon.Algorithm { return recon.NeighborJoining{} }
+	// UPGMA returns the UPGMA distance algorithm.
+	UPGMA = func() recon.Algorithm { return recon.UPGMA{} }
+	// Parsimony returns the greedy maximum-parsimony algorithm with the
+	// given addition-order seed.
+	Parsimony = func(seed int64) recon.SeqAlgorithm { return recon.Parsimony{Seed: seed} }
+)
+
+// Substitution models (re-exported constructors).
+var (
+	// JC69 is the Jukes–Cantor model.
+	JC69 = func() Model { return seqsim.JC69{} }
+	// K2P returns a Kimura two-parameter model.
+	K2P = func(kappa float64) Model { return seqsim.K2P{Kappa: kappa} }
+	// HKY85 returns an HKY85 model.
+	HKY85 = func(kappa float64, freqs [4]float64) Model {
+		return seqsim.HKY85{Kappa: kappa, BaseFreqs: freqs}
+	}
+)
+
+// Repository bundles the three §2.1 repositories over one page file: the
+// Tree Repository, the Species Repository and the Query Repository.
+type Repository struct {
+	db      *relstore.DB
+	Trees   *treestore.Store
+	Species *species.Repo
+	Queries *queryrepo.Repo
+}
+
+// Open opens (creating if needed) a repository stored at path.
+func Open(path string) (*Repository, error) {
+	db, err := relstore.OpenDB(path)
+	if err != nil {
+		return nil, err
+	}
+	r, err := assemble(db)
+	if err != nil {
+		db.Close()
+		return nil, err
+	}
+	return r, nil
+}
+
+// OpenMem opens an in-memory repository (no durability).
+func OpenMem() *Repository {
+	r, err := assemble(relstore.OpenMemDB())
+	if err != nil {
+		panic("crimson: assembling mem repository: " + err.Error())
+	}
+	return r
+}
+
+func assemble(db *relstore.DB) (*Repository, error) {
+	trees, err := treestore.NewOnDB(db)
+	if err != nil {
+		return nil, err
+	}
+	sp, err := species.NewOnDB(db)
+	if err != nil {
+		return nil, err
+	}
+	q, err := queryrepo.NewOnDB(db)
+	if err != nil {
+		return nil, err
+	}
+	return &Repository{db: db, Trees: trees, Species: sp, Queries: q}, nil
+}
+
+// Commit makes all buffered changes durable.
+func (r *Repository) Commit() error { return r.db.Commit() }
+
+// Check verifies the integrity of every table, tree and index in the
+// repository (the CLI's fsck).
+func (r *Repository) Check() error { return r.db.Check() }
+
+// Close commits and closes the repository.
+func (r *Repository) Close() error { return r.db.Close() }
+
+// LoadTree stores an in-memory tree under the given name with depth bound
+// f, recording the load in the query history.
+func (r *Repository) LoadTree(name string, t *Tree, f int, progress treestore.Progress) (*StoredTree, error) {
+	st, err := r.Trees.Load(name, t, f, progress)
+	if err != nil {
+		return nil, err
+	}
+	_, _ = r.Queries.Record("load", map[string]any{"tree": name, "f": f, "nodes": t.NumNodes()},
+		fmt.Sprintf("loaded %d nodes", t.NumNodes()))
+	return st, nil
+}
+
+// LoadNexus loads the first tree of a NEXUS document (under its TREE name
+// unless name overrides it) and stores any CHARACTERS block in the
+// Species Repository under kind "seq:nexus".
+func (r *Repository) LoadNexus(doc *NexusDocument, name string, f int, progress treestore.Progress) (*StoredTree, error) {
+	if len(doc.Trees) == 0 {
+		return nil, fmt.Errorf("crimson: NEXUS document has no trees")
+	}
+	if name == "" {
+		name = doc.Trees[0].Name
+	}
+	st, err := r.LoadTree(name, doc.Trees[0].Tree, f, progress)
+	if err != nil {
+		return nil, err
+	}
+	if ch := doc.Characters; ch != nil {
+		for _, taxon := range ch.Order {
+			if err := r.Species.Put(name, taxon, "seq:nexus", []byte(ch.Seqs[taxon])); err != nil {
+				return nil, err
+			}
+		}
+		progress.Say("stored %d sequences in the species repository", len(ch.Order))
+	}
+	return st, r.Commit()
+}
+
+// Tree opens a stored tree by name.
+func (r *Repository) Tree(name string) (*StoredTree, error) { return r.Trees.Tree(name) }
+
+// --- In-memory pipeline helpers -------------------------------------------
+
+// ParseNewick parses one Newick tree.
+func ParseNewick(s string) (*Tree, error) { return newick.Parse(s) }
+
+// FormatNewick serializes a tree as Newick with lengths.
+func FormatNewick(t *Tree) string { return newick.String(t) }
+
+// ParseNexus parses a NEXUS document.
+func ParseNexus(rd io.Reader) (*NexusDocument, error) { return nexus.Parse(rd) }
+
+// WriteNexus serializes a NEXUS document.
+func WriteNexus(w io.Writer, doc *NexusDocument) error { return nexus.Write(w, doc) }
+
+// ReadNewickFile parses the first tree in a Newick file.
+func ReadNewickFile(path string) (*Tree, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return newick.Parse(string(raw))
+}
+
+// BuildIndex builds the hierarchical label index with depth bound f.
+func BuildIndex(t *Tree, f int) (*Index, error) { return core.Build(t, f) }
+
+// NewPlanner prepares repeated projections over an in-memory tree.
+func NewPlanner(t *Tree, ix *Index) *Planner { return project.NewPlanner(t, ix) }
+
+// Project computes the projection of t over the named leaves (Figure 2).
+func Project(t *Tree, ix *Index, names []string) (*Tree, error) {
+	return project.NewPlanner(t, ix).ProjectNames(names)
+}
+
+// SampleUniform draws k distinct random leaves.
+func SampleUniform(t *Tree, k int, rng *rand.Rand) ([]*Node, error) {
+	return sample.Uniform(t, k, rng)
+}
+
+// SampleWithTime samples k species with respect to an evolutionary time
+// (§2.2 of the paper).
+func SampleWithTime(t *Tree, time float64, k int, rng *rand.Rand) ([]*Node, error) {
+	return sample.WithRespectToTime(t, time, k, rng)
+}
+
+// PatternMatch answers the tree pattern match query of §2.2.
+func PatternMatch(t *Tree, ix *Index, pattern *Tree) (*MatchResult, error) {
+	return treecmp.PatternMatch(project.NewPlanner(t, ix), pattern)
+}
+
+// RobinsonFoulds is the rooted clade-based RF distance.
+func RobinsonFoulds(a, b *Tree) (int, error) { return treecmp.RobinsonFoulds(a, b) }
+
+// RobinsonFouldsUnrooted is the split-based RF distance.
+func RobinsonFouldsUnrooted(a, b *Tree) (int, error) { return treecmp.RobinsonFouldsUnrooted(a, b) }
+
+// MajorityConsensus builds the majority-rule consensus tree.
+func MajorityConsensus(trees []*Tree) (*Tree, error) { return treecmp.MajorityConsensus(trees) }
+
+// GenerateYule generates an ultrametric pure-birth gold-standard tree.
+func GenerateYule(n int, lambda float64, rng *rand.Rand) (*Tree, error) {
+	return treegen.Yule(n, lambda, rng)
+}
+
+// GenerateBirthDeath generates a birth–death gold-standard tree.
+func GenerateBirthDeath(n int, lambda, mu float64, keepExtinct bool, rng *rand.Rand) (*Tree, error) {
+	return treegen.BirthDeath(n, lambda, mu, keepExtinct, rng)
+}
+
+// GenerateCaterpillar generates the maximally deep pathological tree.
+func GenerateCaterpillar(n int, rng *rand.Rand) (*Tree, error) {
+	return treegen.Caterpillar(n, rng)
+}
+
+// GenerateBalanced generates a complete binary tree of the given depth.
+func GenerateBalanced(depth int, rng *rand.Rand) (*Tree, error) {
+	return treegen.Balanced(depth, rng)
+}
+
+// SimulateSequences evolves sequences down the tree.
+func SimulateSequences(t *Tree, cfg SeqConfig, rng *rand.Rand) (*Alignment, error) {
+	return seqsim.Evolve(t, cfg, rng)
+}
+
+// RunBenchmark executes a Benchmark Manager run (§2.2, Figure 3).
+func RunBenchmark(cfg BenchConfig) (*BenchReport, error) { return benchmark.Run(cfg) }
+
+// PaperFigure1 returns the 5-species example tree from Figure 1.
+func PaperFigure1() *Tree { return phylo.PaperFigure1() }
+
+// ASCII renders a tree as a terminal dendrogram.
+func ASCII(t *Tree) string { return viz.ASCII(t) }
+
+// DOT renders a tree in Graphviz format.
+func DOT(t *Tree, name string) string { return viz.DOT(t, name) }
+
+// LibSea renders a tree in Walrus's LibSea input format.
+func LibSea(t *Tree, name string) string { return viz.LibSea(t, name) }

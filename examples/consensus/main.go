@@ -1,0 +1,88 @@
+// Consensus demonstrates majority-rule consensus (reference [1] of the
+// paper: Amenta, Clarke & St. John's linear-time majority tree): several
+// noisy reconstructions of the same sampled species set are combined, and
+// the consensus is scored against the projected gold-standard reference.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	crimson "repro"
+	"repro/internal/distance"
+	"repro/internal/recon"
+	"repro/internal/sample"
+)
+
+func main() {
+	r := rand.New(rand.NewSource(77))
+	gold, err := crimson.GenerateYule(500, 1.0, r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, n := range gold.Nodes() {
+		if n.Parent != nil {
+			n.Length *= 0.2
+		}
+	}
+	ix, err := crimson.BuildIndex(gold, crimson.DefaultFanout)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// One sampled species set, projected once as the reference.
+	sel, err := crimson.SampleUniform(gold, 20, r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	names := sample.Names(sel)
+	reference, err := crimson.Project(gold, ix, names)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Reconstruct from several independent short alignments — each run is
+	// noisy on its own.
+	var trees []*crimson.Tree
+	fmt.Println("replicate reconstructions (NJ, 150 sites each):")
+	for rep := 0; rep < 7; rep++ {
+		aln, err := crimson.SimulateSequences(gold, crimson.SeqConfig{Length: 150, Model: crimson.JC69()}, r)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sub, err := aln.Subset(names)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m, err := distance.JC(sub)
+		if err != nil {
+			m, err = distance.PDistance(sub)
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+		tree, err := recon.NeighborJoining{}.Reconstruct(m)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rf, err := crimson.RobinsonFouldsUnrooted(tree, reference)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  replicate %d: unrooted RF vs reference = %d\n", rep, rf)
+		trees = append(trees, tree)
+	}
+
+	cons, err := crimson.MajorityConsensus(trees)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rf, err := crimson.RobinsonFouldsUnrooted(cons, reference)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nmajority-rule consensus of 7 replicates: unrooted RF = %d\n", rf)
+	fmt.Println("(the consensus keeps only clades a majority of replicates agree on,")
+	fmt.Println(" discarding each replicate's idiosyncratic errors)")
+}

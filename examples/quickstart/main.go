@@ -1,0 +1,85 @@
+// Quickstart walks through the paper's own running example: the Figure 1
+// tree, its Dewey labels, the hierarchical decomposition of Figure 4, the
+// LCA walkthrough of §2.1, time-constrained sampling of §2.2 and the
+// Figure 2 projection.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	crimson "repro"
+	"repro/internal/dewey"
+	"repro/internal/sample"
+)
+
+func main() {
+	// The Figure 1 tree, straight from Newick.
+	tree, err := crimson.ParseNewick("(Syn:2.5,((Lla:1,Spy:1):1.5,Bha:0.75):0.5,Bsu:1.25);")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("=== Figure 1 tree ===")
+	fmt.Print(crimson.ASCII(tree))
+
+	// Plain Dewey labels (§2.1): Lla = 2.1.1, Spy = 2.1.2.
+	plain := dewey.BuildPlain(tree)
+	for _, name := range []string{"Lla", "Spy", "Bha", "Syn", "Bsu"} {
+		n := tree.NodeByName(name)
+		fmt.Printf("plain Dewey label of %-3s = %s\n", name, plain.Label(n.ID))
+	}
+
+	// Hierarchical decomposition with f=2 (Figure 4): two layer-0
+	// subtrees; the subtree holding Lla and Spy was split off from x.
+	ix, err := crimson.BuildIndex(tree, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := ix.Stats()
+	fmt.Printf("\n=== Figure 4 decomposition (f=%d) ===\n", st.F)
+	fmt.Printf("layers: %d, subtrees per layer: %v, max label length: %d\n",
+		st.Layers, st.Subtrees, st.MaxLabelLen)
+
+	// LCA queries (§2.1 walkthrough).
+	lla := tree.NodeByName("Lla")
+	spy := tree.NodeByName("Spy")
+	syn := tree.NodeByName("Syn")
+	fmt.Printf("LCA(Lla, Spy) has full label %q (the node the paper calls (2.1))\n",
+		ix.FullLabel(ix.LCA(lla.ID, spy.ID)).String())
+	l := ix.LCANodes(syn, lla)
+	fmt.Printf("LCA(Syn, Lla) is the root: %v (cross-subtree recursion through layer 1)\n", l == tree.Root)
+
+	// Time-constrained sampling (§2.2): 4 species at evolutionary time 1.
+	r := rand.New(rand.NewSource(7))
+	picked, err := crimson.SampleWithTime(tree, 1, 4, r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n=== sampling 4 species w.r.t. time 1 ===\n%v\n", sample.Names(picked))
+
+	// Figure 2: projection over {Bha, Lla, Syn}. The parent of Lla is
+	// merged away and its edge weight becomes 1.5 + 1 = 2.5.
+	projected, err := crimson.Project(tree, ix, []string{"Bha", "Lla", "Syn"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n=== Figure 2 projection over {Bha, Lla, Syn} ===")
+	fmt.Print(crimson.ASCII(projected))
+	fmt.Println(crimson.FormatNewick(projected))
+
+	// Pattern matching (§2.2): Figure 2 matches Figure 1; swapping
+	// species breaks the match.
+	pattern, _ := crimson.ParseNewick("(Syn:1,(Lla:1,Bha:1):1);")
+	res, err := crimson.PatternMatch(tree, ix, pattern)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pattern (Syn,(Lla,Bha)) matches: %v\n", res.Exact)
+	swapped, _ := crimson.ParseNewick("(Bha:1,(Lla:1,Syn:1):1);")
+	res, err = crimson.PatternMatch(tree, ix, swapped)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pattern (Bha,(Lla,Syn)) matches: %v (RF distance %d)\n", res.Exact, res.RF)
+}

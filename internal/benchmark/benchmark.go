@@ -1,0 +1,356 @@
+// Package benchmark implements Crimson's Benchmark Manager (§2.2, Figure
+// 3): it "characterizes and evaluates a tree inference algorithm by
+// comparing its output to a set of projection trees". A run samples
+// species from the gold-standard simulation tree (uniformly or with
+// respect to evolutionary time), projects the reference subtree over the
+// sample, hands the sampled sequences to each reconstruction algorithm,
+// and scores the outputs against the projection with Robinson–Foulds
+// distances.
+package benchmark
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/distance"
+	"repro/internal/phylo"
+	"repro/internal/project"
+	"repro/internal/recon"
+	"repro/internal/sample"
+	"repro/internal/seqsim"
+	"repro/internal/treecmp"
+)
+
+// Selection names a species sampling method.
+type Selection int
+
+// Selection methods offered by the paper's demo: random sampling, random
+// sampling with respect to time, and user input (handled by RunExplicit).
+const (
+	Uniform Selection = iota
+	TimeConstrained
+)
+
+func (s Selection) String() string {
+	switch s {
+	case Uniform:
+		return "uniform"
+	case TimeConstrained:
+		return "time"
+	}
+	return fmt.Sprintf("Selection(%d)", int(s))
+}
+
+// Config describes a benchmark experiment.
+type Config struct {
+	Gold  *phylo.Tree // the gold-standard simulation tree (required)
+	Index *core.Index // hierarchical index; built with DefaultFanout if nil
+
+	// Sequence source: either a ready alignment covering the gold tree's
+	// leaves, or simulation parameters to generate one.
+	Alignment *seqsim.Alignment
+	SeqLength int          // used when Alignment == nil (default 500)
+	Model     seqsim.Model // used when Alignment == nil (default JC69)
+
+	SampleSizes []int     // e.g. {10, 50, 100}
+	Replicates  int       // independent samples per size (default 3)
+	Method      Selection // sampling method
+	Time        float64   // evolutionary time for TimeConstrained
+
+	Algorithms []recon.Algorithm // default {NJ, UPGMA}
+	// SeqAlgorithms are character-based methods (e.g. maximum parsimony)
+	// evaluated on the sampled sequences directly instead of a distance
+	// matrix.
+	SeqAlgorithms []recon.SeqAlgorithm
+	// Distances converts an alignment subset to a matrix (default JC
+	// correction falling back to p-distance on saturation).
+	Distances func(*seqsim.Alignment) (*distance.Matrix, error)
+
+	Seed int64 // RNG seed; runs are fully reproducible
+}
+
+// Result is one (algorithm, sample) evaluation.
+type Result struct {
+	Algorithm  string
+	Method     string
+	SampleSize int
+	Replicate  int
+	RF         int     // unrooted Robinson–Foulds vs the projected reference
+	NormRF     float64 // RF scaled to [0,1]
+	Recon      time.Duration
+	Species    []string // the sampled species names (sorted)
+}
+
+// Report is a completed benchmark run.
+type Report struct {
+	Config  Config
+	Results []Result
+}
+
+// Errors from Run.
+var (
+	ErrNoGold = errors.New("benchmark: config has no gold tree")
+	ErrNoSize = errors.New("benchmark: no sample sizes configured")
+)
+
+// Run executes the benchmark.
+func Run(cfg Config) (*Report, error) {
+	if cfg.Gold == nil {
+		return nil, ErrNoGold
+	}
+	if len(cfg.SampleSizes) == 0 {
+		return nil, ErrNoSize
+	}
+	if cfg.Replicates <= 0 {
+		cfg.Replicates = 3
+	}
+	if len(cfg.Algorithms) == 0 {
+		cfg.Algorithms = []recon.Algorithm{recon.NeighborJoining{}, recon.UPGMA{}}
+	}
+	if cfg.Distances == nil {
+		cfg.Distances = DefaultDistances
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+
+	ix := cfg.Index
+	if ix == nil {
+		var err error
+		if ix, err = core.Build(cfg.Gold, core.DefaultFanout); err != nil {
+			return nil, err
+		}
+	}
+	planner := project.NewPlanner(cfg.Gold, ix)
+
+	aln := cfg.Alignment
+	if aln == nil {
+		model := cfg.Model
+		if model == nil {
+			model = seqsim.JC69{}
+		}
+		length := cfg.SeqLength
+		if length <= 0 {
+			length = 500
+		}
+		var err error
+		if aln, err = seqsim.Evolve(cfg.Gold, seqsim.Config{Length: length, Model: model}, r); err != nil {
+			return nil, fmt.Errorf("benchmark: simulating sequences: %w", err)
+		}
+	}
+
+	rep := &Report{Config: cfg}
+	for _, size := range cfg.SampleSizes {
+		for rpl := 0; rpl < cfg.Replicates; rpl++ {
+			var sel []*phylo.Node
+			var err error
+			switch cfg.Method {
+			case Uniform:
+				sel, err = sample.Uniform(cfg.Gold, size, r)
+			case TimeConstrained:
+				sel, err = sample.WithRespectToTime(cfg.Gold, cfg.Time, size, r)
+			default:
+				err = fmt.Errorf("benchmark: unknown selection method %d", cfg.Method)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("benchmark: sampling %d species: %w", size, err)
+			}
+			results, err := evaluate(cfg, planner, aln, sel, rpl)
+			if err != nil {
+				return nil, err
+			}
+			rep.Results = append(rep.Results, results...)
+		}
+	}
+	return rep, nil
+}
+
+// RunExplicit benchmarks the algorithms on one explicit species selection
+// (the paper's "user input" method).
+func RunExplicit(cfg Config, names []string) (*Report, error) {
+	if cfg.Gold == nil {
+		return nil, ErrNoGold
+	}
+	if cfg.Distances == nil {
+		cfg.Distances = DefaultDistances
+	}
+	if len(cfg.Algorithms) == 0 {
+		cfg.Algorithms = []recon.Algorithm{recon.NeighborJoining{}, recon.UPGMA{}}
+	}
+	ix := cfg.Index
+	if ix == nil {
+		var err error
+		if ix, err = core.Build(cfg.Gold, core.DefaultFanout); err != nil {
+			return nil, err
+		}
+	}
+	planner := project.NewPlanner(cfg.Gold, ix)
+	aln := cfg.Alignment
+	if aln == nil {
+		model := cfg.Model
+		if model == nil {
+			model = seqsim.JC69{}
+		}
+		length := cfg.SeqLength
+		if length <= 0 {
+			length = 500
+		}
+		var err error
+		r := rand.New(rand.NewSource(cfg.Seed))
+		if aln, err = seqsim.Evolve(cfg.Gold, seqsim.Config{Length: length, Model: model}, r); err != nil {
+			return nil, err
+		}
+	}
+	sel, err := sample.FromNames(cfg.Gold, names)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{Config: cfg}
+	results, err := evaluate(cfg, planner, aln, sel, 0)
+	if err != nil {
+		return nil, err
+	}
+	rep.Results = results
+	return rep, nil
+}
+
+func evaluate(cfg Config, planner *project.Planner, aln *seqsim.Alignment, sel []*phylo.Node, replicate int) ([]Result, error) {
+	reference, err := planner.Project(sel)
+	if err != nil {
+		return nil, fmt.Errorf("benchmark: projecting reference: %w", err)
+	}
+	names := make([]string, len(sel))
+	for i, n := range sel {
+		names[i] = n.Name
+	}
+	sub, err := aln.Subset(names)
+	if err != nil {
+		return nil, fmt.Errorf("benchmark: selecting sequences: %w", err)
+	}
+	m, err := cfg.Distances(sub)
+	if err != nil {
+		return nil, fmt.Errorf("benchmark: distances: %w", err)
+	}
+	sorted := append([]string(nil), names...)
+	sort.Strings(sorted)
+	var out []Result
+	score := func(name string, tree *phylo.Tree, elapsed time.Duration) error {
+		rf, err := treecmp.RobinsonFouldsUnrooted(tree, reference)
+		if err != nil {
+			return fmt.Errorf("benchmark: scoring %s: %w", name, err)
+		}
+		norm, err := treecmp.NormalizedRFUnrooted(tree, reference)
+		if err != nil {
+			return err
+		}
+		out = append(out, Result{
+			Algorithm:  name,
+			Method:     cfg.Method.String(),
+			SampleSize: len(sel),
+			Replicate:  replicate,
+			RF:         rf,
+			NormRF:     norm,
+			Recon:      elapsed,
+			Species:    sorted,
+		})
+		return nil
+	}
+	for _, alg := range cfg.Algorithms {
+		start := time.Now()
+		tree, err := alg.Reconstruct(m)
+		elapsed := time.Since(start)
+		if err != nil {
+			return nil, fmt.Errorf("benchmark: %s: %w", alg.Name(), err)
+		}
+		if err := score(alg.Name(), tree, elapsed); err != nil {
+			return nil, err
+		}
+	}
+	for _, alg := range cfg.SeqAlgorithms {
+		start := time.Now()
+		tree, err := alg.ReconstructSeqs(sub)
+		elapsed := time.Since(start)
+		if err != nil {
+			return nil, fmt.Errorf("benchmark: %s: %w", alg.Name(), err)
+		}
+		if err := score(alg.Name(), tree, elapsed); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// DefaultDistances applies the Jukes–Cantor correction, falling back to
+// raw p-distances if any pair is saturated.
+func DefaultDistances(aln *seqsim.Alignment) (*distance.Matrix, error) {
+	m, err := distance.JC(aln)
+	if err == nil {
+		return m, nil
+	}
+	if errors.Is(err, distance.ErrSaturated) {
+		return distance.PDistance(aln)
+	}
+	return nil, err
+}
+
+// Summary aggregates mean normalized RF per (algorithm, sample size).
+type Summary struct {
+	Algorithm  string
+	SampleSize int
+	Runs       int
+	MeanRF     float64
+	MeanNormRF float64
+	MeanRecon  time.Duration
+}
+
+// Summarize groups the report's results.
+func (r *Report) Summarize() []Summary {
+	type key struct {
+		alg  string
+		size int
+	}
+	acc := make(map[key]*Summary)
+	var order []key
+	for _, res := range r.Results {
+		k := key{res.Algorithm, res.SampleSize}
+		s, ok := acc[k]
+		if !ok {
+			s = &Summary{Algorithm: res.Algorithm, SampleSize: res.SampleSize}
+			acc[k] = s
+			order = append(order, k)
+		}
+		s.Runs++
+		s.MeanRF += float64(res.RF)
+		s.MeanNormRF += res.NormRF
+		s.MeanRecon += res.Recon
+	}
+	out := make([]Summary, 0, len(order))
+	for _, k := range order {
+		s := acc[k]
+		s.MeanRF /= float64(s.Runs)
+		s.MeanNormRF /= float64(s.Runs)
+		s.MeanRecon /= time.Duration(s.Runs)
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].SampleSize != out[j].SampleSize {
+			return out[i].SampleSize < out[j].SampleSize
+		}
+		return out[i].Algorithm < out[j].Algorithm
+	})
+	return out
+}
+
+// String renders the summary as the table the demo would display.
+func (r *Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-8s %-8s %-6s %-10s %-10s %s\n", "alg", "k", "runs", "meanRF", "normRF", "recon")
+	for _, s := range r.Summarize() {
+		fmt.Fprintf(&sb, "%-8s %-8d %-6d %-10.2f %-10.4f %s\n",
+			s.Algorithm, s.SampleSize, s.Runs, s.MeanRF, s.MeanNormRF, s.MeanRecon)
+	}
+	return sb.String()
+}

@@ -1,0 +1,176 @@
+package distance
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/seqsim"
+	"repro/internal/treegen"
+)
+
+func alnOf(pairs map[string]string, order ...string) *seqsim.Alignment {
+	a := &seqsim.Alignment{Seqs: make(map[string][]byte)}
+	for _, n := range order {
+		a.Names = append(a.Names, n)
+		a.Seqs[n] = []byte(pairs[n])
+	}
+	return a
+}
+
+func TestPDistance(t *testing.T) {
+	aln := alnOf(map[string]string{
+		"a": "AAAA",
+		"b": "AAAT",
+		"c": "TTTT",
+	}, "a", "b", "c")
+	m, err := PDistance(aln)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.At(0, 1); got != 0.25 {
+		t.Fatalf("p(a,b) = %g", got)
+	}
+	if got := m.At(0, 2); got != 1.0 {
+		t.Fatalf("p(a,c) = %g", got)
+	}
+	if got := m.At(1, 0); got != 0.25 {
+		t.Fatal("asymmetric")
+	}
+}
+
+func TestPDistanceSkipsAmbiguous(t *testing.T) {
+	aln := alnOf(map[string]string{
+		"a": "AA-N",
+		"b": "ATTT",
+	}, "a", "b")
+	m, err := PDistance(aln)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only 2 comparable sites; 1 differs.
+	if got := m.At(0, 1); got != 0.5 {
+		t.Fatalf("p = %g, want 0.5", got)
+	}
+	// All-ambiguous pair fails.
+	bad := alnOf(map[string]string{"a": "--", "b": "AT"}, "a", "b")
+	if _, err := PDistance(bad); err == nil {
+		t.Fatal("no comparable sites accepted")
+	}
+}
+
+func TestJCCorrection(t *testing.T) {
+	aln := alnOf(map[string]string{
+		"a": "AAAAAAAAAA",
+		"b": "AAAAAAAATT", // p = 0.2
+	}, "a", "b")
+	m, err := JC(aln)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := -0.75 * math.Log(1-4*0.2/3)
+	if got := m.At(0, 1); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("JC = %g, want %g", got, want)
+	}
+	// JC correction exceeds p (corrects for multiple hits).
+	if m.At(0, 1) <= 0.2 {
+		t.Fatal("correction did not increase distance")
+	}
+	// Saturation: p >= 0.75.
+	sat := alnOf(map[string]string{"a": "AAAA", "b": "TTTT"}, "a", "b")
+	if _, err := JC(sat); err == nil {
+		t.Fatal("saturated pair accepted")
+	}
+}
+
+func TestK2PCorrection(t *testing.T) {
+	// 10 sites: 2 transitions (A->G), 1 transversion (A->T): P=0.2, Q=0.1.
+	aln := alnOf(map[string]string{
+		"a": "AAAAAAAAAA",
+		"b": "GGTAAAAAAA",
+	}, "a", "b")
+	m, err := K2P(aln)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, q := 0.2, 0.1
+	want := -0.5 * math.Log((1-2*p-q)*math.Sqrt(1-2*q))
+	if got := m.At(0, 1); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("K2P = %g, want %g", got, want)
+	}
+}
+
+// TestJCRecoversTrueDistance: simulate under JC and check the corrected
+// distance approximates the true path length.
+func TestJCRecoversTrueDistance(t *testing.T) {
+	tr, err := treegen.Yule(2, 1, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Force a known path length: 0.3 total.
+	for _, l := range tr.Leaves() {
+		l.Length = 0.15
+	}
+	aln, err := seqsim.Evolve(tr, seqsim.Config{Length: 100_000, Model: seqsim.JC69{}}, rand.New(rand.NewSource(6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := JC(aln)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.At(0, 1); math.Abs(got-0.3) > 0.02 {
+		t.Fatalf("JC distance = %g, want ~0.3", got)
+	}
+}
+
+func TestMatrixValidate(t *testing.T) {
+	m := New([]string{"a", "b"})
+	m.Set(0, 1, 1.5)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	m.D[0][1] = 2 // break symmetry
+	if err := m.Validate(); err == nil {
+		t.Fatal("asymmetry accepted")
+	}
+	m = New([]string{"a", "b"})
+	m.D[0][0] = 1
+	if err := m.Validate(); err == nil {
+		t.Fatal("nonzero diagonal accepted")
+	}
+	m = New([]string{"a", "b"})
+	m.Set(0, 1, math.NaN())
+	if err := m.Validate(); err == nil {
+		t.Fatal("NaN accepted")
+	}
+}
+
+func TestMatrixIndex(t *testing.T) {
+	m := New([]string{"x", "y", "z"})
+	if i, ok := m.Index("y"); !ok || i != 1 {
+		t.Fatalf("Index(y) = %d, %v", i, ok)
+	}
+	if _, ok := m.Index("nope"); ok {
+		t.Fatal("found missing name")
+	}
+	if m.Len() != 3 {
+		t.Fatal("Len wrong")
+	}
+}
+
+func TestTooFewTaxa(t *testing.T) {
+	one := alnOf(map[string]string{"a": "ACGT"}, "a")
+	if _, err := PDistance(one); err == nil {
+		t.Fatal("single-taxon matrix accepted")
+	}
+	if _, err := JC(one); err == nil {
+		t.Fatal("single-taxon JC accepted")
+	}
+	if _, err := K2P(one); err == nil {
+		t.Fatal("single-taxon K2P accepted")
+	}
+}

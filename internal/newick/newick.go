@@ -1,0 +1,288 @@
+// Package newick parses and serializes trees in Newick format, the tree
+// description language embedded in NEXUS TREES blocks. It supports quoted
+// labels, underscore-as-space convention, branch lengths, interior labels
+// and bracket comments.
+package newick
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/phylo"
+)
+
+// ErrSyntax wraps all parse errors.
+var ErrSyntax = errors.New("newick: syntax error")
+
+// Parse reads a single Newick tree from s (terminated by ';', which may be
+// omitted at end of input).
+func Parse(s string) (*phylo.Tree, error) {
+	p := &parser{in: s}
+	root, err := p.parseNode()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos < len(p.in) && p.in[p.pos] == ';' {
+		p.pos++
+	}
+	p.skipSpace()
+	if p.pos != len(p.in) {
+		return nil, fmt.Errorf("%w: trailing input at offset %d", ErrSyntax, p.pos)
+	}
+	t := phylo.New(root)
+	t.Reindex()
+	return t, nil
+}
+
+// ParseAll reads consecutive ';'-terminated trees from s.
+func ParseAll(s string) ([]*phylo.Tree, error) {
+	var out []*phylo.Tree
+	p := &parser{in: s}
+	for {
+		p.skipSpace()
+		if p.pos >= len(p.in) {
+			return out, nil
+		}
+		root, err := p.parseNode()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if p.pos < len(p.in) {
+			if p.in[p.pos] != ';' {
+				return nil, fmt.Errorf("%w: expected ';' at offset %d", ErrSyntax, p.pos)
+			}
+			p.pos++
+		}
+		t := phylo.New(root)
+		t.Reindex()
+		out = append(out, t)
+	}
+}
+
+type parser struct {
+	in  string
+	pos int
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.in) {
+		c := p.in[p.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			p.pos++
+		case c == '[': // bracket comment
+			end := strings.IndexByte(p.in[p.pos:], ']')
+			if end < 0 {
+				p.pos = len(p.in)
+				return
+			}
+			p.pos += end + 1
+		default:
+			return
+		}
+	}
+}
+
+func (p *parser) peek() (byte, bool) {
+	p.skipSpace()
+	if p.pos >= len(p.in) {
+		return 0, false
+	}
+	return p.in[p.pos], true
+}
+
+// parseNode parses "(child,child,...)label:length" or "label:length".
+func (p *parser) parseNode() (*phylo.Node, error) {
+	n := &phylo.Node{}
+	c, ok := p.peek()
+	if !ok {
+		return nil, fmt.Errorf("%w: unexpected end of input", ErrSyntax)
+	}
+	if c == '(' {
+		p.pos++
+		for {
+			child, err := p.parseNode()
+			if err != nil {
+				return nil, err
+			}
+			n.AddChild(child)
+			c, ok = p.peek()
+			if !ok {
+				return nil, fmt.Errorf("%w: unclosed '('", ErrSyntax)
+			}
+			if c == ',' {
+				p.pos++
+				continue
+			}
+			if c == ')' {
+				p.pos++
+				break
+			}
+			return nil, fmt.Errorf("%w: expected ',' or ')' at offset %d", ErrSyntax, p.pos)
+		}
+	}
+	name, err := p.parseLabel()
+	if err != nil {
+		return nil, err
+	}
+	n.Name = name
+	if c, ok = p.peek(); ok && c == ':' {
+		p.pos++
+		length, err := p.parseNumber()
+		if err != nil {
+			return nil, err
+		}
+		n.Length = length
+	}
+	if n.Name == "" && len(n.Children) == 0 {
+		return nil, fmt.Errorf("%w: empty node at offset %d", ErrSyntax, p.pos)
+	}
+	return n, nil
+}
+
+func (p *parser) parseLabel() (string, error) {
+	c, ok := p.peek()
+	if !ok {
+		return "", nil
+	}
+	if c == '\'' {
+		return p.parseQuoted()
+	}
+	start := p.pos
+	for p.pos < len(p.in) {
+		c = p.in[p.pos]
+		if c == ',' || c == ')' || c == '(' || c == ':' || c == ';' || c == '[' ||
+			c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			break
+		}
+		p.pos++
+	}
+	// Underscores in unquoted labels conventionally denote spaces.
+	return strings.ReplaceAll(p.in[start:p.pos], "_", " "), nil
+}
+
+func (p *parser) parseQuoted() (string, error) {
+	p.pos++ // opening quote
+	var sb strings.Builder
+	for p.pos < len(p.in) {
+		c := p.in[p.pos]
+		if c == '\'' {
+			if p.pos+1 < len(p.in) && p.in[p.pos+1] == '\'' {
+				sb.WriteByte('\'')
+				p.pos += 2
+				continue
+			}
+			p.pos++
+			return sb.String(), nil
+		}
+		sb.WriteByte(c)
+		p.pos++
+	}
+	return "", fmt.Errorf("%w: unterminated quoted label", ErrSyntax)
+}
+
+func (p *parser) parseNumber() (float64, error) {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.in) {
+		c := p.in[p.pos]
+		if (c >= '0' && c <= '9') || c == '.' || c == '-' || c == '+' || c == 'e' || c == 'E' {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if start == p.pos {
+		return 0, fmt.Errorf("%w: expected branch length at offset %d", ErrSyntax, p.pos)
+	}
+	v, err := strconv.ParseFloat(p.in[start:p.pos], 64)
+	if err != nil {
+		return 0, fmt.Errorf("%w: bad branch length %q", ErrSyntax, p.in[start:p.pos])
+	}
+	return v, nil
+}
+
+// Options control serialization.
+type Options struct {
+	// Lengths includes branch lengths (":1.5") when true.
+	Lengths bool
+	// InteriorNames includes names of interior nodes when true.
+	InteriorNames bool
+}
+
+// DefaultOptions writes branch lengths and interior names.
+var DefaultOptions = Options{Lengths: true, InteriorNames: true}
+
+// Write serializes the tree to w in Newick format, ending with ";".
+func Write(w io.Writer, t *phylo.Tree, opt Options) error {
+	if t.Root == nil {
+		_, err := io.WriteString(w, ";")
+		return err
+	}
+	var sb strings.Builder
+	writeNode(&sb, t.Root, opt)
+	sb.WriteByte(';')
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// String serializes the tree with default options.
+func String(t *phylo.Tree) string {
+	var sb strings.Builder
+	if err := Write(&sb, t, DefaultOptions); err != nil {
+		return ""
+	}
+	return sb.String()
+}
+
+func writeNode(sb *strings.Builder, n *phylo.Node, opt Options) {
+	if len(n.Children) > 0 {
+		sb.WriteByte('(')
+		for i, c := range n.Children {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			writeNode(sb, c, opt)
+		}
+		sb.WriteByte(')')
+		if opt.InteriorNames {
+			sb.WriteString(quoteLabel(n.Name))
+		}
+	} else {
+		sb.WriteString(quoteLabel(n.Name))
+	}
+	if opt.Lengths && n.Parent != nil {
+		sb.WriteByte(':')
+		sb.WriteString(strconv.FormatFloat(n.Length, 'g', -1, 64))
+	}
+}
+
+// quoteLabel renders a label safely: plain if alphanumeric, otherwise
+// quoted with ” escaping, with spaces written as underscores when safe.
+func quoteLabel(s string) string {
+	if s == "" {
+		return ""
+	}
+	needQuote := false
+	hasSpace := false
+	for _, r := range s {
+		switch {
+		case r == ' ':
+			hasSpace = true
+		case r == '_' || strings.ContainsRune("(),:;[]'", r):
+			needQuote = true
+		}
+	}
+	if needQuote {
+		return "'" + strings.ReplaceAll(s, "'", "''") + "'"
+	}
+	if hasSpace {
+		return strings.ReplaceAll(s, " ", "_")
+	}
+	return s
+}

@@ -1,0 +1,513 @@
+// Package nexus reads and writes NEXUS files (Maddison, Swofford &
+// Maddison 1997), "the standard data format for representing phylogenetic
+// data" per the Crimson paper. TAXA, CHARACTERS/DATA and TREES blocks are
+// supported, including TRANSLATE tables and interleaved matrices;
+// unrecognized blocks are skipped.
+package nexus
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/newick"
+	"repro/internal/phylo"
+)
+
+// ErrFormat wraps all NEXUS parse errors.
+var ErrFormat = errors.New("nexus: format error")
+
+// Document is a parsed NEXUS file.
+type Document struct {
+	Taxa       []string
+	Characters *Characters
+	Trees      []NamedTree
+}
+
+// Characters holds a CHARACTERS or DATA block: aligned sequences per taxon.
+type Characters struct {
+	Datatype string // e.g. "DNA"
+	Missing  string
+	Gap      string
+	Order    []string          // taxa in matrix order
+	Seqs     map[string]string // taxon -> sequence
+}
+
+// NamedTree is one TREE statement from a TREES block.
+type NamedTree struct {
+	Name   string
+	Rooted bool
+	Tree   *phylo.Tree
+}
+
+// Parse reads a NEXUS document.
+func Parse(r io.Reader) (*Document, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	return ParseString(string(raw))
+}
+
+// ParseString reads a NEXUS document from a string.
+func ParseString(s string) (*Document, error) {
+	tz := newTokenizer(s)
+	first, err := tz.next()
+	if err != nil {
+		return nil, err
+	}
+	if !strings.EqualFold(first, "#NEXUS") {
+		return nil, fmt.Errorf("%w: missing #NEXUS header (got %q)", ErrFormat, first)
+	}
+	doc := &Document{}
+	for {
+		tok, err := tz.next()
+		if errors.Is(err, io.EOF) {
+			return doc, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		if !strings.EqualFold(tok, "BEGIN") {
+			return nil, fmt.Errorf("%w: expected BEGIN, got %q", ErrFormat, tok)
+		}
+		name, err := tz.next()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := tz.expect(";"); err != nil {
+			return nil, err
+		}
+		switch strings.ToUpper(name) {
+		case "TAXA":
+			err = parseTaxa(tz, doc)
+		case "CHARACTERS", "DATA":
+			err = parseCharacters(tz, doc)
+		case "TREES":
+			err = parseTrees(tz, doc)
+		default:
+			err = skipBlock(tz)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+}
+
+func endCommand(tz *tokenizer) error {
+	for {
+		tok, err := tz.next()
+		if err != nil {
+			return err
+		}
+		if tok == ";" {
+			return nil
+		}
+	}
+}
+
+func skipBlock(tz *tokenizer) error {
+	for {
+		tok, err := tz.next()
+		if err != nil {
+			return err
+		}
+		if strings.EqualFold(tok, "END") || strings.EqualFold(tok, "ENDBLOCK") {
+			return endCommand(tz)
+		}
+	}
+}
+
+func parseTaxa(tz *tokenizer, doc *Document) error {
+	for {
+		tok, err := tz.next()
+		if err != nil {
+			return err
+		}
+		switch {
+		case strings.EqualFold(tok, "END"), strings.EqualFold(tok, "ENDBLOCK"):
+			return endCommand(tz)
+		case strings.EqualFold(tok, "DIMENSIONS"):
+			if err := endCommand(tz); err != nil { // NTAX is implied by TAXLABELS
+				return err
+			}
+		case strings.EqualFold(tok, "TAXLABELS"):
+			for {
+				lbl, err := tz.next()
+				if err != nil {
+					return err
+				}
+				if lbl == ";" {
+					break
+				}
+				doc.Taxa = append(doc.Taxa, lbl)
+			}
+		default:
+			if err := endCommand(tz); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+func parseCharacters(tz *tokenizer, doc *Document) error {
+	ch := &Characters{Seqs: make(map[string]string)}
+	for {
+		tok, err := tz.next()
+		if err != nil {
+			return err
+		}
+		switch {
+		case strings.EqualFold(tok, "END"), strings.EqualFold(tok, "ENDBLOCK"):
+			doc.Characters = ch
+			return endCommand(tz)
+		case strings.EqualFold(tok, "FORMAT"):
+			if err := parseFormat(tz, ch); err != nil {
+				return err
+			}
+		case strings.EqualFold(tok, "MATRIX"):
+			if err := parseMatrix(tz, ch); err != nil {
+				return err
+			}
+		default:
+			if err := endCommand(tz); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+func parseFormat(tz *tokenizer, ch *Characters) error {
+	for {
+		tok, err := tz.next()
+		if err != nil {
+			return err
+		}
+		if tok == ";" {
+			return nil
+		}
+		key := strings.ToUpper(tok)
+		eq, err := tz.next()
+		if err != nil {
+			return err
+		}
+		if eq != "=" {
+			if eq == ";" {
+				return nil
+			}
+			continue // flag without value (e.g. INTERLEAVE)
+		}
+		val, err := tz.next()
+		if err != nil {
+			return err
+		}
+		switch key {
+		case "DATATYPE":
+			ch.Datatype = strings.ToUpper(val)
+		case "MISSING":
+			ch.Missing = val
+		case "GAP":
+			ch.Gap = val
+		}
+	}
+}
+
+func parseMatrix(tz *tokenizer, ch *Characters) error {
+	for {
+		name, err := tz.next()
+		if err != nil {
+			return err
+		}
+		if name == ";" {
+			return nil
+		}
+		seq, err := tz.next()
+		if err != nil {
+			return err
+		}
+		if seq == ";" {
+			return fmt.Errorf("%w: taxon %q has no sequence", ErrFormat, name)
+		}
+		if _, seen := ch.Seqs[name]; !seen {
+			ch.Order = append(ch.Order, name)
+		}
+		ch.Seqs[name] += seq // repeated names extend (interleaved format)
+	}
+}
+
+func parseTrees(tz *tokenizer, doc *Document) error {
+	translate := map[string]string{}
+	for {
+		tok, err := tz.next()
+		if err != nil {
+			return err
+		}
+		switch {
+		case strings.EqualFold(tok, "END"), strings.EqualFold(tok, "ENDBLOCK"):
+			return endCommand(tz)
+		case strings.EqualFold(tok, "TRANSLATE"):
+			for {
+				key, err := tz.next()
+				if err != nil {
+					return err
+				}
+				if key == ";" {
+					break
+				}
+				val, err := tz.next()
+				if err != nil {
+					return err
+				}
+				translate[key] = val
+				sep, err := tz.next()
+				if err != nil {
+					return err
+				}
+				if sep == ";" {
+					break
+				}
+				if sep != "," {
+					return fmt.Errorf("%w: expected ',' in TRANSLATE, got %q", ErrFormat, sep)
+				}
+			}
+		case strings.EqualFold(tok, "TREE"), strings.EqualFold(tok, "UTREE"):
+			name, err := tz.next()
+			if err != nil {
+				return err
+			}
+			if _, err := tz.expect("="); err != nil {
+				return err
+			}
+			rooted, body, err := tz.treeBody()
+			if err != nil {
+				return err
+			}
+			tree, err := newick.Parse(body)
+			if err != nil {
+				return fmt.Errorf("nexus: TREE %s: %w", name, err)
+			}
+			applyTranslate(tree, translate)
+			doc.Trees = append(doc.Trees, NamedTree{Name: name, Rooted: rooted, Tree: tree})
+		default:
+			if err := endCommand(tz); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+func applyTranslate(t *phylo.Tree, translate map[string]string) {
+	if len(translate) == 0 {
+		return
+	}
+	for _, n := range t.Nodes() {
+		if full, ok := translate[n.Name]; ok {
+			n.Name = full
+		}
+	}
+	t.Mutated()
+}
+
+// Write serializes a document as NEXUS.
+func Write(w io.Writer, doc *Document) error {
+	var sb strings.Builder
+	sb.WriteString("#NEXUS\n")
+	if len(doc.Taxa) > 0 {
+		fmt.Fprintf(&sb, "BEGIN TAXA;\n\tDIMENSIONS NTAX=%d;\n\tTAXLABELS", len(doc.Taxa))
+		for _, t := range doc.Taxa {
+			sb.WriteString(" ")
+			sb.WriteString(quoteWord(t))
+		}
+		sb.WriteString(";\nEND;\n")
+	}
+	if ch := doc.Characters; ch != nil && len(ch.Order) > 0 {
+		nchar := len(ch.Seqs[ch.Order[0]])
+		fmt.Fprintf(&sb, "BEGIN CHARACTERS;\n\tDIMENSIONS NCHAR=%d;\n", nchar)
+		datatype := ch.Datatype
+		if datatype == "" {
+			datatype = "DNA"
+		}
+		fmt.Fprintf(&sb, "\tFORMAT DATATYPE=%s", datatype)
+		if ch.Missing != "" {
+			fmt.Fprintf(&sb, " MISSING=%s", ch.Missing)
+		}
+		if ch.Gap != "" {
+			fmt.Fprintf(&sb, " GAP=%s", ch.Gap)
+		}
+		sb.WriteString(";\n\tMATRIX\n")
+		for _, taxon := range ch.Order {
+			fmt.Fprintf(&sb, "\t\t%s %s\n", quoteWord(taxon), ch.Seqs[taxon])
+		}
+		sb.WriteString("\t;\nEND;\n")
+	}
+	if len(doc.Trees) > 0 {
+		sb.WriteString("BEGIN TREES;\n")
+		for _, nt := range doc.Trees {
+			flag := "[&U]"
+			if nt.Rooted {
+				flag = "[&R]"
+			}
+			fmt.Fprintf(&sb, "\tTREE %s = %s %s\n", quoteWord(nt.Name), flag, newick.String(nt.Tree))
+		}
+		sb.WriteString("END;\n")
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+func quoteWord(s string) string {
+	if s == "" {
+		return "''"
+	}
+	clean := true
+	for _, r := range s {
+		if r == ' ' || r == '\t' || r == '\n' || strings.ContainsRune("()[]{}/\\,;:=*'\"`<>^", r) {
+			clean = false
+			break
+		}
+	}
+	if clean {
+		return s
+	}
+	return "'" + strings.ReplaceAll(s, "'", "''") + "'"
+}
+
+// tokenizer splits NEXUS input into words, quoted strings and punctuation,
+// skipping [comments].
+type tokenizer struct {
+	in  string
+	pos int
+}
+
+func newTokenizer(s string) *tokenizer { return &tokenizer{in: s} }
+
+func (tz *tokenizer) skip() {
+	for tz.pos < len(tz.in) {
+		c := tz.in[tz.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			tz.pos++
+		case c == '[':
+			depth := 1
+			tz.pos++
+			for tz.pos < len(tz.in) && depth > 0 {
+				switch tz.in[tz.pos] {
+				case '[':
+					depth++
+				case ']':
+					depth--
+				}
+				tz.pos++
+			}
+		default:
+			return
+		}
+	}
+}
+
+const punctuation = ";=,"
+
+func (tz *tokenizer) next() (string, error) {
+	tz.skip()
+	if tz.pos >= len(tz.in) {
+		return "", io.EOF
+	}
+	c := tz.in[tz.pos]
+	if strings.IndexByte(punctuation, c) >= 0 {
+		tz.pos++
+		return string(c), nil
+	}
+	if c == '\'' {
+		tz.pos++
+		var sb strings.Builder
+		for tz.pos < len(tz.in) {
+			ch := tz.in[tz.pos]
+			if ch == '\'' {
+				if tz.pos+1 < len(tz.in) && tz.in[tz.pos+1] == '\'' {
+					sb.WriteByte('\'')
+					tz.pos += 2
+					continue
+				}
+				tz.pos++
+				return sb.String(), nil
+			}
+			sb.WriteByte(ch)
+			tz.pos++
+		}
+		return "", fmt.Errorf("%w: unterminated quote", ErrFormat)
+	}
+	start := tz.pos
+	for tz.pos < len(tz.in) {
+		c = tz.in[tz.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '[' ||
+			strings.IndexByte(punctuation, c) >= 0 {
+			break
+		}
+		tz.pos++
+	}
+	return tz.in[start:tz.pos], nil
+}
+
+func (tz *tokenizer) expect(tok string) (string, error) {
+	got, err := tz.next()
+	if err != nil {
+		return "", err
+	}
+	if got != tok {
+		return "", fmt.Errorf("%w: expected %q, got %q", ErrFormat, tok, got)
+	}
+	return got, nil
+}
+
+// treeBody consumes the remainder of a TREE command up to its terminating
+// ';' and returns (rooted, newickText). The [&R]/[&U] rooting comment is
+// honored; other comments are dropped. Quoted labels may contain ';'.
+func (tz *tokenizer) treeBody() (bool, string, error) {
+	rooted := true
+	var sb strings.Builder
+	for tz.pos < len(tz.in) {
+		c := tz.in[tz.pos]
+		switch c {
+		case '[':
+			depth := 1
+			start := tz.pos
+			tz.pos++
+			for tz.pos < len(tz.in) && depth > 0 {
+				switch tz.in[tz.pos] {
+				case '[':
+					depth++
+				case ']':
+					depth--
+				}
+				tz.pos++
+			}
+			if strings.EqualFold(strings.TrimSpace(tz.in[start:tz.pos]), "[&U]") {
+				rooted = false
+			}
+		case '\'':
+			sb.WriteByte(c)
+			tz.pos++
+			for tz.pos < len(tz.in) {
+				ch := tz.in[tz.pos]
+				sb.WriteByte(ch)
+				tz.pos++
+				if ch == '\'' {
+					if tz.pos < len(tz.in) && tz.in[tz.pos] == '\'' {
+						sb.WriteByte('\'')
+						tz.pos++
+						continue
+					}
+					break
+				}
+			}
+		case ';':
+			tz.pos++
+			return rooted, sb.String() + ";", nil
+		default:
+			sb.WriteByte(c)
+			tz.pos++
+		}
+	}
+	return rooted, "", fmt.Errorf("%w: unterminated TREE command", ErrFormat)
+}

@@ -1,0 +1,206 @@
+// Package project implements tree projection (§1 and §2.2 of the paper):
+// given a tree T and a subset S of its leaves, the projection of T over S
+// is the subtree induced by S in which every node has at least two
+// children; out-degree-1 nodes are merged with their child, summing edge
+// weights (Figure 2).
+//
+// The algorithm follows the paper: sort the input leaf set in preorder of
+// T, then insert nodes left to right maintaining the rightmost path of the
+// growing projection; ancestor/descendant questions are answered with LCA
+// queries ("m is an ancestor of n iff LCA(m,n) = m"). The unary-node
+// merging of the paper happens implicitly: edge weights in the projection
+// are differences of root distances, so a suppressed chain contributes the
+// sum of its edge weights (1.5 + 1 = 2.5 for Lla in Figure 2).
+package project
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/phylo"
+)
+
+// LCAFinder answers least-common-ancestor queries on a tree. Both the
+// hierarchical index (core.Index) and test oracles implement it.
+type LCAFinder interface {
+	LCANodes(a, b *phylo.Node) *phylo.Node
+}
+
+// NaiveLCA adapts the pointer-walk LCA to LCAFinder, for tests and for
+// trees too small to index.
+type NaiveLCA struct{}
+
+// LCANodes returns the LCA by parent walking.
+func (NaiveLCA) LCANodes(a, b *phylo.Node) *phylo.Node { return phylo.LCA(a, b) }
+
+// Planner prepares per-tree arrays (preorder ranks, depths, root
+// distances) once so repeated projections cost O(k · f) LCA work instead
+// of O(n) per call.
+type Planner struct {
+	tree  *phylo.Tree
+	lca   LCAFinder
+	depth map[*phylo.Node]int
+	dist  map[*phylo.Node]float64
+	rank  map[*phylo.Node]int
+}
+
+// NewPlanner builds a planner for t using the given LCA implementation.
+func NewPlanner(t *phylo.Tree, lca LCAFinder) *Planner {
+	nodes := t.Nodes()
+	p := &Planner{
+		tree:  t,
+		lca:   lca,
+		depth: make(map[*phylo.Node]int, len(nodes)),
+		dist:  make(map[*phylo.Node]float64, len(nodes)),
+		rank:  make(map[*phylo.Node]int, len(nodes)),
+	}
+	for i, n := range nodes { // preorder: parents first
+		p.rank[n] = i
+		if n.Parent == nil {
+			p.depth[n] = 0
+			p.dist[n] = 0
+		} else {
+			p.depth[n] = p.depth[n.Parent] + 1
+			p.dist[n] = p.dist[n.Parent] + n.Length
+		}
+	}
+	return p
+}
+
+// Errors returned by Project.
+var (
+	ErrEmptySelection = errors.New("project: empty leaf selection")
+	ErrForeignNode    = errors.New("project: node not in the planner's tree")
+)
+
+// Project returns the projection of the planner's tree over the given
+// nodes (normally leaves). Duplicates are removed. The result is a fresh
+// tree whose node names are copied from the originals; its root is the LCA
+// of the selection (or the node itself for a singleton).
+func (p *Planner) Project(selection []*phylo.Node) (*phylo.Tree, error) {
+	if len(selection) == 0 {
+		return nil, ErrEmptySelection
+	}
+	// Sort by preorder and dedupe, per the paper ("we sort the input leaf
+	// set according to the pre-order of tree T").
+	sel := make([]*phylo.Node, 0, len(selection))
+	seen := make(map[*phylo.Node]bool, len(selection))
+	for _, n := range selection {
+		if _, ok := p.rank[n]; !ok {
+			return nil, fmt.Errorf("%w: %q", ErrForeignNode, n.Name)
+		}
+		if !seen[n] {
+			seen[n] = true
+			sel = append(sel, n)
+		}
+	}
+	sort.Slice(sel, func(i, j int) bool { return p.rank[sel[i]] < p.rank[sel[j]] })
+
+	if len(sel) == 1 {
+		root := &phylo.Node{Name: sel[0].Name}
+		t := phylo.New(root)
+		t.Reindex()
+		return t, nil
+	}
+
+	type entry struct {
+		orig *phylo.Node
+		nw   *phylo.Node
+	}
+	attach := func(parent, child *entry) {
+		child.nw.Length = p.dist[child.orig] - p.dist[parent.orig]
+		parent.nw.AddChild(child.nw)
+	}
+	newEntry := func(orig *phylo.Node) *entry {
+		return &entry{orig: orig, nw: &phylo.Node{Name: orig.Name}}
+	}
+
+	// stack holds the rightmost path of the projection under construction,
+	// shallowest at the bottom. Children are linked when entries pop.
+	stack := []*entry{newEntry(sel[0])}
+	for _, x := range sel[1:] {
+		top := stack[len(stack)-1]
+		l := p.lca.LCANodes(top.orig, x)
+		var last *entry
+		for len(stack) > 0 && p.depth[stack[len(stack)-1].orig] > p.depth[l] {
+			e := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if last != nil {
+				attach(e, last)
+			}
+			last = e
+		}
+		if len(stack) > 0 && stack[len(stack)-1].orig == l {
+			if last != nil {
+				attach(stack[len(stack)-1], last)
+			}
+		} else {
+			le := newEntry(l)
+			if last != nil {
+				attach(le, last)
+			}
+			stack = append(stack, le)
+		}
+		stack = append(stack, newEntry(x))
+	}
+	var last *entry
+	for len(stack) > 0 {
+		e := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if last != nil {
+			attach(e, last)
+		}
+		last = e
+	}
+	t := phylo.New(last.nw)
+	t.Reindex()
+	return t, nil
+}
+
+// ProjectNames projects over leaves identified by name.
+func (p *Planner) ProjectNames(names []string) (*phylo.Tree, error) {
+	sel := make([]*phylo.Node, 0, len(names))
+	for _, name := range names {
+		n := p.tree.NodeByName(name)
+		if n == nil {
+			return nil, fmt.Errorf("project: no node named %q", name)
+		}
+		sel = append(sel, n)
+	}
+	return p.Project(sel)
+}
+
+// Naive computes the projection by the direct definition — mark all
+// root-paths of the selection, extract the induced subtree, then suppress
+// unary nodes summing weights. O(n) per call; used as the oracle in
+// property tests.
+func Naive(t *phylo.Tree, selection []*phylo.Node) (*phylo.Tree, error) {
+	if len(selection) == 0 {
+		return nil, ErrEmptySelection
+	}
+	keep := make(map[*phylo.Node]bool)
+	for _, n := range selection {
+		for cur := n; cur != nil; cur = cur.Parent {
+			if keep[cur] {
+				break
+			}
+			keep[cur] = true
+		}
+	}
+	var build func(n *phylo.Node) *phylo.Node
+	build = func(n *phylo.Node) *phylo.Node {
+		m := &phylo.Node{Name: n.Name, Length: n.Length}
+		for _, c := range n.Children {
+			if keep[c] {
+				m.AddChild(build(c))
+			}
+		}
+		return m
+	}
+	out := phylo.New(build(t.Root))
+	out.SuppressUnary()
+	out.Root.Length = 0
+	out.Reindex()
+	return out, nil
+}

@@ -1,0 +1,187 @@
+// Package queryrepo is Crimson's Query Repository (§2.1): a persistent
+// history of user queries that, "used in conjunction with the Crimson GUI,
+// makes it convenient for users to recall and rerun historical queries."
+package queryrepo
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/relstore"
+)
+
+// ErrNoEntry is returned when a history id does not exist.
+var ErrNoEntry = errors.New("queryrepo: no such history entry")
+
+const (
+	tableName  = "query_history"
+	counterKey = int64(-1) // row holding the next id in the same table
+)
+
+// Entry is one recorded query.
+type Entry struct {
+	ID      int64
+	Time    time.Time
+	Kind    string // e.g. "lca", "project", "sample", "bench"
+	Args    string // JSON-encoded arguments, sufficient to rerun
+	Summary string // human-readable result summary
+}
+
+// Repo is the query history repository.
+type Repo struct {
+	db  *relstore.DB
+	tab *relstore.Table
+}
+
+// NewOnDB layers the repository over an existing database.
+func NewOnDB(db *relstore.DB) (*Repo, error) {
+	tab, err := db.Table(tableName)
+	if errors.Is(err, relstore.ErrNoTable) {
+		tab, err = db.CreateTable(relstore.Schema{
+			Name: tableName,
+			Columns: []relstore.Column{
+				{Name: "id", Type: relstore.TInt},
+				{Name: "time", Type: relstore.TInt}, // unix nanoseconds
+				{Name: "kind", Type: relstore.TString},
+				{Name: "args", Type: relstore.TString},
+				{Name: "summary", Type: relstore.TString},
+			},
+			Key: "id",
+			Indexes: []relstore.Index{
+				{Name: "by_kind", Columns: []string{"kind"}},
+			},
+		})
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Repo{db: db, tab: tab}, nil
+}
+
+// Record appends a query to the history. Args is JSON-marshalled.
+func (r *Repo) Record(kind string, args any, summary string) (Entry, error) {
+	argsJSON, err := json.Marshal(args)
+	if err != nil {
+		return Entry{}, fmt.Errorf("queryrepo: encoding args: %w", err)
+	}
+	id, err := r.nextID()
+	if err != nil {
+		return Entry{}, err
+	}
+	e := Entry{ID: id, Time: time.Now(), Kind: kind, Args: string(argsJSON), Summary: summary}
+	err = r.tab.Insert(relstore.Row{
+		relstore.Int(e.ID),
+		relstore.Int(e.Time.UnixNano()),
+		relstore.Str(e.Kind),
+		relstore.Str(e.Args),
+		relstore.Str(e.Summary),
+	})
+	if err != nil {
+		return Entry{}, err
+	}
+	return e, nil
+}
+
+func (r *Repo) nextID() (int64, error) {
+	row, ok, err := r.tab.Get(relstore.Int(counterKey))
+	if err != nil {
+		return 0, err
+	}
+	next := int64(1)
+	if ok {
+		next = row[1].Int64() + 1
+	}
+	err = r.tab.Put(relstore.Row{
+		relstore.Int(counterKey),
+		relstore.Int(next),
+		relstore.Str("_counter"),
+		relstore.Str(""),
+		relstore.Str(""),
+	})
+	if err != nil {
+		return 0, err
+	}
+	return next, nil
+}
+
+func decodeEntry(row relstore.Row) Entry {
+	return Entry{
+		ID:      row[0].Int64(),
+		Time:    time.Unix(0, row[1].Int64()),
+		Kind:    row[2].Text(),
+		Args:    row[3].Text(),
+		Summary: row[4].Text(),
+	}
+}
+
+// Get fetches one entry by id.
+func (r *Repo) Get(id int64) (Entry, error) {
+	row, ok, err := r.tab.Get(relstore.Int(id))
+	if err != nil {
+		return Entry{}, err
+	}
+	if !ok || row[2].Text() == "_counter" {
+		return Entry{}, fmt.Errorf("%w: %d", ErrNoEntry, id)
+	}
+	return decodeEntry(row), nil
+}
+
+// History returns up to limit most recent entries, newest first
+// (limit <= 0 means all).
+func (r *Repo) History(limit int) ([]Entry, error) {
+	var all []Entry
+	err := r.tab.ScanRange(relstore.Int(0), relstore.Value{}, func(row relstore.Row) (bool, error) {
+		all = append(all, decodeEntry(row))
+		return true, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Reverse to newest-first.
+	for i, j := 0, len(all)-1; i < j; i, j = i+1, j-1 {
+		all[i], all[j] = all[j], all[i]
+	}
+	if limit > 0 && len(all) > limit {
+		all = all[:limit]
+	}
+	return all, nil
+}
+
+// ByKind returns all entries of one query kind, oldest first.
+func (r *Repo) ByKind(kind string) ([]Entry, error) {
+	var out []Entry
+	err := r.tab.IndexScan("by_kind", []relstore.Value{relstore.Str(kind)}, func(row relstore.Row) (bool, error) {
+		out = append(out, decodeEntry(row))
+		return true, nil
+	})
+	return out, err
+}
+
+// UnmarshalArgs decodes an entry's JSON args for rerunning the query.
+func (e Entry) UnmarshalArgs(into any) error {
+	return json.Unmarshal([]byte(e.Args), into)
+}
+
+// Clear removes all history entries (and resets the id counter).
+func (r *Repo) Clear() (int, error) {
+	var ids []int64
+	err := r.tab.Scan(func(row relstore.Row) (bool, error) {
+		ids = append(ids, row[0].Int64())
+		return true, nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, id := range ids {
+		if _, err := r.tab.Delete(relstore.Int(id)); err != nil {
+			return n, err
+		}
+		if id != counterKey {
+			n++
+		}
+	}
+	return n, nil
+}

@@ -1,0 +1,150 @@
+package queryrepo
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/relstore"
+)
+
+func newRepo(t *testing.T) *Repo {
+	t.Helper()
+	db := relstore.OpenMemDB()
+	t.Cleanup(func() { db.Close() })
+	r, err := NewOnDB(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+type lcaArgs struct {
+	Tree string `json:"tree"`
+	A    string `json:"a"`
+	B    string `json:"b"`
+}
+
+func TestRecordAndHistory(t *testing.T) {
+	r := newRepo(t)
+	e1, err := r.Record("lca", lcaArgs{"gold", "Lla", "Spy"}, "LCA = node 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1.ID != 1 {
+		t.Fatalf("first id = %d", e1.ID)
+	}
+	e2, err := r.Record("project", map[string]any{"leaves": []string{"Bha", "Lla", "Syn"}}, "3-leaf projection")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.ID != 2 {
+		t.Fatalf("second id = %d", e2.ID)
+	}
+
+	hist, err := r.History(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) != 2 {
+		t.Fatalf("history = %d entries", len(hist))
+	}
+	if hist[0].ID != 2 || hist[1].ID != 1 {
+		t.Fatalf("history not newest-first: %v %v", hist[0].ID, hist[1].ID)
+	}
+	hist, _ = r.History(1)
+	if len(hist) != 1 || hist[0].Kind != "project" {
+		t.Fatalf("limited history = %+v", hist)
+	}
+}
+
+func TestRerunArgsRoundTrip(t *testing.T) {
+	r := newRepo(t)
+	orig := lcaArgs{"gold", "Syn", "Lla"}
+	e, err := r.Record("lca", orig, "root")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Get(e.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back lcaArgs
+	if err := got.UnmarshalArgs(&back); err != nil {
+		t.Fatal(err)
+	}
+	if back != orig {
+		t.Fatalf("args = %+v, want %+v", back, orig)
+	}
+	if got.Summary != "root" || got.Kind != "lca" {
+		t.Fatalf("entry = %+v", got)
+	}
+	if got.Time.IsZero() {
+		t.Fatal("timestamp missing")
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	r := newRepo(t)
+	if _, err := r.Get(42); !errors.Is(err, ErrNoEntry) {
+		t.Fatalf("err = %v", err)
+	}
+	// The internal counter row must not leak.
+	r.Record("x", nil, "")
+	if _, err := r.Get(-1); !errors.Is(err, ErrNoEntry) {
+		t.Fatalf("counter row leaked: %v", err)
+	}
+}
+
+func TestByKind(t *testing.T) {
+	r := newRepo(t)
+	r.Record("lca", nil, "1")
+	r.Record("sample", nil, "2")
+	r.Record("lca", nil, "3")
+	got, err := r.ByKind("lca")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Summary != "1" || got[1].Summary != "3" {
+		t.Fatalf("ByKind = %+v", got)
+	}
+}
+
+func TestClear(t *testing.T) {
+	r := newRepo(t)
+	r.Record("a", nil, "")
+	r.Record("b", nil, "")
+	n, err := r.Clear()
+	if err != nil || n != 2 {
+		t.Fatalf("Clear = %d, %v", n, err)
+	}
+	hist, _ := r.History(0)
+	if len(hist) != 0 {
+		t.Fatalf("history after clear = %d", len(hist))
+	}
+	// Ids restart after a full clear.
+	e, _ := r.Record("c", nil, "")
+	if e.ID != 1 {
+		t.Fatalf("id after clear = %d", e.ID)
+	}
+}
+
+func TestIDsPersistAcrossHandles(t *testing.T) {
+	db := relstore.OpenMemDB()
+	defer db.Close()
+	r1, err := NewOnDB(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1.Record("x", nil, "")
+	r2, err := NewOnDB(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := r2.Record("y", nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.ID != 2 {
+		t.Fatalf("id from second handle = %d, want 2", e.ID)
+	}
+}

@@ -1,0 +1,111 @@
+package relstore
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// Check verifies the physical and logical integrity of every table in the
+// database: B+tree structural invariants (key ordering, uniform depth),
+// row decodability against the schema, and bidirectional consistency
+// between each table and its secondary indexes (every row has exactly its
+// index entries; every index entry resolves to a live row). It is the
+// backing of the CLI's fsck command.
+func (db *DB) Check() error {
+	if err := db.catalog.Check(); err != nil {
+		return fmt.Errorf("relstore: catalog tree: %w", err)
+	}
+	names, err := db.Tables()
+	if err != nil {
+		return err
+	}
+	for _, name := range names {
+		t, err := db.Table(name)
+		if err != nil {
+			return err
+		}
+		if err := t.Check(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Check verifies one table (see DB.Check).
+func (t *Table) Check() error {
+	if err := t.primary.Check(); err != nil {
+		return fmt.Errorf("relstore: %s primary tree: %w", t.schema.Name, err)
+	}
+	for name, tree := range t.indexes {
+		if err := tree.Check(); err != nil {
+			return fmt.Errorf("relstore: %s index %s tree: %w", t.schema.Name, name, err)
+		}
+	}
+	// Forward pass: every row decodes, matches the schema, is keyed
+	// correctly, and owns one entry in every index.
+	rows := 0
+	c, err := t.primary.First()
+	if err != nil {
+		return err
+	}
+	for c.Valid() {
+		enc, err := c.Value()
+		if err != nil {
+			return err
+		}
+		row, err := decodeRow(enc)
+		if err != nil {
+			return fmt.Errorf("relstore: %s: undecodable row at key %x: %w", t.schema.Name, c.Key(), err)
+		}
+		if err := t.checkRow(row); err != nil {
+			return fmt.Errorf("relstore: %s: stored row violates schema: %w", t.schema.Name, err)
+		}
+		if !bytes.Equal(t.primaryKey(row), c.Key()) {
+			return fmt.Errorf("relstore: %s: row stored under wrong key %x", t.schema.Name, c.Key())
+		}
+		for _, ix := range t.schema.Indexes {
+			pk, ok, err := t.indexes[ix.Name].Get(t.indexKey(ix, row))
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return fmt.Errorf("relstore: %s: row %s missing from index %s", t.schema.Name, row[t.keyCol], ix.Name)
+			}
+			if !bytes.Equal(pk, t.primaryKey(row)) {
+				return fmt.Errorf("relstore: %s: index %s entry for %s holds wrong primary key", t.schema.Name, ix.Name, row[t.keyCol])
+			}
+		}
+		rows++
+		if err := c.Next(); err != nil {
+			return err
+		}
+	}
+	// Reverse pass: every index entry points at a live row, and entry
+	// counts match the row count (no dangling or duplicate entries).
+	for _, ix := range t.schema.Indexes {
+		entries := 0
+		ic, err := t.indexes[ix.Name].First()
+		if err != nil {
+			return err
+		}
+		for ic.Valid() {
+			pk, err := ic.Value()
+			if err != nil {
+				return err
+			}
+			if ok, err := t.primary.Has(pk); err != nil {
+				return err
+			} else if !ok {
+				return fmt.Errorf("relstore: %s: index %s entry %x dangles", t.schema.Name, ix.Name, ic.Key())
+			}
+			entries++
+			if err := ic.Next(); err != nil {
+				return err
+			}
+		}
+		if entries != rows {
+			return fmt.Errorf("relstore: %s: index %s has %d entries for %d rows", t.schema.Name, ix.Name, entries, rows)
+		}
+	}
+	return nil
+}

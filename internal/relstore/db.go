@@ -1,0 +1,246 @@
+package relstore
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/storage"
+)
+
+// catalogRootSlot is the meta-page slot holding the catalog tree root.
+const catalogRootSlot = 0
+
+// ErrNoTable is returned when a named table does not exist.
+var ErrNoTable = errors.New("relstore: no such table")
+
+// ErrTableExists is returned by CreateTable for duplicate names.
+var ErrTableExists = errors.New("relstore: table already exists")
+
+// catalogEntry is the persisted description of one table.
+type catalogEntry struct {
+	Schema      Schema                    `json:"schema"`
+	PrimaryRoot storage.PageID            `json:"primary_root"`
+	IndexRoots  map[string]storage.PageID `json:"index_roots"`
+}
+
+// DB is a small embedded relational database: a set of named tables stored
+// in one page file, with a persistent catalog. All mutations become durable
+// at Commit (or Close). DB methods are safe for one goroutine at a time;
+// wrap in the caller's lock for concurrent use.
+type DB struct {
+	mu      sync.Mutex
+	store   *storage.Store
+	catalog *storage.BTree
+	tables  map[string]*Table
+}
+
+// OpenDB opens (creating if needed) a database in the page file at path.
+func OpenDB(path string) (*DB, error) {
+	store, err := storage.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	db, err := newDB(store)
+	if err != nil {
+		store.Close()
+		return nil, err
+	}
+	return db, nil
+}
+
+// OpenMemDB opens a database backed entirely by memory.
+func OpenMemDB() *DB {
+	db, err := newDB(storage.OpenMem())
+	if err != nil {
+		panic("relstore: open mem db: " + err.Error())
+	}
+	return db
+}
+
+func newDB(store *storage.Store) (*DB, error) {
+	db := &DB{store: store, tables: make(map[string]*Table)}
+	root := store.Root(catalogRootSlot)
+	if root == 0 {
+		tree, err := storage.NewBTree(store)
+		if err != nil {
+			return nil, err
+		}
+		db.catalog = tree
+		store.SetRoot(catalogRootSlot, tree.Root())
+	} else {
+		db.catalog = storage.OpenBTree(store, root)
+	}
+	return db, nil
+}
+
+// Store exposes the underlying page store (used by tests and fsck).
+func (db *DB) Store() *storage.Store { return db.store }
+
+// CreateTable creates a new table from schema.
+func (db *DB) CreateTable(schema Schema) (*Table, error) {
+	if err := schema.Validate(); err != nil {
+		return nil, err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, err := db.loadTable(schema.Name); err == nil {
+		return nil, fmt.Errorf("%w: %s", ErrTableExists, schema.Name)
+	} else if !errors.Is(err, ErrNoTable) {
+		return nil, err
+	}
+	primary, err := storage.NewBTree(db.store)
+	if err != nil {
+		return nil, err
+	}
+	keyCol, _ := schema.colIndex(schema.Key)
+	t := &Table{
+		db:          db,
+		schema:      schema,
+		keyCol:      keyCol,
+		primary:     primary,
+		indexes:     make(map[string]*storage.BTree, len(schema.Indexes)),
+		primaryRoot: primary.Root(),
+		indexRoots:  make(map[string]storage.PageID, len(schema.Indexes)),
+	}
+	for _, ix := range schema.Indexes {
+		tree, err := storage.NewBTree(db.store)
+		if err != nil {
+			return nil, err
+		}
+		t.indexes[ix.Name] = tree
+		t.indexRoots[ix.Name] = tree.Root()
+	}
+	if err := db.saveTable(t); err != nil {
+		return nil, err
+	}
+	db.tables[schema.Name] = t
+	return t, nil
+}
+
+// Table returns the named table, loading it from the catalog if needed.
+func (db *DB) Table(name string) (*Table, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.loadTable(name)
+}
+
+func (db *DB) loadTable(name string) (*Table, error) {
+	if t, ok := db.tables[name]; ok {
+		return t, nil
+	}
+	enc, ok, err := db.catalog.Get(catalogKey(name))
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoTable, name)
+	}
+	var ent catalogEntry
+	if err := json.Unmarshal(enc, &ent); err != nil {
+		return nil, fmt.Errorf("relstore: catalog entry for %s: %w", name, err)
+	}
+	keyCol, _ := ent.Schema.colIndex(ent.Schema.Key)
+	t := &Table{
+		db:          db,
+		schema:      ent.Schema,
+		keyCol:      keyCol,
+		primary:     storage.OpenBTree(db.store, ent.PrimaryRoot),
+		indexes:     make(map[string]*storage.BTree, len(ent.IndexRoots)),
+		primaryRoot: ent.PrimaryRoot,
+		indexRoots:  make(map[string]storage.PageID, len(ent.IndexRoots)),
+	}
+	for ixName, root := range ent.IndexRoots {
+		t.indexes[ixName] = storage.OpenBTree(db.store, root)
+		t.indexRoots[ixName] = root
+	}
+	db.tables[name] = t
+	return t, nil
+}
+
+// Tables lists the names of all tables in catalog order.
+func (db *DB) Tables() ([]string, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	var names []string
+	c, err := db.catalog.First()
+	if err != nil {
+		return nil, err
+	}
+	for c.Valid() {
+		names = append(names, string(c.Key()[len("table/"):]))
+		if err := c.Next(); err != nil {
+			return nil, err
+		}
+	}
+	return names, nil
+}
+
+// DropTable removes the table from the catalog. Its pages are left to the
+// free list lazily (no eager page reclamation).
+func (db *DB) DropTable(name string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	ok, err := db.catalog.Delete(catalogKey(name))
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoTable, name)
+	}
+	delete(db.tables, name)
+	db.syncCatalogRoot()
+	return nil
+}
+
+// noteRoots re-saves the table's catalog entry if any of its B+tree roots
+// moved due to splits. Called by tables after each mutation.
+func (db *DB) noteRoots(t *Table) error {
+	moved := t.primary.Root() != t.primaryRoot
+	if !moved {
+		for name, tree := range t.indexes {
+			if tree.Root() != t.indexRoots[name] {
+				moved = true
+				break
+			}
+		}
+	}
+	if !moved {
+		return nil
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.saveTable(t)
+}
+
+func (db *DB) saveTable(t *Table) error {
+	t.primaryRoot = t.primary.Root()
+	for name, tree := range t.indexes {
+		t.indexRoots[name] = tree.Root()
+	}
+	ent := catalogEntry{Schema: t.schema, PrimaryRoot: t.primaryRoot, IndexRoots: t.indexRoots}
+	enc, err := json.Marshal(&ent)
+	if err != nil {
+		return err
+	}
+	if err := db.catalog.Put(catalogKey(t.schema.Name), enc); err != nil {
+		return err
+	}
+	db.syncCatalogRoot()
+	return nil
+}
+
+func (db *DB) syncCatalogRoot() {
+	if root := db.catalog.Root(); root != db.store.Root(catalogRootSlot) {
+		db.store.SetRoot(catalogRootSlot, root)
+	}
+}
+
+func catalogKey(name string) []byte { return []byte("table/" + name) }
+
+// Commit makes all buffered changes durable.
+func (db *DB) Commit() error { return db.store.Commit() }
+
+// Close commits and closes the underlying store.
+func (db *DB) Close() error { return db.store.Close() }

@@ -1,0 +1,445 @@
+package relstore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"repro/internal/storage"
+)
+
+// Schema declares a table: its columns, single-column primary key, and
+// secondary indexes.
+type Schema struct {
+	Name    string   `json:"name"`
+	Columns []Column `json:"columns"`
+	Key     string   `json:"key"` // primary key column name
+	Indexes []Index  `json:"indexes,omitempty"`
+}
+
+// Column is one typed column of a schema.
+type Column struct {
+	Name string     `json:"name"`
+	Type ColumnType `json:"type"`
+}
+
+// Index declares a secondary index over one or more columns.
+type Index struct {
+	Name    string   `json:"name"`
+	Columns []string `json:"columns"`
+	Unique  bool     `json:"unique,omitempty"`
+}
+
+// Validate checks the schema for structural problems.
+func (s *Schema) Validate() error {
+	if s.Name == "" {
+		return errors.New("relstore: schema without a name")
+	}
+	if len(s.Columns) == 0 {
+		return fmt.Errorf("relstore: table %s has no columns", s.Name)
+	}
+	seen := make(map[string]bool, len(s.Columns))
+	for _, c := range s.Columns {
+		if c.Name == "" {
+			return fmt.Errorf("relstore: table %s has an unnamed column", s.Name)
+		}
+		if c.Type < TInt || c.Type > TBool {
+			return fmt.Errorf("relstore: table %s column %s has invalid type", s.Name, c.Name)
+		}
+		if seen[c.Name] {
+			return fmt.Errorf("relstore: table %s has duplicate column %s", s.Name, c.Name)
+		}
+		seen[c.Name] = true
+	}
+	if _, ok := s.colIndex(s.Key); !ok {
+		return fmt.Errorf("relstore: table %s primary key %q is not a column", s.Name, s.Key)
+	}
+	idxNames := make(map[string]bool, len(s.Indexes))
+	for _, ix := range s.Indexes {
+		if ix.Name == "" {
+			return fmt.Errorf("relstore: table %s has an unnamed index", s.Name)
+		}
+		if idxNames[ix.Name] {
+			return fmt.Errorf("relstore: table %s has duplicate index %s", s.Name, ix.Name)
+		}
+		idxNames[ix.Name] = true
+		if len(ix.Columns) == 0 {
+			return fmt.Errorf("relstore: index %s.%s has no columns", s.Name, ix.Name)
+		}
+		for _, c := range ix.Columns {
+			if _, ok := s.colIndex(c); !ok {
+				return fmt.Errorf("relstore: index %s.%s references unknown column %q", s.Name, ix.Name, c)
+			}
+		}
+	}
+	return nil
+}
+
+func (s *Schema) colIndex(name string) (int, bool) {
+	for i, c := range s.Columns {
+		if c.Name == name {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// Table errors.
+var (
+	ErrDuplicateKey = errors.New("relstore: duplicate key")
+	ErrSchemaRow    = errors.New("relstore: row does not match schema")
+	ErrNoIndex      = errors.New("relstore: no such index")
+)
+
+// Table is a stored relation: a primary B+tree keyed by the encoded primary
+// key holding encoded rows, plus one B+tree per secondary index whose keys
+// are (indexed columns..., primary key) and whose values are the encoded
+// primary key.
+type Table struct {
+	db      *DB
+	schema  Schema
+	keyCol  int
+	primary *storage.BTree
+	indexes map[string]*storage.BTree
+
+	// Roots recorded in the catalog; used to detect root movement.
+	primaryRoot storage.PageID
+	indexRoots  map[string]storage.PageID
+}
+
+// Schema returns a copy of the table's schema.
+func (t *Table) Schema() Schema {
+	s := t.schema
+	s.Columns = append([]Column(nil), t.schema.Columns...)
+	s.Indexes = append([]Index(nil), t.schema.Indexes...)
+	return s
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.schema.Name }
+
+func (t *Table) checkRow(row Row) error {
+	if len(row) != len(t.schema.Columns) {
+		return fmt.Errorf("%w: %d values for %d columns", ErrSchemaRow, len(row), len(t.schema.Columns))
+	}
+	for i, v := range row {
+		if v.Type != t.schema.Columns[i].Type {
+			return fmt.Errorf("%w: column %s wants %s, got %s",
+				ErrSchemaRow, t.schema.Columns[i].Name, t.schema.Columns[i].Type, v.Type)
+		}
+	}
+	return nil
+}
+
+func (t *Table) primaryKey(row Row) []byte { return EncodeKey(row[t.keyCol]) }
+
+func (t *Table) indexKey(ix Index, row Row) []byte {
+	vals := make([]Value, 0, len(ix.Columns)+1)
+	for _, c := range ix.Columns {
+		ci, _ := t.schema.colIndex(c)
+		vals = append(vals, row[ci])
+	}
+	vals = append(vals, row[t.keyCol])
+	return EncodeKey(vals...)
+}
+
+// indexPrefix encodes just the indexed column values, for prefix scans.
+func (t *Table) indexPrefix(ix Index, vals []Value) ([]byte, error) {
+	if len(vals) > len(ix.Columns) {
+		return nil, fmt.Errorf("relstore: %d values for %d-column index %s", len(vals), len(ix.Columns), ix.Name)
+	}
+	var key []byte
+	for i, v := range vals {
+		ci, _ := t.schema.colIndex(ix.Columns[i])
+		if v.Type != t.schema.Columns[ci].Type {
+			return nil, fmt.Errorf("%w: index %s column %s wants %s, got %s",
+				ErrSchemaRow, ix.Name, ix.Columns[i], t.schema.Columns[ci].Type, v.Type)
+		}
+		key = appendTupleValue(key, v)
+	}
+	return key, nil
+}
+
+// Insert adds a new row; it fails with ErrDuplicateKey if the primary key
+// (or a unique index entry) already exists.
+func (t *Table) Insert(row Row) error {
+	if err := t.checkRow(row); err != nil {
+		return err
+	}
+	pk := t.primaryKey(row)
+	if ok, err := t.primary.Has(pk); err != nil {
+		return err
+	} else if ok {
+		return fmt.Errorf("%w: %s in %s", ErrDuplicateKey, row[t.keyCol], t.schema.Name)
+	}
+	return t.write(pk, row, nil)
+}
+
+// Put inserts or replaces the row with the same primary key.
+func (t *Table) Put(row Row) error {
+	if err := t.checkRow(row); err != nil {
+		return err
+	}
+	pk := t.primaryKey(row)
+	oldEnc, ok, err := t.primary.Get(pk)
+	if err != nil {
+		return err
+	}
+	var old Row
+	if ok {
+		if old, err = decodeRow(oldEnc); err != nil {
+			return err
+		}
+	}
+	return t.write(pk, row, old)
+}
+
+// write stores the row and maintains secondary indexes, removing entries of
+// the replaced row (if any).
+func (t *Table) write(pk []byte, row, old Row) error {
+	for _, ix := range t.schema.Indexes {
+		if ix.Unique {
+			prefix, err := t.indexPrefix(ix, t.indexVals(ix, row))
+			if err != nil {
+				return err
+			}
+			c, err := t.indexes[ix.Name].Seek(prefix)
+			if err != nil {
+				return err
+			}
+			if c.Valid() && bytes.HasPrefix(c.Key(), prefix) {
+				existingPK, err := c.Value()
+				if err != nil {
+					return err
+				}
+				if !bytes.Equal(existingPK, pk) {
+					return fmt.Errorf("%w: unique index %s.%s", ErrDuplicateKey, t.schema.Name, ix.Name)
+				}
+			}
+		}
+	}
+	if err := t.primary.Put(pk, encodeRow(row)); err != nil {
+		return err
+	}
+	for _, ix := range t.schema.Indexes {
+		tree := t.indexes[ix.Name]
+		if old != nil {
+			oldKey := t.indexKey(ix, old)
+			newKey := t.indexKey(ix, row)
+			if !bytes.Equal(oldKey, newKey) {
+				if _, err := tree.Delete(oldKey); err != nil {
+					return err
+				}
+			}
+		}
+		if err := tree.Put(t.indexKey(ix, row), pk); err != nil {
+			return err
+		}
+	}
+	return t.db.noteRoots(t)
+}
+
+func (t *Table) indexVals(ix Index, row Row) []Value {
+	vals := make([]Value, len(ix.Columns))
+	for i, c := range ix.Columns {
+		ci, _ := t.schema.colIndex(c)
+		vals[i] = row[ci]
+	}
+	return vals
+}
+
+// Get fetches the row with the given primary key value.
+func (t *Table) Get(key Value) (Row, bool, error) {
+	if key.Type != t.schema.Columns[t.keyCol].Type {
+		return nil, false, fmt.Errorf("%w: key wants %s, got %s",
+			ErrSchemaRow, t.schema.Columns[t.keyCol].Type, key.Type)
+	}
+	enc, ok, err := t.primary.Get(EncodeKey(key))
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	row, err := decodeRow(enc)
+	return row, err == nil, err
+}
+
+// Delete removes the row with the given primary key, reporting presence.
+func (t *Table) Delete(key Value) (bool, error) {
+	row, ok, err := t.Get(key)
+	if err != nil || !ok {
+		return false, err
+	}
+	pk := t.primaryKey(row)
+	if _, err := t.primary.Delete(pk); err != nil {
+		return false, err
+	}
+	for _, ix := range t.schema.Indexes {
+		if _, err := t.indexes[ix.Name].Delete(t.indexKey(ix, row)); err != nil {
+			return false, err
+		}
+	}
+	return true, t.db.noteRoots(t)
+}
+
+// Len returns the row count.
+func (t *Table) Len() (int, error) { return t.primary.Len() }
+
+// Scan visits all rows in primary key order. The callback returns false to
+// stop early.
+func (t *Table) Scan(fn func(Row) (bool, error)) error {
+	c, err := t.primary.First()
+	if err != nil {
+		return err
+	}
+	return t.scanCursor(c, nil, fn)
+}
+
+// ScanRange visits rows with primary key in [lo, hi); either bound may be
+// the zero Value meaning unbounded.
+func (t *Table) ScanRange(lo, hi Value, fn func(Row) (bool, error)) error {
+	var c *storage.Cursor
+	var err error
+	if lo.Type == 0 {
+		c, err = t.primary.First()
+	} else {
+		c, err = t.primary.Seek(EncodeKey(lo))
+	}
+	if err != nil {
+		return err
+	}
+	var hiKey []byte
+	if hi.Type != 0 {
+		hiKey = EncodeKey(hi)
+	}
+	return t.scanCursor(c, hiKey, fn)
+}
+
+func (t *Table) scanCursor(c *storage.Cursor, hiKey []byte, fn func(Row) (bool, error)) error {
+	for c.Valid() {
+		if hiKey != nil && bytes.Compare(c.Key(), hiKey) >= 0 {
+			return nil
+		}
+		enc, err := c.Value()
+		if err != nil {
+			return err
+		}
+		row, err := decodeRow(enc)
+		if err != nil {
+			return err
+		}
+		cont, err := fn(row)
+		if err != nil || !cont {
+			return err
+		}
+		if err := c.Next(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// IndexScan visits rows whose indexed columns equal vals (a prefix of the
+// index columns may be given). Rows arrive in index order.
+func (t *Table) IndexScan(index string, vals []Value, fn func(Row) (bool, error)) error {
+	ix, tree, err := t.findIndex(index)
+	if err != nil {
+		return err
+	}
+	prefix, err := t.indexPrefix(ix, vals)
+	if err != nil {
+		return err
+	}
+	c, err := tree.Seek(prefix)
+	if err != nil {
+		return err
+	}
+	for c.Valid() && bytes.HasPrefix(c.Key(), prefix) {
+		pk, err := c.Value()
+		if err != nil {
+			return err
+		}
+		enc, ok, err := t.primary.Get(pk)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("relstore: index %s.%s points at missing row", t.schema.Name, index)
+		}
+		row, err := decodeRow(enc)
+		if err != nil {
+			return err
+		}
+		cont, err := fn(row)
+		if err != nil || !cont {
+			return err
+		}
+		if err := c.Next(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// IndexRange visits rows whose first indexed column lies in [lo, hi); either
+// bound may be the zero Value for unbounded.
+func (t *Table) IndexRange(index string, lo, hi Value, fn func(Row) (bool, error)) error {
+	ix, tree, err := t.findIndex(index)
+	if err != nil {
+		return err
+	}
+	var c *storage.Cursor
+	if lo.Type == 0 {
+		c, err = tree.First()
+	} else {
+		var loKey []byte
+		if loKey, err = t.indexPrefix(ix, []Value{lo}); err != nil {
+			return err
+		}
+		c, err = tree.Seek(loKey)
+	}
+	if err != nil {
+		return err
+	}
+	var hiKey []byte
+	if hi.Type != 0 {
+		if hiKey, err = t.indexPrefix(ix, []Value{hi}); err != nil {
+			return err
+		}
+	}
+	for c.Valid() {
+		if hiKey != nil && bytes.Compare(c.Key(), hiKey) >= 0 {
+			return nil
+		}
+		pk, err := c.Value()
+		if err != nil {
+			return err
+		}
+		enc, ok, err := t.primary.Get(pk)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("relstore: index %s.%s points at missing row", t.schema.Name, index)
+		}
+		row, err := decodeRow(enc)
+		if err != nil {
+			return err
+		}
+		cont, err := fn(row)
+		if err != nil || !cont {
+			return err
+		}
+		if err := c.Next(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (t *Table) findIndex(name string) (Index, *storage.BTree, error) {
+	for _, ix := range t.schema.Indexes {
+		if ix.Name == name {
+			return ix, t.indexes[name], nil
+		}
+	}
+	return Index{}, nil, fmt.Errorf("%w: %s.%s", ErrNoIndex, t.schema.Name, name)
+}

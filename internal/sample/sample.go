@@ -1,0 +1,198 @@
+// Package sample implements the species-sampling queries of §2.2: uniform
+// random sampling of leaves, random sampling *with respect to an
+// evolutionary time* (the paper's frontier strategy), clade-restricted
+// sampling, and explicit user selection. All randomized functions take a
+// *rand.Rand so experiments are reproducible.
+package sample
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/phylo"
+)
+
+// Errors returned by the samplers.
+var (
+	ErrBadCount    = errors.New("sample: requested count must be >= 1")
+	ErrTooFew      = errors.New("sample: tree has fewer eligible leaves than requested")
+	ErrEmptyResult = errors.New("sample: no nodes satisfy the time constraint")
+)
+
+// Uniform returns k distinct leaves drawn uniformly at random.
+func Uniform(t *phylo.Tree, k int, r *rand.Rand) ([]*phylo.Node, error) {
+	if k < 1 {
+		return nil, ErrBadCount
+	}
+	leaves := t.Leaves()
+	if len(leaves) < k {
+		return nil, fmt.Errorf("%w: %d < %d", ErrTooFew, len(leaves), k)
+	}
+	// Partial Fisher-Yates: only the first k positions are needed.
+	picked := append([]*phylo.Node(nil), leaves...)
+	for i := 0; i < k; i++ {
+		j := i + r.Intn(len(picked)-i)
+		picked[i], picked[j] = picked[j], picked[i]
+	}
+	return picked[:k], nil
+}
+
+// Frontier returns the maximal nodes whose total weight from the root
+// exceeds the given evolutionary time: every node n with RootDistance(n) >
+// time whose parent's distance is <= time. This is the node set the
+// paper's walkthrough computes (for time 1 on Figure 1 it is {Bha, y, Syn,
+// Bsu}, y being the parent of Lla and Spy).
+func Frontier(t *phylo.Tree, time float64) []*phylo.Node {
+	dist := t.RootDistances()
+	var out []*phylo.Node
+	for _, n := range t.Nodes() {
+		if dist[n] > time && (n.Parent == nil || dist[n.Parent] <= time) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// WithRespectToTime samples k species derived from the evolutionary time
+// period, following the paper's strategy: find the frontier of nodes whose
+// root distance exceeds time, then draw k/|frontier| leaves from the
+// subtree under each frontier node. Remainders (and quotas exceeding a
+// subtree's leaf count) are redistributed across frontier subtrees with
+// spare capacity, chosen at random.
+func WithRespectToTime(t *phylo.Tree, time float64, k int, r *rand.Rand) ([]*phylo.Node, error) {
+	if k < 1 {
+		return nil, ErrBadCount
+	}
+	frontier := Frontier(t, time)
+	if len(frontier) == 0 {
+		return nil, fmt.Errorf("%w: time %g", ErrEmptyResult, time)
+	}
+	// Collect leaves under each frontier node.
+	groups := make([][]*phylo.Node, len(frontier))
+	total := 0
+	for i, fn := range frontier {
+		groups[i] = subtreeLeaves(fn)
+		total += len(groups[i])
+	}
+	if total < k {
+		return nil, fmt.Errorf("%w: %d leaves past time %g < %d", ErrTooFew, total, time, k)
+	}
+	// Base quota per group plus a remainder distributed to random groups,
+	// then shift quota overflow to groups with spare capacity.
+	quota := make([]int, len(groups))
+	base := k / len(groups)
+	for i := range quota {
+		quota[i] = base
+	}
+	for _, i := range r.Perm(len(groups))[:k%len(groups)] {
+		quota[i]++
+	}
+	for {
+		excess := 0
+		for i := range quota {
+			if over := quota[i] - len(groups[i]); over > 0 {
+				quota[i] = len(groups[i])
+				excess += over
+			}
+		}
+		if excess == 0 {
+			break
+		}
+		spare := r.Perm(len(groups))
+		for _, i := range spare {
+			if excess == 0 {
+				break
+			}
+			if room := len(groups[i]) - quota[i]; room > 0 {
+				take := room
+				if take > excess {
+					take = excess
+				}
+				quota[i] += take
+				excess -= take
+			}
+		}
+	}
+	var out []*phylo.Node
+	for i, g := range groups {
+		if quota[i] == 0 {
+			continue
+		}
+		picked := append([]*phylo.Node(nil), g...)
+		for j := 0; j < quota[i]; j++ {
+			m := j + r.Intn(len(picked)-j)
+			picked[j], picked[m] = picked[m], picked[j]
+		}
+		out = append(out, picked[:quota[i]]...)
+	}
+	return out, nil
+}
+
+// ByClade samples k leaves uniformly from the clade rooted at node.
+func ByClade(node *phylo.Node, k int, r *rand.Rand) ([]*phylo.Node, error) {
+	if k < 1 {
+		return nil, ErrBadCount
+	}
+	leaves := subtreeLeaves(node)
+	if len(leaves) < k {
+		return nil, fmt.Errorf("%w: clade has %d leaves < %d", ErrTooFew, len(leaves), k)
+	}
+	picked := append([]*phylo.Node(nil), leaves...)
+	for i := 0; i < k; i++ {
+		j := i + r.Intn(len(picked)-i)
+		picked[i], picked[j] = picked[j], picked[i]
+	}
+	return picked[:k], nil
+}
+
+// FromNames resolves an explicit user selection (the paper's "user input"
+// selection method), failing on unknown names and rejecting duplicates.
+func FromNames(t *phylo.Tree, names []string) ([]*phylo.Node, error) {
+	if len(names) == 0 {
+		return nil, ErrBadCount
+	}
+	seen := make(map[string]bool, len(names))
+	out := make([]*phylo.Node, 0, len(names))
+	for _, name := range names {
+		if seen[name] {
+			return nil, fmt.Errorf("sample: duplicate name %q", name)
+		}
+		seen[name] = true
+		n := t.NodeByName(name)
+		if n == nil {
+			return nil, fmt.Errorf("sample: no species named %q", name)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// Names returns the sorted names of the sampled nodes — convenient for
+// deterministic test assertions and reports.
+func Names(nodes []*phylo.Node) []string {
+	out := make([]string, len(nodes))
+	for i, n := range nodes {
+		out[i] = n.Name
+	}
+	sort.Strings(out)
+	return out
+}
+
+func subtreeLeaves(n *phylo.Node) []*phylo.Node {
+	var out []*phylo.Node
+	stack := []*phylo.Node{n}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if cur.IsLeaf() {
+			out = append(out, cur)
+			continue
+		}
+		for i := len(cur.Children) - 1; i >= 0; i-- {
+			stack = append(stack, cur.Children[i])
+		}
+	}
+	return out
+}

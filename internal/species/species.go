@@ -1,0 +1,168 @@
+// Package species is Crimson's Species Repository (§2.1): species data —
+// gene sequences and other phenotypic character data — stored separately
+// from the tree structure, keyed by (tree, species, kind). The separation
+// is the paper's design point: queries are structure-based, so structure
+// and bulk species data must not share pages.
+package species
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/relstore"
+	"repro/internal/seqsim"
+)
+
+// ErrNoData is returned when a requested record does not exist.
+var ErrNoData = errors.New("species: no such record")
+
+const tableName = "species_data"
+
+// Repo is the species data repository over a relational database.
+type Repo struct {
+	db  *relstore.DB
+	tab *relstore.Table
+}
+
+// NewOnDB layers the repository over an existing database (shared with
+// the tree repository).
+func NewOnDB(db *relstore.DB) (*Repo, error) {
+	tab, err := db.Table(tableName)
+	if errors.Is(err, relstore.ErrNoTable) {
+		tab, err = db.CreateTable(relstore.Schema{
+			Name: tableName,
+			Columns: []relstore.Column{
+				{Name: "key", Type: relstore.TString}, // tree/species/kind
+				{Name: "tree", Type: relstore.TString},
+				{Name: "species", Type: relstore.TString},
+				{Name: "kind", Type: relstore.TString},
+				{Name: "data", Type: relstore.TBytes},
+			},
+			Key: "key",
+			Indexes: []relstore.Index{
+				{Name: "by_species", Columns: []string{"tree", "species"}},
+				{Name: "by_tree", Columns: []string{"tree"}},
+			},
+		})
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Repo{db: db, tab: tab}, nil
+}
+
+func key(tree, sp, kind string) string { return tree + "/" + sp + "/" + kind }
+
+func validPart(s string) error {
+	if s == "" {
+		return errors.New("species: empty key part")
+	}
+	if strings.ContainsRune(s, '/') {
+		return fmt.Errorf("species: key part %q contains '/'", s)
+	}
+	return nil
+}
+
+// Put stores (replacing) one record of species data, e.g. kind
+// "seq:smallsubunit" or "trait:eyecolor".
+func (r *Repo) Put(tree, sp, kind string, data []byte) error {
+	for _, part := range []string{tree, sp, kind} {
+		if err := validPart(part); err != nil {
+			return err
+		}
+	}
+	return r.tab.Put(relstore.Row{
+		relstore.Str(key(tree, sp, kind)),
+		relstore.Str(tree),
+		relstore.Str(sp),
+		relstore.Str(kind),
+		relstore.Blob(data),
+	})
+}
+
+// Get fetches one record.
+func (r *Repo) Get(tree, sp, kind string) ([]byte, error) {
+	row, ok, err := r.tab.Get(relstore.Str(key(tree, sp, kind)))
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoData, key(tree, sp, kind))
+	}
+	return row[4].Bytes(), nil
+}
+
+// Record is one stored species-data item.
+type Record struct {
+	Tree    string
+	Species string
+	Kind    string
+	Data    []byte
+}
+
+// List returns all records for one species of one tree.
+func (r *Repo) List(tree, sp string) ([]Record, error) {
+	var out []Record
+	err := r.tab.IndexScan("by_species", []relstore.Value{relstore.Str(tree), relstore.Str(sp)},
+		func(row relstore.Row) (bool, error) {
+			out = append(out, Record{
+				Tree:    row[1].Text(),
+				Species: row[2].Text(),
+				Kind:    row[3].Text(),
+				Data:    row[4].Bytes(),
+			})
+			return true, nil
+		})
+	return out, err
+}
+
+// Delete removes one record, reporting whether it existed.
+func (r *Repo) Delete(tree, sp, kind string) (bool, error) {
+	return r.tab.Delete(relstore.Str(key(tree, sp, kind)))
+}
+
+// DeleteTree removes all species data of one tree.
+func (r *Repo) DeleteTree(tree string) (int, error) {
+	var keys []string
+	err := r.tab.IndexScan("by_tree", []relstore.Value{relstore.Str(tree)}, func(row relstore.Row) (bool, error) {
+		keys = append(keys, row[0].Text())
+		return true, nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	for _, k := range keys {
+		if _, err := r.tab.Delete(relstore.Str(k)); err != nil {
+			return 0, err
+		}
+	}
+	return len(keys), nil
+}
+
+// PutAlignment stores every sequence of an alignment under the given kind
+// ("append species data to an existing phylogenetic tree" in the demo's
+// loading options). Returns the number of sequences stored.
+func (r *Repo) PutAlignment(tree, kind string, aln *seqsim.Alignment) (int, error) {
+	for _, name := range aln.Names {
+		if err := r.Put(tree, name, kind, aln.Seqs[name]); err != nil {
+			return 0, err
+		}
+	}
+	return len(aln.Names), nil
+}
+
+// Alignment reassembles an alignment for the given species names from
+// records of the given kind.
+func (r *Repo) Alignment(tree, kind string, names []string) (*seqsim.Alignment, error) {
+	aln := &seqsim.Alignment{Seqs: make(map[string][]byte, len(names))}
+	for _, name := range names {
+		data, err := r.Get(tree, name, kind)
+		if err != nil {
+			return nil, err
+		}
+		aln.Names = append(aln.Names, name)
+		aln.Seqs[name] = data
+	}
+	return aln, nil
+}

@@ -1,0 +1,627 @@
+package storage
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Node page kinds.
+const (
+	pageLeaf     = 1
+	pageInternal = 2
+	pageOverflow = 3
+)
+
+// Size limits. A key must fit inline in a node; values above MaxInlineValue
+// are spilled to a chain of overflow pages so sequence data of arbitrary
+// length can be stored.
+const (
+	MaxKeySize      = 512
+	MaxInlineValue  = 1024
+	overflowRefSize = 12 // u64 head page + u32 total length
+
+	leafHeaderSize     = 1 + 2 + 8 // kind, nkeys, next
+	internalHeaderSize = 1 + 2 + 8 // kind, nkeys, child0
+	overflowHeaderSize = 1 + 8 + 4 // kind, next, len
+	overflowCapacity   = PageSize - overflowHeaderSize
+)
+
+// BTree is a B+tree over a Store with variable-length byte keys and values.
+// Interior nodes route by separator keys; all data lives in the leaf level,
+// which is chained left-to-right for range scans. Deletes are lazy (no
+// rebalancing); freed overflow chains are returned to the store free list.
+// A BTree is safe for use by one goroutine at a time.
+type BTree struct {
+	store *Store
+	root  PageID
+	size  int // cached entry count; -1 when unknown (opened from disk)
+}
+
+// NewBTree creates an empty tree in the store.
+func NewBTree(store *Store) (*BTree, error) {
+	id, err := store.Allocate()
+	if err != nil {
+		return nil, err
+	}
+	t := &BTree{store: store, root: id, size: 0}
+	if err := t.writeNode(&node{kind: pageLeaf, page: id}); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// OpenBTree opens an existing tree rooted at root.
+func OpenBTree(store *Store, root PageID) *BTree {
+	return &BTree{store: store, root: root, size: -1}
+}
+
+// Root returns the current root page id. It changes when the root splits,
+// so callers persisting trees must re-read it after mutations.
+func (t *BTree) Root() PageID { return t.root }
+
+// node is the decoded in-memory form of a tree page.
+type node struct {
+	kind     byte
+	page     PageID
+	keys     [][]byte
+	vals     [][]byte // leaf only; overflow refs kept verbatim
+	overflow []bool   // leaf only; vals[i] is a 12-byte overflow ref
+	children []PageID // internal only; len(keys)+1
+	next     PageID   // leaf only
+}
+
+func (n *node) encodedSize() int {
+	switch n.kind {
+	case pageLeaf:
+		sz := leafHeaderSize
+		for i, k := range n.keys {
+			sz += 4 + len(k) + len(n.vals[i])
+		}
+		return sz
+	case pageInternal:
+		sz := internalHeaderSize
+		for _, k := range n.keys {
+			sz += 2 + len(k) + 8
+		}
+		return sz
+	}
+	return PageSize
+}
+
+func (t *BTree) writeNode(n *node) error {
+	var buf [PageSize]byte
+	buf[0] = n.kind
+	binary.LittleEndian.PutUint16(buf[1:], uint16(len(n.keys)))
+	switch n.kind {
+	case pageLeaf:
+		binary.LittleEndian.PutUint64(buf[3:], uint64(n.next))
+		off := leafHeaderSize
+		for i, k := range n.keys {
+			v := n.vals[i]
+			binary.LittleEndian.PutUint16(buf[off:], uint16(len(k)))
+			vmeta := uint16(len(v))
+			if n.overflow[i] {
+				vmeta |= 0x8000
+			}
+			binary.LittleEndian.PutUint16(buf[off+2:], vmeta)
+			off += 4
+			off += copy(buf[off:], k)
+			off += copy(buf[off:], v)
+		}
+	case pageInternal:
+		binary.LittleEndian.PutUint64(buf[3:], uint64(n.children[0]))
+		off := internalHeaderSize
+		for i, k := range n.keys {
+			binary.LittleEndian.PutUint16(buf[off:], uint16(len(k)))
+			off += 2
+			off += copy(buf[off:], k)
+			binary.LittleEndian.PutUint64(buf[off:], uint64(n.children[i+1]))
+			off += 8
+		}
+	default:
+		return fmt.Errorf("storage: writeNode: bad kind %d", n.kind)
+	}
+	return t.store.WritePage(n.page, buf[:])
+}
+
+func (t *BTree) readNode(id PageID) (*node, error) {
+	buf, err := t.store.ReadPage(id)
+	if err != nil {
+		return nil, err
+	}
+	n := &node{kind: buf[0], page: id}
+	nkeys := int(binary.LittleEndian.Uint16(buf[1:]))
+	switch n.kind {
+	case pageLeaf:
+		n.next = PageID(binary.LittleEndian.Uint64(buf[3:]))
+		off := leafHeaderSize
+		n.keys = make([][]byte, nkeys)
+		n.vals = make([][]byte, nkeys)
+		n.overflow = make([]bool, nkeys)
+		for i := 0; i < nkeys; i++ {
+			klen := int(binary.LittleEndian.Uint16(buf[off:]))
+			vmeta := binary.LittleEndian.Uint16(buf[off+2:])
+			vlen := int(vmeta & 0x7fff)
+			n.overflow[i] = vmeta&0x8000 != 0
+			off += 4
+			n.keys[i] = append([]byte(nil), buf[off:off+klen]...)
+			off += klen
+			n.vals[i] = append([]byte(nil), buf[off:off+vlen]...)
+			off += vlen
+		}
+	case pageInternal:
+		n.children = make([]PageID, 1, nkeys+1)
+		n.children[0] = PageID(binary.LittleEndian.Uint64(buf[3:]))
+		off := internalHeaderSize
+		n.keys = make([][]byte, nkeys)
+		for i := 0; i < nkeys; i++ {
+			klen := int(binary.LittleEndian.Uint16(buf[off:]))
+			off += 2
+			n.keys[i] = append([]byte(nil), buf[off:off+klen]...)
+			off += klen
+			n.children = append(n.children, PageID(binary.LittleEndian.Uint64(buf[off:])))
+			off += 8
+		}
+	default:
+		return nil, fmt.Errorf("storage: page %d is not a tree node (kind %d)", id, n.kind)
+	}
+	return n, nil
+}
+
+// childIndex returns the child to descend into for key: the first separator
+// strictly greater than key bounds the child on its left.
+func childIndex(n *node, key []byte) int {
+	return sort.Search(len(n.keys), func(i int) bool {
+		return bytes.Compare(key, n.keys[i]) < 0
+	})
+}
+
+// leafIndex returns (pos, found) for key within a leaf.
+func leafIndex(n *node, key []byte) (int, bool) {
+	pos := sort.Search(len(n.keys), func(i int) bool {
+		return bytes.Compare(n.keys[i], key) >= 0
+	})
+	return pos, pos < len(n.keys) && bytes.Equal(n.keys[pos], key)
+}
+
+// Get returns the value stored under key.
+func (t *BTree) Get(key []byte) ([]byte, bool, error) {
+	n, err := t.readNode(t.root)
+	if err != nil {
+		return nil, false, err
+	}
+	for n.kind == pageInternal {
+		if n, err = t.readNode(n.children[childIndex(n, key)]); err != nil {
+			return nil, false, err
+		}
+	}
+	pos, found := leafIndex(n, key)
+	if !found {
+		return nil, false, nil
+	}
+	return t.resolveValue(n, pos)
+}
+
+func (t *BTree) resolveValue(n *node, pos int) ([]byte, bool, error) {
+	if !n.overflow[pos] {
+		return n.vals[pos], true, nil
+	}
+	v, err := t.readOverflow(n.vals[pos])
+	return v, err == nil, err
+}
+
+// Has reports whether key is present.
+func (t *BTree) Has(key []byte) (bool, error) {
+	_, ok, err := t.Get(key)
+	return ok, err
+}
+
+type splitResult struct {
+	key   []byte
+	right PageID
+}
+
+// Put inserts or replaces the value under key.
+func (t *BTree) Put(key, value []byte) error {
+	if len(key) == 0 || len(key) > MaxKeySize {
+		return fmt.Errorf("%w: %d bytes (max %d, min 1)", ErrKeyTooLarge, len(key), MaxKeySize)
+	}
+	stored, isOverflow := value, false
+	if len(value) > MaxInlineValue {
+		ref, err := t.writeOverflow(value)
+		if err != nil {
+			return err
+		}
+		stored, isOverflow = ref, true
+	}
+	split, added, err := t.insert(t.root, key, stored, isOverflow)
+	if err != nil {
+		return err
+	}
+	if added && t.size >= 0 {
+		t.size++
+	}
+	if split == nil {
+		return nil
+	}
+	// Root split: make a new root with two children.
+	id, err := t.store.Allocate()
+	if err != nil {
+		return err
+	}
+	root := &node{
+		kind:     pageInternal,
+		page:     id,
+		keys:     [][]byte{split.key},
+		children: []PageID{t.root, split.right},
+	}
+	if err := t.writeNode(root); err != nil {
+		return err
+	}
+	t.root = id
+	return nil
+}
+
+func (t *BTree) insert(pid PageID, key, value []byte, isOverflow bool) (*splitResult, bool, error) {
+	n, err := t.readNode(pid)
+	if err != nil {
+		return nil, false, err
+	}
+	if n.kind == pageLeaf {
+		pos, found := leafIndex(n, key)
+		added := !found
+		if found {
+			if n.overflow[pos] {
+				if err := t.freeOverflow(n.vals[pos]); err != nil {
+					return nil, false, err
+				}
+			}
+			n.vals[pos] = value
+			n.overflow[pos] = isOverflow
+		} else {
+			n.keys = append(n.keys, nil)
+			copy(n.keys[pos+1:], n.keys[pos:])
+			n.keys[pos] = append([]byte(nil), key...)
+			n.vals = append(n.vals, nil)
+			copy(n.vals[pos+1:], n.vals[pos:])
+			n.vals[pos] = value
+			n.overflow = append(n.overflow, false)
+			copy(n.overflow[pos+1:], n.overflow[pos:])
+			n.overflow[pos] = isOverflow
+		}
+		if n.encodedSize() <= PageSize {
+			return nil, added, t.writeNode(n)
+		}
+		split, err := t.splitLeaf(n)
+		return split, added, err
+	}
+
+	idx := childIndex(n, key)
+	split, added, err := t.insert(n.children[idx], key, value, isOverflow)
+	if err != nil || split == nil {
+		return nil, added, err
+	}
+	n.keys = append(n.keys, nil)
+	copy(n.keys[idx+1:], n.keys[idx:])
+	n.keys[idx] = split.key
+	n.children = append(n.children, 0)
+	copy(n.children[idx+2:], n.children[idx+1:])
+	n.children[idx+1] = split.right
+	if n.encodedSize() <= PageSize {
+		return nil, added, t.writeNode(n)
+	}
+	up, err := t.splitInternal(n)
+	return up, added, err
+}
+
+func (t *BTree) splitLeaf(n *node) (*splitResult, error) {
+	mid := len(n.keys) / 2
+	rid, err := t.store.Allocate()
+	if err != nil {
+		return nil, err
+	}
+	right := &node{
+		kind:     pageLeaf,
+		page:     rid,
+		keys:     append([][]byte(nil), n.keys[mid:]...),
+		vals:     append([][]byte(nil), n.vals[mid:]...),
+		overflow: append([]bool(nil), n.overflow[mid:]...),
+		next:     n.next,
+	}
+	n.keys = n.keys[:mid]
+	n.vals = n.vals[:mid]
+	n.overflow = n.overflow[:mid]
+	n.next = rid
+	if err := t.writeNode(right); err != nil {
+		return nil, err
+	}
+	if err := t.writeNode(n); err != nil {
+		return nil, err
+	}
+	return &splitResult{key: append([]byte(nil), right.keys[0]...), right: rid}, nil
+}
+
+func (t *BTree) splitInternal(n *node) (*splitResult, error) {
+	mid := len(n.keys) / 2
+	up := n.keys[mid]
+	rid, err := t.store.Allocate()
+	if err != nil {
+		return nil, err
+	}
+	right := &node{
+		kind:     pageInternal,
+		page:     rid,
+		keys:     append([][]byte(nil), n.keys[mid+1:]...),
+		children: append([]PageID(nil), n.children[mid+1:]...),
+	}
+	n.keys = n.keys[:mid]
+	n.children = n.children[:mid+1]
+	if err := t.writeNode(right); err != nil {
+		return nil, err
+	}
+	if err := t.writeNode(n); err != nil {
+		return nil, err
+	}
+	return &splitResult{key: up, right: rid}, nil
+}
+
+// Delete removes key, reporting whether it was present. Leaf pages are not
+// rebalanced (lazy deletion); overflow chains are freed immediately.
+func (t *BTree) Delete(key []byte) (bool, error) {
+	n, err := t.readNode(t.root)
+	if err != nil {
+		return false, err
+	}
+	for n.kind == pageInternal {
+		if n, err = t.readNode(n.children[childIndex(n, key)]); err != nil {
+			return false, err
+		}
+	}
+	pos, found := leafIndex(n, key)
+	if !found {
+		return false, nil
+	}
+	if n.overflow[pos] {
+		if err := t.freeOverflow(n.vals[pos]); err != nil {
+			return false, err
+		}
+	}
+	n.keys = append(n.keys[:pos], n.keys[pos+1:]...)
+	n.vals = append(n.vals[:pos], n.vals[pos+1:]...)
+	n.overflow = append(n.overflow[:pos], n.overflow[pos+1:]...)
+	if t.size > 0 {
+		t.size--
+	}
+	return true, t.writeNode(n)
+}
+
+// Len returns the number of entries, counting by scan if the cached count
+// is unknown (tree opened from disk).
+func (t *BTree) Len() (int, error) {
+	if t.size >= 0 {
+		return t.size, nil
+	}
+	n := 0
+	c, err := t.First()
+	if err != nil {
+		return 0, err
+	}
+	for c.Valid() {
+		n++
+		if err := c.Next(); err != nil {
+			return 0, err
+		}
+	}
+	t.size = n
+	return n, nil
+}
+
+// writeOverflow spills value into a chain of overflow pages and returns the
+// 12-byte reference stored inline in the leaf.
+func (t *BTree) writeOverflow(value []byte) ([]byte, error) {
+	var head, prev PageID
+	var prevBuf [PageSize]byte
+	remaining := value
+	for len(remaining) > 0 || head == 0 {
+		id, err := t.store.Allocate()
+		if err != nil {
+			return nil, err
+		}
+		if head == 0 {
+			head = id
+		}
+		if prev != 0 {
+			binary.LittleEndian.PutUint64(prevBuf[1:], uint64(id))
+			if err := t.store.WritePage(prev, prevBuf[:]); err != nil {
+				return nil, err
+			}
+		}
+		n := len(remaining)
+		if n > overflowCapacity {
+			n = overflowCapacity
+		}
+		var buf [PageSize]byte
+		buf[0] = pageOverflow
+		binary.LittleEndian.PutUint32(buf[9:], uint32(n))
+		copy(buf[overflowHeaderSize:], remaining[:n])
+		remaining = remaining[n:]
+		if len(remaining) == 0 {
+			if err := t.store.WritePage(id, buf[:]); err != nil {
+				return nil, err
+			}
+		} else {
+			prev, prevBuf = id, buf
+		}
+	}
+	ref := make([]byte, overflowRefSize)
+	binary.LittleEndian.PutUint64(ref, uint64(head))
+	binary.LittleEndian.PutUint32(ref[8:], uint32(len(value)))
+	return ref, nil
+}
+
+func (t *BTree) readOverflow(ref []byte) ([]byte, error) {
+	if len(ref) != overflowRefSize {
+		return nil, fmt.Errorf("storage: bad overflow ref of %d bytes", len(ref))
+	}
+	id := PageID(binary.LittleEndian.Uint64(ref))
+	total := int(binary.LittleEndian.Uint32(ref[8:]))
+	out := make([]byte, 0, total)
+	for id != 0 {
+		buf, err := t.store.ReadPage(id)
+		if err != nil {
+			return nil, err
+		}
+		if buf[0] != pageOverflow {
+			return nil, fmt.Errorf("storage: page %d in overflow chain has kind %d", id, buf[0])
+		}
+		n := int(binary.LittleEndian.Uint32(buf[9:]))
+		out = append(out, buf[overflowHeaderSize:overflowHeaderSize+n]...)
+		id = PageID(binary.LittleEndian.Uint64(buf[1:]))
+	}
+	if len(out) != total {
+		return nil, fmt.Errorf("storage: overflow chain has %d bytes, want %d", len(out), total)
+	}
+	return out, nil
+}
+
+func (t *BTree) freeOverflow(ref []byte) error {
+	if len(ref) != overflowRefSize {
+		return fmt.Errorf("storage: bad overflow ref of %d bytes", len(ref))
+	}
+	id := PageID(binary.LittleEndian.Uint64(ref))
+	for id != 0 {
+		buf, err := t.store.ReadPage(id)
+		if err != nil {
+			return err
+		}
+		next := PageID(binary.LittleEndian.Uint64(buf[1:]))
+		if err := t.store.Free(id); err != nil {
+			return err
+		}
+		id = next
+	}
+	return nil
+}
+
+// Cursor iterates leaf entries in ascending key order.
+type Cursor struct {
+	tree *BTree
+	leaf *node
+	pos  int
+}
+
+// First positions a cursor at the smallest key.
+func (t *BTree) First() (*Cursor, error) {
+	n, err := t.readNode(t.root)
+	if err != nil {
+		return nil, err
+	}
+	for n.kind == pageInternal {
+		if n, err = t.readNode(n.children[0]); err != nil {
+			return nil, err
+		}
+	}
+	c := &Cursor{tree: t, leaf: n, pos: 0}
+	return c, c.skipEmpty()
+}
+
+// Seek positions a cursor at the first key >= key.
+func (t *BTree) Seek(key []byte) (*Cursor, error) {
+	n, err := t.readNode(t.root)
+	if err != nil {
+		return nil, err
+	}
+	for n.kind == pageInternal {
+		if n, err = t.readNode(n.children[childIndex(n, key)]); err != nil {
+			return nil, err
+		}
+	}
+	pos, _ := leafIndex(n, key)
+	c := &Cursor{tree: t, leaf: n, pos: pos}
+	return c, c.skipEmpty()
+}
+
+// Valid reports whether the cursor references an entry.
+func (c *Cursor) Valid() bool { return c.leaf != nil && c.pos < len(c.leaf.keys) }
+
+// Key returns the current key. Valid must be true.
+func (c *Cursor) Key() []byte { return c.leaf.keys[c.pos] }
+
+// Value returns the current value, resolving overflow chains.
+func (c *Cursor) Value() ([]byte, error) {
+	v, _, err := c.tree.resolveValue(c.leaf, c.pos)
+	return v, err
+}
+
+// Next advances to the following entry, crossing leaf boundaries.
+func (c *Cursor) Next() error {
+	if !c.Valid() {
+		return nil
+	}
+	c.pos++
+	return c.skipEmpty()
+}
+
+func (c *Cursor) skipEmpty() error {
+	for c.leaf != nil && c.pos >= len(c.leaf.keys) {
+		if c.leaf.next == 0 {
+			c.leaf = nil
+			return nil
+		}
+		n, err := c.tree.readNode(c.leaf.next)
+		if err != nil {
+			return err
+		}
+		c.leaf, c.pos = n, 0
+	}
+	return nil
+}
+
+// Check verifies the structural invariants of the tree: separator ordering,
+// leaf key ordering, key range containment, and uniform leaf depth. It is
+// used by tests and by the crimson CLI's fsck command.
+func (t *BTree) Check() error {
+	depth := -1
+	var walk func(id PageID, lo, hi []byte, d int) error
+	walk = func(id PageID, lo, hi []byte, d int) error {
+		n, err := t.readNode(id)
+		if err != nil {
+			return err
+		}
+		for i, k := range n.keys {
+			if lo != nil && bytes.Compare(k, lo) < 0 {
+				return fmt.Errorf("storage: check: page %d key %d below range", id, i)
+			}
+			if hi != nil && bytes.Compare(k, hi) >= 0 {
+				return fmt.Errorf("storage: check: page %d key %d above range", id, i)
+			}
+			if i > 0 && bytes.Compare(n.keys[i-1], k) >= 0 {
+				return fmt.Errorf("storage: check: page %d keys out of order at %d", id, i)
+			}
+		}
+		if n.kind == pageLeaf {
+			if depth == -1 {
+				depth = d
+			} else if depth != d {
+				return fmt.Errorf("storage: check: leaf %d at depth %d, want %d", id, d, depth)
+			}
+			return nil
+		}
+		for i, child := range n.children {
+			clo, chi := lo, hi
+			if i > 0 {
+				clo = n.keys[i-1]
+			}
+			if i < len(n.keys) {
+				chi = n.keys[i]
+			}
+			if err := walk(child, clo, chi, d+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return walk(t.root, nil, nil, 0)
+}

@@ -1,0 +1,144 @@
+package storage
+
+import (
+	"container/list"
+	"fmt"
+)
+
+// DefaultPoolSize is the default number of page frames held by a buffer
+// pool (4096 frames * 4 KiB pages = 16 MiB).
+const DefaultPoolSize = 4096
+
+// frame is one cached page.
+type frame struct {
+	id    PageID
+	data  []byte
+	dirty bool
+	elem  *list.Element // position in the LRU list (nil while dirty)
+}
+
+// BufferPool caches page frames above a Pager with LRU eviction. Dirty
+// frames are never evicted; they are held until the Store commits them
+// through the WAL, which keeps crash recovery simple (no steal policy).
+type BufferPool struct {
+	pager  Pager
+	frames map[PageID]*frame
+	lru    *list.List // clean frames only, front = most recent
+	limit  int
+}
+
+// NewBufferPool creates a pool holding at most limit clean frames.
+func NewBufferPool(pager Pager, limit int) *BufferPool {
+	if limit < 16 {
+		limit = 16
+	}
+	return &BufferPool{
+		pager:  pager,
+		frames: make(map[PageID]*frame),
+		lru:    list.New(),
+		limit:  limit,
+	}
+}
+
+// Get returns the contents of page id, reading it from the pager on a miss.
+// The returned slice aliases the frame and is invalidated by any later pool
+// call; callers must copy data they retain.
+func (bp *BufferPool) Get(id PageID) ([]byte, error) {
+	if f, ok := bp.frames[id]; ok {
+		if f.elem != nil {
+			bp.lru.MoveToFront(f.elem)
+		}
+		return f.data, nil
+	}
+	data := make([]byte, PageSize)
+	if err := bp.pager.ReadPage(id, data); err != nil {
+		return nil, err
+	}
+	f := &frame{id: id, data: data}
+	f.elem = bp.lru.PushFront(f)
+	bp.frames[id] = f
+	bp.evict()
+	return f.data, nil
+}
+
+// Put replaces the contents of page id in the pool and marks it dirty. The
+// page is not written to the pager until the owning Store commits.
+func (bp *BufferPool) Put(id PageID, data []byte) error {
+	if len(data) != PageSize {
+		return fmt.Errorf("storage: Put page %d with %d bytes", id, len(data))
+	}
+	f, ok := bp.frames[id]
+	if !ok {
+		f = &frame{id: id, data: make([]byte, PageSize)}
+		bp.frames[id] = f
+	}
+	copy(f.data, data)
+	bp.markDirty(f)
+	return nil
+}
+
+// Grow extends the pager by one page and installs a zeroed dirty frame.
+func (bp *BufferPool) Grow() (PageID, error) {
+	id, err := bp.pager.Grow()
+	if err != nil {
+		return 0, err
+	}
+	f := &frame{id: id, data: make([]byte, PageSize)}
+	bp.frames[id] = f
+	bp.markDirty(f)
+	return id, nil
+}
+
+func (bp *BufferPool) markDirty(f *frame) {
+	if f.elem != nil {
+		bp.lru.Remove(f.elem)
+		f.elem = nil
+	}
+	f.dirty = true
+}
+
+func (bp *BufferPool) evict() {
+	for bp.lru.Len() > bp.limit {
+		back := bp.lru.Back()
+		f := back.Value.(*frame)
+		bp.lru.Remove(back)
+		delete(bp.frames, f.id)
+	}
+}
+
+// DirtyPage is a page image pending commit.
+type DirtyPage struct {
+	ID   PageID
+	Data []byte
+}
+
+// DirtyPages returns the pending page images in ascending page order.
+func (bp *BufferPool) DirtyPages() []DirtyPage {
+	var out []DirtyPage
+	for _, f := range bp.frames {
+		if f.dirty {
+			out = append(out, DirtyPage{ID: f.id, Data: f.data})
+		}
+	}
+	// Sort by page id for deterministic WAL contents.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].ID < out[j-1].ID; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// ClearDirty moves all dirty frames onto the clean LRU list after a commit.
+func (bp *BufferPool) ClearDirty() {
+	for _, f := range bp.frames {
+		if f.dirty {
+			f.dirty = false
+			f.elem = bp.lru.PushFront(f)
+		}
+	}
+	bp.evict()
+}
+
+// Len reports the number of cached frames (clean + dirty).
+func (bp *BufferPool) Len() int { return len(bp.frames) }

@@ -1,0 +1,447 @@
+// Package storage implements the disk substrate Crimson stores trees in: a
+// page file with a free list, an LRU buffer pool, a B+tree with variable
+// length keys and overflow chains for large values, and a physical redo
+// write-ahead log. The paper loads phylogenetic trees "into a relational
+// database"; this package is the storage engine underneath that relational
+// layer (see package relstore).
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// PageSize is the fixed size of every page in a Crimson page file.
+const PageSize = 4096
+
+const (
+	metaMagic   = "CRIMSONP"
+	metaVersion = 1
+
+	// NumRoots is the number of named root slots kept in the meta page.
+	// Slot 0 is reserved by the relational layer for its catalog tree.
+	NumRoots = 8
+)
+
+// Common storage errors.
+var (
+	ErrClosed      = errors.New("storage: closed")
+	ErrBadMeta     = errors.New("storage: bad meta page")
+	ErrPageBounds  = errors.New("storage: page id out of bounds")
+	ErrKeyTooLarge = errors.New("storage: key too large")
+	ErrNotFound    = errors.New("storage: key not found")
+)
+
+// PageID identifies a page within a page file. Page 0 is the meta page and
+// is never handed out by Allocate.
+type PageID uint64
+
+// Pager is the raw page I/O abstraction shared by the on-disk and in-memory
+// backends. Implementations are not safe for concurrent use; the Store
+// serializes access.
+type Pager interface {
+	// ReadPage reads the page into buf, which must be PageSize long.
+	ReadPage(id PageID, buf []byte) error
+	// WritePage writes buf (PageSize long) to the page.
+	WritePage(id PageID, buf []byte) error
+	// Grow extends the file by one page and returns its id.
+	Grow() (PageID, error)
+	// PageCount returns the number of pages, including the meta page.
+	PageCount() PageID
+	// Sync flushes written pages to stable media.
+	Sync() error
+	// Close releases resources.
+	Close() error
+}
+
+// filePager is a Pager backed by a single OS file.
+type filePager struct {
+	f     *os.File
+	count PageID
+}
+
+// OpenFilePager opens (creating if necessary) a page file at path. A fresh
+// file has zero pages; callers are expected to initialize a meta page.
+func OpenFilePager(path string) (Pager, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open page file: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: stat page file: %w", err)
+	}
+	if st.Size()%PageSize != 0 {
+		f.Close()
+		return nil, fmt.Errorf("storage: page file %s has size %d, not a multiple of %d", path, st.Size(), PageSize)
+	}
+	return &filePager{f: f, count: PageID(st.Size() / PageSize)}, nil
+}
+
+func (p *filePager) ReadPage(id PageID, buf []byte) error {
+	if p.f == nil {
+		return ErrClosed
+	}
+	if id >= p.count {
+		return fmt.Errorf("%w: read %d of %d", ErrPageBounds, id, p.count)
+	}
+	if _, err := p.f.ReadAt(buf[:PageSize], int64(id)*PageSize); err != nil && err != io.EOF {
+		return fmt.Errorf("storage: read page %d: %w", id, err)
+	}
+	return nil
+}
+
+func (p *filePager) WritePage(id PageID, buf []byte) error {
+	if p.f == nil {
+		return ErrClosed
+	}
+	if id >= p.count {
+		return fmt.Errorf("%w: write %d of %d", ErrPageBounds, id, p.count)
+	}
+	if _, err := p.f.WriteAt(buf[:PageSize], int64(id)*PageSize); err != nil {
+		return fmt.Errorf("storage: write page %d: %w", id, err)
+	}
+	return nil
+}
+
+func (p *filePager) Grow() (PageID, error) {
+	if p.f == nil {
+		return 0, ErrClosed
+	}
+	id := p.count
+	var zero [PageSize]byte
+	if _, err := p.f.WriteAt(zero[:], int64(id)*PageSize); err != nil {
+		return 0, fmt.Errorf("storage: grow to page %d: %w", id, err)
+	}
+	p.count++
+	return id, nil
+}
+
+func (p *filePager) PageCount() PageID { return p.count }
+
+func (p *filePager) Sync() error {
+	if p.f == nil {
+		return ErrClosed
+	}
+	return p.f.Sync()
+}
+
+func (p *filePager) Close() error {
+	if p.f == nil {
+		return nil
+	}
+	err := p.f.Close()
+	p.f = nil
+	return err
+}
+
+// memPager is a Pager kept entirely in memory. It is used for tests, for
+// ephemeral repositories, and as the default backend of in-memory indexes.
+type memPager struct {
+	pages  [][]byte
+	closed bool
+}
+
+// NewMemPager returns an empty in-memory pager.
+func NewMemPager() Pager { return &memPager{} }
+
+func (p *memPager) ReadPage(id PageID, buf []byte) error {
+	if p.closed {
+		return ErrClosed
+	}
+	if int(id) >= len(p.pages) {
+		return fmt.Errorf("%w: read %d of %d", ErrPageBounds, id, len(p.pages))
+	}
+	copy(buf[:PageSize], p.pages[id])
+	return nil
+}
+
+func (p *memPager) WritePage(id PageID, buf []byte) error {
+	if p.closed {
+		return ErrClosed
+	}
+	if int(id) >= len(p.pages) {
+		return fmt.Errorf("%w: write %d of %d", ErrPageBounds, id, len(p.pages))
+	}
+	copy(p.pages[id], buf[:PageSize])
+	return nil
+}
+
+func (p *memPager) Grow() (PageID, error) {
+	if p.closed {
+		return 0, ErrClosed
+	}
+	p.pages = append(p.pages, make([]byte, PageSize))
+	return PageID(len(p.pages) - 1), nil
+}
+
+func (p *memPager) PageCount() PageID { return PageID(len(p.pages)) }
+func (p *memPager) Sync() error       { return nil }
+func (p *memPager) Close() error      { p.closed = true; return nil }
+
+// meta is the decoded form of page 0.
+type meta struct {
+	freeHead PageID
+	roots    [NumRoots]PageID
+}
+
+func (m *meta) encode(buf []byte) {
+	for i := range buf {
+		buf[i] = 0
+	}
+	copy(buf, metaMagic)
+	binary.LittleEndian.PutUint32(buf[8:], metaVersion)
+	binary.LittleEndian.PutUint32(buf[12:], PageSize)
+	binary.LittleEndian.PutUint64(buf[16:], uint64(m.freeHead))
+	for i, r := range m.roots {
+		binary.LittleEndian.PutUint64(buf[24+8*i:], uint64(r))
+	}
+}
+
+func (m *meta) decode(buf []byte) error {
+	if string(buf[:8]) != metaMagic {
+		return fmt.Errorf("%w: bad magic", ErrBadMeta)
+	}
+	if v := binary.LittleEndian.Uint32(buf[8:]); v != metaVersion {
+		return fmt.Errorf("%w: version %d", ErrBadMeta, v)
+	}
+	if ps := binary.LittleEndian.Uint32(buf[12:]); ps != PageSize {
+		return fmt.Errorf("%w: page size %d", ErrBadMeta, ps)
+	}
+	m.freeHead = PageID(binary.LittleEndian.Uint64(buf[16:]))
+	for i := range m.roots {
+		m.roots[i] = PageID(binary.LittleEndian.Uint64(buf[24+8*i:]))
+	}
+	return nil
+}
+
+// Store couples a pager, a buffer pool and (for file-backed stores) a WAL
+// into the transactional page store the rest of Crimson builds on. All
+// mutations happen in the buffer pool; Commit makes them durable atomically.
+// A Store is safe for concurrent use by multiple goroutines.
+type Store struct {
+	mu     sync.Mutex
+	pager  Pager
+	pool   *BufferPool
+	wal    *WAL
+	meta   meta
+	closed bool
+}
+
+// Open opens a file-backed store, creating it if absent, and replays any
+// committed WAL records left behind by a crash. The WAL lives next to the
+// page file at path+".wal".
+func Open(path string) (*Store, error) {
+	wal, err := openWAL(path + ".wal")
+	if err != nil {
+		return nil, err
+	}
+	pager, err := OpenFilePager(path)
+	if err != nil {
+		wal.Close()
+		return nil, err
+	}
+	s := &Store{pager: pager, pool: NewBufferPool(pager, DefaultPoolSize), wal: wal}
+	if err := s.init(); err != nil {
+		pager.Close()
+		wal.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// OpenMem opens a store backed entirely by memory (no WAL, no durability).
+func OpenMem() *Store {
+	pager := NewMemPager()
+	s := &Store{pager: pager, pool: NewBufferPool(pager, DefaultPoolSize)}
+	if err := s.init(); err != nil {
+		// The in-memory pager cannot fail on a fresh store.
+		panic("storage: init mem store: " + err.Error())
+	}
+	return s
+}
+
+func (s *Store) init() error {
+	// Recover committed pages from the WAL before reading the meta page,
+	// so a crash between WAL commit and page-file write is invisible.
+	if s.wal != nil {
+		if err := s.wal.Recover(s.pager); err != nil {
+			return err
+		}
+	}
+	if s.pager.PageCount() == 0 {
+		id, err := s.pager.Grow()
+		if err != nil {
+			return err
+		}
+		if id != 0 {
+			return fmt.Errorf("storage: fresh file grew to page %d", id)
+		}
+		var buf [PageSize]byte
+		s.meta.encode(buf[:])
+		if err := s.pager.WritePage(0, buf[:]); err != nil {
+			return err
+		}
+		return s.pager.Sync()
+	}
+	var buf [PageSize]byte
+	if err := s.pager.ReadPage(0, buf[:]); err != nil {
+		return err
+	}
+	return s.meta.decode(buf[:])
+}
+
+// Allocate returns a page available for use, reusing freed pages first.
+func (s *Store) Allocate() (PageID, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.allocate()
+}
+
+func (s *Store) allocate() (PageID, error) {
+	if s.closed {
+		return 0, ErrClosed
+	}
+	if s.meta.freeHead != 0 {
+		id := s.meta.freeHead
+		buf, err := s.pool.Get(id)
+		if err != nil {
+			return 0, err
+		}
+		s.meta.freeHead = PageID(binary.LittleEndian.Uint64(buf))
+		s.writeMeta()
+		return id, nil
+	}
+	return s.pool.Grow()
+}
+
+// Free returns a page to the free list for reuse.
+func (s *Store) Free(id PageID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	var buf [PageSize]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(s.meta.freeHead))
+	if err := s.pool.Put(id, buf[:]); err != nil {
+		return err
+	}
+	s.meta.freeHead = id
+	s.writeMeta()
+	return nil
+}
+
+// writeMeta pushes the meta page into the buffer pool; it becomes durable at
+// the next Commit. Errors are impossible for page 0 once the store is open.
+func (s *Store) writeMeta() {
+	var buf [PageSize]byte
+	s.meta.encode(buf[:])
+	if err := s.pool.Put(0, buf[:]); err != nil {
+		panic("storage: write meta: " + err.Error())
+	}
+}
+
+// Root returns the page id stored in the named root slot (0 if unset).
+func (s *Store) Root(slot int) PageID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.meta.roots[slot]
+}
+
+// SetRoot records a named root page id in the meta page.
+func (s *Store) SetRoot(slot int, id PageID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.meta.roots[slot] = id
+	s.writeMeta()
+}
+
+// ReadPage returns the page contents via the buffer pool. The returned slice
+// aliases the pool frame and must not be retained across other Store calls.
+func (s *Store) ReadPage(id PageID) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	return s.pool.Get(id)
+}
+
+// WritePage replaces the page contents via the buffer pool.
+func (s *Store) WritePage(id PageID, buf []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return s.pool.Put(id, buf)
+}
+
+// Commit makes all buffered mutations durable. For file-backed stores the
+// dirty pages are first appended to the WAL with a commit record and synced,
+// then written to the page file; the WAL is truncated once the page file is
+// synced. In-memory stores simply clear dirty flags.
+func (s *Store) Commit() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	dirty := s.pool.DirtyPages()
+	if len(dirty) == 0 {
+		return nil
+	}
+	if s.wal != nil {
+		if err := s.wal.LogCommit(dirty); err != nil {
+			return err
+		}
+	}
+	for _, d := range dirty {
+		if err := s.pager.WritePage(d.ID, d.Data); err != nil {
+			return err
+		}
+	}
+	if err := s.pager.Sync(); err != nil {
+		return err
+	}
+	if s.wal != nil {
+		if err := s.wal.Reset(); err != nil {
+			return err
+		}
+	}
+	s.pool.ClearDirty()
+	return nil
+}
+
+// PageCount reports the current number of pages, including the meta page.
+func (s *Store) PageCount() PageID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pager.PageCount()
+}
+
+// Close commits outstanding changes and releases the underlying files.
+func (s *Store) Close() error {
+	if err := s.Commit(); err != nil && !errors.Is(err, ErrClosed) {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.wal != nil {
+		if err := s.wal.Close(); err != nil {
+			s.pager.Close()
+			return err
+		}
+	}
+	return s.pager.Close()
+}

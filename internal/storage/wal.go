@@ -1,0 +1,236 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// WAL frame kinds.
+const (
+	walFramePage   = 0x50414745 // "PAGE"
+	walFrameCommit = 0x434f4d54 // "COMT"
+)
+
+// WAL is a physical redo log. Each Commit of the Store appends the full
+// images of the dirty pages followed by a commit frame, then syncs. Only
+// batches terminated by a valid commit frame are replayed during recovery;
+// a torn tail (crash mid-append) is discarded. After the page file itself
+// is synced the WAL is truncated, so the log stays short.
+//
+// Frame layout (little endian):
+//
+//	page frame:   u32 kind | u64 pageID | u32 len | data | u32 crc
+//	commit frame: u32 kind | u32 count  | u32 crc
+//
+// The CRC covers everything in the frame before it.
+type WAL struct {
+	f    *os.File
+	path string
+}
+
+func openWAL(path string) (*WAL, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open wal: %w", err)
+	}
+	return &WAL{f: f, path: path}, nil
+}
+
+// LogCommit appends the dirty page images and a commit frame, then syncs.
+func (w *WAL) LogCommit(pages []DirtyPage) error {
+	if w.f == nil {
+		return ErrClosed
+	}
+	buf := make([]byte, 0, len(pages)*(PageSize+20)+12)
+	var scratch [16]byte
+	for _, p := range pages {
+		binary.LittleEndian.PutUint32(scratch[0:], walFramePage)
+		binary.LittleEndian.PutUint64(scratch[4:], uint64(p.ID))
+		binary.LittleEndian.PutUint32(scratch[12:], uint32(len(p.Data)))
+		frameStart := len(buf)
+		buf = append(buf, scratch[:16]...)
+		buf = append(buf, p.Data...)
+		crc := crc32.ChecksumIEEE(buf[frameStart:])
+		binary.LittleEndian.PutUint32(scratch[0:], crc)
+		buf = append(buf, scratch[:4]...)
+	}
+	frameStart := len(buf)
+	binary.LittleEndian.PutUint32(scratch[0:], walFrameCommit)
+	binary.LittleEndian.PutUint32(scratch[4:], uint32(len(pages)))
+	buf = append(buf, scratch[:8]...)
+	crc := crc32.ChecksumIEEE(buf[frameStart:])
+	binary.LittleEndian.PutUint32(scratch[0:], crc)
+	buf = append(buf, scratch[:4]...)
+
+	if _, err := w.f.Write(buf); err != nil {
+		return fmt.Errorf("storage: wal append: %w", err)
+	}
+	return w.f.Sync()
+}
+
+// Recover replays committed batches onto the pager and truncates the log.
+// It is called before the Store reads its meta page.
+func (w *WAL) Recover(pager Pager) error {
+	if w.f == nil {
+		return ErrClosed
+	}
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	type pendingPage struct {
+		id   PageID
+		data []byte
+	}
+	var pending []pendingPage
+	replayed := false
+	r := newWALReader(w.f)
+	for {
+		kind, err := r.u32()
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		switch kind {
+		case walFramePage:
+			id, err := r.u64()
+			if err != nil {
+				return w.truncateTail(err)
+			}
+			n, err := r.u32()
+			if err != nil || n != PageSize {
+				return w.truncateTail(err)
+			}
+			data := make([]byte, n)
+			if err := r.bytes(data); err != nil {
+				return w.truncateTail(err)
+			}
+			crc, err := r.u32()
+			if err != nil {
+				return w.truncateTail(err)
+			}
+			if crc != r.frameCRC() {
+				return w.truncateTail(nil) // torn frame: discard tail
+			}
+			pending = append(pending, pendingPage{PageID(id), data})
+		case walFrameCommit:
+			if _, err := r.u32(); err != nil { // page count (informational)
+				return w.truncateTail(err)
+			}
+			crc, err := r.u32()
+			if err != nil {
+				return w.truncateTail(err)
+			}
+			if crc != r.frameCRC() {
+				return w.truncateTail(nil)
+			}
+			// Apply the batch: every page image is rewritten.
+			for _, p := range pending {
+				for pager.PageCount() <= p.id {
+					if _, err := pager.Grow(); err != nil {
+						return err
+					}
+				}
+				if err := pager.WritePage(p.id, p.data); err != nil {
+					return err
+				}
+			}
+			if len(pending) > 0 {
+				replayed = true
+			}
+			pending = pending[:0]
+		default:
+			// Unknown frame: treat as a torn tail.
+			return w.truncateTail(nil)
+		}
+		r.endFrame()
+	}
+	if replayed {
+		if err := pager.Sync(); err != nil {
+			return err
+		}
+	}
+	return w.Reset()
+}
+
+// truncateTail discards an unreadable log tail; readErr is returned only if
+// it signals a real I/O problem rather than a short read.
+func (w *WAL) truncateTail(readErr error) error {
+	if readErr != nil && !errors.Is(readErr, io.EOF) && !errors.Is(readErr, io.ErrUnexpectedEOF) {
+		return readErr
+	}
+	return w.Reset()
+}
+
+// Reset truncates the log; called after the page file is durably synced.
+func (w *WAL) Reset() error {
+	if w.f == nil {
+		return ErrClosed
+	}
+	if err := w.f.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+// Close closes the log file.
+func (w *WAL) Close() error {
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Close()
+	w.f = nil
+	return err
+}
+
+// walReader reads WAL frames while accumulating a CRC of the current frame.
+type walReader struct {
+	r     io.Reader
+	crc   uint32
+	frame []byte
+}
+
+func newWALReader(r io.Reader) *walReader { return &walReader{r: r} }
+
+func (wr *walReader) bytes(buf []byte) error {
+	if _, err := io.ReadFull(wr.r, buf); err != nil {
+		return err
+	}
+	wr.frame = append(wr.frame, buf...)
+	return nil
+}
+
+func (wr *walReader) u32() (uint32, error) {
+	var b [4]byte
+	if _, err := io.ReadFull(wr.r, b[:]); err != nil {
+		return 0, err
+	}
+	wr.frame = append(wr.frame, b[:]...)
+	return binary.LittleEndian.Uint32(b[:]), nil
+}
+
+func (wr *walReader) u64() (uint64, error) {
+	var b [8]byte
+	if _, err := io.ReadFull(wr.r, b[:]); err != nil {
+		return 0, err
+	}
+	wr.frame = append(wr.frame, b[:]...)
+	return binary.LittleEndian.Uint64(b[:]), nil
+}
+
+// frameCRC returns the CRC of the current frame excluding the 4 CRC bytes
+// just read.
+func (wr *walReader) frameCRC() uint32 {
+	return crc32.ChecksumIEEE(wr.frame[:len(wr.frame)-4])
+}
+
+// endFrame resets the CRC accumulator for the next frame.
+func (wr *walReader) endFrame() { wr.frame = wr.frame[:0] }

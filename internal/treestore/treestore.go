@@ -1,0 +1,946 @@
+// Package treestore is Crimson's Tree Repository (§2.1): phylogenetic
+// trees stored in relational form with the hierarchical labels of package
+// core, supporting random access by species name or evolutionary time
+// without loading the whole tree into memory — the paper's explicit design
+// requirement ("simulation trees are huge, yet the portions retrieved by a
+// single query are relatively small ... which argues against using main
+// memory techniques").
+//
+// Layout per tree T:
+//
+//	nodes_T   — one row per node: structure, hierarchical-label fields,
+//	            depth, root distance (evolutionary time), subtree size;
+//	            indexed by name, by root distance, and by parent.
+//	layer_T_k — layer k >= 1 of the decomposition (one row per subtree of
+//	            layer k-1).
+//	subs_T_k  — per-subtree root and source node for every layer.
+//
+// plus a shared "trees" catalog table.
+package treestore
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/phylo"
+	"repro/internal/relstore"
+)
+
+// Errors returned by the repository.
+var (
+	ErrNoTree     = errors.New("treestore: no such tree")
+	ErrTreeExists = errors.New("treestore: tree already exists")
+	ErrBadName    = errors.New("treestore: tree name must match [A-Za-z0-9_-]+")
+	ErrNoNode     = errors.New("treestore: no such node")
+)
+
+// Store is the Tree Repository over a relational database.
+type Store struct {
+	db *relstore.DB
+}
+
+// Open opens (creating if needed) a repository in the page file at path.
+func Open(path string) (*Store, error) {
+	db, err := relstore.OpenDB(path)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{db: db}
+	if err := s.init(); err != nil {
+		db.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// OpenMem opens an in-memory repository.
+func OpenMem() *Store {
+	s := &Store{db: relstore.OpenMemDB()}
+	if err := s.init(); err != nil {
+		panic("treestore: init mem store: " + err.Error())
+	}
+	return s
+}
+
+// NewOnDB layers a tree repository over an existing relational database,
+// so the Tree, Species and Query repositories can share one page file.
+func NewOnDB(db *relstore.DB) (*Store, error) {
+	s := &Store{db: db}
+	if err := s.init(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *Store) init() error {
+	_, err := s.db.Table("trees")
+	if errors.Is(err, relstore.ErrNoTable) {
+		_, err = s.db.CreateTable(relstore.Schema{
+			Name: "trees",
+			Columns: []relstore.Column{
+				{Name: "name", Type: relstore.TString},
+				{Name: "nodes", Type: relstore.TInt},
+				{Name: "leaves", Type: relstore.TInt},
+				{Name: "f", Type: relstore.TInt},
+				{Name: "layers", Type: relstore.TInt},
+				{Name: "depth", Type: relstore.TInt},
+			},
+			Key: "name",
+		})
+	}
+	return err
+}
+
+// DB exposes the underlying database (shared with other repositories).
+func (s *Store) DB() *relstore.DB { return s.db }
+
+// Commit flushes buffered pages to disk.
+func (s *Store) Commit() error { return s.db.Commit() }
+
+// Close commits and closes the underlying database.
+func (s *Store) Close() error { return s.db.Close() }
+
+func validName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func nodesTable(tree string) string        { return "nodes_" + tree }
+func layerTable(tree string, k int) string { return fmt.Sprintf("layer_%s_%d", tree, k) }
+func subsTable(tree string, k int) string  { return fmt.Sprintf("subs_%s_%d", tree, k) }
+
+// TreeInfo summarizes a stored tree.
+type TreeInfo struct {
+	Name   string
+	Nodes  int
+	Leaves int
+	F      int
+	Layers int
+	Depth  int
+}
+
+// Progress receives loading status messages (§3 "Messages about the
+// loading status ... are dynamically generated and displayed").
+type Progress func(msg string)
+
+// Say formats a status message and forwards it; a nil Progress is silent.
+func (p Progress) Say(format string, args ...any) {
+	if p != nil {
+		p(fmt.Sprintf(format, args...))
+	}
+}
+
+// Load stores the tree under the given name with depth bound f. The tree
+// must have preorder IDs (Reindex). Returns a handle for querying.
+func (s *Store) Load(name string, t *phylo.Tree, f int, progress Progress) (*Tree, error) {
+	if !validName(name) {
+		return nil, fmt.Errorf("%w: %q", ErrBadName, name)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("treestore: invalid tree: %w", err)
+	}
+	trees, err := s.db.Table("trees")
+	if err != nil {
+		return nil, err
+	}
+	if _, ok, err := trees.Get(relstore.Str(name)); err != nil {
+		return nil, err
+	} else if ok {
+		return nil, fmt.Errorf("%w: %s", ErrTreeExists, name)
+	}
+
+	progress.Say("building hierarchical index (f=%d) over %d nodes", f, t.NumNodes())
+	ix, err := core.Build(t, f)
+	if err != nil {
+		return nil, err
+	}
+
+	nodes := t.Nodes()
+	// Derived per-node arrays: depth, root distance, subtree size.
+	depth := make([]int, len(nodes))
+	dist := make([]float64, len(nodes))
+	size := make([]int, len(nodes))
+	for _, n := range nodes {
+		size[n.ID] = 1
+		if n.Parent != nil {
+			depth[n.ID] = depth[n.Parent.ID] + 1
+			dist[n.ID] = dist[n.Parent.ID] + n.Length
+		}
+	}
+	for i := len(nodes) - 1; i >= 0; i-- { // reverse preorder: children first
+		if p := nodes[i].Parent; p != nil {
+			size[p.ID] += size[nodes[i].ID]
+		}
+	}
+
+	progress.Say("creating relations for tree %q", name)
+	nodeTab, err := s.db.CreateTable(relstore.Schema{
+		Name: nodesTable(name),
+		Columns: []relstore.Column{
+			{Name: "id", Type: relstore.TInt},
+			{Name: "parent", Type: relstore.TInt},
+			{Name: "ord", Type: relstore.TInt},
+			{Name: "name", Type: relstore.TString},
+			{Name: "length", Type: relstore.TFloat},
+			{Name: "depth", Type: relstore.TInt},
+			{Name: "dist", Type: relstore.TFloat},
+			{Name: "sub", Type: relstore.TInt},
+			{Name: "lparent", Type: relstore.TInt},
+			{Name: "ldepth", Type: relstore.TInt},
+			{Name: "leaf", Type: relstore.TBool},
+			{Name: "size", Type: relstore.TInt},
+		},
+		Key: "id",
+		Indexes: []relstore.Index{
+			{Name: "by_name", Columns: []string{"name"}},
+			{Name: "by_dist", Columns: []string{"dist"}},
+			{Name: "by_parent", Columns: []string{"parent"}},
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	l0 := ix.Layers[0]
+	for i, n := range nodes {
+		row := relstore.Row{
+			relstore.Int(int64(n.ID)),
+			relstore.Int(int64(l0.Parent[n.ID])),
+			relstore.Int(int64(l0.Ord[n.ID])),
+			relstore.Str(n.Name),
+			relstore.Float(n.Length),
+			relstore.Int(int64(depth[n.ID])),
+			relstore.Float(dist[n.ID]),
+			relstore.Int(int64(l0.Sub[n.ID])),
+			relstore.Int(int64(l0.LocalParent[n.ID])),
+			relstore.Int(int64(l0.LocalDepth[n.ID])),
+			relstore.Bool(n.IsLeaf()),
+			relstore.Int(int64(size[n.ID])),
+		}
+		if err := nodeTab.Insert(row); err != nil {
+			return nil, fmt.Errorf("treestore: inserting node %d: %w", n.ID, err)
+		}
+		if (i+1)%20000 == 0 {
+			progress.Say("loaded %d/%d nodes", i+1, len(nodes))
+		}
+	}
+	progress.Say("loaded %d/%d nodes", len(nodes), len(nodes))
+
+	// Higher layers and per-layer subtree tables.
+	for k, layer := range ix.Layers {
+		subTab, err := s.db.CreateTable(relstore.Schema{
+			Name: subsTable(name, k),
+			Columns: []relstore.Column{
+				{Name: "id", Type: relstore.TInt},
+				{Name: "root", Type: relstore.TInt},
+				{Name: "source", Type: relstore.TInt},
+			},
+			Key: "id",
+		})
+		if err != nil {
+			return nil, err
+		}
+		for sID := range layer.SubRoot {
+			err := subTab.Insert(relstore.Row{
+				relstore.Int(int64(sID)),
+				relstore.Int(int64(layer.SubRoot[sID])),
+				relstore.Int(int64(layer.SubSource[sID])),
+			})
+			if err != nil {
+				return nil, err
+			}
+		}
+		if k == 0 {
+			continue
+		}
+		layTab, err := s.db.CreateTable(relstore.Schema{
+			Name: layerTable(name, k),
+			Columns: []relstore.Column{
+				{Name: "id", Type: relstore.TInt},
+				{Name: "parent", Type: relstore.TInt},
+				{Name: "ord", Type: relstore.TInt},
+				{Name: "sub", Type: relstore.TInt},
+				{Name: "lparent", Type: relstore.TInt},
+				{Name: "ldepth", Type: relstore.TInt},
+			},
+			Key: "id",
+		})
+		if err != nil {
+			return nil, err
+		}
+		for id := range layer.Parent {
+			err := layTab.Insert(relstore.Row{
+				relstore.Int(int64(id)),
+				relstore.Int(int64(layer.Parent[id])),
+				relstore.Int(int64(layer.Ord[id])),
+				relstore.Int(int64(layer.Sub[id])),
+				relstore.Int(int64(layer.LocalParent[id])),
+				relstore.Int(int64(layer.LocalDepth[id])),
+			})
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	info := TreeInfo{
+		Name:   name,
+		Nodes:  t.NumNodes(),
+		Leaves: t.NumLeaves(),
+		F:      f,
+		Layers: ix.NumLayers(),
+		Depth:  t.MaxDepth(),
+	}
+	err = trees.Insert(relstore.Row{
+		relstore.Str(info.Name),
+		relstore.Int(int64(info.Nodes)),
+		relstore.Int(int64(info.Leaves)),
+		relstore.Int(int64(info.F)),
+		relstore.Int(int64(info.Layers)),
+		relstore.Int(int64(info.Depth)),
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := s.db.Commit(); err != nil {
+		return nil, err
+	}
+	progress.Say("tree %q committed (%d layers, depth %d)", name, info.Layers, info.Depth)
+	return s.Tree(name)
+}
+
+// Tree opens a handle on a stored tree.
+func (s *Store) Tree(name string) (*Tree, error) {
+	trees, err := s.db.Table("trees")
+	if err != nil {
+		return nil, err
+	}
+	row, ok, err := trees.Get(relstore.Str(name))
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoTree, name)
+	}
+	info := TreeInfo{
+		Name:   row[0].Text(),
+		Nodes:  int(row[1].Int64()),
+		Leaves: int(row[2].Int64()),
+		F:      int(row[3].Int64()),
+		Layers: int(row[4].Int64()),
+		Depth:  int(row[5].Int64()),
+	}
+	nodeTab, err := s.db.Table(nodesTable(name))
+	if err != nil {
+		return nil, err
+	}
+	t := &Tree{store: s, info: info, nodes: nodeTab}
+	for k := 0; k < info.Layers; k++ {
+		subTab, err := s.db.Table(subsTable(name, k))
+		if err != nil {
+			return nil, err
+		}
+		t.subs = append(t.subs, subTab)
+		if k > 0 {
+			layTab, err := s.db.Table(layerTable(name, k))
+			if err != nil {
+				return nil, err
+			}
+			t.layers = append(t.layers, layTab)
+		}
+	}
+	return t, nil
+}
+
+// Trees lists all stored trees.
+func (s *Store) Trees() ([]TreeInfo, error) {
+	trees, err := s.db.Table("trees")
+	if err != nil {
+		return nil, err
+	}
+	var out []TreeInfo
+	err = trees.Scan(func(row relstore.Row) (bool, error) {
+		out = append(out, TreeInfo{
+			Name:   row[0].Text(),
+			Nodes:  int(row[1].Int64()),
+			Leaves: int(row[2].Int64()),
+			F:      int(row[3].Int64()),
+			Layers: int(row[4].Int64()),
+			Depth:  int(row[5].Int64()),
+		})
+		return true, nil
+	})
+	return out, err
+}
+
+// Delete removes a stored tree and its relations.
+func (s *Store) Delete(name string) error {
+	trees, err := s.db.Table("trees")
+	if err != nil {
+		return err
+	}
+	row, ok, err := trees.Get(relstore.Str(name))
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoTree, name)
+	}
+	layers := int(row[4].Int64())
+	if _, err := trees.Delete(relstore.Str(name)); err != nil {
+		return err
+	}
+	if err := s.db.DropTable(nodesTable(name)); err != nil {
+		return err
+	}
+	for k := 0; k < layers; k++ {
+		if err := s.db.DropTable(subsTable(name, k)); err != nil {
+			return err
+		}
+		if k > 0 {
+			if err := s.db.DropTable(layerTable(name, k)); err != nil {
+				return err
+			}
+		}
+	}
+	return s.db.Commit()
+}
+
+// Node is one stored tree node row.
+type Node struct {
+	ID          int
+	Parent      int // -1 for the root
+	Ord         int // 1-based child ordinal
+	Name        string
+	Length      float64
+	Depth       int     // edges from root
+	Dist        float64 // evolutionary time from root
+	Sub         int     // layer-0 subtree
+	LocalParent int
+	LocalDepth  int
+	Leaf        bool
+	Size        int // nodes in the subtree rooted here (preorder range length)
+}
+
+func decodeNode(row relstore.Row) Node {
+	return Node{
+		ID:          int(row[0].Int64()),
+		Parent:      int(row[1].Int64()),
+		Ord:         int(row[2].Int64()),
+		Name:        row[3].Text(),
+		Length:      row[4].Float64(),
+		Depth:       int(row[5].Int64()),
+		Dist:        row[6].Float64(),
+		Sub:         int(row[7].Int64()),
+		LocalParent: int(row[8].Int64()),
+		LocalDepth:  int(row[9].Int64()),
+		Leaf:        row[10].Truth(),
+		Size:        int(row[11].Int64()),
+	}
+}
+
+// Tree is a handle on one stored tree; every query goes to the relational
+// store row by row.
+type Tree struct {
+	store  *Store
+	info   TreeInfo
+	nodes  *relstore.Table
+	layers []*relstore.Table // layer 1.. (index 0 = layer 1)
+	subs   []*relstore.Table // layer 0..
+}
+
+// Info returns the tree's summary.
+func (t *Tree) Info() TreeInfo { return t.info }
+
+// Node fetches a node by preorder id.
+func (t *Tree) Node(id int) (Node, error) {
+	row, ok, err := t.nodes.Get(relstore.Int(int64(id)))
+	if err != nil {
+		return Node{}, err
+	}
+	if !ok {
+		return Node{}, fmt.Errorf("%w: id %d", ErrNoNode, id)
+	}
+	return decodeNode(row), nil
+}
+
+// NodeByName fetches a node by species name.
+func (t *Tree) NodeByName(name string) (Node, error) {
+	var found *Node
+	err := t.nodes.IndexScan("by_name", []relstore.Value{relstore.Str(name)}, func(row relstore.Row) (bool, error) {
+		n := decodeNode(row)
+		found = &n
+		return false, nil
+	})
+	if err != nil {
+		return Node{}, err
+	}
+	if found == nil {
+		return Node{}, fmt.Errorf("%w: name %q", ErrNoNode, name)
+	}
+	return *found, nil
+}
+
+// Children lists a node's children in ordinal order.
+func (t *Tree) Children(id int) ([]Node, error) {
+	var out []Node
+	err := t.nodes.IndexScan("by_parent", []relstore.Value{relstore.Int(int64(id))}, func(row relstore.Row) (bool, error) {
+		out = append(out, decodeNode(row))
+		return true, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Ord < out[j].Ord })
+	return out, nil
+}
+
+// layerCell is the subset of fields the LCA recursion needs.
+type layerCell struct {
+	sub     int
+	lparent int
+	ldepth  int
+}
+
+func (t *Tree) cell(k, id int) (layerCell, error) {
+	if k == 0 {
+		n, err := t.Node(id)
+		if err != nil {
+			return layerCell{}, err
+		}
+		return layerCell{sub: n.Sub, lparent: n.LocalParent, ldepth: n.LocalDepth}, nil
+	}
+	row, ok, err := t.layers[k-1].Get(relstore.Int(int64(id)))
+	if err != nil {
+		return layerCell{}, err
+	}
+	if !ok {
+		return layerCell{}, fmt.Errorf("%w: layer %d id %d", ErrNoNode, k, id)
+	}
+	return layerCell{
+		sub:     int(row[3].Int64()),
+		lparent: int(row[4].Int64()),
+		ldepth:  int(row[5].Int64()),
+	}, nil
+}
+
+// subSource returns the source node of subtree s at layer k (-1 if none).
+func (t *Tree) subSource(k, s int) (int, error) {
+	row, ok, err := t.subs[k].Get(relstore.Int(int64(s)))
+	if err != nil {
+		return 0, err
+	}
+	if !ok {
+		return 0, fmt.Errorf("%w: layer %d subtree %d", ErrNoNode, k, s)
+	}
+	return int(row[2].Int64()), nil
+}
+
+// LCA answers least-common-ancestor queries directly against the stored
+// relations, using the same layered recursion as core.Index but fetching
+// only the rows the query touches.
+func (t *Tree) LCA(a, b int) (int, error) {
+	return t.lcaAt(0, a, b)
+}
+
+func (t *Tree) lcaAt(k, a, b int) (int, error) {
+	ca, err := t.cell(k, a)
+	if err != nil {
+		return 0, err
+	}
+	cb, err := t.cell(k, b)
+	if err != nil {
+		return 0, err
+	}
+	if ca.sub == cb.sub {
+		return t.lcaLocal(k, a, ca, b, cb)
+	}
+	s, err := t.lcaAt(k+1, ca.sub, cb.sub)
+	if err != nil {
+		return 0, err
+	}
+	ap, capCell, err := t.ascend(k, a, ca, s)
+	if err != nil {
+		return 0, err
+	}
+	bp, cbpCell, err := t.ascend(k, b, cb, s)
+	if err != nil {
+		return 0, err
+	}
+	return t.lcaLocal(k, ap, capCell, bp, cbpCell)
+}
+
+func (t *Tree) lcaLocal(k, a int, ca layerCell, b int, cb layerCell) (int, error) {
+	for ca.ldepth > cb.ldepth {
+		a = ca.lparent
+		var err error
+		if ca, err = t.cell(k, a); err != nil {
+			return 0, err
+		}
+	}
+	for cb.ldepth > ca.ldepth {
+		b = cb.lparent
+		var err error
+		if cb, err = t.cell(k, b); err != nil {
+			return 0, err
+		}
+	}
+	for a != b {
+		var err error
+		a = ca.lparent
+		if ca, err = t.cell(k, a); err != nil {
+			return 0, err
+		}
+		b = cb.lparent
+		if cb, err = t.cell(k, b); err != nil {
+			return 0, err
+		}
+	}
+	return a, nil
+}
+
+func (t *Tree) ascend(k, id int, c layerCell, s int) (int, layerCell, error) {
+	for c.sub != s {
+		src, err := t.subSource(k, c.sub)
+		if err != nil {
+			return 0, layerCell{}, err
+		}
+		id = src
+		if c, err = t.cell(k, id); err != nil {
+			return 0, layerCell{}, err
+		}
+	}
+	return id, c, nil
+}
+
+// IsAncestor reports whether a is a (non-strict) ancestor of b via the
+// LCA identity.
+func (t *Tree) IsAncestor(a, b int) (bool, error) {
+	l, err := t.LCA(a, b)
+	return l == a, err
+}
+
+// Frontier returns the maximal nodes whose root distance exceeds time,
+// found with a range scan on the by_dist index plus one parent fetch per
+// candidate — no full-tree traversal.
+func (t *Tree) Frontier(time float64) ([]Node, error) {
+	var out []Node
+	err := t.nodes.IndexRange("by_dist", relstore.Float(time), relstore.Value{}, func(row relstore.Row) (bool, error) {
+		n := decodeNode(row)
+		if n.Dist <= time {
+			return true, nil // boundary rows equal to time
+		}
+		if n.Parent < 0 {
+			out = append(out, n)
+			return true, nil
+		}
+		p, err := t.Node(n.Parent)
+		if err != nil {
+			return false, err
+		}
+		if p.Dist <= time {
+			out = append(out, n)
+		}
+		return true, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}
+
+// LeavesUnder returns the leaves in the clade rooted at id, using the
+// preorder-range property (descendants occupy ids [id, id+size)).
+func (t *Tree) LeavesUnder(id int) ([]Node, error) {
+	n, err := t.Node(id)
+	if err != nil {
+		return nil, err
+	}
+	var out []Node
+	err = t.nodes.ScanRange(relstore.Int(int64(id)), relstore.Int(int64(id+n.Size)), func(row relstore.Row) (bool, error) {
+		c := decodeNode(row)
+		if c.Leaf {
+			out = append(out, c)
+		}
+		return true, nil
+	})
+	return out, err
+}
+
+// MinimalSpanningClade returns all nodes of the clade rooted at the LCA of
+// the given nodes (§2.2: "the set of nodes in the tree rooted by their
+// least common ancestor").
+func (t *Tree) MinimalSpanningClade(ids []int) ([]Node, error) {
+	if len(ids) == 0 {
+		return nil, errors.New("treestore: empty node set")
+	}
+	l := ids[0]
+	for _, id := range ids[1:] {
+		var err error
+		if l, err = t.LCA(l, id); err != nil {
+			return nil, err
+		}
+	}
+	root, err := t.Node(l)
+	if err != nil {
+		return nil, err
+	}
+	var out []Node
+	err = t.nodes.ScanRange(relstore.Int(int64(l)), relstore.Int(int64(l+root.Size)), func(row relstore.Row) (bool, error) {
+		out = append(out, decodeNode(row))
+		return true, nil
+	})
+	return out, err
+}
+
+// SampleUniform draws k distinct random leaves using rejection sampling on
+// the id space (leaves are a large fraction of any phylogeny), falling
+// back to a scan when k approaches the leaf count.
+func (t *Tree) SampleUniform(k int, r *rand.Rand) ([]Node, error) {
+	if k < 1 {
+		return nil, errors.New("treestore: sample size must be >= 1")
+	}
+	if k > t.info.Leaves {
+		return nil, fmt.Errorf("treestore: sample %d > %d leaves", k, t.info.Leaves)
+	}
+	if 2*k > t.info.Leaves {
+		leaves, err := t.LeavesUnder(0)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < k; i++ {
+			j := i + r.Intn(len(leaves)-i)
+			leaves[i], leaves[j] = leaves[j], leaves[i]
+		}
+		out := leaves[:k]
+		sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+		return out, nil
+	}
+	picked := make(map[int]bool, k)
+	var out []Node
+	for len(out) < k {
+		id := r.Intn(t.info.Nodes)
+		if picked[id] {
+			continue
+		}
+		n, err := t.Node(id)
+		if err != nil {
+			return nil, err
+		}
+		if !n.Leaf {
+			continue
+		}
+		picked[id] = true
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}
+
+// SampleWithTime implements the paper's time-constrained sampling against
+// the stored tree: frontier via the distance index, then per-frontier
+// quotas with remainder redistribution.
+func (t *Tree) SampleWithTime(time float64, k int, r *rand.Rand) ([]Node, error) {
+	if k < 1 {
+		return nil, errors.New("treestore: sample size must be >= 1")
+	}
+	frontier, err := t.Frontier(time)
+	if err != nil {
+		return nil, err
+	}
+	if len(frontier) == 0 {
+		return nil, fmt.Errorf("treestore: no nodes beyond time %g", time)
+	}
+	groups := make([][]Node, len(frontier))
+	total := 0
+	for i, fn := range frontier {
+		if groups[i], err = t.LeavesUnder(fn.ID); err != nil {
+			return nil, err
+		}
+		total += len(groups[i])
+	}
+	if total < k {
+		return nil, fmt.Errorf("treestore: only %d leaves beyond time %g < %d", total, time, k)
+	}
+	quota := make([]int, len(groups))
+	for i := range quota {
+		quota[i] = k / len(groups)
+	}
+	for _, i := range r.Perm(len(groups))[:k%len(groups)] {
+		quota[i]++
+	}
+	for {
+		excess := 0
+		for i := range quota {
+			if over := quota[i] - len(groups[i]); over > 0 {
+				quota[i] = len(groups[i])
+				excess += over
+			}
+		}
+		if excess == 0 {
+			break
+		}
+		for _, i := range r.Perm(len(groups)) {
+			if excess == 0 {
+				break
+			}
+			if room := len(groups[i]) - quota[i]; room > 0 {
+				take := room
+				if take > excess {
+					take = excess
+				}
+				quota[i] += take
+				excess -= take
+			}
+		}
+	}
+	var out []Node
+	for i, g := range groups {
+		for j := 0; j < quota[i]; j++ {
+			m := j + r.Intn(len(g)-j)
+			g[j], g[m] = g[m], g[j]
+		}
+		out = append(out, g[:quota[i]]...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}
+
+// Project computes the tree projection over the given node ids directly
+// against the store: ids are sorted (preorder), and the rightmost-path
+// insertion runs on stored LCA/depth/distance lookups.
+func (t *Tree) Project(ids []int) (*phylo.Tree, error) {
+	if len(ids) == 0 {
+		return nil, errors.New("treestore: empty projection set")
+	}
+	sorted := append([]int(nil), ids...)
+	sort.Ints(sorted)
+	uniq := sorted[:0]
+	for i, id := range sorted {
+		if i == 0 || sorted[i-1] != id {
+			uniq = append(uniq, id)
+		}
+	}
+	rows := make([]Node, len(uniq))
+	for i, id := range uniq {
+		var err error
+		if rows[i], err = t.Node(id); err != nil {
+			return nil, err
+		}
+	}
+	if len(rows) == 1 {
+		tr := phylo.New(&phylo.Node{Name: rows[0].Name})
+		tr.Reindex()
+		return tr, nil
+	}
+	type entry struct {
+		row Node
+		nw  *phylo.Node
+	}
+	attach := func(parent, child *entry) {
+		child.nw.Length = child.row.Dist - parent.row.Dist
+		parent.nw.AddChild(child.nw)
+	}
+	stack := []*entry{{row: rows[0], nw: &phylo.Node{Name: rows[0].Name}}}
+	for _, x := range rows[1:] {
+		top := stack[len(stack)-1]
+		lid, err := t.LCA(top.row.ID, x.ID)
+		if err != nil {
+			return nil, err
+		}
+		lrow, err := t.Node(lid)
+		if err != nil {
+			return nil, err
+		}
+		var last *entry
+		for len(stack) > 0 && stack[len(stack)-1].row.Depth > lrow.Depth {
+			e := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if last != nil {
+				attach(e, last)
+			}
+			last = e
+		}
+		if len(stack) > 0 && stack[len(stack)-1].row.ID == lid {
+			if last != nil {
+				attach(stack[len(stack)-1], last)
+			}
+		} else {
+			le := &entry{row: lrow, nw: &phylo.Node{Name: lrow.Name}}
+			if last != nil {
+				attach(le, last)
+			}
+			stack = append(stack, le)
+		}
+		stack = append(stack, &entry{row: x, nw: &phylo.Node{Name: x.Name}})
+	}
+	var last *entry
+	for len(stack) > 0 {
+		e := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if last != nil {
+			attach(e, last)
+		}
+		last = e
+	}
+	tr := phylo.New(last.nw)
+	tr.Reindex()
+	return tr, nil
+}
+
+// Export rebuilds the complete in-memory tree from the stored relation —
+// the inverse of Load. One primary-key scan; used to hand a stored gold
+// tree to in-memory tooling (e.g. the Benchmark Manager).
+func (t *Tree) Export() (*phylo.Tree, error) {
+	nodes := make([]*phylo.Node, t.info.Nodes)
+	err := t.nodes.Scan(func(row relstore.Row) (bool, error) {
+		n := decodeNode(row)
+		if n.ID < 0 || n.ID >= len(nodes) {
+			return false, fmt.Errorf("treestore: export: node id %d out of range", n.ID)
+		}
+		pn := &phylo.Node{ID: n.ID, Name: n.Name, Length: n.Length}
+		nodes[n.ID] = pn
+		if n.Parent >= 0 {
+			parent := nodes[n.Parent]
+			if parent == nil {
+				return false, fmt.Errorf("treestore: export: node %d scanned before parent %d", n.ID, n.Parent)
+			}
+			parent.AddChild(pn)
+		}
+		return true, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(nodes) == 0 || nodes[0] == nil {
+		return nil, fmt.Errorf("%w: export found no root", ErrNoNode)
+	}
+	out := phylo.New(nodes[0])
+	out.Reindex()
+	return out, nil
+}
+
+// ProjectNames projects over species names.
+func (t *Tree) ProjectNames(names []string) (*phylo.Tree, error) {
+	ids := make([]int, len(names))
+	for i, name := range names {
+		n, err := t.NodeByName(name)
+		if err != nil {
+			return nil, err
+		}
+		ids[i] = n.ID
+	}
+	return t.Project(ids)
+}

@@ -1,0 +1,160 @@
+// Package viz renders query results. The paper's demo displays trees "in
+// NEXUS or dendrogram format using Walrus", a 3D graph viewer fed by
+// LibSea files produced from NEXUS by a Python converter. This package
+// provides the equivalent exporters: an ASCII dendrogram for terminals, a
+// Graphviz DOT exporter, and a LibSea graph exporter consumable by Walrus.
+package viz
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/phylo"
+)
+
+// ASCII renders the tree as a text dendrogram, one leaf per line:
+//
+//	┌─ Syn (2.5)
+//	┤
+//	│  ┌─ Lla (1)
+//	...
+func ASCII(t *phylo.Tree) string {
+	if t.Root == nil {
+		return "(empty tree)\n"
+	}
+	var sb strings.Builder
+	var walk func(n *phylo.Node, prefix string, isLast bool, isRoot bool)
+	walk = func(n *phylo.Node, prefix string, isLast, isRoot bool) {
+		connector := "├─ "
+		childPrefix := prefix + "│  "
+		if isLast {
+			connector = "└─ "
+			childPrefix = prefix + "   "
+		}
+		if isRoot {
+			connector = ""
+			childPrefix = ""
+		}
+		label := n.Name
+		if label == "" {
+			label = "•"
+		}
+		if n.Parent != nil {
+			label += " :" + strconv.FormatFloat(n.Length, 'g', -1, 64)
+		}
+		sb.WriteString(prefix + connector + label + "\n")
+		for i, c := range n.Children {
+			walk(c, childPrefix, i == len(n.Children)-1, false)
+		}
+	}
+	walk(t.Root, "", true, true)
+	return sb.String()
+}
+
+// DOT renders the tree in Graphviz format with edge weights as labels.
+func DOT(t *phylo.Tree, name string) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n\trankdir=LR;\n\tnode [shape=point];\n", name)
+	if t.Root != nil {
+		for _, n := range t.Nodes() {
+			if n.Name != "" {
+				fmt.Fprintf(&sb, "\tn%d [shape=plaintext, label=%q];\n", n.ID, n.Name)
+			}
+		}
+		for _, n := range t.Nodes() {
+			if n.Parent != nil {
+				fmt.Fprintf(&sb, "\tn%d -> n%d [label=\"%g\"];\n", n.Parent.ID, n.ID, n.Length)
+			}
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// LibSea renders the tree in the LibSea graph format Walrus loads
+// (http://www.caida.org/tools/visualization/walrus/). The output contains
+// the node and link tables plus the spanning-tree attributes Walrus
+// requires; since a phylogeny is a tree, every link belongs to the
+// spanning tree.
+func LibSea(t *phylo.Tree, name string) string {
+	nodes := t.Nodes()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Graph\n{\n")
+	fmt.Fprintf(&sb, "\t### metadata ###\n")
+	fmt.Fprintf(&sb, "\t@name=%q;\n", name)
+	fmt.Fprintf(&sb, "\t@description=\"Crimson phylogenetic tree export\";\n")
+	fmt.Fprintf(&sb, "\t@numNodes=%d;\n", len(nodes))
+	fmt.Fprintf(&sb, "\t@numLinks=%d;\n", max(0, len(nodes)-1))
+	fmt.Fprintf(&sb, "\t@numPaths=0;\n\t@numPathLinks=0;\n")
+	fmt.Fprintf(&sb, "\t### structural data ###\n")
+	sb.WriteString("\t@links=[\n")
+	first := true
+	for _, n := range nodes {
+		if n.Parent == nil {
+			continue
+		}
+		if !first {
+			sb.WriteString(",\n")
+		}
+		first = false
+		fmt.Fprintf(&sb, "\t\t{ @source=%d; @destination=%d; }", n.Parent.ID, n.ID)
+	}
+	sb.WriteString("\n\t];\n")
+	fmt.Fprintf(&sb, "\t@paths=;\n")
+	fmt.Fprintf(&sb, "\t### attribute data ###\n")
+	fmt.Fprintf(&sb, "\t@enumerations=;\n")
+	sb.WriteString("\t@attributeDefinitions=[\n")
+	// Root marker, spanning-tree membership, labels and branch lengths.
+	sb.WriteString("\t\t{ @name=$root; @type=bool; @default=|| false ||; @nodeValues=[ { 0; T } ]; @linkValues=; @pathValues=; },\n")
+	sb.WriteString("\t\t{ @name=$tree_link; @type=bool; @default=|| false ||;\n\t\t  @nodeValues=; @linkValues=[\n")
+	for i := 0; i < len(nodes)-1; i++ {
+		if i > 0 {
+			sb.WriteString(",\n")
+		}
+		fmt.Fprintf(&sb, "\t\t\t{ %d; T }", i)
+	}
+	sb.WriteString("\n\t\t  ]; @pathValues=; },\n")
+	sb.WriteString("\t\t{ @name=$label; @type=string; @default=; @nodeValues=[\n")
+	first = true
+	for _, n := range nodes {
+		if n.Name == "" {
+			continue
+		}
+		if !first {
+			sb.WriteString(",\n")
+		}
+		first = false
+		fmt.Fprintf(&sb, "\t\t\t{ %d; %q }", n.ID, n.Name)
+	}
+	sb.WriteString("\n\t\t]; @linkValues=; @pathValues=; },\n")
+	sb.WriteString("\t\t{ @name=$length; @type=float; @default=|| 0.0 ||; @nodeValues=[\n")
+	first = true
+	for _, n := range nodes {
+		if n.Parent == nil {
+			continue
+		}
+		if !first {
+			sb.WriteString(",\n")
+		}
+		first = false
+		fmt.Fprintf(&sb, "\t\t\t{ %d; %g }", n.ID, n.Length)
+	}
+	sb.WriteString("\n\t\t]; @linkValues=; @pathValues=; }\n")
+	sb.WriteString("\t];\n")
+	fmt.Fprintf(&sb, "\t@qualifiers=[\n\t\t{ @type=$spanning_tree; @name=$sample_spanning_tree;\n")
+	fmt.Fprintf(&sb, "\t\t  @description=; @attributes=[\n")
+	fmt.Fprintf(&sb, "\t\t\t{ @attribute=0; @alias=$root; },\n")
+	fmt.Fprintf(&sb, "\t\t\t{ @attribute=1; @alias=$tree_link; }\n\t\t  ]; }\n\t];\n")
+	fmt.Fprintf(&sb, "\t### visualization hints ###\n\t@filters=;\n\t@selectors=;\n\t@displays=;\n\t@presentations=;\n")
+	fmt.Fprintf(&sb, "\t### interface hints ###\n\t@presentationMenus=;\n\t@displayMenus=;\n\t@selectorMenus=;\n\t@filterMenus=;\n\t@attributeMenus=;\n")
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,79 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/phylo"
+)
+
+func TestASCIIFigure1(t *testing.T) {
+	out := ASCII(phylo.PaperFigure1())
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 8 {
+		t.Fatalf("ASCII has %d lines, want 8 (one per node):\n%s", len(lines), out)
+	}
+	for _, want := range []string{"Syn :2.5", "Lla :1", "Spy :1", "Bha :0.75", "Bsu :1.25"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("ASCII missing %q:\n%s", want, out)
+		}
+	}
+	// Tree-drawing characters present; last child uses the corner glyph.
+	if !strings.Contains(out, "├─") || !strings.Contains(out, "└─ Bsu") {
+		t.Fatalf("ASCII connectors wrong:\n%s", out)
+	}
+	if got := ASCII(&phylo.Tree{}); !strings.Contains(got, "empty") {
+		t.Fatalf("empty tree rendering = %q", got)
+	}
+}
+
+func TestDOT(t *testing.T) {
+	out := DOT(phylo.PaperFigure1(), "fig1")
+	if !strings.HasPrefix(out, "digraph \"fig1\"") {
+		t.Fatalf("DOT header: %q", out[:30])
+	}
+	// 7 edges for 8 nodes.
+	if got := strings.Count(out, "->"); got != 7 {
+		t.Fatalf("DOT has %d edges, want 7", got)
+	}
+	for _, want := range []string{`label="Syn"`, `label="2.5"`, `label="0.75"`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("DOT missing %s:\n%s", want, out)
+		}
+	}
+}
+
+func TestLibSea(t *testing.T) {
+	tr := phylo.PaperFigure1()
+	out := LibSea(tr, "fig1")
+	for _, want := range []string{
+		"@name=\"fig1\"",
+		"@numNodes=8",
+		"@numLinks=7",
+		"@source=0",
+		"$spanning_tree",
+		"{ 0; T }", // root marker on node 0
+		"\"Lla\"",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("LibSea missing %q", want)
+		}
+	}
+	// One link row per edge.
+	if got := strings.Count(out, "@destination="); got != 7 {
+		t.Fatalf("LibSea has %d links, want 7", got)
+	}
+	// Balanced braces (cheap well-formedness check).
+	if strings.Count(out, "{") != strings.Count(out, "}") {
+		t.Fatal("LibSea braces unbalanced")
+	}
+}
+
+func TestLibSeaSingleNode(t *testing.T) {
+	tr := phylo.New(&phylo.Node{Name: "only"})
+	tr.Reindex()
+	out := LibSea(tr, "one")
+	if !strings.Contains(out, "@numNodes=1") || !strings.Contains(out, "@numLinks=0") {
+		t.Fatalf("single-node LibSea wrong:\n%s", out)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"repro/internal/phylo"
 	"repro/internal/project"
 	"repro/internal/recon"
+	"repro/internal/relstore"
 	"repro/internal/sample"
 	"repro/internal/seqsim"
 	"repro/internal/storage"
@@ -271,6 +272,144 @@ func BenchmarkE9Load(b *testing.B) {
 	}
 }
 
+// BenchmarkLoadTree measures the end-to-end bulk-load pipeline on a
+// 10k-leaf tree: stage node rows, sort by primary key, and build the
+// primary tree plus all secondary indexes bottom-up via BTree.BulkLoad.
+// Compare against the seed's row-at-a-time numbers recorded in CHANGES.md.
+func BenchmarkLoadTree(b *testing.B) {
+	t := yuleTree(b, 10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := treestore.OpenMem()
+		if _, err := s.Load("t", t, core.DefaultFanout, nil); err != nil {
+			b.Fatal(err)
+		}
+		s.Close()
+	}
+	b.ReportMetric(float64(t.NumNodes()*b.N)/b.Elapsed().Seconds(), "nodes/s")
+}
+
+// BenchmarkBulkInsert contrasts Table.BulkInsert with the row-at-a-time
+// Insert path on an identical 20k-row relation (three secondary indexes,
+// mirroring the nodes table schema shape).
+func BenchmarkBulkInsert(b *testing.B) {
+	schema := relstoreBenchSchema()
+	rows := relstoreBenchRows(20000)
+	b.Run("BulkInsert", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			db := relstore.OpenMemDB()
+			tab, err := db.CreateTable(schema)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := tab.BulkInsert(rows); err != nil {
+				b.Fatal(err)
+			}
+			db.Close()
+		}
+		b.ReportMetric(float64(len(rows)*b.N)/b.Elapsed().Seconds(), "rows/s")
+	})
+	b.Run("RowInsert", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			db := relstore.OpenMemDB()
+			tab, err := db.CreateTable(schema)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, row := range rows {
+				if err := tab.Insert(row); err != nil {
+					b.Fatal(err)
+				}
+			}
+			db.Close()
+		}
+		b.ReportMetric(float64(len(rows)*b.N)/b.Elapsed().Seconds(), "rows/s")
+	})
+}
+
+func relstoreBenchSchema() relstore.Schema {
+	return relstore.Schema{
+		Name: "bench",
+		Columns: []relstore.Column{
+			{Name: "id", Type: relstore.TInt},
+			{Name: "name", Type: relstore.TString},
+			{Name: "dist", Type: relstore.TFloat},
+			{Name: "parent", Type: relstore.TInt},
+		},
+		Key: "id",
+		Indexes: []relstore.Index{
+			{Name: "by_name", Columns: []string{"name"}},
+			{Name: "by_dist", Columns: []string{"dist"}},
+			{Name: "by_parent", Columns: []string{"parent"}},
+		},
+	}
+}
+
+func relstoreBenchRows(n int) []relstore.Row {
+	rows := make([]relstore.Row, n)
+	for i := range rows {
+		rows[i] = relstore.Row{
+			relstore.Int(int64(i)),
+			relstore.Str(fmt.Sprintf("species%08d", i)),
+			relstore.Float(float64(i%977) * 0.25),
+			relstore.Int(int64(i / 2)),
+		}
+	}
+	return rows
+}
+
+// BenchmarkParallelRead measures storage-backed query throughput with
+// GOMAXPROCS goroutines hammering one stored tree — the concurrent read
+// path the RWMutex discipline unlocks. -cpu 1,4,8 sweeps the parallelism.
+func BenchmarkParallelRead(b *testing.B) {
+	t := yuleTree(b, 20000)
+	s := treestore.OpenMem()
+	defer s.Close()
+	st, err := s.Load("gold", t, core.DefaultFanout, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nodes := st.Info().Nodes
+	b.Run("LCA", func(b *testing.B) {
+		b.RunParallel(func(pb *testing.PB) {
+			r := rand.New(rand.NewSource(17))
+			for pb.Next() {
+				if _, err := st.LCA(r.Intn(nodes), r.Intn(nodes)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	})
+	b.Run("Project-k=20", func(b *testing.B) {
+		rows, err := st.SampleUniform(20, rand.New(rand.NewSource(18)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		ids := make([]int, len(rows))
+		for i, row := range rows {
+			ids[i] = row.ID
+		}
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if _, err := st.Project(ids); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	})
+	b.Run("Sample-k=50", func(b *testing.B) {
+		b.RunParallel(func(pb *testing.PB) {
+			r := rand.New(rand.NewSource(19))
+			for pb.Next() {
+				if _, err := st.SampleUniform(50, r); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	})
+}
+
 // --- E10: tree pattern match ------------------------------------------------
 
 // BenchmarkE10PatternMatch measures the §2.2 pattern match (project the
@@ -452,7 +591,28 @@ func BenchmarkE13BTree(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+			c.Close()
 		}
+	})
+	b.Run("BulkLoad", func(b *testing.B) {
+		sorted := make([]storage.KV, 100000)
+		for i := range sorted {
+			k := []byte(fmt.Sprintf("key%08d", i))
+			sorted[i] = storage.KV{Key: k, Value: k}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s := storage.OpenMem()
+			tr, err := storage.NewBTree(s)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := tr.BulkLoad(sorted); err != nil {
+				b.Fatal(err)
+			}
+			s.Close()
+		}
+		b.ReportMetric(float64(len(sorted)*b.N)/b.Elapsed().Seconds(), "keys/s")
 	})
 }
 

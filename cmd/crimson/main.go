@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -531,6 +532,7 @@ func cmdBench(args []string) error {
 	seqLen := fs.Int("len", 500, "simulated sequence length")
 	timeArg := fs.Float64("time", -1, "time-constrained sampling (negative = uniform)")
 	seed := fs.Int64("seed", 1, "RNG seed")
+	parallel := fs.Int("parallel", runtime.NumCPU(), "concurrent replicate evaluations (1 = serial; results are identical either way)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -589,6 +591,7 @@ func cmdBench(args []string) error {
 		Algorithms:    algorithms,
 		SeqAlgorithms: seqAlgorithms,
 		Seed:          *seed,
+		Parallel:      *parallel,
 	}
 	if *timeArg >= 0 {
 		cfg.Method = benchmark.TimeConstrained

@@ -1,0 +1,121 @@
+package crimson_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	crimson "repro"
+	"repro/internal/treegen"
+)
+
+// TestConcurrentReadersWithWriter is the repository-level stress test for
+// the many-readers/one-writer contract: 8+ goroutines run Project, Sample,
+// LCA and pattern-match queries against one stored tree while a writer
+// goroutine loads a second tree into the same repository. Run with -race.
+func TestConcurrentReadersWithWriter(t *testing.T) {
+	repo := crimson.OpenMem()
+	defer repo.Close()
+
+	gold, err := treegen.Yule(2000, 1.0, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := repo.LoadTree("gold", gold, crimson.DefaultFanout, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := treegen.Yule(3000, 1.0, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const readers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, readers+1)
+
+	// Writer: load a second tree into the same repository mid-flight.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := repo.LoadTree("second", second, crimson.DefaultFanout, nil); err != nil {
+			errs <- fmt.Errorf("writer: %w", err)
+		}
+	}()
+
+	info := st.Info()
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(100 + g)))
+			for i := 0; i < 30; i++ {
+				switch (g + i) % 3 {
+				case 0: // sample then project
+					rows, err := st.SampleUniform(8, r)
+					if err != nil {
+						errs <- fmt.Errorf("reader %d: sample: %w", g, err)
+						return
+					}
+					ids := make([]int, len(rows))
+					for j, row := range rows {
+						ids[j] = row.ID
+					}
+					if _, err := st.Project(ids); err != nil {
+						errs <- fmt.Errorf("reader %d: project: %w", g, err)
+						return
+					}
+				case 1: // storage-backed LCA
+					a, b := r.Intn(info.Nodes), r.Intn(info.Nodes)
+					if _, err := st.LCA(a, b); err != nil {
+						errs <- fmt.Errorf("reader %d: lca(%d,%d): %w", g, a, b, err)
+						return
+					}
+				case 2: // pattern match: project a random selection, compare
+					rows, err := st.SampleUniform(5, r)
+					if err != nil {
+						errs <- fmt.Errorf("reader %d: sample: %w", g, err)
+						return
+					}
+					names := make([]string, len(rows))
+					for j, row := range rows {
+						names[j] = row.Name
+					}
+					pattern, err := st.ProjectNames(names)
+					if err != nil {
+						errs <- fmt.Errorf("reader %d: project names: %w", g, err)
+						return
+					}
+					projected, err := st.ProjectNames(pattern.LeafNames())
+					if err != nil {
+						errs <- fmt.Errorf("reader %d: re-project: %w", g, err)
+						return
+					}
+					rf, err := crimson.RobinsonFoulds(projected, pattern)
+					if err != nil || rf != 0 {
+						errs <- fmt.Errorf("reader %d: self pattern match RF=%d, %v", g, rf, err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Both trees are intact afterwards.
+	if err := repo.Check(); err != nil {
+		t.Fatalf("post-stress integrity: %v", err)
+	}
+	st2, err := repo.Tree("second")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Info().Nodes != second.NumNodes() {
+		t.Fatalf("second tree has %d nodes, want %d", st2.Info().Nodes, second.NumNodes())
+	}
+}

@@ -28,6 +28,21 @@
 //	stored, _ := repo.LoadTree("gold", tree, crimson.DefaultFanout, nil)
 //	projected, _ := stored.ProjectNames([]string{"Bha", "Lla", "Syn"})
 //	fmt.Print(crimson.ASCII(projected))
+//
+// # Concurrency
+//
+// A Repository supports many concurrent readers plus one writer. Query
+// methods on stored trees (Project, LCA, Sample*, NodeByName, pattern
+// match via ProjectNames) and on the species and query repositories take a
+// shared read lock and run in parallel from any number of goroutines.
+// Mutations — LoadTree, Delete, Species.Put, Queries.Record, Commit — take
+// the exclusive write lock; they are safe to issue while readers run (each
+// read operation serializes against the writer), but callers must not run
+// two writer goroutines at once. Loads use a sorted bulk-load fast path
+// that builds the node relation and its indexes bottom-up rather than one
+// B+tree descent per row. In-memory helpers (Index, Planner, pattern
+// match, RunBenchmark) are read-only after construction and freely
+// shareable across goroutines.
 package crimson
 
 import (
@@ -121,6 +136,9 @@ var (
 
 // Repository bundles the three §2.1 repositories over one page file: the
 // Tree Repository, the Species Repository and the Query Repository.
+//
+// A Repository is safe for many concurrent reader goroutines plus one
+// writer (see the package comment's Concurrency section).
 type Repository struct {
 	db      *relstore.DB
 	Trees   *treestore.Store

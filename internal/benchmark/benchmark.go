@@ -14,6 +14,7 @@ import (
 	"math/rand"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -72,6 +73,12 @@ type Config struct {
 	Distances func(*seqsim.Alignment) (*distance.Matrix, error)
 
 	Seed int64 // RNG seed; runs are fully reproducible
+
+	// Parallel is the number of (sample, algorithm-set) evaluations run
+	// concurrently (<= 1 means serial). Sampling stays sequential on one
+	// RNG, so a run produces identical results at any parallelism level;
+	// only the projection/reconstruction/scoring work fans out.
+	Parallel int
 }
 
 // Result is one (algorithm, sample) evaluation.
@@ -142,7 +149,13 @@ func Run(cfg Config) (*Report, error) {
 		}
 	}
 
-	rep := &Report{Config: cfg}
+	// Draw every sample first, sequentially on the one seeded RNG, so the
+	// selections are identical regardless of cfg.Parallel.
+	type job struct {
+		sel []*phylo.Node
+		rpl int
+	}
+	var jobs []job
 	for _, size := range cfg.SampleSizes {
 		for rpl := 0; rpl < cfg.Replicates; rpl++ {
 			var sel []*phylo.Node
@@ -158,12 +171,48 @@ func Run(cfg Config) (*Report, error) {
 			if err != nil {
 				return nil, fmt.Errorf("benchmark: sampling %d species: %w", size, err)
 			}
-			results, err := evaluate(cfg, planner, aln, sel, rpl)
-			if err != nil {
-				return nil, err
-			}
-			rep.Results = append(rep.Results, results...)
+			jobs = append(jobs, job{sel: sel, rpl: rpl})
 		}
+	}
+
+	// Evaluate. The planner, index and alignment are read-only after
+	// construction, so evaluations are independent and can fan out across
+	// a bounded worker pool.
+	perJob := make([][]Result, len(jobs))
+	errs := make([]error, len(jobs))
+	workers := cfg.Parallel
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers <= 1 {
+		for i, j := range jobs {
+			perJob[i], errs[i] = evaluate(cfg, planner, aln, j.sel, j.rpl)
+		}
+	} else {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					perJob[i], errs[i] = evaluate(cfg, planner, aln, jobs[i].sel, jobs[i].rpl)
+				}
+			}()
+		}
+		for i := range jobs {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+
+	rep := &Report{Config: cfg}
+	for i := range jobs {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		rep.Results = append(rep.Results, perJob[i]...)
 	}
 	return rep, nil
 }

@@ -12,7 +12,10 @@ import (
 // index entries; every index entry resolves to a live row). It is the
 // backing of the CLI's fsck command.
 func (db *DB) Check() error {
-	if err := db.catalog.Check(); err != nil {
+	db.mu.RLock()
+	err := db.catalog.Check()
+	db.mu.RUnlock()
+	if err != nil {
 		return fmt.Errorf("relstore: catalog tree: %w", err)
 	}
 	names, err := db.Tables()
@@ -31,8 +34,11 @@ func (db *DB) Check() error {
 	return nil
 }
 
-// Check verifies one table (see DB.Check).
+// Check verifies one table (see DB.Check). It runs under the database read
+// lock, so checks proceed in parallel with other readers.
 func (t *Table) Check() error {
+	t.db.mu.RLock()
+	defer t.db.mu.RUnlock()
 	if err := t.primary.Check(); err != nil {
 		return fmt.Errorf("relstore: %s primary tree: %w", t.schema.Name, err)
 	}
@@ -48,6 +54,7 @@ func (t *Table) Check() error {
 	if err != nil {
 		return err
 	}
+	defer c.Close()
 	for c.Valid() {
 		enc, err := c.Value()
 		if err != nil {
@@ -91,18 +98,24 @@ func (t *Table) Check() error {
 		for ic.Valid() {
 			pk, err := ic.Value()
 			if err != nil {
+				ic.Close()
 				return err
 			}
 			if ok, err := t.primary.Has(pk); err != nil {
+				ic.Close()
 				return err
 			} else if !ok {
-				return fmt.Errorf("relstore: %s: index %s entry %x dangles", t.schema.Name, ix.Name, ic.Key())
+				err := fmt.Errorf("relstore: %s: index %s entry %x dangles", t.schema.Name, ix.Name, ic.Key())
+				ic.Close()
+				return err
 			}
 			entries++
 			if err := ic.Next(); err != nil {
+				ic.Close()
 				return err
 			}
 		}
+		ic.Close()
 		if entries != rows {
 			return fmt.Errorf("relstore: %s: index %s has %d entries for %d rows", t.schema.Name, ix.Name, entries, rows)
 		}

@@ -27,10 +27,20 @@ type catalogEntry struct {
 
 // DB is a small embedded relational database: a set of named tables stored
 // in one page file, with a persistent catalog. All mutations become durable
-// at Commit (or Close). DB methods are safe for one goroutine at a time;
-// wrap in the caller's lock for concurrent use.
+// at Commit (or Close).
+//
+// Concurrency: the database follows a many-readers/one-writer discipline
+// enforced by an internal RWMutex shared by every table. Read operations
+// (Get, Scan, ScanRange, IndexScan, IndexRange, Len, Check) take the read
+// lock and run in parallel from any number of goroutines; mutations
+// (Insert, Put, Delete, BulkInsert, CreateTable, DropTable) and Commit take
+// the write lock and exclude everything else. Scan callbacks run with the
+// read lock held and therefore must not invoke mutating DB or Table
+// methods; calling further *read* methods from a callback is also unsafe
+// (a waiting writer can deadlock a re-entrant read lock) — collect what
+// the callback needs and issue follow-up reads after the scan returns.
 type DB struct {
-	mu      sync.Mutex
+	mu      sync.RWMutex
 	store   *storage.Store
 	catalog *storage.BTree
 	tables  map[string]*Table
@@ -161,13 +171,14 @@ func (db *DB) loadTable(name string) (*Table, error) {
 
 // Tables lists the names of all tables in catalog order.
 func (db *DB) Tables() ([]string, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	var names []string
 	c, err := db.catalog.First()
 	if err != nil {
 		return nil, err
 	}
+	defer c.Close()
 	for c.Valid() {
 		names = append(names, string(c.Key()[len("table/"):]))
 		if err := c.Next(); err != nil {
@@ -194,9 +205,10 @@ func (db *DB) DropTable(name string) error {
 	return nil
 }
 
-// noteRoots re-saves the table's catalog entry if any of its B+tree roots
-// moved due to splits. Called by tables after each mutation.
-func (db *DB) noteRoots(t *Table) error {
+// noteRootsLocked re-saves the table's catalog entry if any of its B+tree
+// roots moved due to splits. Called by tables after each mutation; the
+// caller holds the database write lock.
+func (db *DB) noteRootsLocked(t *Table) error {
 	moved := t.primary.Root() != t.primaryRoot
 	if !moved {
 		for name, tree := range t.indexes {
@@ -209,8 +221,6 @@ func (db *DB) noteRoots(t *Table) error {
 	if !moved {
 		return nil
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
 	return db.saveTable(t)
 }
 
@@ -239,8 +249,17 @@ func (db *DB) syncCatalogRoot() {
 
 func catalogKey(name string) []byte { return []byte("table/" + name) }
 
-// Commit makes all buffered changes durable.
-func (db *DB) Commit() error { return db.store.Commit() }
+// Commit makes all buffered changes durable. It takes the database write
+// lock, so a commit never interleaves with in-flight readers.
+func (db *DB) Commit() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.store.Commit()
+}
 
 // Close commits and closes the underlying store.
-func (db *DB) Close() error { return db.store.Close() }
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.store.Close()
+}

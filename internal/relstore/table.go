@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"sort"
 
 	"repro/internal/storage"
 )
@@ -95,6 +96,12 @@ var (
 // key holding encoded rows, plus one B+tree per secondary index whose keys
 // are (indexed columns..., primary key) and whose values are the encoded
 // primary key.
+//
+// Concurrency follows the owning DB's discipline: Get, Len and the scan
+// methods take the shared database read lock and may run from many
+// goroutines at once; Insert, Put, Delete and BulkInsert take the write
+// lock. Scan callbacks run under the read lock and must not call back into
+// the database (see the DB doc comment).
 type Table struct {
 	db      *DB
 	schema  Schema
@@ -166,6 +173,12 @@ func (t *Table) Insert(row Row) error {
 	if err := t.checkRow(row); err != nil {
 		return err
 	}
+	t.db.mu.Lock()
+	defer t.db.mu.Unlock()
+	return t.insertLocked(row)
+}
+
+func (t *Table) insertLocked(row Row) error {
 	pk := t.primaryKey(row)
 	if ok, err := t.primary.Has(pk); err != nil {
 		return err
@@ -180,6 +193,8 @@ func (t *Table) Put(row Row) error {
 	if err := t.checkRow(row); err != nil {
 		return err
 	}
+	t.db.mu.Lock()
+	defer t.db.mu.Unlock()
 	pk := t.primaryKey(row)
 	oldEnc, ok, err := t.primary.Get(pk)
 	if err != nil {
@@ -194,8 +209,115 @@ func (t *Table) Put(row Row) error {
 	return t.write(pk, row, old)
 }
 
+// BulkInsert adds rows in one write-lock acquisition. When the table is
+// structurally empty (never written, or freshly created), the rows are
+// staged, sorted by primary key, and loaded bottom-up through
+// storage.BTree.BulkLoad — the primary tree and every secondary index are
+// built with sequential page writes instead of one descent per row. On
+// that fast path the batch is all-or-nothing: duplicate primary keys and
+// unique-index violations within the batch are detected before anything is
+// written. On a non-empty table BulkInsert degrades to the row-at-a-time
+// insert path (still under a single lock acquisition); there a conflict
+// stops the batch at the offending row and earlier rows remain, exactly as
+// with repeated Insert calls.
+func (t *Table) BulkInsert(rows []Row) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	for _, row := range rows {
+		if err := t.checkRow(row); err != nil {
+			return err
+		}
+	}
+	t.db.mu.Lock()
+	defer t.db.mu.Unlock()
+
+	// The fast path needs every tree structurally empty (BulkLoad's
+	// precondition — a lazily-emptied tree may still have internal pages).
+	empty, err := t.primary.Empty()
+	if err != nil {
+		return err
+	}
+	for _, ix := range t.schema.Indexes {
+		if !empty {
+			break
+		}
+		if empty, err = t.indexes[ix.Name].Empty(); err != nil {
+			return err
+		}
+	}
+	if !empty {
+		for _, row := range rows {
+			if err := t.insertLocked(row); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// Stage and sort by encoded primary key, rejecting duplicates.
+	order := make([]int, len(rows))
+	pks := make([][]byte, len(rows))
+	for i, row := range rows {
+		order[i] = i
+		pks[i] = t.primaryKey(row)
+	}
+	sort.Slice(order, func(a, b int) bool { return bytes.Compare(pks[order[a]], pks[order[b]]) < 0 })
+	prim := make([]storage.KV, len(rows))
+	for i, o := range order {
+		if i > 0 && bytes.Equal(pks[order[i-1]], pks[o]) {
+			return fmt.Errorf("%w: %s in %s", ErrDuplicateKey, rows[o][t.keyCol], t.schema.Name)
+		}
+		prim[i] = storage.KV{Key: pks[o], Value: encodeRow(rows[o])}
+	}
+
+	// Stage every secondary index and run all uniqueness checks BEFORE the
+	// first tree is written, so a rejected batch leaves the table untouched.
+	// Index keys embed the primary key, so full keys are unique; unique
+	// indexes additionally reject two rows sharing the indexed-column
+	// prefix.
+	indexEntries := make(map[string][]storage.KV, len(t.schema.Indexes))
+	for _, ix := range t.schema.Indexes {
+		entries := make([]storage.KV, len(rows))
+		var prefixes [][]byte
+		if ix.Unique {
+			prefixes = make([][]byte, len(rows))
+		}
+		for i, row := range rows {
+			entries[i] = storage.KV{Key: t.indexKey(ix, row), Value: pks[i]}
+			if ix.Unique {
+				p, err := t.indexPrefix(ix, t.indexVals(ix, row))
+				if err != nil {
+					return err
+				}
+				prefixes[i] = p
+			}
+		}
+		sort.Slice(entries, func(a, b int) bool { return bytes.Compare(entries[a].Key, entries[b].Key) < 0 })
+		if ix.Unique {
+			sort.Slice(prefixes, func(a, b int) bool { return bytes.Compare(prefixes[a], prefixes[b]) < 0 })
+			for i := 1; i < len(prefixes); i++ {
+				if bytes.Equal(prefixes[i-1], prefixes[i]) {
+					return fmt.Errorf("%w: unique index %s.%s", ErrDuplicateKey, t.schema.Name, ix.Name)
+				}
+			}
+		}
+		indexEntries[ix.Name] = entries
+	}
+
+	if err := t.primary.BulkLoad(prim); err != nil {
+		return err
+	}
+	for _, ix := range t.schema.Indexes {
+		if err := t.indexes[ix.Name].BulkLoad(indexEntries[ix.Name]); err != nil {
+			return err
+		}
+	}
+	return t.db.noteRootsLocked(t)
+}
+
 // write stores the row and maintains secondary indexes, removing entries of
-// the replaced row (if any).
+// the replaced row (if any). The caller holds the database write lock.
 func (t *Table) write(pk []byte, row, old Row) error {
 	for _, ix := range t.schema.Indexes {
 		if ix.Unique {
@@ -210,12 +332,15 @@ func (t *Table) write(pk []byte, row, old Row) error {
 			if c.Valid() && bytes.HasPrefix(c.Key(), prefix) {
 				existingPK, err := c.Value()
 				if err != nil {
+					c.Close()
 					return err
 				}
 				if !bytes.Equal(existingPK, pk) {
+					c.Close()
 					return fmt.Errorf("%w: unique index %s.%s", ErrDuplicateKey, t.schema.Name, ix.Name)
 				}
 			}
+			c.Close()
 		}
 	}
 	if err := t.primary.Put(pk, encodeRow(row)); err != nil {
@@ -236,7 +361,7 @@ func (t *Table) write(pk []byte, row, old Row) error {
 			return err
 		}
 	}
-	return t.db.noteRoots(t)
+	return t.db.noteRootsLocked(t)
 }
 
 func (t *Table) indexVals(ix Index, row Row) []Value {
@@ -248,8 +373,15 @@ func (t *Table) indexVals(ix Index, row Row) []Value {
 	return vals
 }
 
-// Get fetches the row with the given primary key value.
+// Get fetches the row with the given primary key value. Safe for
+// concurrent readers.
 func (t *Table) Get(key Value) (Row, bool, error) {
+	t.db.mu.RLock()
+	defer t.db.mu.RUnlock()
+	return t.getLocked(key)
+}
+
+func (t *Table) getLocked(key Value) (Row, bool, error) {
 	if key.Type != t.schema.Columns[t.keyCol].Type {
 		return nil, false, fmt.Errorf("%w: key wants %s, got %s",
 			ErrSchemaRow, t.schema.Columns[t.keyCol].Type, key.Type)
@@ -264,7 +396,9 @@ func (t *Table) Get(key Value) (Row, bool, error) {
 
 // Delete removes the row with the given primary key, reporting presence.
 func (t *Table) Delete(key Value) (bool, error) {
-	row, ok, err := t.Get(key)
+	t.db.mu.Lock()
+	defer t.db.mu.Unlock()
+	row, ok, err := t.getLocked(key)
 	if err != nil || !ok {
 		return false, err
 	}
@@ -277,15 +411,22 @@ func (t *Table) Delete(key Value) (bool, error) {
 			return false, err
 		}
 	}
-	return true, t.db.noteRoots(t)
+	return true, t.db.noteRootsLocked(t)
 }
 
-// Len returns the row count.
-func (t *Table) Len() (int, error) { return t.primary.Len() }
+// Len returns the row count. Safe for concurrent readers.
+func (t *Table) Len() (int, error) {
+	t.db.mu.RLock()
+	defer t.db.mu.RUnlock()
+	return t.primary.Len()
+}
 
 // Scan visits all rows in primary key order. The callback returns false to
-// stop early.
+// stop early. Safe for concurrent readers; the callback must not call back
+// into the database (see the DB doc comment).
 func (t *Table) Scan(fn func(Row) (bool, error)) error {
+	t.db.mu.RLock()
+	defer t.db.mu.RUnlock()
 	c, err := t.primary.First()
 	if err != nil {
 		return err
@@ -294,8 +435,10 @@ func (t *Table) Scan(fn func(Row) (bool, error)) error {
 }
 
 // ScanRange visits rows with primary key in [lo, hi); either bound may be
-// the zero Value meaning unbounded.
+// the zero Value meaning unbounded. Safe for concurrent readers.
 func (t *Table) ScanRange(lo, hi Value, fn func(Row) (bool, error)) error {
+	t.db.mu.RLock()
+	defer t.db.mu.RUnlock()
 	var c *storage.Cursor
 	var err error
 	if lo.Type == 0 {
@@ -314,6 +457,7 @@ func (t *Table) ScanRange(lo, hi Value, fn func(Row) (bool, error)) error {
 }
 
 func (t *Table) scanCursor(c *storage.Cursor, hiKey []byte, fn func(Row) (bool, error)) error {
+	defer c.Close()
 	for c.Valid() {
 		if hiKey != nil && bytes.Compare(c.Key(), hiKey) >= 0 {
 			return nil
@@ -338,8 +482,11 @@ func (t *Table) scanCursor(c *storage.Cursor, hiKey []byte, fn func(Row) (bool, 
 }
 
 // IndexScan visits rows whose indexed columns equal vals (a prefix of the
-// index columns may be given). Rows arrive in index order.
+// index columns may be given). Rows arrive in index order. Safe for
+// concurrent readers.
 func (t *Table) IndexScan(index string, vals []Value, fn func(Row) (bool, error)) error {
+	t.db.mu.RLock()
+	defer t.db.mu.RUnlock()
 	ix, tree, err := t.findIndex(index)
 	if err != nil {
 		return err
@@ -352,6 +499,7 @@ func (t *Table) IndexScan(index string, vals []Value, fn func(Row) (bool, error)
 	if err != nil {
 		return err
 	}
+	defer c.Close()
 	for c.Valid() && bytes.HasPrefix(c.Key(), prefix) {
 		pk, err := c.Value()
 		if err != nil {
@@ -380,8 +528,10 @@ func (t *Table) IndexScan(index string, vals []Value, fn func(Row) (bool, error)
 }
 
 // IndexRange visits rows whose first indexed column lies in [lo, hi); either
-// bound may be the zero Value for unbounded.
+// bound may be the zero Value for unbounded. Safe for concurrent readers.
 func (t *Table) IndexRange(index string, lo, hi Value, fn func(Row) (bool, error)) error {
+	t.db.mu.RLock()
+	defer t.db.mu.RUnlock()
 	ix, tree, err := t.findIndex(index)
 	if err != nil {
 		return err
@@ -399,6 +549,7 @@ func (t *Table) IndexRange(index string, lo, hi Value, fn func(Row) (bool, error
 	if err != nil {
 		return err
 	}
+	defer c.Close()
 	var hiKey []byte
 	if hi.Type != 0 {
 		if hiKey, err = t.indexPrefix(ix, []Value{hi}); err != nil {

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // Node page kinds.
@@ -32,11 +33,17 @@ const (
 // Interior nodes route by separator keys; all data lives in the leaf level,
 // which is chained left-to-right for range scans. Deletes are lazy (no
 // rebalancing); freed overflow chains are returned to the store free list.
-// A BTree is safe for use by one goroutine at a time.
+//
+// Concurrency: read operations (Get, Has, Len, First, Seek and cursor
+// iteration) are safe to call from many goroutines at once — every node
+// read copies page contents out of the store, so readers never share
+// mutable state. Mutations (Put, Delete, BulkLoad) require exclusive
+// access: callers must ensure no reader or other writer runs concurrently
+// (package relstore enforces this with a database-level RWMutex).
 type BTree struct {
 	store *Store
 	root  PageID
-	size  int // cached entry count; -1 when unknown (opened from disk)
+	size  atomic.Int64 // cached entry count; -1 when unknown (opened from disk)
 }
 
 // NewBTree creates an empty tree in the store.
@@ -45,7 +52,7 @@ func NewBTree(store *Store) (*BTree, error) {
 	if err != nil {
 		return nil, err
 	}
-	t := &BTree{store: store, root: id, size: 0}
+	t := &BTree{store: store, root: id}
 	if err := t.writeNode(&node{kind: pageLeaf, page: id}); err != nil {
 		return nil, err
 	}
@@ -54,7 +61,9 @@ func NewBTree(store *Store) (*BTree, error) {
 
 // OpenBTree opens an existing tree rooted at root.
 func OpenBTree(store *Store, root PageID) *BTree {
-	return &BTree{store: store, root: root, size: -1}
+	t := &BTree{store: store, root: root}
+	t.size.Store(-1)
+	return t
 }
 
 // Root returns the current root page id. It changes when the root splits,
@@ -127,8 +136,8 @@ func (t *BTree) writeNode(n *node) error {
 }
 
 func (t *BTree) readNode(id PageID) (*node, error) {
-	buf, err := t.store.ReadPage(id)
-	if err != nil {
+	var buf [PageSize]byte
+	if err := t.store.ReadPageInto(id, buf[:]); err != nil {
 		return nil, err
 	}
 	n := &node{kind: buf[0], page: id}
@@ -240,8 +249,8 @@ func (t *BTree) Put(key, value []byte) error {
 	if err != nil {
 		return err
 	}
-	if added && t.size >= 0 {
-		t.size++
+	if n := t.size.Load(); added && n >= 0 {
+		t.size.Store(n + 1)
 	}
 	if split == nil {
 		return nil
@@ -391,30 +400,31 @@ func (t *BTree) Delete(key []byte) (bool, error) {
 	n.keys = append(n.keys[:pos], n.keys[pos+1:]...)
 	n.vals = append(n.vals[:pos], n.vals[pos+1:]...)
 	n.overflow = append(n.overflow[:pos], n.overflow[pos+1:]...)
-	if t.size > 0 {
-		t.size--
+	if sz := t.size.Load(); sz > 0 {
+		t.size.Store(sz - 1)
 	}
 	return true, t.writeNode(n)
 }
 
 // Len returns the number of entries, counting by scan if the cached count
-// is unknown (tree opened from disk).
+// is unknown (tree opened from disk). Safe for concurrent readers.
 func (t *BTree) Len() (int, error) {
-	if t.size >= 0 {
-		return t.size, nil
+	if sz := t.size.Load(); sz >= 0 {
+		return int(sz), nil
 	}
 	n := 0
 	c, err := t.First()
 	if err != nil {
 		return 0, err
 	}
+	defer c.Close()
 	for c.Valid() {
 		n++
 		if err := c.Next(); err != nil {
 			return 0, err
 		}
 	}
-	t.size = n
+	t.size.Store(int64(n))
 	return n, nil
 }
 
@@ -505,11 +515,45 @@ func (t *BTree) freeOverflow(ref []byte) error {
 	return nil
 }
 
-// Cursor iterates leaf entries in ascending key order.
+// Cursor iterates leaf entries in ascending key order. While positioned on
+// a leaf, the cursor pins the leaf's buffer-pool frame so eviction pressure
+// from other readers cannot push pages under a live iteration out of the
+// pool. The pin is released automatically when the cursor is exhausted;
+// call Close to release it when abandoning a cursor early. A Cursor is for
+// use by one goroutine, but any number of cursors may iterate one tree
+// concurrently.
 type Cursor struct {
-	tree *BTree
-	leaf *node
-	pos  int
+	tree   *BTree
+	leaf   *node
+	pos    int
+	pinned PageID // page currently pinned; 0 = none
+}
+
+// pinLeaf moves the cursor's pin to page id (0 releases without re-pinning).
+func (c *Cursor) pinLeaf(id PageID) error {
+	if c.pinned == id {
+		return nil
+	}
+	if id != 0 {
+		if err := c.tree.store.Pin(id); err != nil {
+			return err
+		}
+	}
+	if c.pinned != 0 {
+		c.tree.store.Unpin(c.pinned)
+	}
+	c.pinned = id
+	return nil
+}
+
+// Close releases the cursor's frame pin. It is safe to call multiple times
+// and on exhausted cursors.
+func (c *Cursor) Close() {
+	if c.pinned != 0 {
+		c.tree.store.Unpin(c.pinned)
+		c.pinned = 0
+	}
+	c.leaf = nil
 }
 
 // First positions a cursor at the smallest key.
@@ -524,7 +568,14 @@ func (t *BTree) First() (*Cursor, error) {
 		}
 	}
 	c := &Cursor{tree: t, leaf: n, pos: 0}
-	return c, c.skipEmpty()
+	if err := c.pinLeaf(n.page); err != nil {
+		return nil, err
+	}
+	if err := c.skipEmpty(); err != nil {
+		c.Close()
+		return nil, err
+	}
+	return c, nil
 }
 
 // Seek positions a cursor at the first key >= key.
@@ -540,7 +591,14 @@ func (t *BTree) Seek(key []byte) (*Cursor, error) {
 	}
 	pos, _ := leafIndex(n, key)
 	c := &Cursor{tree: t, leaf: n, pos: pos}
-	return c, c.skipEmpty()
+	if err := c.pinLeaf(n.page); err != nil {
+		return nil, err
+	}
+	if err := c.skipEmpty(); err != nil {
+		c.Close()
+		return nil, err
+	}
+	return c, nil
 }
 
 // Valid reports whether the cursor references an entry.
@@ -567,11 +625,14 @@ func (c *Cursor) Next() error {
 func (c *Cursor) skipEmpty() error {
 	for c.leaf != nil && c.pos >= len(c.leaf.keys) {
 		if c.leaf.next == 0 {
-			c.leaf = nil
+			c.Close()
 			return nil
 		}
 		n, err := c.tree.readNode(c.leaf.next)
 		if err != nil {
+			return err
+		}
+		if err := c.pinLeaf(n.page); err != nil {
 			return err
 		}
 		c.leaf, c.pos = n, 0

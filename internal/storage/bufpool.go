@@ -3,27 +3,35 @@ package storage
 import (
 	"container/list"
 	"fmt"
+	"sync"
 )
 
 // DefaultPoolSize is the default number of page frames held by a buffer
 // pool (4096 frames * 4 KiB pages = 16 MiB).
 const DefaultPoolSize = 4096
 
-// frame is one cached page.
+// frame is one cached page. A frame is on the LRU list only while it is
+// clean and unpinned; dirty or pinned frames are never evicted.
 type frame struct {
 	id    PageID
 	data  []byte
 	dirty bool
-	elem  *list.Element // position in the LRU list (nil while dirty)
+	pins  int
+	elem  *list.Element // position in the LRU list (nil while dirty or pinned)
 }
 
 // BufferPool caches page frames above a Pager with LRU eviction. Dirty
 // frames are never evicted; they are held until the Store commits them
 // through the WAL, which keeps crash recovery simple (no steal policy).
+// Pinned frames (live cursor positions) are likewise exempt from eviction.
+//
+// All methods are safe for concurrent use; an internal mutex serializes
+// access to the frame table, the LRU list and the underlying pager.
 type BufferPool struct {
+	mu     sync.Mutex
 	pager  Pager
 	frames map[PageID]*frame
-	lru    *list.List // clean frames only, front = most recent
+	lru    *list.List // clean, unpinned frames only, front = most recent
 	limit  int
 }
 
@@ -40,15 +48,14 @@ func NewBufferPool(pager Pager, limit int) *BufferPool {
 	}
 }
 
-// Get returns the contents of page id, reading it from the pager on a miss.
-// The returned slice aliases the frame and is invalidated by any later pool
-// call; callers must copy data they retain.
-func (bp *BufferPool) Get(id PageID) ([]byte, error) {
+// load returns the frame for page id, reading it from the pager on a miss.
+// Callers must hold bp.mu.
+func (bp *BufferPool) load(id PageID) (*frame, error) {
 	if f, ok := bp.frames[id]; ok {
 		if f.elem != nil {
 			bp.lru.MoveToFront(f.elem)
 		}
-		return f.data, nil
+		return f, nil
 	}
 	data := make([]byte, PageSize)
 	if err := bp.pager.ReadPage(id, data); err != nil {
@@ -58,7 +65,68 @@ func (bp *BufferPool) Get(id PageID) ([]byte, error) {
 	f.elem = bp.lru.PushFront(f)
 	bp.frames[id] = f
 	bp.evict()
-	return f.data, nil
+	return f, nil
+}
+
+// ReadInto copies the contents of page id into dst (PageSize long), reading
+// it from the pager on a miss. The copy happens under the pool lock, so dst
+// never aliases a frame and stays valid regardless of later pool activity.
+func (bp *BufferPool) ReadInto(id PageID, dst []byte) error {
+	if len(dst) < PageSize {
+		return fmt.Errorf("storage: ReadInto page %d with %d-byte buffer", id, len(dst))
+	}
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	f, err := bp.load(id)
+	if err != nil {
+		return err
+	}
+	copy(dst[:PageSize], f.data)
+	return nil
+}
+
+// Get returns a private copy of the contents of page id. Prefer ReadInto on
+// hot paths to reuse a caller-owned buffer.
+func (bp *BufferPool) Get(id PageID) ([]byte, error) {
+	out := make([]byte, PageSize)
+	if err := bp.ReadInto(id, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Pin marks page id as referenced by a live cursor: the frame is loaded if
+// absent and becomes exempt from eviction until a matching Unpin. Pins
+// nest; each Pin must be balanced by exactly one Unpin.
+func (bp *BufferPool) Pin(id PageID) error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	f, err := bp.load(id)
+	if err != nil {
+		return err
+	}
+	f.pins++
+	if f.elem != nil {
+		bp.lru.Remove(f.elem)
+		f.elem = nil
+	}
+	return nil
+}
+
+// Unpin releases one pin on page id. When the last pin drops and the frame
+// is clean, it rejoins the LRU list and becomes evictable again.
+func (bp *BufferPool) Unpin(id PageID) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	f, ok := bp.frames[id]
+	if !ok || f.pins == 0 {
+		return
+	}
+	f.pins--
+	if f.pins == 0 && !f.dirty {
+		f.elem = bp.lru.PushFront(f)
+		bp.evict()
+	}
 }
 
 // Put replaces the contents of page id in the pool and marks it dirty. The
@@ -67,6 +135,8 @@ func (bp *BufferPool) Put(id PageID, data []byte) error {
 	if len(data) != PageSize {
 		return fmt.Errorf("storage: Put page %d with %d bytes", id, len(data))
 	}
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
 	f, ok := bp.frames[id]
 	if !ok {
 		f = &frame{id: id, data: make([]byte, PageSize)}
@@ -79,6 +149,8 @@ func (bp *BufferPool) Put(id PageID, data []byte) error {
 
 // Grow extends the pager by one page and installs a zeroed dirty frame.
 func (bp *BufferPool) Grow() (PageID, error) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
 	id, err := bp.pager.Grow()
 	if err != nil {
 		return 0, err
@@ -89,6 +161,7 @@ func (bp *BufferPool) Grow() (PageID, error) {
 	return id, nil
 }
 
+// markDirty removes f from the LRU list and flags it. Callers hold bp.mu.
 func (bp *BufferPool) markDirty(f *frame) {
 	if f.elem != nil {
 		bp.lru.Remove(f.elem)
@@ -97,6 +170,9 @@ func (bp *BufferPool) markDirty(f *frame) {
 	f.dirty = true
 }
 
+// evict trims the LRU list to the pool limit. Only clean, unpinned frames
+// are ever on the list, so dirty pages and cursor positions survive.
+// Callers hold bp.mu.
 func (bp *BufferPool) evict() {
 	for bp.lru.Len() > bp.limit {
 		back := bp.lru.Back()
@@ -112,8 +188,12 @@ type DirtyPage struct {
 	Data []byte
 }
 
-// DirtyPages returns the pending page images in ascending page order.
+// DirtyPages returns the pending page images in ascending page order. The
+// Data slices alias pool frames; the caller must finish with them before
+// any further pool mutation (the Store does so under its write lock).
 func (bp *BufferPool) DirtyPages() []DirtyPage {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
 	var out []DirtyPage
 	for _, f := range bp.frames {
 		if f.dirty {
@@ -131,14 +211,35 @@ func (bp *BufferPool) DirtyPages() []DirtyPage {
 
 // ClearDirty moves all dirty frames onto the clean LRU list after a commit.
 func (bp *BufferPool) ClearDirty() {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
 	for _, f := range bp.frames {
 		if f.dirty {
 			f.dirty = false
-			f.elem = bp.lru.PushFront(f)
+			if f.pins == 0 {
+				f.elem = bp.lru.PushFront(f)
+			}
 		}
 	}
 	bp.evict()
 }
 
 // Len reports the number of cached frames (clean + dirty).
-func (bp *BufferPool) Len() int { return len(bp.frames) }
+func (bp *BufferPool) Len() int {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return len(bp.frames)
+}
+
+// Pinned reports the number of currently pinned frames (for tests).
+func (bp *BufferPool) Pinned() int {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	n := 0
+	for _, f := range bp.frames {
+		if f.pins > 0 {
+			n++
+		}
+	}
+	return n
+}

@@ -223,9 +223,15 @@ func (m *meta) decode(buf []byte) error {
 // Store couples a pager, a buffer pool and (for file-backed stores) a WAL
 // into the transactional page store the rest of Crimson builds on. All
 // mutations happen in the buffer pool; Commit makes them durable atomically.
-// A Store is safe for concurrent use by multiple goroutines.
+//
+// A Store is safe for concurrent use by multiple goroutines under a
+// many-readers/one-writer discipline: ReadPage, ReadPageInto, Root and the
+// pin calls take a shared (read) lock and may run in parallel, while
+// WritePage, Allocate, Free, SetRoot, Commit and Close take the exclusive
+// lock. Read calls return or fill private copies of page contents, so no
+// caller ever aliases a buffer-pool frame.
 type Store struct {
-	mu     sync.Mutex
+	mu     sync.RWMutex
 	pager  Pager
 	pool   *BufferPool
 	wal    *WAL
@@ -256,15 +262,7 @@ func Open(path string) (*Store, error) {
 }
 
 // OpenMem opens a store backed entirely by memory (no WAL, no durability).
-func OpenMem() *Store {
-	pager := NewMemPager()
-	s := &Store{pager: pager, pool: NewBufferPool(pager, DefaultPoolSize)}
-	if err := s.init(); err != nil {
-		// The in-memory pager cannot fail on a fresh store.
-		panic("storage: init mem store: " + err.Error())
-	}
-	return s
-}
+func OpenMem() *Store { return OpenMemWithPoolLimit(DefaultPoolSize) }
 
 func (s *Store) init() error {
 	// Recover committed pages from the WAL before reading the meta page,
@@ -309,11 +307,11 @@ func (s *Store) allocate() (PageID, error) {
 	}
 	if s.meta.freeHead != 0 {
 		id := s.meta.freeHead
-		buf, err := s.pool.Get(id)
-		if err != nil {
+		var buf [PageSize]byte
+		if err := s.pool.ReadInto(id, buf[:]); err != nil {
 			return 0, err
 		}
-		s.meta.freeHead = PageID(binary.LittleEndian.Uint64(buf))
+		s.meta.freeHead = PageID(binary.LittleEndian.Uint64(buf[:]))
 		s.writeMeta()
 		return id, nil
 	}
@@ -349,8 +347,8 @@ func (s *Store) writeMeta() {
 
 // Root returns the page id stored in the named root slot (0 if unset).
 func (s *Store) Root(slot int) PageID {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.meta.roots[slot]
 }
 
@@ -362,15 +360,48 @@ func (s *Store) SetRoot(slot int, id PageID) {
 	s.writeMeta()
 }
 
-// ReadPage returns the page contents via the buffer pool. The returned slice
-// aliases the pool frame and must not be retained across other Store calls.
+// ReadPage returns a private copy of the page contents via the buffer pool
+// (page-copy semantics: the slice never aliases a pool frame and stays valid
+// indefinitely). Safe for concurrent use with other readers.
 func (s *Store) ReadPage(id PageID) ([]byte, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return nil, ErrClosed
+	out := make([]byte, PageSize)
+	if err := s.ReadPageInto(id, out); err != nil {
+		return nil, err
 	}
-	return s.pool.Get(id)
+	return out, nil
+}
+
+// ReadPageInto copies the page contents into buf (at least PageSize long),
+// avoiding the allocation of ReadPage on hot read paths. Safe for
+// concurrent use with other readers.
+func (s *Store) ReadPageInto(id PageID, buf []byte) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return s.pool.ReadInto(id, buf)
+}
+
+// Pin exempts the page's buffer frame from eviction until Unpin, keeping
+// the pages under live cursors resident. Pins nest.
+func (s *Store) Pin(id PageID) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return s.pool.Pin(id)
+}
+
+// Unpin releases one pin taken by Pin. Unpinning after close is a no-op.
+func (s *Store) Unpin(id PageID) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return
+	}
+	s.pool.Unpin(id)
 }
 
 // WritePage replaces the page contents via the buffer pool.
@@ -421,9 +452,24 @@ func (s *Store) Commit() error {
 
 // PageCount reports the current number of pages, including the meta page.
 func (s *Store) PageCount() PageID {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.pager.PageCount()
+}
+
+// Pool exposes the buffer pool (used by tests).
+func (s *Store) Pool() *BufferPool { return s.pool }
+
+// OpenMemWithPoolLimit opens an in-memory store whose buffer pool holds at
+// most limit frames — used by tests to force eviction pressure.
+func OpenMemWithPoolLimit(limit int) *Store {
+	pager := NewMemPager()
+	s := &Store{pager: pager, pool: NewBufferPool(pager, limit)}
+	if err := s.init(); err != nil {
+		// The in-memory pager cannot fail on a fresh store.
+		panic("storage: init mem store: " + err.Error())
+	}
+	return s
 }
 
 // Close commits outstanding changes and releases the underlying files.

@@ -38,6 +38,12 @@ var (
 )
 
 // Store is the Tree Repository over a relational database.
+//
+// Concurrency: query methods on stored trees (Node, NodeByName, Children,
+// LCA, Frontier, LeavesUnder, Project, Sample*) run on the database's
+// read-lock path and may be called from many goroutines at once, including
+// while one writer goroutine is loading or deleting another tree — the
+// writer simply serializes against each individual read operation.
 type Store struct {
 	db *relstore.DB
 }
@@ -212,9 +218,14 @@ func (s *Store) Load(name string, t *phylo.Tree, f int, progress Progress) (*Tre
 	if err != nil {
 		return nil, err
 	}
+	// Stage all node rows, then hand them to BulkInsert in one batch: the
+	// rows are sorted by primary key and built into the primary tree and
+	// all three secondary indexes bottom-up (storage.BTree.BulkLoad),
+	// instead of one full B+tree descent per row.
 	l0 := ix.Layers[0]
+	nodeRows := make([]relstore.Row, len(nodes))
 	for i, n := range nodes {
-		row := relstore.Row{
+		nodeRows[i] = relstore.Row{
 			relstore.Int(int64(n.ID)),
 			relstore.Int(int64(l0.Parent[n.ID])),
 			relstore.Int(int64(l0.Ord[n.ID])),
@@ -228,16 +239,14 @@ func (s *Store) Load(name string, t *phylo.Tree, f int, progress Progress) (*Tre
 			relstore.Bool(n.IsLeaf()),
 			relstore.Int(int64(size[n.ID])),
 		}
-		if err := nodeTab.Insert(row); err != nil {
-			return nil, fmt.Errorf("treestore: inserting node %d: %w", n.ID, err)
-		}
-		if (i+1)%20000 == 0 {
-			progress.Say("loaded %d/%d nodes", i+1, len(nodes))
-		}
+	}
+	progress.Say("staged %d node rows for bulk load", len(nodeRows))
+	if err := nodeTab.BulkInsert(nodeRows); err != nil {
+		return nil, fmt.Errorf("treestore: bulk loading %d nodes: %w", len(nodeRows), err)
 	}
 	progress.Say("loaded %d/%d nodes", len(nodes), len(nodes))
 
-	// Higher layers and per-layer subtree tables.
+	// Higher layers and per-layer subtree tables, bulk-loaded the same way.
 	for k, layer := range ix.Layers {
 		subTab, err := s.db.CreateTable(relstore.Schema{
 			Name: subsTable(name, k),
@@ -251,15 +260,16 @@ func (s *Store) Load(name string, t *phylo.Tree, f int, progress Progress) (*Tre
 		if err != nil {
 			return nil, err
 		}
+		subRows := make([]relstore.Row, len(layer.SubRoot))
 		for sID := range layer.SubRoot {
-			err := subTab.Insert(relstore.Row{
+			subRows[sID] = relstore.Row{
 				relstore.Int(int64(sID)),
 				relstore.Int(int64(layer.SubRoot[sID])),
 				relstore.Int(int64(layer.SubSource[sID])),
-			})
-			if err != nil {
-				return nil, err
 			}
+		}
+		if err := subTab.BulkInsert(subRows); err != nil {
+			return nil, err
 		}
 		if k == 0 {
 			continue
@@ -279,18 +289,19 @@ func (s *Store) Load(name string, t *phylo.Tree, f int, progress Progress) (*Tre
 		if err != nil {
 			return nil, err
 		}
+		layRows := make([]relstore.Row, len(layer.Parent))
 		for id := range layer.Parent {
-			err := layTab.Insert(relstore.Row{
+			layRows[id] = relstore.Row{
 				relstore.Int(int64(id)),
 				relstore.Int(int64(layer.Parent[id])),
 				relstore.Int(int64(layer.Ord[id])),
 				relstore.Int(int64(layer.Sub[id])),
 				relstore.Int(int64(layer.LocalParent[id])),
 				relstore.Int(int64(layer.LocalDepth[id])),
-			})
-			if err != nil {
-				return nil, err
 			}
+		}
+		if err := layTab.BulkInsert(layRows); err != nil {
+			return nil, err
 		}
 	}
 
@@ -451,7 +462,9 @@ func decodeNode(row relstore.Row) Node {
 }
 
 // Tree is a handle on one stored tree; every query goes to the relational
-// store row by row.
+// store row by row. A Tree handle is safe for concurrent use by multiple
+// goroutines (all methods are read-only and take the database read lock
+// per operation).
 type Tree struct {
 	store  *Store
 	info   TreeInfo
@@ -633,29 +646,33 @@ func (t *Tree) IsAncestor(a, b int) (bool, error) {
 
 // Frontier returns the maximal nodes whose root distance exceeds time,
 // found with a range scan on the by_dist index plus one parent fetch per
-// candidate — no full-tree traversal.
+// candidate — no full-tree traversal. Candidates are collected during the
+// scan and their parents fetched afterwards: scan callbacks run under the
+// database read lock and must not issue further queries.
 func (t *Tree) Frontier(time float64) ([]Node, error) {
-	var out []Node
+	var cand []Node
 	err := t.nodes.IndexRange("by_dist", relstore.Float(time), relstore.Value{}, func(row relstore.Row) (bool, error) {
-		n := decodeNode(row)
-		if n.Dist <= time {
-			return true, nil // boundary rows equal to time
-		}
-		if n.Parent < 0 {
-			out = append(out, n)
-			return true, nil
-		}
-		p, err := t.Node(n.Parent)
-		if err != nil {
-			return false, err
-		}
-		if p.Dist <= time {
-			out = append(out, n)
+		if n := decodeNode(row); n.Dist > time {
+			cand = append(cand, n)
 		}
 		return true, nil
 	})
 	if err != nil {
 		return nil, err
+	}
+	var out []Node
+	for _, n := range cand {
+		if n.Parent < 0 {
+			out = append(out, n)
+			continue
+		}
+		p, err := t.Node(n.Parent)
+		if err != nil {
+			return nil, err
+		}
+		if p.Dist <= time {
+			out = append(out, n)
+		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out, nil

@@ -1,0 +1,332 @@
+// Package client is the typed Go client for crimsond, Crimson's HTTP
+// server (repro/internal/server). It speaks the same wire types the
+// server encodes, parses Newick payloads back into phylo trees, and is
+// safe for concurrent use by many goroutines (it holds no mutable state
+// beyond the underlying http.Client).
+package client
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"repro/internal/benchmark"
+	"repro/internal/newick"
+	"repro/internal/phylo"
+	"repro/internal/server"
+)
+
+// Re-exported wire types, so callers need only this package.
+type (
+	// TreeInfo summarizes a stored tree.
+	TreeInfo = server.TreeInfo
+	// Node is one stored tree node.
+	Node = server.Node
+	// LCAResponse answers an LCA query.
+	LCAResponse = server.LCAResponse
+	// ProjectResponse answers a projection query.
+	ProjectResponse = server.ProjectResponse
+	// CladeResponse answers a minimal-spanning-clade query.
+	CladeResponse = server.CladeResponse
+	// MatchResponse answers a tree pattern match.
+	MatchResponse = server.MatchResponse
+	// SpeciesRecord is one species-data record.
+	SpeciesRecord = server.SpeciesRecord
+	// HistoryEntry is one recorded query.
+	HistoryEntry = server.HistoryEntry
+	// BenchRequest configures a server-side benchmark run.
+	BenchRequest = server.BenchRequest
+	// BenchReport is the benchmark result in machine-readable form.
+	BenchReport = benchmark.ReportJSON
+	// Stats is the server's counter snapshot.
+	Stats = server.StatsSnapshot
+)
+
+// APIError is a non-2xx response from the server.
+type APIError struct {
+	Status  int    // HTTP status code
+	Message string // server's error string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("crimsond: %s (HTTP %d)", e.Message, e.Status)
+}
+
+// Client talks to one crimsond server.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// New returns a client for the server at base, e.g.
+// "http://127.0.0.1:8321". A nil httpClient uses http.DefaultClient.
+func New(base string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(base, "/"), hc: httpClient}
+}
+
+func (c *Client) do(method, path string, query url.Values, body io.Reader, contentType string, out any) error {
+	u := c.base + path
+	if len(query) > 0 {
+		u += "?" + query.Encode()
+	}
+	req, err := http.NewRequest(method, u, body)
+	if err != nil {
+		return err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var apiErr server.ErrorResponse
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		if json.Unmarshal(raw, &apiErr) != nil || apiErr.Error == "" {
+			apiErr.Error = strings.TrimSpace(string(raw))
+		}
+		return &APIError{Status: resp.StatusCode, Message: apiErr.Error}
+	}
+	switch v := out.(type) {
+	case nil:
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	case *[]byte:
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return err
+		}
+		*v = raw
+		return nil
+	default:
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+}
+
+func (c *Client) get(path string, query url.Values, out any) error {
+	return c.do(http.MethodGet, path, query, nil, "", out)
+}
+
+// Health reports whether the server answers /healthz.
+func (c *Client) Health() error {
+	return c.get("/healthz", nil, nil)
+}
+
+// Stats fetches the server's counter snapshot.
+func (c *Client) Stats() (Stats, error) {
+	var s Stats
+	err := c.get("/v1/stats", nil, &s)
+	return s, err
+}
+
+// --- trees -----------------------------------------------------------------
+
+// Trees lists the stored trees.
+func (c *Client) Trees() ([]TreeInfo, error) {
+	var resp server.TreesResponse
+	if err := c.get("/v1/trees", nil, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Trees, nil
+}
+
+// Info fetches one stored tree's summary.
+func (c *Client) Info(name string) (TreeInfo, error) {
+	var info TreeInfo
+	err := c.get("/v1/trees/"+url.PathEscape(name), nil, &info)
+	return info, err
+}
+
+// LoadNewick streams a Newick body into the repository under name with
+// depth bound f (f <= 0 uses the server default).
+func (c *Client) LoadNewick(name string, f int, body io.Reader) (TreeInfo, error) {
+	return c.load(name, f, "newick", body)
+}
+
+// LoadTree serializes an in-memory tree and loads it.
+func (c *Client) LoadTree(name string, f int, t *phylo.Tree) (TreeInfo, error) {
+	return c.LoadNewick(name, f, strings.NewReader(newick.String(t)))
+}
+
+// LoadNexus streams a NEXUS document (trees + sequences) into the
+// repository under name.
+func (c *Client) LoadNexus(name string, f int, body io.Reader) (TreeInfo, error) {
+	return c.load(name, f, "nexus", body)
+}
+
+func (c *Client) load(name string, f int, format string, body io.Reader) (TreeInfo, error) {
+	q := url.Values{"format": {format}}
+	if f > 0 {
+		q.Set("f", strconv.Itoa(f))
+	}
+	var resp server.LoadResponse
+	err := c.do(http.MethodPost, "/v1/trees/"+url.PathEscape(name), q, body, "text/plain", &resp)
+	return resp.Tree, err
+}
+
+// Delete removes a stored tree and its species data.
+func (c *Client) Delete(name string) error {
+	return c.do(http.MethodDelete, "/v1/trees/"+url.PathEscape(name), nil, nil, "", nil)
+}
+
+// Export fetches the complete stored tree as an in-memory tree.
+func (c *Client) Export(name string) (*phylo.Tree, error) {
+	var raw []byte
+	if err := c.get("/v1/trees/"+url.PathEscape(name)+"/export", nil, &raw); err != nil {
+		return nil, err
+	}
+	return newick.Parse(string(raw))
+}
+
+// --- queries ---------------------------------------------------------------
+
+// Project projects the stored tree over the given species and returns
+// the full response (Newick text plus cache flag).
+func (c *Client) Project(name string, speciesNames []string) (ProjectResponse, error) {
+	var resp ProjectResponse
+	err := c.get("/v1/trees/"+url.PathEscape(name)+"/project",
+		url.Values{"species": {strings.Join(speciesNames, ",")}}, &resp)
+	return resp, err
+}
+
+// ProjectTree projects and parses the result into an in-memory tree.
+func (c *Client) ProjectTree(name string, speciesNames []string) (*phylo.Tree, error) {
+	resp, err := c.Project(name, speciesNames)
+	if err != nil {
+		return nil, err
+	}
+	return newick.Parse(resp.Newick)
+}
+
+// LCA returns the least common ancestor of species a and b.
+func (c *Client) LCA(name, a, b string) (LCAResponse, error) {
+	var resp LCAResponse
+	err := c.get("/v1/trees/"+url.PathEscape(name)+"/lca",
+		url.Values{"a": {a}, "b": {b}}, &resp)
+	return resp, err
+}
+
+// SampleUniform draws k distinct species uniformly (seeded, so a fixed
+// seed reproduces the draw).
+func (c *Client) SampleUniform(name string, k int, seed int64) ([]string, error) {
+	var resp server.SampleResponse
+	err := c.get("/v1/trees/"+url.PathEscape(name)+"/sample",
+		url.Values{"k": {strconv.Itoa(k)}, "seed": {strconv.FormatInt(seed, 10)}}, &resp)
+	return resp.Species, err
+}
+
+// SampleWithTime samples k species with respect to evolutionary time.
+func (c *Client) SampleWithTime(name string, time float64, k int, seed int64) ([]string, error) {
+	var resp server.SampleResponse
+	err := c.get("/v1/trees/"+url.PathEscape(name)+"/sample", url.Values{
+		"k":    {strconv.Itoa(k)},
+		"time": {strconv.FormatFloat(time, 'g', -1, 64)},
+		"seed": {strconv.FormatInt(seed, 10)},
+	}, &resp)
+	return resp.Species, err
+}
+
+// Clade returns the minimal spanning clade of the given species.
+func (c *Client) Clade(name string, speciesNames []string) (CladeResponse, error) {
+	var resp CladeResponse
+	err := c.get("/v1/trees/"+url.PathEscape(name)+"/clade",
+		url.Values{"species": {strings.Join(speciesNames, ",")}}, &resp)
+	return resp, err
+}
+
+// Match runs the tree pattern match query against the stored tree.
+func (c *Client) Match(name string, pattern *phylo.Tree) (MatchResponse, error) {
+	var resp MatchResponse
+	err := c.do(http.MethodPost, "/v1/trees/"+url.PathEscape(name)+"/match", nil,
+		strings.NewReader(newick.String(pattern)), "text/plain", &resp)
+	return resp, err
+}
+
+// Bench runs the Benchmark Manager on the server against a stored gold
+// tree and returns the machine-readable report.
+func (c *Client) Bench(name string, req BenchRequest) (*BenchReport, error) {
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	var rep BenchReport
+	err = c.do(http.MethodPost, "/v1/trees/"+url.PathEscape(name)+"/bench", nil,
+		bytes.NewReader(payload), "application/json", &rep)
+	if err != nil {
+		return nil, err
+	}
+	return &rep, nil
+}
+
+// --- species data ----------------------------------------------------------
+
+func speciesPath(tree, sp, kind string) string {
+	p := "/v1/trees/" + url.PathEscape(tree) + "/species/" + url.PathEscape(sp)
+	if kind != "" {
+		p += "/" + url.PathEscape(kind)
+	}
+	return p
+}
+
+// PutSpeciesData stores one species-data record.
+func (c *Client) PutSpeciesData(tree, sp, kind string, data []byte) error {
+	return c.do(http.MethodPut, speciesPath(tree, sp, kind), nil,
+		bytes.NewReader(data), "application/octet-stream", nil)
+}
+
+// SpeciesData fetches one species-data record.
+func (c *Client) SpeciesData(tree, sp, kind string) ([]byte, error) {
+	var raw []byte
+	err := c.get(speciesPath(tree, sp, kind), nil, &raw)
+	return raw, err
+}
+
+// DeleteSpeciesData removes one species-data record.
+func (c *Client) DeleteSpeciesData(tree, sp, kind string) error {
+	return c.do(http.MethodDelete, speciesPath(tree, sp, kind), nil, nil, "", nil)
+}
+
+// ListSpeciesData lists all records stored for one species.
+func (c *Client) ListSpeciesData(tree, sp string) ([]SpeciesRecord, error) {
+	var resp server.SpeciesListResponse
+	err := c.get(speciesPath(tree, sp, ""), nil, &resp)
+	return resp.Records, err
+}
+
+// --- history ---------------------------------------------------------------
+
+// History returns up to limit most recent query-history entries,
+// newest first (limit <= 0 means the server default).
+func (c *Client) History(limit int) ([]HistoryEntry, error) {
+	q := url.Values{}
+	if limit > 0 {
+		q.Set("limit", strconv.Itoa(limit))
+	}
+	var resp server.HistoryResponse
+	err := c.get("/v1/history", q, &resp)
+	return resp.Entries, err
+}
+
+// HistoryByKind returns all entries of one query kind, oldest first.
+func (c *Client) HistoryByKind(kind string) ([]HistoryEntry, error) {
+	var resp server.HistoryResponse
+	err := c.get("/v1/history", url.Values{"kind": {kind}}, &resp)
+	return resp.Entries, err
+}
+
+// HistoryEntryByID fetches one history entry.
+func (c *Client) HistoryEntryByID(id int64) (HistoryEntry, error) {
+	var e HistoryEntry
+	err := c.get("/v1/history/"+strconv.FormatInt(id, 10), nil, &e)
+	return e, err
+}

@@ -12,14 +12,19 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
 	"runtime"
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	crimson "repro"
 	"repro/internal/benchmark"
@@ -59,6 +64,7 @@ func init() {
 		{"rerun", "re-execute a query from the history by id", cmdRerun},
 		{"view", "render a Newick file as ascii/dot/libsea/nexus", cmdView},
 		{"fsck", "verify the integrity of a repository's trees and indexes", cmdFsck},
+		{"serve", "serve the repository over HTTP (crimsond)", cmdServe},
 	}
 }
 
@@ -533,6 +539,7 @@ func cmdBench(args []string) error {
 	timeArg := fs.Float64("time", -1, "time-constrained sampling (negative = uniform)")
 	seed := fs.Int64("seed", 1, "RNG seed")
 	parallel := fs.Int("parallel", runtime.NumCPU(), "concurrent replicate evaluations (1 = serial; results are identical either way)")
+	jsonOut := fs.String("json", "", "write the report as JSON to this file ('-' = stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -601,7 +608,23 @@ func cmdBench(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Print(rep.String())
+	if *jsonOut != "" {
+		raw, err := json.MarshalIndent(rep.JSON(), "", "  ")
+		if err != nil {
+			return err
+		}
+		raw = append(raw, '\n')
+		if *jsonOut == "-" {
+			os.Stdout.Write(raw)
+		} else {
+			if err := os.WriteFile(*jsonOut, raw, 0o644); err != nil {
+				return err
+			}
+			fmt.Print(rep.String())
+		}
+	} else {
+		fmt.Print(rep.String())
+	}
 	if repo != nil {
 		_, _ = repo.Queries.Record("bench",
 			map[string]any{"tree": *name, "sizes": sizeList, "reps": *reps, "algs": *algs},
@@ -700,6 +723,55 @@ func cmdFsck(args []string) error {
 	}
 	fmt.Println("ok: all tables, trees and indexes are consistent")
 	return nil
+}
+
+// cmdServe runs crimsond: the repository served over HTTP so many
+// clients can query one long-lived service (see internal/server and the
+// typed client in repro/client).
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	repoPath := fs.String("repo", "", "repository page file (required unless --mem)")
+	mem := fs.Bool("mem", false, "serve an in-memory repository (no durability; for demos)")
+	addr := fs.String("addr", ":8321", "listen address")
+	maxReads := fs.Int("max-reads", 64, "bound on concurrently executing read requests")
+	cacheSize := fs.Int("cache", 1024, "result-cache capacity in entries (negative disables)")
+	maxBody := fs.Int64("max-body", 256<<20, "request body limit in bytes")
+	quiet := fs.Bool("quiet", false, "suppress log output")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var repo *crimson.Repository
+	var err error
+	if *mem {
+		repo = crimson.OpenMem()
+	} else {
+		if repo, err = openRepo(*repoPath); err != nil {
+			return err
+		}
+	}
+	defer repo.Close()
+	logf := func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) }
+	if *quiet {
+		logf = nil
+	}
+	srv := repo.NewServer(crimson.ServerConfig{
+		Addr:             *addr,
+		MaxInFlightReads: *maxReads,
+		ResultCacheSize:  *cacheSize,
+		MaxBodyBytes:     *maxBody,
+		Logf:             logf,
+	})
+	if err := srv.Start(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "crimsond listening on %s (Ctrl-C to stop)\n", srv.Addr())
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Fprintln(os.Stderr, "crimsond: shutting down")
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	return srv.Shutdown(ctx)
 }
 
 func cmdView(args []string) error {

@@ -19,6 +19,7 @@
 //   - treegen/seqsim   — gold-standard simulation
 //   - distance/recon/benchmark — the Benchmark Manager
 //   - newick/nexus/viz — formats and viewers
+//   - server (+ repro/client) — crimsond, the HTTP/JSON network face
 //
 // # Quick start
 //
@@ -63,6 +64,7 @@ import (
 	"repro/internal/relstore"
 	"repro/internal/sample"
 	"repro/internal/seqsim"
+	"repro/internal/server"
 	"repro/internal/species"
 	"repro/internal/treecmp"
 	"repro/internal/treegen"
@@ -106,6 +108,14 @@ type (
 	NamedTree = nexus.NamedTree
 	// Planner performs repeated projections over one in-memory tree.
 	Planner = project.Planner
+	// Server is crimsond, the HTTP/JSON server over a Repository; build
+	// one with NewServer and drive it with package repro/client.
+	Server = server.Server
+	// ServerConfig tunes crimsond (listen address, in-flight read bound,
+	// result-cache size, body limit).
+	ServerConfig = server.Config
+	// ServerStats is the /v1/stats counter snapshot.
+	ServerStats = server.StatsSnapshot
 )
 
 // DefaultFanout is the default depth bound f for hierarchical labels.
@@ -196,7 +206,10 @@ func (r *Repository) Check() error { return r.db.Check() }
 func (r *Repository) Close() error { return r.db.Close() }
 
 // LoadTree stores an in-memory tree under the given name with depth bound
-// f, recording the load in the query history.
+// f, recording the load in the query history. Like LoadNexus, it commits
+// before returning: a successful load — tree relations and its history
+// record both — is durable even if the caller never calls Commit or
+// Close.
 func (r *Repository) LoadTree(name string, t *Tree, f int, progress treestore.Progress) (*StoredTree, error) {
 	st, err := r.Trees.Load(name, t, f, progress)
 	if err != nil {
@@ -204,7 +217,7 @@ func (r *Repository) LoadTree(name string, t *Tree, f int, progress treestore.Pr
 	}
 	_, _ = r.Queries.Record("load", map[string]any{"tree": name, "f": f, "nodes": t.NumNodes()},
 		fmt.Sprintf("loaded %d nodes", t.NumNodes()))
-	return st, nil
+	return st, r.Commit()
 }
 
 // LoadNexus loads the first tree of a NEXUS document (under its TREE name
@@ -234,6 +247,20 @@ func (r *Repository) LoadNexus(doc *NexusDocument, name string, f int, progress 
 
 // Tree opens a stored tree by name.
 func (r *Repository) Tree(name string) (*StoredTree, error) { return r.Trees.Tree(name) }
+
+// NewServer builds crimsond — the HTTP/JSON server — over this
+// repository. Start it with Start/ListenAndServe (or mount it as an
+// http.Handler) and drive it with the typed client in repro/client:
+//
+//	srv := crimson.NewServer(repo, crimson.ServerConfig{Addr: ":8321"})
+//	if err := srv.Start(); err != nil { ... }
+//	defer srv.Shutdown(context.Background())
+func (r *Repository) NewServer(cfg ServerConfig) *Server {
+	return server.New(server.Backend{DB: r.db, Trees: r.Trees, Species: r.Species, Queries: r.Queries}, cfg)
+}
+
+// NewServer builds crimsond over repo; see Repository.NewServer.
+func NewServer(repo *Repository, cfg ServerConfig) *Server { return repo.NewServer(cfg) }
 
 // --- In-memory pipeline helpers -------------------------------------------
 

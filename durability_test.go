@@ -1,0 +1,51 @@
+package crimson_test
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	crimson "repro"
+)
+
+// TestLoadTreeDurability pins the facade's durability contract: LoadTree,
+// like LoadNexus, commits before returning, so a load survives a crash
+// where the process never calls Commit or Close. The "crash" here is
+// abandoning the first repository handle and reopening the page file.
+func TestLoadTreeDurability(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "repo.crimson")
+	repo, err := crimson.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := crimson.GenerateYule(80, 1.0, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := repo.LoadTree("gold", tree, crimson.DefaultFanout, nil); err != nil {
+		t.Fatal(err)
+	}
+	// No Commit, no Close: the handle is abandoned as a crash would.
+
+	reopened, err := crimson.Open(path)
+	if err != nil {
+		t.Fatalf("reopening after simulated crash: %v", err)
+	}
+	defer reopened.Close()
+
+	st, err := reopened.Tree("gold")
+	if err != nil {
+		t.Fatalf("tree lost without explicit Commit: %v", err)
+	}
+	if st.Info().Leaves != 80 {
+		t.Fatalf("reloaded tree has %d leaves, want 80", st.Info().Leaves)
+	}
+	// The load's query-history record must have been committed too.
+	entries, err := reopened.Queries.ByKind("load")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("history has %d load entries, want 1 (record not durable)", len(entries))
+	}
+}

@@ -1,0 +1,70 @@
+// Example server demonstrates crimsond end to end in one process: it
+// starts the HTTP server over an in-memory repository on an ephemeral
+// port, loads a generated Yule gold tree through the typed client, and
+// runs a projection + LCA round trip over the real wire path.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math/rand"
+
+	crimson "repro"
+	"repro/client"
+)
+
+func main() {
+	// 1. Repository + server on an ephemeral port.
+	repo := crimson.OpenMem()
+	defer repo.Close()
+	srv := repo.NewServer(crimson.ServerConfig{Addr: "127.0.0.1:0"})
+	if err := srv.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Shutdown(context.Background())
+	fmt.Printf("crimsond listening on %s\n", srv.Addr())
+
+	// 2. Generate a gold-standard tree and load it over HTTP.
+	gold, err := crimson.GenerateYule(500, 1.0, rand.New(rand.NewSource(42)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	cl := client.New("http://"+srv.Addr(), nil)
+	info, err := cl.LoadTree("gold", crimson.DefaultFanout, gold)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded %q over HTTP: %d nodes, %d leaves, %d layers\n",
+		info.Name, info.Nodes, info.Leaves, info.Layers)
+
+	// 3. Sample species and project the stored tree over them.
+	species, err := cl.SampleUniform("gold", 8, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sampled species: %v\n", species)
+	projected, err := cl.ProjectTree("gold", species)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("projection over the sample:\n%s", crimson.ASCII(projected))
+
+	// 4. LCA round trip — twice, to show the result cache at work.
+	for i := 0; i < 2; i++ {
+		lca, err := cl.LCA("gold", species[0], species[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("LCA(%s, %s) = node %d at depth %d (cached=%v)\n",
+			species[0], species[1], lca.Node.ID, lca.Node.Depth, lca.Cached)
+	}
+
+	// 5. Server-side stats.
+	stats, err := cl.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("server stats: %d requests, %d cache hits, %d open trees\n",
+		stats.Requests, stats.CacheHits, stats.OpenTrees)
+}

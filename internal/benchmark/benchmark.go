@@ -116,7 +116,9 @@ func Run(cfg Config) (*Report, error) {
 	if cfg.Replicates <= 0 {
 		cfg.Replicates = 3
 	}
-	if len(cfg.Algorithms) == 0 {
+	// Default algorithms only when the caller named none at all: a config
+	// with only SeqAlgorithms (e.g. parsimony alone) runs exactly those.
+	if len(cfg.Algorithms) == 0 && len(cfg.SeqAlgorithms) == 0 {
 		cfg.Algorithms = []recon.Algorithm{recon.NeighborJoining{}, recon.UPGMA{}}
 	}
 	if cfg.Distances == nil {
@@ -226,7 +228,7 @@ func RunExplicit(cfg Config, names []string) (*Report, error) {
 	if cfg.Distances == nil {
 		cfg.Distances = DefaultDistances
 	}
-	if len(cfg.Algorithms) == 0 {
+	if len(cfg.Algorithms) == 0 && len(cfg.SeqAlgorithms) == 0 {
 		cfg.Algorithms = []recon.Algorithm{recon.NeighborJoining{}, recon.UPGMA{}}
 	}
 	ix := cfg.Index
@@ -390,6 +392,100 @@ func (r *Report) Summarize() []Summary {
 		}
 		return out[i].Algorithm < out[j].Algorithm
 	})
+	return out
+}
+
+// ConfigJSON is the machine-readable summary of a benchmark Config
+// (function-valued and tree-valued fields reduced to scalars).
+type ConfigJSON struct {
+	SampleSizes []int    `json:"sample_sizes"`
+	Replicates  int      `json:"replicates"`
+	Method      string   `json:"method"`
+	Time        float64  `json:"time,omitempty"`
+	SeqLength   int      `json:"seq_length"`
+	Seed        int64    `json:"seed"`
+	Parallel    int      `json:"parallel"`
+	Algorithms  []string `json:"algorithms"`
+	GoldNodes   int      `json:"gold_nodes"`
+	GoldLeaves  int      `json:"gold_leaves"`
+}
+
+// ResultJSON is the machine-readable form of one Result.
+type ResultJSON struct {
+	Algorithm  string   `json:"algorithm"`
+	Method     string   `json:"method"`
+	SampleSize int      `json:"sample_size"`
+	Replicate  int      `json:"replicate"`
+	RF         int      `json:"rf"`
+	NormRF     float64  `json:"norm_rf"`
+	ReconNanos int64    `json:"recon_ns"`
+	Species    []string `json:"species"`
+}
+
+// SummaryJSON is the machine-readable form of one Summary row.
+type SummaryJSON struct {
+	Algorithm      string  `json:"algorithm"`
+	SampleSize     int     `json:"sample_size"`
+	Runs           int     `json:"runs"`
+	MeanRF         float64 `json:"mean_rf"`
+	MeanNormRF     float64 `json:"mean_norm_rf"`
+	MeanReconNanos int64   `json:"mean_recon_ns"`
+}
+
+// ReportJSON is a complete benchmark report in machine-readable form —
+// the payload of `crimson bench --json` and the server's bench endpoint,
+// so a perf trajectory can be captured as BENCH_*.json files.
+type ReportJSON struct {
+	Config  ConfigJSON    `json:"config"`
+	Results []ResultJSON  `json:"results"`
+	Summary []SummaryJSON `json:"summary"`
+}
+
+// JSON converts the report for marshalling. Config.Gold is summarized by
+// size, algorithms by name; durations become integral nanoseconds.
+func (r *Report) JSON() ReportJSON {
+	cfg := ConfigJSON{
+		SampleSizes: r.Config.SampleSizes,
+		Replicates:  r.Config.Replicates,
+		Method:      r.Config.Method.String(),
+		Time:        r.Config.Time,
+		SeqLength:   r.Config.SeqLength,
+		Seed:        r.Config.Seed,
+		Parallel:    r.Config.Parallel,
+	}
+	if r.Config.Gold != nil {
+		cfg.GoldNodes = r.Config.Gold.NumNodes()
+		cfg.GoldLeaves = r.Config.Gold.NumLeaves()
+	}
+	for _, a := range r.Config.Algorithms {
+		cfg.Algorithms = append(cfg.Algorithms, a.Name())
+	}
+	for _, a := range r.Config.SeqAlgorithms {
+		cfg.Algorithms = append(cfg.Algorithms, a.Name())
+	}
+	out := ReportJSON{Config: cfg}
+	for _, res := range r.Results {
+		out.Results = append(out.Results, ResultJSON{
+			Algorithm:  res.Algorithm,
+			Method:     res.Method,
+			SampleSize: res.SampleSize,
+			Replicate:  res.Replicate,
+			RF:         res.RF,
+			NormRF:     res.NormRF,
+			ReconNanos: res.Recon.Nanoseconds(),
+			Species:    res.Species,
+		})
+	}
+	for _, s := range r.Summarize() {
+		out.Summary = append(out.Summary, SummaryJSON{
+			Algorithm:      s.Algorithm,
+			SampleSize:     s.SampleSize,
+			Runs:           s.Runs,
+			MeanRF:         s.MeanRF,
+			MeanNormRF:     s.MeanNormRF,
+			MeanReconNanos: s.MeanRecon.Nanoseconds(),
+		})
+	}
 	return out
 }
 

@@ -7,6 +7,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/relstore"
@@ -30,8 +31,15 @@ type Entry struct {
 }
 
 // Repo is the query history repository.
+//
+// Record is safe to call from many goroutines at once: a repo-level
+// mutex makes the read-counter/write-counter/insert sequence atomic, so
+// IDs stay unique and dense no matter how many recorders race. Readers
+// (History, ByKind, Get) take the database's shared read lock and may
+// run concurrently with one another and with recorders.
 type Repo struct {
 	db  *relstore.DB
+	mu  sync.Mutex // serializes Record/Clear (the id counter's read-modify-write)
 	tab *relstore.Table
 }
 
@@ -61,11 +69,14 @@ func NewOnDB(db *relstore.DB) (*Repo, error) {
 }
 
 // Record appends a query to the history. Args is JSON-marshalled.
+// Safe for concurrent use.
 func (r *Repo) Record(kind string, args any, summary string) (Entry, error) {
 	argsJSON, err := json.Marshal(args)
 	if err != nil {
 		return Entry{}, fmt.Errorf("queryrepo: encoding args: %w", err)
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	id, err := r.nextID()
 	if err != nil {
 		return Entry{}, err
@@ -166,6 +177,8 @@ func (e Entry) UnmarshalArgs(into any) error {
 
 // Clear removes all history entries (and resets the id counter).
 func (r *Repo) Clear() (int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	var ids []int64
 	err := r.tab.Scan(func(row relstore.Row) (bool, error) {
 		ids = append(ids, row[0].Int64())

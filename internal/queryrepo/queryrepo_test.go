@@ -2,6 +2,7 @@ package queryrepo
 
 import (
 	"errors"
+	"sync"
 	"testing"
 
 	"repro/internal/relstore"
@@ -146,5 +147,107 @@ func TestIDsPersistAcrossHandles(t *testing.T) {
 	}
 	if e.ID != 2 {
 		t.Fatalf("id from second handle = %d, want 2", e.ID)
+	}
+}
+
+// TestConcurrentRecordersAndReaders races many Record goroutines against
+// History/ByKind readers (run under -race in CI) and verifies the
+// allocated IDs are exactly 1..N with no duplicates.
+func TestConcurrentRecordersAndReaders(t *testing.T) {
+	r := newRepo(t)
+	const (
+		recorders  = 8
+		perRecorder = 25
+	)
+	var wg sync.WaitGroup
+	ids := make([][]int64, recorders)
+	errs := make([]error, recorders)
+	stop := make(chan struct{})
+
+	// Readers hammer History and ByKind while the recorders run.
+	var readerWG sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		readerWG.Add(1)
+		go func(g int) {
+			defer readerWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := r.History(10); err != nil {
+					t.Errorf("reader %d: History: %v", g, err)
+					return
+				}
+				if _, err := r.ByKind("lca"); err != nil {
+					t.Errorf("reader %d: ByKind: %v", g, err)
+					return
+				}
+			}
+		}(g)
+	}
+
+	for g := 0; g < recorders; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perRecorder; i++ {
+				kind := "lca"
+				if i%2 == 1 {
+					kind = "project"
+				}
+				e, err := r.Record(kind, map[string]any{"recorder": g, "i": i}, "x")
+				if err != nil {
+					errs[g] = err
+					return
+				}
+				ids[g] = append(ids[g], e.ID)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	readerWG.Wait()
+
+	seen := make(map[int64]bool)
+	for g, list := range ids {
+		if errs[g] != nil {
+			t.Fatalf("recorder %d: %v", g, errs[g])
+		}
+		last := int64(0)
+		for _, id := range list {
+			if seen[id] {
+				t.Fatalf("duplicate id %d", id)
+			}
+			seen[id] = true
+			if id <= last {
+				t.Fatalf("recorder %d saw non-increasing ids: %d after %d", g, id, last)
+			}
+			last = id
+		}
+	}
+	total := recorders * perRecorder
+	if len(seen) != total {
+		t.Fatalf("allocated %d ids, want %d", len(seen), total)
+	}
+	for id := int64(1); id <= int64(total); id++ {
+		if !seen[id] {
+			t.Fatalf("id space has a hole at %d", id)
+		}
+	}
+
+	// The history agrees: every entry present, newest first.
+	all, err := r.History(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != total {
+		t.Fatalf("history has %d entries, want %d", len(all), total)
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i-1].ID <= all[i].ID {
+			t.Fatalf("history out of order at %d: %d then %d", i, all[i-1].ID, all[i].ID)
+		}
 	}
 }

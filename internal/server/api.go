@@ -1,0 +1,134 @@
+// Wire types of the crimsond HTTP/JSON API, shared by the server handlers
+// and the typed Go client (package repro/client). Every response body is
+// JSON except tree export (text/plain Newick) and /metrics (plain text).
+package server
+
+import "time"
+
+// TreeInfo is the JSON form of a stored tree's catalog row.
+type TreeInfo struct {
+	Name   string `json:"name"`
+	Nodes  int    `json:"nodes"`
+	Leaves int    `json:"leaves"`
+	F      int    `json:"f"`
+	Layers int    `json:"layers"`
+	Depth  int    `json:"depth"`
+}
+
+// LoadResponse acknowledges a tree load.
+type LoadResponse struct {
+	Tree      TreeInfo `json:"tree"`
+	Sequences int      `json:"sequences,omitempty"` // NEXUS CHARACTERS rows stored
+}
+
+// TreesResponse lists the repository's trees.
+type TreesResponse struct {
+	Trees []TreeInfo `json:"trees"`
+}
+
+// Node is the JSON form of one stored tree node row.
+type Node struct {
+	ID     int     `json:"id"`
+	Parent int     `json:"parent"` // -1 for the root
+	Name   string  `json:"name,omitempty"`
+	Length float64 `json:"length"`
+	Depth  int     `json:"depth"`
+	Dist   float64 `json:"dist"` // evolutionary time from the root
+	Leaf   bool    `json:"leaf"`
+	Size   int     `json:"size"` // nodes in the subtree rooted here
+}
+
+// LCAResponse answers a least-common-ancestor query.
+type LCAResponse struct {
+	Node   Node `json:"node"`
+	Cached bool `json:"cached"` // served from the result cache
+}
+
+// ProjectResponse answers a tree projection query.
+type ProjectResponse struct {
+	Newick string `json:"newick"`
+	Leaves int    `json:"leaves"`
+	Cached bool   `json:"cached"`
+}
+
+// SampleResponse answers a species sampling query.
+type SampleResponse struct {
+	Species []string `json:"species"`
+}
+
+// CladeResponse answers a minimal-spanning-clade query.
+type CladeResponse struct {
+	Root    Node     `json:"root"`
+	Nodes   int      `json:"nodes"`
+	Leaves  int      `json:"leaves"`
+	Species []string `json:"species"` // leaf names, sorted
+	Cached  bool     `json:"cached"`
+}
+
+// MatchResponse answers a tree pattern match (§2.2): the stored tree is
+// projected over the pattern's leaf set and compared topologically.
+type MatchResponse struct {
+	Exact     bool    `json:"exact"`
+	RF        int     `json:"rf"`
+	NormRF    float64 `json:"norm_rf"`
+	Projected string  `json:"projected"` // Newick of the projection
+	Cached    bool    `json:"cached"`
+}
+
+// SpeciesRecord is one species-data record. Data is base64 in JSON.
+type SpeciesRecord struct {
+	Tree    string `json:"tree"`
+	Species string `json:"species"`
+	Kind    string `json:"kind"`
+	Data    []byte `json:"data,omitempty"`
+}
+
+// SpeciesListResponse lists the records stored for one species.
+type SpeciesListResponse struct {
+	Records []SpeciesRecord `json:"records"`
+}
+
+// HistoryEntry is one recorded query.
+type HistoryEntry struct {
+	ID      int64     `json:"id"`
+	Time    time.Time `json:"time"`
+	Kind    string    `json:"kind"`
+	Args    string    `json:"args"` // JSON-encoded arguments
+	Summary string    `json:"summary"`
+}
+
+// HistoryResponse lists query-history entries.
+type HistoryResponse struct {
+	Entries []HistoryEntry `json:"entries"`
+}
+
+// BenchRequest configures a server-side benchmark run over a stored gold
+// tree. Zero values take the Benchmark Manager defaults.
+type BenchRequest struct {
+	Sizes      []int    `json:"sizes"`
+	Replicates int      `json:"replicates"`
+	Algorithms []string `json:"algorithms"` // NJ, UPGMA, MP
+	SeqLength  int      `json:"seq_length"`
+	Time       *float64 `json:"time,omitempty"` // nil = uniform sampling
+	Seed       int64    `json:"seed"`
+	Parallel   int      `json:"parallel"`
+}
+
+// StatsSnapshot is the /v1/stats body: one consistent view of the
+// server's counters.
+type StatsSnapshot struct {
+	UptimeSeconds float64          `json:"uptime_seconds"`
+	Requests      int64            `json:"requests"`
+	Errors        int64            `json:"errors"`
+	InFlightReads int64            `json:"in_flight_reads"`
+	CacheHits     int64            `json:"cache_hits"`
+	CacheMisses   int64            `json:"cache_misses"`
+	CacheEntries  int              `json:"cache_entries"`
+	OpenTrees     int              `json:"open_trees"`
+	PerOp         map[string]int64 `json:"per_op"`
+}
+
+// ErrorResponse is the body of every non-2xx JSON response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

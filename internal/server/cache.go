@@ -1,0 +1,84 @@
+package server
+
+import (
+	"container/list"
+	"strings"
+	"sync"
+)
+
+// resultCache is a bounded LRU over query results. Keys are
+// "<tree>\x00<op>\x00<canonical args>" so every entry of a tree can be
+// dropped when the tree is deleted or replaced. A capacity of zero
+// disables the cache entirely.
+type resultCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key string
+	val any
+}
+
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{cap: capacity, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// cacheKey builds a canonical cache key for op on tree.
+func cacheKey(tree, op string, args ...string) string {
+	return tree + "\x00" + op + "\x00" + strings.Join(args, "\x1f")
+}
+
+func (c *resultCache) get(key string) (any, bool) {
+	if c.cap <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+func (c *resultCache) put(key string, val any) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// invalidateTree drops every cached result of one tree.
+func (c *resultCache) invalidateTree(tree string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	prefix := tree + "\x00"
+	for key, el := range c.items {
+		if strings.HasPrefix(key, prefix) {
+			c.ll.Remove(el)
+			delete(c.items, key)
+		}
+	}
+}
+
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items)
+}

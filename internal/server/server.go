@@ -1,0 +1,925 @@
+// Package server is crimsond: Crimson's network face. It exposes the
+// repository — tree loading, the §2.2 structure queries, species data,
+// query history and benchmark runs — over an HTTP/JSON API so that many
+// clients can share one long-lived service, the deployment model the
+// paper's demo assumed (a shared data-management service for
+// phylogenetics groups) and the layer every scaling PR plugs into.
+//
+// Concurrency discipline: queries run on the repository's read path and
+// fan out up to Config.MaxInFlightReads at a time (a semaphore bounds
+// them; excess requests queue). Mutations — load, delete, species put —
+// serialize on a single writer mutex, honoring the storage engine's
+// many-readers/one-writer contract. Repeated projections, LCAs, clades
+// and pattern matches are served from a bounded LRU result cache that is
+// invalidated when its tree is deleted.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/benchmark"
+	"repro/internal/core"
+	"repro/internal/newick"
+	"repro/internal/nexus"
+	"repro/internal/queryrepo"
+	"repro/internal/recon"
+	"repro/internal/relstore"
+	"repro/internal/species"
+	"repro/internal/treecmp"
+	"repro/internal/treestore"
+)
+
+// Backend bundles the repositories the server exposes. All four share
+// one relational database (and therefore one lock discipline).
+type Backend struct {
+	DB      *relstore.DB
+	Trees   *treestore.Store
+	Species *species.Repo
+	Queries *queryrepo.Repo
+}
+
+// Config tunes the server. The zero value is usable.
+type Config struct {
+	// Addr is the listen address for Start/ListenAndServe
+	// (default ":8321").
+	Addr string
+	// MaxInFlightReads bounds concurrently executing read requests;
+	// excess requests wait for a slot (default 64).
+	MaxInFlightReads int
+	// ResultCacheSize is the LRU result-cache capacity in entries
+	// (default 1024; negative disables caching).
+	ResultCacheSize int
+	// MaxBodyBytes caps request bodies — tree uploads included
+	// (default 256 MiB).
+	MaxBodyBytes int64
+	// Logf receives server log lines (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = ":8321"
+	}
+	if c.MaxInFlightReads == 0 {
+		c.MaxInFlightReads = 64
+	}
+	if c.ResultCacheSize == 0 {
+		c.ResultCacheSize = 1024
+	}
+	if c.ResultCacheSize < 0 {
+		c.ResultCacheSize = 0
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 256 << 20
+	}
+	return c
+}
+
+// Server serves the crimsond HTTP API over one repository.
+type Server struct {
+	cfg   Config
+	be    Backend
+	mux   *http.ServeMux
+	stats *serverStats
+	cache *resultCache
+
+	readSem chan struct{} // bounds in-flight reads
+	writeMu sync.Mutex    // serializes the write path
+
+	handleMu sync.Mutex
+	handles  map[string]*treestore.Tree // per-tree handle cache
+	gens     map[string]uint64          // bumped on load/delete; guards stale inserts
+
+	httpSrv *http.Server
+	lnMu    sync.Mutex
+	ln      net.Listener
+}
+
+// New builds a server over the backend. Call Start, Serve or
+// ListenAndServe to accept connections, or use it directly as an
+// http.Handler.
+func New(be Backend, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		be:      be,
+		mux:     http.NewServeMux(),
+		stats:   newServerStats(),
+		cache:   newResultCache(cfg.ResultCacheSize),
+		readSem: make(chan struct{}, cfg.MaxInFlightReads),
+		handles: make(map[string]*treestore.Tree),
+		gens:    make(map[string]uint64),
+	}
+	s.routes()
+	s.httpSrv = &http.Server{Handler: s}
+	return s
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, "ok\n")
+	})
+	s.mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		s.stats.countRequest("stats")
+		writeJSON(w, http.StatusOK, s.snapshot())
+	})
+	s.mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, metricsText(s.snapshot()))
+	})
+
+	s.mux.HandleFunc("GET /v1/trees", s.read("trees", s.handleTrees))
+	s.mux.HandleFunc("POST /v1/trees/{name}", s.write("load", s.handleLoad))
+	s.mux.HandleFunc("GET /v1/trees/{name}", s.read("info", s.handleInfo))
+	s.mux.HandleFunc("DELETE /v1/trees/{name}", s.write("delete", s.handleDelete))
+	s.mux.HandleFunc("GET /v1/trees/{name}/project", s.read("project", s.handleProject))
+	s.mux.HandleFunc("GET /v1/trees/{name}/lca", s.read("lca", s.handleLCA))
+	s.mux.HandleFunc("GET /v1/trees/{name}/sample", s.read("sample", s.handleSample))
+	s.mux.HandleFunc("GET /v1/trees/{name}/clade", s.read("clade", s.handleClade))
+	s.mux.HandleFunc("POST /v1/trees/{name}/match", s.read("match", s.handleMatch))
+	s.mux.HandleFunc("POST /v1/trees/{name}/bench", s.read("bench", s.handleBench))
+	s.mux.HandleFunc("GET /v1/trees/{name}/export", s.readText("export", s.handleExport))
+
+	s.mux.HandleFunc("PUT /v1/trees/{name}/species/{sp}/{kind}", s.write("species_put", s.handleSpeciesPut))
+	s.mux.HandleFunc("GET /v1/trees/{name}/species/{sp}/{kind}", s.readText("species_get", s.handleSpeciesGet))
+	s.mux.HandleFunc("DELETE /v1/trees/{name}/species/{sp}/{kind}", s.write("species_delete", s.handleSpeciesDelete))
+	s.mux.HandleFunc("GET /v1/trees/{name}/species/{sp}", s.read("species_list", s.handleSpeciesList))
+
+	s.mux.HandleFunc("GET /v1/history", s.read("history", s.handleHistory))
+	s.mux.HandleFunc("GET /v1/history/{id}", s.read("history_get", s.handleHistoryGet))
+}
+
+// ServeHTTP makes the server usable as a plain http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	s.mux.ServeHTTP(w, r)
+}
+
+// Start listens on Config.Addr and serves in the background, returning
+// once the listener is bound (so Addr reports the real port, ephemeral
+// ports included).
+func (s *Server) Start() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	s.lnMu.Lock()
+	s.ln = ln
+	s.lnMu.Unlock()
+	go func() {
+		if err := s.httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			s.logf("crimsond: serve: %v", err)
+		}
+	}()
+	s.logf("crimsond: listening on %s", ln.Addr())
+	return nil
+}
+
+// Serve accepts connections on ln until Shutdown.
+func (s *Server) Serve(ln net.Listener) error {
+	s.lnMu.Lock()
+	s.ln = ln
+	s.lnMu.Unlock()
+	return s.httpSrv.Serve(ln)
+}
+
+// ListenAndServe listens on Config.Addr and blocks until Shutdown.
+func (s *Server) ListenAndServe() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Addr reports the bound listen address ("" before Start/Serve).
+func (s *Server) Addr() string {
+	s.lnMu.Lock()
+	defer s.lnMu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Shutdown gracefully drains in-flight requests, then commits the
+// repository so buffered query-history records reach the page file.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.httpSrv.Shutdown(ctx)
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	if cerr := s.be.DB.Commit(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func (s *Server) snapshot() StatsSnapshot {
+	s.handleMu.Lock()
+	open := len(s.handles)
+	s.handleMu.Unlock()
+	return s.stats.snapshot(s.cache.len(), open)
+}
+
+// generation reports the current generation of a tree name. Load and
+// delete bump it; readers snapshot it before touching the store so that
+// results computed against a tree that has since been dropped are never
+// inserted into the handle or result caches (a reader racing a DELETE
+// could otherwise resurrect a stale handle or cache entry).
+func (s *Server) generation(name string) uint64 {
+	s.handleMu.Lock()
+	defer s.handleMu.Unlock()
+	return s.gens[name]
+}
+
+// tree returns a cached handle on a stored tree, opening it on first use.
+func (s *Server) tree(name string) (*treestore.Tree, error) {
+	s.handleMu.Lock()
+	t := s.handles[name]
+	gen := s.gens[name]
+	s.handleMu.Unlock()
+	if t != nil {
+		return t, nil
+	}
+	t, err := s.be.Trees.Tree(name)
+	if err != nil {
+		return nil, err
+	}
+	s.handleMu.Lock()
+	switch prev, ok := s.handles[name]; {
+	case ok:
+		t = prev // another goroutine won the race; handles are read-only
+	case s.gens[name] == gen:
+		s.handles[name] = t
+	default:
+		// The tree was dropped while we opened it; serve this request
+		// from the stale handle but do not re-cache it.
+	}
+	s.handleMu.Unlock()
+	return t, nil
+}
+
+// cachePut inserts a computed result unless the tree moved to a new
+// generation since gen was snapshotted (atomic with dropTree's
+// invalidation: both run under handleMu).
+func (s *Server) cachePut(name string, gen uint64, key string, val any) {
+	s.handleMu.Lock()
+	defer s.handleMu.Unlock()
+	if s.gens[name] == gen {
+		s.cache.put(key, val)
+	}
+}
+
+func (s *Server) dropTree(name string) {
+	s.handleMu.Lock()
+	defer s.handleMu.Unlock()
+	delete(s.handles, name)
+	s.gens[name]++
+	s.cache.invalidateTree(name)
+}
+
+// --- handler plumbing ------------------------------------------------------
+
+type handlerFunc func(r *http.Request) (any, error)
+
+// read wraps a query handler: count it, take a read slot (bounded
+// in-flight), run, encode. A nil result encodes as 204 No Content.
+func (s *Server) read(op string, fn handlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.stats.countRequest(op)
+		select {
+		case s.readSem <- struct{}{}:
+		case <-r.Context().Done():
+			s.fail(w, http.StatusServiceUnavailable, errors.New("server overloaded"))
+			return
+		}
+		s.stats.inFlightReads.Add(1)
+		defer func() {
+			s.stats.inFlightReads.Add(-1)
+			<-s.readSem
+		}()
+		v, err := fn(r)
+		s.finish(w, v, err)
+	}
+}
+
+// write wraps a mutation handler: one at a time, honoring the storage
+// engine's single-writer contract.
+func (s *Server) write(op string, fn handlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.stats.countRequest(op)
+		s.writeMu.Lock()
+		defer s.writeMu.Unlock()
+		v, err := fn(r)
+		s.finish(w, v, err)
+	}
+}
+
+// readText wraps a query handler that produces a plain-text body.
+func (s *Server) readText(op string, fn func(r *http.Request) (string, string, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.stats.countRequest(op)
+		select {
+		case s.readSem <- struct{}{}:
+		case <-r.Context().Done():
+			s.fail(w, http.StatusServiceUnavailable, errors.New("server overloaded"))
+			return
+		}
+		s.stats.inFlightReads.Add(1)
+		defer func() {
+			s.stats.inFlightReads.Add(-1)
+			<-s.readSem
+		}()
+		body, contentType, err := fn(r)
+		if err != nil {
+			s.fail(w, errStatus(err), err)
+			return
+		}
+		w.Header().Set("Content-Type", contentType)
+		io.WriteString(w, body)
+	}
+}
+
+func (s *Server) finish(w http.ResponseWriter, v any, err error) {
+	if err != nil {
+		s.fail(w, errStatus(err), err)
+		return
+	}
+	if v == nil {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+func (s *Server) fail(w http.ResponseWriter, status int, err error) {
+	s.stats.errors.Add(1)
+	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+// httpErr carries an explicit status (bad parameters and the like).
+type httpErr struct {
+	status int
+	msg    string
+}
+
+func (e *httpErr) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) error {
+	return &httpErr{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+func errStatus(err error) int {
+	var he *httpErr
+	switch {
+	case errors.As(err, &he):
+		return he.status
+	case errors.Is(err, treestore.ErrNoTree), errors.Is(err, treestore.ErrNoNode),
+		errors.Is(err, species.ErrNoData), errors.Is(err, queryrepo.ErrNoEntry):
+		return http.StatusNotFound
+	case errors.Is(err, treestore.ErrTreeExists):
+		return http.StatusConflict
+	case errors.Is(err, treestore.ErrBadName), errors.Is(err, species.ErrBadKey),
+		errors.Is(err, newick.ErrSyntax):
+		return http.StatusBadRequest
+	}
+	return http.StatusInternalServerError
+}
+
+func infoJSON(i treestore.TreeInfo) TreeInfo {
+	return TreeInfo{Name: i.Name, Nodes: i.Nodes, Leaves: i.Leaves, F: i.F, Layers: i.Layers, Depth: i.Depth}
+}
+
+func nodeJSON(n treestore.Node) Node {
+	return Node{ID: n.ID, Parent: n.Parent, Name: n.Name, Length: n.Length,
+		Depth: n.Depth, Dist: n.Dist, Leaf: n.Leaf, Size: n.Size}
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func queryInt(r *http.Request, key string, def int) (int, error) {
+	raw := r.URL.Query().Get(key)
+	if raw == "" {
+		return def, nil
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, badRequest("bad %s=%q: %v", key, raw, err)
+	}
+	return v, nil
+}
+
+func queryInt64(r *http.Request, key string, def int64) (int64, error) {
+	raw := r.URL.Query().Get(key)
+	if raw == "" {
+		return def, nil
+	}
+	v, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil {
+		return 0, badRequest("bad %s=%q: %v", key, raw, err)
+	}
+	return v, nil
+}
+
+// record appends to the query history; history is buffered until the
+// next commit (write endpoints and Shutdown commit).
+func (s *Server) record(kind string, args any, summary string) {
+	if _, err := s.be.Queries.Record(kind, args, summary); err != nil {
+		s.logf("crimsond: recording %s query: %v", kind, err)
+	}
+}
+
+// --- tree handlers ---------------------------------------------------------
+
+func (s *Server) handleTrees(r *http.Request) (any, error) {
+	infos, err := s.be.Trees.Trees()
+	if err != nil {
+		return nil, err
+	}
+	resp := TreesResponse{Trees: make([]TreeInfo, len(infos))}
+	for i, info := range infos {
+		resp.Trees[i] = infoJSON(info)
+	}
+	return resp, nil
+}
+
+func (s *Server) handleInfo(r *http.Request) (any, error) {
+	t, err := s.tree(r.PathValue("name"))
+	if err != nil {
+		return nil, err
+	}
+	return infoJSON(t.Info()), nil
+}
+
+// handleLoad stores a tree posted as a Newick or NEXUS body. The body
+// streams through the parser for NEXUS; Newick is read whole (the
+// grammar needs the full string) but still bounded by MaxBodyBytes.
+func (s *Server) handleLoad(r *http.Request) (any, error) {
+	name := r.PathValue("name")
+	f, err := queryInt(r, "f", core.DefaultFanout)
+	if err != nil {
+		return nil, err
+	}
+	format := r.URL.Query().Get("format")
+	if format == "" {
+		format = "newick"
+	}
+	progress := func(msg string) { s.logf("crimsond: load %s: %s", name, msg) }
+
+	resp := LoadResponse{}
+	switch format {
+	case "newick":
+		raw, err := io.ReadAll(r.Body)
+		if err != nil {
+			return nil, badRequest("reading body: %v", err)
+		}
+		t, err := newick.Parse(string(raw))
+		if err != nil {
+			return nil, err
+		}
+		st, err := s.be.Trees.Load(name, t, f, progress)
+		if err != nil {
+			return nil, err
+		}
+		resp.Tree = infoJSON(st.Info())
+	case "nexus":
+		doc, err := nexus.Parse(r.Body)
+		if err != nil {
+			return nil, badRequest("parsing NEXUS: %v", err)
+		}
+		if len(doc.Trees) == 0 {
+			return nil, badRequest("NEXUS document has no trees")
+		}
+		st, err := s.be.Trees.Load(name, doc.Trees[0].Tree, f, progress)
+		if err != nil {
+			return nil, err
+		}
+		resp.Tree = infoJSON(st.Info())
+		if ch := doc.Characters; ch != nil {
+			for _, taxon := range ch.Order {
+				if err := s.be.Species.Put(name, taxon, "seq:nexus", []byte(ch.Seqs[taxon])); err != nil {
+					// Compensate: don't leave a half-loaded tree behind
+					// (Load already committed the tree relations).
+					if derr := s.be.Trees.Delete(name); derr != nil {
+						s.logf("crimsond: rolling back partial load of %s: %v", name, derr)
+					}
+					if _, derr := s.be.Species.DeleteTree(name); derr != nil {
+						s.logf("crimsond: rolling back sequences of %s: %v", name, derr)
+					}
+					return nil, err
+				}
+			}
+			resp.Sequences = len(ch.Order)
+		}
+	default:
+		return nil, badRequest("unknown format %q (want newick or nexus)", format)
+	}
+	s.dropTree(name) // a fresh tree under a previously deleted name
+	s.record("load", map[string]any{"tree": name, "f": f, "nodes": resp.Tree.Nodes},
+		fmt.Sprintf("loaded %d nodes", resp.Tree.Nodes))
+	return resp, s.be.DB.Commit()
+}
+
+func (s *Server) handleDelete(r *http.Request) (any, error) {
+	name := r.PathValue("name")
+	if err := s.be.Trees.Delete(name); err != nil {
+		return nil, err
+	}
+	if _, err := s.be.Species.DeleteTree(name); err != nil {
+		return nil, err
+	}
+	s.dropTree(name)
+	s.record("delete", map[string]any{"tree": name}, "deleted")
+	return nil, s.be.DB.Commit()
+}
+
+func (s *Server) handleExport(r *http.Request) (string, string, error) {
+	t, err := s.tree(r.PathValue("name"))
+	if err != nil {
+		return "", "", err
+	}
+	full, err := t.Export()
+	if err != nil {
+		return "", "", err
+	}
+	return newick.String(full) + "\n", "text/x-newick; charset=utf-8", nil
+}
+
+// --- query handlers --------------------------------------------------------
+
+func (s *Server) handleProject(r *http.Request) (any, error) {
+	name := r.PathValue("name")
+	names := splitList(r.URL.Query().Get("species"))
+	if len(names) == 0 {
+		return nil, badRequest("species parameter is required")
+	}
+	sorted := append([]string(nil), names...)
+	sort.Strings(sorted)
+	key := cacheKey(name, "project", sorted...)
+	if v, ok := s.cache.get(key); ok {
+		s.stats.cacheHits.Add(1)
+		resp := v.(ProjectResponse)
+		resp.Cached = true
+		return resp, nil
+	}
+	s.stats.cacheMisses.Add(1)
+	gen := s.generation(name)
+	t, err := s.tree(name)
+	if err != nil {
+		return nil, err
+	}
+	projected, err := t.ProjectNames(names)
+	if err != nil {
+		return nil, err
+	}
+	resp := ProjectResponse{Newick: newick.String(projected), Leaves: projected.NumLeaves()}
+	s.cachePut(name, gen, key, resp)
+	s.record("project", map[string]any{"tree": name, "species": names}, resp.Newick)
+	return resp, nil
+}
+
+func (s *Server) handleLCA(r *http.Request) (any, error) {
+	name := r.PathValue("name")
+	a, b := r.URL.Query().Get("a"), r.URL.Query().Get("b")
+	if a == "" || b == "" {
+		return nil, badRequest("a and b parameters are required")
+	}
+	ka, kb := a, b
+	if ka > kb {
+		ka, kb = kb, ka // LCA is symmetric; canonicalize the key
+	}
+	key := cacheKey(name, "lca", ka, kb)
+	if v, ok := s.cache.get(key); ok {
+		s.stats.cacheHits.Add(1)
+		resp := v.(LCAResponse)
+		resp.Cached = true
+		return resp, nil
+	}
+	s.stats.cacheMisses.Add(1)
+	gen := s.generation(name)
+	t, err := s.tree(name)
+	if err != nil {
+		return nil, err
+	}
+	na, err := t.NodeByName(a)
+	if err != nil {
+		return nil, err
+	}
+	nb, err := t.NodeByName(b)
+	if err != nil {
+		return nil, err
+	}
+	id, err := t.LCA(na.ID, nb.ID)
+	if err != nil {
+		return nil, err
+	}
+	row, err := t.Node(id)
+	if err != nil {
+		return nil, err
+	}
+	resp := LCAResponse{Node: nodeJSON(row)}
+	s.cachePut(name, gen, key, resp)
+	s.record("lca", map[string]any{"tree": name, "a": a, "b": b}, fmt.Sprintf("node %d", id))
+	return resp, nil
+}
+
+func (s *Server) handleSample(r *http.Request) (any, error) {
+	name := r.PathValue("name")
+	k, err := queryInt(r, "k", 10)
+	if err != nil {
+		return nil, err
+	}
+	seed, err := queryInt64(r, "seed", 1)
+	if err != nil {
+		return nil, err
+	}
+	t, err := s.tree(name)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var rows []treestore.Node
+	timeRaw := r.URL.Query().Get("time")
+	timeArg := -1.0
+	if timeRaw != "" {
+		if timeArg, err = strconv.ParseFloat(timeRaw, 64); err != nil {
+			return nil, badRequest("bad time=%q: %v", timeRaw, err)
+		}
+		rows, err = t.SampleWithTime(timeArg, k, rng)
+	} else {
+		rows, err = t.SampleUniform(k, rng)
+	}
+	if err != nil {
+		return nil, err
+	}
+	resp := SampleResponse{Species: make([]string, len(rows))}
+	for i, n := range rows {
+		resp.Species[i] = n.Name
+	}
+	sort.Strings(resp.Species)
+	s.record("sample", map[string]any{"tree": name, "k": k, "time": timeArg, "seed": seed},
+		strings.Join(resp.Species, " "))
+	return resp, nil
+}
+
+func (s *Server) handleClade(r *http.Request) (any, error) {
+	name := r.PathValue("name")
+	names := splitList(r.URL.Query().Get("species"))
+	if len(names) == 0 {
+		return nil, badRequest("species parameter is required")
+	}
+	sorted := append([]string(nil), names...)
+	sort.Strings(sorted)
+	key := cacheKey(name, "clade", sorted...)
+	if v, ok := s.cache.get(key); ok {
+		s.stats.cacheHits.Add(1)
+		resp := v.(CladeResponse)
+		resp.Cached = true
+		return resp, nil
+	}
+	s.stats.cacheMisses.Add(1)
+	gen := s.generation(name)
+	t, err := s.tree(name)
+	if err != nil {
+		return nil, err
+	}
+	ids := make([]int, len(names))
+	for i, sp := range names {
+		row, err := t.NodeByName(sp)
+		if err != nil {
+			return nil, err
+		}
+		ids[i] = row.ID
+	}
+	clade, err := t.MinimalSpanningClade(ids)
+	if err != nil {
+		return nil, err
+	}
+	resp := CladeResponse{Root: nodeJSON(clade[0]), Nodes: len(clade)}
+	for _, n := range clade {
+		if n.Leaf {
+			resp.Leaves++
+			resp.Species = append(resp.Species, n.Name)
+		}
+	}
+	sort.Strings(resp.Species)
+	s.cachePut(name, gen, key, resp)
+	s.record("clade", map[string]any{"tree": name, "species": names},
+		fmt.Sprintf("%d nodes", resp.Nodes))
+	return resp, nil
+}
+
+func (s *Server) handleMatch(r *http.Request) (any, error) {
+	name := r.PathValue("name")
+	raw, err := io.ReadAll(r.Body)
+	if err != nil {
+		return nil, badRequest("reading pattern body: %v", err)
+	}
+	pattern, err := newick.Parse(string(raw))
+	if err != nil {
+		return nil, err
+	}
+	canonical := newick.String(pattern)
+	key := cacheKey(name, "match", canonical)
+	if v, ok := s.cache.get(key); ok {
+		s.stats.cacheHits.Add(1)
+		resp := v.(MatchResponse)
+		resp.Cached = true
+		return resp, nil
+	}
+	s.stats.cacheMisses.Add(1)
+	gen := s.generation(name)
+	t, err := s.tree(name)
+	if err != nil {
+		return nil, err
+	}
+	projected, err := t.ProjectNames(pattern.LeafNames())
+	if err != nil {
+		return nil, err
+	}
+	rf, err := treecmp.RobinsonFoulds(projected, pattern)
+	if err != nil {
+		return nil, err
+	}
+	norm, err := treecmp.NormalizedRF(projected, pattern)
+	if err != nil {
+		return nil, err
+	}
+	resp := MatchResponse{Exact: rf == 0, RF: rf, NormRF: norm, Projected: newick.String(projected)}
+	s.cachePut(name, gen, key, resp)
+	s.record("match", map[string]any{"tree": name, "pattern": canonical},
+		fmt.Sprintf("RF=%d", rf))
+	return resp, nil
+}
+
+// handleBench runs the Benchmark Manager against a stored gold tree.
+// It executes on the read path: the gold tree is exported once and the
+// whole run is in-memory from there.
+func (s *Server) handleBench(r *http.Request) (any, error) {
+	name := r.PathValue("name")
+	var req BenchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		return nil, badRequest("decoding bench request: %v", err)
+	}
+	t, err := s.tree(name)
+	if err != nil {
+		return nil, err
+	}
+	gold, err := t.Export()
+	if err != nil {
+		return nil, err
+	}
+	cfg := benchmark.Config{
+		Gold:        gold,
+		SeqLength:   req.SeqLength,
+		SampleSizes: req.Sizes,
+		Replicates:  req.Replicates,
+		Seed:        req.Seed,
+		Parallel:    req.Parallel,
+	}
+	if len(cfg.SampleSizes) == 0 {
+		cfg.SampleSizes = []int{10, 50, 100}
+	}
+	for _, a := range req.Algorithms {
+		if a == "MP" || a == "mp" {
+			cfg.SeqAlgorithms = append(cfg.SeqAlgorithms, recon.Parsimony{Seed: req.Seed})
+			continue
+		}
+		alg, err := recon.ByName(a)
+		if err != nil {
+			return nil, badRequest("%v", err)
+		}
+		cfg.Algorithms = append(cfg.Algorithms, alg)
+	}
+	if req.Time != nil {
+		cfg.Method = benchmark.TimeConstrained
+		cfg.Time = *req.Time
+	}
+	rep, err := benchmark.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.record("bench", map[string]any{"tree": name, "sizes": cfg.SampleSizes,
+		"reps": cfg.Replicates, "algs": req.Algorithms}, "benchmark complete")
+	return rep.JSON(), nil
+}
+
+// --- species handlers ------------------------------------------------------
+
+func (s *Server) handleSpeciesPut(r *http.Request) (any, error) {
+	name, sp, kind := r.PathValue("name"), r.PathValue("sp"), r.PathValue("kind")
+	data, err := io.ReadAll(r.Body)
+	if err != nil {
+		return nil, badRequest("reading body: %v", err)
+	}
+	if err := s.be.Species.Put(name, sp, kind, data); err != nil {
+		return nil, err
+	}
+	return nil, s.be.DB.Commit()
+}
+
+func (s *Server) handleSpeciesGet(r *http.Request) (string, string, error) {
+	data, err := s.be.Species.Get(r.PathValue("name"), r.PathValue("sp"), r.PathValue("kind"))
+	if err != nil {
+		return "", "", err
+	}
+	return string(data), "application/octet-stream", nil
+}
+
+func (s *Server) handleSpeciesDelete(r *http.Request) (any, error) {
+	ok, err := s.be.Species.Delete(r.PathValue("name"), r.PathValue("sp"), r.PathValue("kind"))
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("%w: %s/%s/%s", species.ErrNoData,
+			r.PathValue("name"), r.PathValue("sp"), r.PathValue("kind"))
+	}
+	return nil, s.be.DB.Commit()
+}
+
+func (s *Server) handleSpeciesList(r *http.Request) (any, error) {
+	recs, err := s.be.Species.List(r.PathValue("name"), r.PathValue("sp"))
+	if err != nil {
+		return nil, err
+	}
+	resp := SpeciesListResponse{Records: make([]SpeciesRecord, len(recs))}
+	for i, rec := range recs {
+		resp.Records[i] = SpeciesRecord{Tree: rec.Tree, Species: rec.Species, Kind: rec.Kind, Data: rec.Data}
+	}
+	return resp, nil
+}
+
+// --- history handlers ------------------------------------------------------
+
+func entryJSON(e queryrepo.Entry) HistoryEntry {
+	return HistoryEntry{ID: e.ID, Time: e.Time, Kind: e.Kind, Args: e.Args, Summary: e.Summary}
+}
+
+func (s *Server) handleHistory(r *http.Request) (any, error) {
+	var entries []queryrepo.Entry
+	var err error
+	if kind := r.URL.Query().Get("kind"); kind != "" {
+		entries, err = s.be.Queries.ByKind(kind)
+	} else {
+		limit, lerr := queryInt(r, "limit", 50)
+		if lerr != nil {
+			return nil, lerr
+		}
+		entries, err = s.be.Queries.History(limit)
+	}
+	if err != nil {
+		return nil, err
+	}
+	resp := HistoryResponse{Entries: make([]HistoryEntry, len(entries))}
+	for i, e := range entries {
+		resp.Entries[i] = entryJSON(e)
+	}
+	return resp, nil
+}
+
+func (s *Server) handleHistoryGet(r *http.Request) (any, error) {
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+	if err != nil {
+		return nil, badRequest("bad history id %q", r.PathValue("id"))
+	}
+	e, err := s.be.Queries.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	return entryJSON(e), nil
+}

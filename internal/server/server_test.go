@@ -1,0 +1,463 @@
+// End-to-end tests for crimsond: a real server on an ephemeral port,
+// driven through the typed client, with results checked against the
+// in-process repository API.
+package server_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	crimson "repro"
+	"repro/client"
+	"repro/internal/phylo"
+	"repro/internal/treegen"
+)
+
+// startServer opens an in-memory repository, serves it on an ephemeral
+// port, and returns the repository plus a client on the live wire path.
+func startServer(t *testing.T, cfg crimson.ServerConfig) (*crimson.Repository, *client.Client) {
+	t.Helper()
+	repo := crimson.OpenMem()
+	cfg.Addr = "127.0.0.1:0"
+	srv := repo.NewServer(cfg)
+	if err := srv.Start(); err != nil {
+		t.Fatalf("starting server: %v", err)
+	}
+	t.Cleanup(func() {
+		if err := srv.Shutdown(context.Background()); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+		repo.Close()
+	})
+	return repo, client.New("http://"+srv.Addr(), nil)
+}
+
+func yule(t *testing.T, leaves int, seed int64) *phylo.Tree {
+	t.Helper()
+	tree, err := treegen.Yule(leaves, 1.0, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatalf("generating tree: %v", err)
+	}
+	return tree
+}
+
+// TestEndToEnd loads a >=1k-leaf tree over HTTP and checks every query
+// endpoint against the in-process API.
+func TestEndToEnd(t *testing.T) {
+	repo, cl := startServer(t, crimson.ServerConfig{})
+	gold := yule(t, 1200, 7)
+
+	info, err := cl.LoadTree("gold", 0, gold)
+	if err != nil {
+		t.Fatalf("loading over HTTP: %v", err)
+	}
+	if info.Leaves != 1200 || info.Nodes != gold.NumNodes() {
+		t.Fatalf("load info = %+v, want %d nodes / 1200 leaves", info, gold.NumNodes())
+	}
+
+	// The in-process view of the same repository.
+	st, err := repo.Tree("gold")
+	if err != nil {
+		t.Fatalf("opening stored tree in-process: %v", err)
+	}
+
+	// Sampling is seeded, so the wire path must reproduce the in-process
+	// draw exactly.
+	wire, err := cl.SampleUniform("gold", 40, 99)
+	if err != nil {
+		t.Fatalf("sample over HTTP: %v", err)
+	}
+	rows, err := st.SampleUniform(40, rand.New(rand.NewSource(99)))
+	if err != nil {
+		t.Fatalf("sample in-process: %v", err)
+	}
+	local := make([]string, len(rows))
+	for i, n := range rows {
+		local[i] = n.Name
+	}
+	sort.Strings(local) // the server returns names sorted; in-process sorts by id
+	if strings.Join(wire, " ") != strings.Join(local, " ") {
+		t.Fatalf("seeded sample differs:\nwire  = %v\nlocal = %v", wire, local)
+	}
+
+	// Projection over the sampled species: identical trees both ways.
+	projWire, err := cl.ProjectTree("gold", wire)
+	if err != nil {
+		t.Fatalf("project over HTTP: %v", err)
+	}
+	projLocal, err := st.ProjectNames(wire)
+	if err != nil {
+		t.Fatalf("project in-process: %v", err)
+	}
+	if !phylo.Equal(projWire, projLocal, 1e-9) {
+		t.Fatalf("projection differs between wire and in-process")
+	}
+
+	// LCA for several pairs.
+	for i := 0; i+1 < 10; i += 2 {
+		a, b := wire[i], wire[i+1]
+		resp, err := cl.LCA("gold", a, b)
+		if err != nil {
+			t.Fatalf("LCA(%s,%s) over HTTP: %v", a, b, err)
+		}
+		na, err := st.NodeByName(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nb, err := st.NodeByName(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := st.LCA(na.ID, nb.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Node.ID != want {
+			t.Fatalf("LCA(%s,%s) = %d over HTTP, %d in-process", a, b, resp.Node.ID, want)
+		}
+	}
+
+	// Pattern match: a projection of the stored tree must match exactly.
+	pattern, err := st.ProjectNames(wire[:8])
+	if err != nil {
+		t.Fatal(err)
+	}
+	match, err := cl.Match("gold", pattern)
+	if err != nil {
+		t.Fatalf("match over HTTP: %v", err)
+	}
+	if !match.Exact || match.RF != 0 {
+		t.Fatalf("projection pattern should match exactly, got %+v", match)
+	}
+
+	// Clade root equals the LCA of the species set.
+	clade, err := cl.Clade("gold", wire[:4])
+	if err != nil {
+		t.Fatalf("clade over HTTP: %v", err)
+	}
+	if clade.Nodes <= 0 || clade.Leaves < 4 {
+		t.Fatalf("clade = %+v", clade)
+	}
+
+	// Export round-trips the full tree.
+	exported, err := cl.Export("gold")
+	if err != nil {
+		t.Fatalf("export over HTTP: %v", err)
+	}
+	if exported.NumLeaves() != 1200 {
+		t.Fatalf("exported %d leaves, want 1200", exported.NumLeaves())
+	}
+
+	// Tree listing and info agree with the catalog.
+	trees, err := cl.Trees()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trees) != 1 || trees[0].Name != "gold" {
+		t.Fatalf("trees = %+v", trees)
+	}
+
+	// The query history saw the wire queries.
+	hist, err := cl.History(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := make(map[string]int)
+	for _, e := range hist {
+		kinds[e.Kind]++
+	}
+	for _, k := range []string{"load", "sample", "project", "lca", "match", "clade"} {
+		if kinds[k] == 0 {
+			t.Errorf("history has no %q entry (got %v)", k, kinds)
+		}
+	}
+}
+
+// TestCacheHitsVisibleInStats re-issues identical projections and LCAs
+// and expects the stats endpoint to count cache hits.
+func TestCacheHitsVisibleInStats(t *testing.T) {
+	_, cl := startServer(t, crimson.ServerConfig{})
+	gold := yule(t, 300, 3)
+	if _, err := cl.LoadTree("gold", 0, gold); err != nil {
+		t.Fatal(err)
+	}
+	species, err := cl.SampleUniform("gold", 12, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	first, err := cl.Project("gold", species)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Cached {
+		t.Fatalf("first projection claims to be cached")
+	}
+	for i := 0; i < 3; i++ {
+		again, err := cl.Project("gold", species)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !again.Cached {
+			t.Fatalf("repeat projection %d not served from cache", i)
+		}
+		if again.Newick != first.Newick {
+			t.Fatalf("cached projection differs from original")
+		}
+	}
+	clade1, err := cl.Clade("gold", species[:4])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clade1.Cached {
+		t.Fatalf("first clade claims to be cached")
+	}
+	clade2, err := cl.Clade("gold", species[:4])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !clade2.Cached {
+		t.Fatalf("repeat clade not served from cache")
+	}
+	if _, err := cl.LCA("gold", species[0], species[1]); err != nil {
+		t.Fatal(err)
+	}
+	// Reversed arguments must hit the same cache entry (LCA is symmetric).
+	rev, err := cl.LCA("gold", species[1], species[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rev.Cached {
+		t.Fatalf("symmetric LCA not served from cache")
+	}
+
+	stats, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.CacheHits < 4 {
+		t.Fatalf("stats report %d cache hits, want >= 4 (%+v)", stats.CacheHits, stats)
+	}
+	if stats.CacheEntries == 0 || stats.OpenTrees != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if stats.PerOp["project"] < 4 || stats.PerOp["lca"] < 2 {
+		t.Fatalf("per-op counters = %v", stats.PerOp)
+	}
+}
+
+// TestConcurrentClients drives the server from many goroutines at once
+// (run under -race in CI) while a writer loads and deletes other trees.
+func TestConcurrentClients(t *testing.T) {
+	repo, cl := startServer(t, crimson.ServerConfig{MaxInFlightReads: 8})
+	gold := yule(t, 400, 11)
+	if _, err := cl.LoadTree("gold", 0, gold); err != nil {
+		t.Fatal(err)
+	}
+	st, err := repo.Tree("gold")
+	if err != nil {
+		t.Fatal(err)
+	}
+	names, err := cl.SampleUniform("gold", 24, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLCA := make(map[string]int)
+	for i := 0; i+1 < len(names); i += 2 {
+		na, err := st.NodeByName(names[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		nb, err := st.NodeByName(names[i+1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		id, err := st.LCA(na.ID, nb.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantLCA[names[i]+"|"+names[i+1]] = id
+	}
+
+	const readers = 8
+	var wg sync.WaitGroup
+	errc := make(chan error, readers+1)
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for iter := 0; iter < 12; iter++ {
+				i := (g + iter) % (len(names) - 1)
+				if i%2 == 1 {
+					i--
+				}
+				resp, err := cl.LCA("gold", names[i], names[i+1])
+				if err != nil {
+					errc <- fmt.Errorf("reader %d: lca: %w", g, err)
+					return
+				}
+				if want := wantLCA[names[i]+"|"+names[i+1]]; resp.Node.ID != want {
+					errc <- fmt.Errorf("reader %d: LCA = %d, want %d", g, resp.Node.ID, want)
+					return
+				}
+				end := i + 6
+				if end > len(names) {
+					end = len(names)
+				}
+				if _, err := cl.Project("gold", names[i:end]); err != nil {
+					errc <- fmt.Errorf("reader %d: project: %w", g, err)
+					return
+				}
+				if _, err := cl.SampleUniform("gold", 5, int64(g*100+iter)); err != nil {
+					errc <- fmt.Errorf("reader %d: sample: %w", g, err)
+					return
+				}
+			}
+		}(g)
+	}
+	// One writer loads and deletes scratch trees while the readers run.
+	// (Scratch trees are generated up front: test helpers must not be
+	// called from non-test goroutines.)
+	scratch := make([]*phylo.Tree, 4)
+	for i := range scratch {
+		scratch[i] = yule(t, 60, int64(20+i))
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for iter := 0; iter < len(scratch); iter++ {
+			name := fmt.Sprintf("scratch%d", iter)
+			if _, err := cl.LoadTree(name, 0, scratch[iter]); err != nil {
+				errc <- fmt.Errorf("writer: load %s: %w", name, err)
+				return
+			}
+			if err := cl.Delete(name); err != nil {
+				errc <- fmt.Errorf("writer: delete %s: %w", name, err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+
+	stats, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.InFlightReads != 0 {
+		t.Fatalf("in-flight reads = %d after drain", stats.InFlightReads)
+	}
+	if stats.Errors != 0 {
+		t.Fatalf("server counted %d errors", stats.Errors)
+	}
+}
+
+// TestServerBenchAndSpeciesAndErrors covers the remaining endpoints:
+// server-side benchmark runs, species data, NEXUS loads and error
+// statuses.
+func TestServerBenchAndSpeciesAndErrors(t *testing.T) {
+	_, cl := startServer(t, crimson.ServerConfig{})
+	gold := yule(t, 64, 13)
+	if _, err := cl.LoadTree("gold", 0, gold); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := cl.Bench("gold", client.BenchRequest{
+		Sizes:      []int{8},
+		Replicates: 2,
+		Algorithms: []string{"NJ", "UPGMA"},
+		SeqLength:  120,
+		Seed:       1,
+	})
+	if err != nil {
+		t.Fatalf("bench over HTTP: %v", err)
+	}
+	if len(rep.Results) != 4 { // 1 size x 2 replicates x 2 algorithms
+		t.Fatalf("bench results = %d, want 4", len(rep.Results))
+	}
+	if len(rep.Summary) != 2 || rep.Config.GoldLeaves != 64 {
+		t.Fatalf("bench report = %+v", rep)
+	}
+
+	// A parsimony-only request must not pick up the NJ/UPGMA defaults.
+	mpOnly, err := cl.Bench("gold", client.BenchRequest{
+		Sizes: []int{6}, Replicates: 1, Algorithms: []string{"MP"}, SeqLength: 60, Seed: 2,
+	})
+	if err != nil {
+		t.Fatalf("MP-only bench: %v", err)
+	}
+	if len(mpOnly.Results) != 1 || mpOnly.Results[0].Algorithm != "MP" {
+		t.Fatalf("MP-only bench ran %+v, want exactly one MP result", mpOnly.Results)
+	}
+
+	// Species data round trip.
+	if err := cl.PutSpeciesData("gold", "s1", "seq:test", []byte("ACGT")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := cl.SpeciesData("gold", "s1", "seq:test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "ACGT" {
+		t.Fatalf("species data = %q", data)
+	}
+	recs, err := cl.ListSpeciesData("gold", "s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Kind != "seq:test" {
+		t.Fatalf("records = %+v", recs)
+	}
+	if err := cl.DeleteSpeciesData("gold", "s1", "seq:test"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.SpeciesData("gold", "s1", "seq:test"); !isStatus(err, 404) {
+		t.Fatalf("deleted species data: err = %v, want 404", err)
+	}
+
+	// Error statuses.
+	if _, err := cl.Info("nosuch"); !isStatus(err, 404) {
+		t.Fatalf("missing tree: err = %v, want 404", err)
+	}
+	if _, err := cl.LoadTree("gold", 0, gold); !isStatus(err, 409) {
+		t.Fatalf("duplicate load: err = %v, want 409", err)
+	}
+	if _, err := cl.LoadNewick("bad name", 0, strings.NewReader("(a,b);")); !isStatus(err, 400) {
+		t.Fatalf("bad name: err = %v, want 400", err)
+	}
+	if _, err := cl.LoadNewick("badbody", 0, strings.NewReader("((((")); !isStatus(err, 400) {
+		t.Fatalf("bad newick: err = %v, want 400", err)
+	}
+	if _, err := cl.Project("gold", nil); !isStatus(err, 400) {
+		t.Fatalf("empty projection: err = %v, want 400", err)
+	}
+
+	// Deleting a tree drops it from the catalog and the caches.
+	if err := cl.Delete("gold"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Info("gold"); !isStatus(err, 404) {
+		t.Fatalf("deleted tree still visible: %v", err)
+	}
+	stats, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.OpenTrees != 0 {
+		t.Fatalf("open trees = %d after delete", stats.OpenTrees)
+	}
+}
+
+func isStatus(err error, status int) bool {
+	var apiErr *client.APIError
+	return errors.As(err, &apiErr) && apiErr.Status == status
+}

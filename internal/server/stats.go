@@ -1,0 +1,79 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// serverStats holds the counters behind /v1/stats and /metrics. Hot
+// counters are atomics; the per-op map takes a small mutex.
+type serverStats struct {
+	start         time.Time
+	requests      atomic.Int64
+	errors        atomic.Int64
+	inFlightReads atomic.Int64
+	cacheHits     atomic.Int64
+	cacheMisses   atomic.Int64
+
+	mu    sync.Mutex
+	perOp map[string]int64
+}
+
+func newServerStats() *serverStats {
+	return &serverStats{start: time.Now(), perOp: make(map[string]int64)}
+}
+
+func (st *serverStats) countRequest(op string) {
+	st.requests.Add(1)
+	st.mu.Lock()
+	st.perOp[op]++
+	st.mu.Unlock()
+}
+
+// snapshot captures every counter; cacheEntries and openTrees are
+// supplied by the server since they live outside this struct.
+func (st *serverStats) snapshot(cacheEntries, openTrees int) StatsSnapshot {
+	st.mu.Lock()
+	perOp := make(map[string]int64, len(st.perOp))
+	for k, v := range st.perOp {
+		perOp[k] = v
+	}
+	st.mu.Unlock()
+	return StatsSnapshot{
+		UptimeSeconds: time.Since(st.start).Seconds(),
+		Requests:      st.requests.Load(),
+		Errors:        st.errors.Load(),
+		InFlightReads: st.inFlightReads.Load(),
+		CacheHits:     st.cacheHits.Load(),
+		CacheMisses:   st.cacheMisses.Load(),
+		CacheEntries:  cacheEntries,
+		OpenTrees:     openTrees,
+		PerOp:         perOp,
+	}
+}
+
+// metricsText renders the snapshot in Prometheus exposition style.
+func metricsText(s StatsSnapshot) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "crimsond_uptime_seconds %g\n", s.UptimeSeconds)
+	fmt.Fprintf(&sb, "crimsond_requests_total %d\n", s.Requests)
+	fmt.Fprintf(&sb, "crimsond_errors_total %d\n", s.Errors)
+	fmt.Fprintf(&sb, "crimsond_inflight_reads %d\n", s.InFlightReads)
+	fmt.Fprintf(&sb, "crimsond_cache_hits_total %d\n", s.CacheHits)
+	fmt.Fprintf(&sb, "crimsond_cache_misses_total %d\n", s.CacheMisses)
+	fmt.Fprintf(&sb, "crimsond_cache_entries %d\n", s.CacheEntries)
+	fmt.Fprintf(&sb, "crimsond_open_trees %d\n", s.OpenTrees)
+	ops := make([]string, 0, len(s.PerOp))
+	for op := range s.PerOp {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	for _, op := range ops {
+		fmt.Fprintf(&sb, "crimsond_requests{op=%q} %d\n", op, s.PerOp[op])
+	}
+	return sb.String()
+}

@@ -17,6 +17,10 @@ import (
 // ErrNoData is returned when a requested record does not exist.
 var ErrNoData = errors.New("species: no such record")
 
+// ErrBadKey is returned when a tree/species/kind key part is invalid
+// (callers can distinguish caller mistakes from storage failures).
+var ErrBadKey = errors.New("species: invalid key part")
+
 const tableName = "species_data"
 
 // Repo is the species data repository over a relational database.
@@ -56,10 +60,10 @@ func key(tree, sp, kind string) string { return tree + "/" + sp + "/" + kind }
 
 func validPart(s string) error {
 	if s == "" {
-		return errors.New("species: empty key part")
+		return fmt.Errorf("%w: empty", ErrBadKey)
 	}
 	if strings.ContainsRune(s, '/') {
-		return fmt.Errorf("species: key part %q contains '/'", s)
+		return fmt.Errorf("%w: %q contains '/'", ErrBadKey, s)
 	}
 	return nil
 }

@@ -765,10 +765,36 @@ func cmdServe(args []string) error {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "crimsond listening on %s (Ctrl-C to stop)\n", srv.Addr())
+	// Surface the MVCC machinery while serving: the committed epoch, how
+	// many snapshot readers are open, and the reclamation backlog.
+	stopStats := make(chan struct{})
+	if logf != nil {
+		go func() {
+			tick := time.NewTicker(30 * time.Second)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stopStats:
+					return
+				case <-tick.C:
+					mv := repo.MVCC()
+					logf("crimsond: mvcc epoch=%d open-snapshots=%d reclaim-pending-pages=%d",
+						mv.Epoch, mv.OpenSnapshots, mv.PendingReclaimPages)
+				}
+			}
+		}()
+	}
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	fmt.Fprintln(os.Stderr, "crimsond: shutting down")
+	close(stopStats)
+	if logf != nil {
+		mv := repo.MVCC()
+		logf("crimsond: shutting down (epoch=%d open-snapshots=%d reclaim-pending-pages=%d)",
+			mv.Epoch, mv.OpenSnapshots, mv.PendingReclaimPages)
+	} else {
+		fmt.Fprintln(os.Stderr, "crimsond: shutting down")
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer cancel()
 	return srv.Shutdown(ctx)

@@ -1,6 +1,7 @@
 package crimson_test
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -8,6 +9,7 @@ import (
 
 	crimson "repro"
 	"repro/internal/treegen"
+	"repro/internal/treestore"
 )
 
 // TestConcurrentReadersWithWriter is the repository-level stress test for
@@ -118,4 +120,153 @@ func TestConcurrentReadersWithWriter(t *testing.T) {
 	if st2.Info().Nodes != second.NumNodes() {
 		t.Fatalf("second tree has %d nodes, want %d", st2.Info().Nodes, second.NumNodes())
 	}
+}
+
+// TestSnapshotIsolationLoadDeleteStress is the MVCC stress test: 8
+// snapshot readers run Project, LCA and Sample against a tree that one
+// writer goroutine keeps loading and deleting in a loop. Every reader
+// iteration must see all-or-nothing: either the snapshot predates the
+// tree (ErrNoTree) or the tree is complete — full node count, every query
+// answering — no matter where the writer is mid-load or mid-delete. Run
+// with -race.
+func TestSnapshotIsolationLoadDeleteStress(t *testing.T) {
+	repo := crimson.OpenMem()
+	defer repo.Close()
+
+	// A stable tree gives readers guaranteed work on every iteration.
+	gold, err := treegen.Yule(1500, 1.0, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := repo.LoadTree("gold", gold, crimson.DefaultFanout, nil); err != nil {
+		t.Fatal(err)
+	}
+	flux, err := treegen.Yule(800, 1.0, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fluxNodes := flux.NumNodes()
+
+	const readers = 8
+	const cycles = 6
+	var wg sync.WaitGroup
+	errs := make(chan error, readers+1)
+	done := make(chan struct{})
+
+	// Writer: load→delete the flux tree in a loop.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(done)
+		for i := 0; i < cycles; i++ {
+			if _, err := repo.LoadTree("flux", flux, crimson.DefaultFanout, nil); err != nil {
+				errs <- fmt.Errorf("writer load %d: %w", i, err)
+				return
+			}
+			if err := repo.Trees.Delete("flux"); err != nil {
+				errs <- fmt.Errorf("writer delete %d: %w", i, err)
+				return
+			}
+		}
+	}()
+
+	sawWhole := make([]int, readers)
+	sawNone := make([]int, readers)
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(200 + g)))
+			for iter := 0; ; iter++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				sn := repo.Snapshot()
+				// The flux tree must be atomic: absent, or whole.
+				ft, err := sn.Tree("flux")
+				switch {
+				case err == nil:
+					info := ft.Info()
+					if info.Nodes != fluxNodes {
+						errs <- fmt.Errorf("reader %d: torn snapshot: flux has %d nodes, want %d", g, info.Nodes, fluxNodes)
+						sn.Close()
+						return
+					}
+					// Count every stored node row: mid-delete states would
+					// lose rows, mid-load states would miss tables.
+					leaves, err := ft.LeavesUnder(0)
+					if err != nil {
+						errs <- fmt.Errorf("reader %d: flux leaves: %w", g, err)
+						sn.Close()
+						return
+					}
+					if len(leaves) != info.Leaves {
+						errs <- fmt.Errorf("reader %d: torn snapshot: %d leaves scanned, info says %d", g, len(leaves), info.Leaves)
+						sn.Close()
+						return
+					}
+					if _, err := ft.LCA(r.Intn(info.Nodes), r.Intn(info.Nodes)); err != nil {
+						errs <- fmt.Errorf("reader %d: flux LCA: %w", g, err)
+						sn.Close()
+						return
+					}
+					sawWhole[g]++
+				case errors.Is(err, treestore.ErrNoTree):
+					sawNone[g]++ // snapshot predates this load cycle: fine
+				default:
+					errs <- fmt.Errorf("reader %d: open flux: %w", g, err)
+					sn.Close()
+					return
+				}
+				// The gold tree is always present; exercise the full query
+				// surface against the same snapshot.
+				gt, err := sn.Tree("gold")
+				if err != nil {
+					errs <- fmt.Errorf("reader %d: open gold: %w", g, err)
+					sn.Close()
+					return
+				}
+				rows, err := gt.SampleUniform(6, r)
+				if err != nil {
+					errs <- fmt.Errorf("reader %d: sample: %w", g, err)
+					sn.Close()
+					return
+				}
+				ids := make([]int, len(rows))
+				for j, row := range rows {
+					ids[j] = row.ID
+				}
+				if _, err := gt.Project(ids); err != nil {
+					errs <- fmt.Errorf("reader %d: project: %w", g, err)
+					sn.Close()
+					return
+				}
+				sn.Close()
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// The repository is intact, reclamation has caught up (no snapshots
+	// remain), and a final check passes.
+	if err := repo.Check(); err != nil {
+		t.Fatalf("post-stress integrity: %v", err)
+	}
+	mv := repo.MVCC()
+	if mv.OpenSnapshots != 0 {
+		t.Fatalf("%d snapshots still open after stress", mv.OpenSnapshots)
+	}
+	whole, none := 0, 0
+	for g := 0; g < readers; g++ {
+		whole += sawWhole[g]
+		none += sawNone[g]
+	}
+	t.Logf("readers observed flux whole %d times, absent %d times, across %d writer cycles (epoch %d, %d pages pending reclaim)",
+		whole, none, cycles, mv.Epoch, mv.PendingReclaimPages)
 }

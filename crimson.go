@@ -32,16 +32,24 @@
 //
 // # Concurrency
 //
-// A Repository supports many concurrent readers plus one writer. Query
-// methods on stored trees (Project, LCA, Sample*, NodeByName, pattern
-// match via ProjectNames) and on the species and query repositories take a
-// shared read lock and run in parallel from any number of goroutines.
-// Mutations — LoadTree, Delete, Species.Put, Queries.Record, Commit — take
-// the exclusive write lock; they are safe to issue while readers run (each
-// read operation serializes against the writer), but callers must not run
-// two writer goroutines at once. Loads use a sorted bulk-load fast path
-// that builds the node relation and its indexes bottom-up rather than one
-// B+tree descent per row. In-memory helpers (Index, Planner, pattern
+// A Repository is multi-version: the storage engine copy-on-writes every
+// page it mutates and publishes a new epoch at each commit, so readers
+// have two paths.
+//
+// Live handles (Tree, Species, Queries methods) take a shared read lock
+// per operation and see the writer's working state; they serialize against
+// each individual mutation. Mutations — LoadTree, Delete, Species.Put,
+// Queries.Record, Commit — take the exclusive write lock; callers must not
+// run two writer goroutines at once.
+//
+// Snapshots (Repository.Snapshot) pin the last committed epoch and read
+// lock-free: a projection, LCA, sample or export running on a snapshot
+// never waits on a concurrent bulk load or delete and always sees the
+// whole repository exactly as committed — mid-load and mid-delete states
+// are invisible. Superseded pages are reclaimed by epoch once the last
+// snapshot that could read them closes. Loads use a sorted bulk-load fast
+// path that builds the node relation and its indexes bottom-up rather than
+// one B+tree descent per row. In-memory helpers (Index, Planner, pattern
 // match, RunBenchmark) are read-only after construction and freely
 // shareable across goroutines.
 package crimson
@@ -66,6 +74,7 @@ import (
 	"repro/internal/seqsim"
 	"repro/internal/server"
 	"repro/internal/species"
+	"repro/internal/storage"
 	"repro/internal/treecmp"
 	"repro/internal/treegen"
 	"repro/internal/treestore"
@@ -116,6 +125,9 @@ type (
 	ServerConfig = server.Config
 	// ServerStats is the /v1/stats counter snapshot.
 	ServerStats = server.StatsSnapshot
+	// MVCCStats reports the storage engine's epoch, open snapshots and
+	// pages awaiting reclamation.
+	MVCCStats = storage.MVCCStats
 )
 
 // DefaultFanout is the default depth bound f for hierarchical labels.
@@ -247,6 +259,52 @@ func (r *Repository) LoadNexus(doc *NexusDocument, name string, f int, progress 
 
 // Tree opens a stored tree by name.
 func (r *Repository) Tree(name string) (*StoredTree, error) { return r.Trees.Tree(name) }
+
+// Snapshot is a consistent point-in-time read view of the whole
+// repository, pinned to the last committed epoch. Queries through it run
+// lock-free: they never wait on a concurrent LoadTree or Delete, and they
+// see every tree, species record and history entry exactly as committed —
+// a tree mid-load is invisible, a tree mid-delete is still whole. Close
+// releases the pin so the storage engine can reclaim superseded pages.
+type Snapshot struct {
+	rs *relstore.Snap
+	// TreeSnap, SpeciesView and QueryView expose the three repositories'
+	// snapshot read surfaces.
+	TreeSnap    *treestore.Snap
+	SpeciesView *species.View
+	QueryView   *queryrepo.View
+}
+
+// Snapshot pins the current committed state for lock-free reading.
+func (r *Repository) Snapshot() *Snapshot {
+	rs := r.db.Snapshot()
+	return &Snapshot{
+		rs:          rs,
+		TreeSnap:    treestore.SnapOn(rs),
+		SpeciesView: species.ViewOn(rs),
+		QueryView:   queryrepo.ViewOn(rs),
+	}
+}
+
+// Tree opens a stored tree as of the snapshot.
+func (s *Snapshot) Tree(name string) (*StoredTree, error) { return s.TreeSnap.Tree(name) }
+
+// Trees lists the trees stored as of the snapshot.
+func (s *Snapshot) Trees() ([]TreeInfo, error) { return s.TreeSnap.Trees() }
+
+// Epoch reports the committed epoch the snapshot reads.
+func (s *Snapshot) Epoch() uint64 { return s.rs.Epoch() }
+
+// Check verifies the integrity of the snapshot's state without blocking
+// the writer.
+func (s *Snapshot) Check() error { return s.rs.Check() }
+
+// Close releases the snapshot's epoch pin. Safe to call multiple times.
+func (s *Snapshot) Close() { s.rs.Close() }
+
+// MVCC reports the storage engine's current epoch, the number of open
+// snapshots, and the count of pages awaiting epoch reclamation.
+func (r *Repository) MVCC() MVCCStats { return r.db.MVCC() }
 
 // NewServer builds crimsond — the HTTP/JSON server — over this
 // repository. Start it with Start/ListenAndServe (or mount it as an

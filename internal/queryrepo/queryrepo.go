@@ -127,9 +127,16 @@ func decodeEntry(row relstore.Row) Entry {
 	}
 }
 
-// Get fetches one entry by id.
-func (r *Repo) Get(id int64) (Entry, error) {
-	row, ok, err := r.tab.Get(relstore.Int(id))
+// reader is the read surface the history queries need; both the live
+// table (lock-per-operation) and a snapshot view (lock-free) satisfy it.
+type reader interface {
+	Get(key relstore.Value) (relstore.Row, bool, error)
+	ScanRange(lo, hi relstore.Value, fn func(relstore.Row) (bool, error)) error
+	IndexScan(index string, vals []relstore.Value, fn func(relstore.Row) (bool, error)) error
+}
+
+func getEntry(tab reader, id int64) (Entry, error) {
+	row, ok, err := tab.Get(relstore.Int(id))
 	if err != nil {
 		return Entry{}, err
 	}
@@ -139,11 +146,9 @@ func (r *Repo) Get(id int64) (Entry, error) {
 	return decodeEntry(row), nil
 }
 
-// History returns up to limit most recent entries, newest first
-// (limit <= 0 means all).
-func (r *Repo) History(limit int) ([]Entry, error) {
+func history(tab reader, limit int) ([]Entry, error) {
 	var all []Entry
-	err := r.tab.ScanRange(relstore.Int(0), relstore.Value{}, func(row relstore.Row) (bool, error) {
+	err := tab.ScanRange(relstore.Int(0), relstore.Value{}, func(row relstore.Row) (bool, error) {
 		all = append(all, decodeEntry(row))
 		return true, nil
 	})
@@ -160,14 +165,76 @@ func (r *Repo) History(limit int) ([]Entry, error) {
 	return all, nil
 }
 
-// ByKind returns all entries of one query kind, oldest first.
-func (r *Repo) ByKind(kind string) ([]Entry, error) {
+func byKind(tab reader, kind string) ([]Entry, error) {
 	var out []Entry
-	err := r.tab.IndexScan("by_kind", []relstore.Value{relstore.Str(kind)}, func(row relstore.Row) (bool, error) {
+	err := tab.IndexScan("by_kind", []relstore.Value{relstore.Str(kind)}, func(row relstore.Row) (bool, error) {
 		out = append(out, decodeEntry(row))
 		return true, nil
 	})
 	return out, err
+}
+
+// Get fetches one entry by id.
+func (r *Repo) Get(id int64) (Entry, error) { return getEntry(r.tab, id) }
+
+// History returns up to limit most recent entries, newest first
+// (limit <= 0 means all).
+func (r *Repo) History(limit int) ([]Entry, error) { return history(r.tab, limit) }
+
+// ByKind returns all entries of one query kind, oldest first.
+func (r *Repo) ByKind(kind string) ([]Entry, error) { return byKind(r.tab, kind) }
+
+// View is a read-only snapshot view of the query history: Get, History and
+// ByKind run lock-free against the epoch the snapshot pinned, so browsing
+// history never waits behind a bulk load. Records committed after the
+// snapshot are invisible to it.
+type View struct {
+	rs *relstore.Snap
+}
+
+// ViewOn binds a history view to a relational snapshot (shared with the
+// tree and species repositories).
+func ViewOn(rs *relstore.Snap) *View { return &View{rs: rs} }
+
+func (v *View) reader() (reader, error) {
+	tab, err := v.rs.Table(tableName)
+	if errors.Is(err, relstore.ErrNoTable) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	return tab, nil
+}
+
+// Get fetches one entry by id as of the snapshot.
+func (v *View) Get(id int64) (Entry, error) {
+	tab, err := v.reader()
+	if err != nil {
+		return Entry{}, err
+	}
+	if tab == nil {
+		return Entry{}, fmt.Errorf("%w: %d", ErrNoEntry, id)
+	}
+	return getEntry(tab, id)
+}
+
+// History returns up to limit most recent entries as of the snapshot.
+func (v *View) History(limit int) ([]Entry, error) {
+	tab, err := v.reader()
+	if err != nil || tab == nil {
+		return nil, err
+	}
+	return history(tab, limit)
+}
+
+// ByKind returns all entries of one kind as of the snapshot.
+func (v *View) ByKind(kind string) ([]Entry, error) {
+	tab, err := v.reader()
+	if err != nil || tab == nil {
+		return nil, err
+	}
+	return byKind(tab, kind)
 }
 
 // UnmarshalArgs decodes an entry's JSON args for rerunning the query.

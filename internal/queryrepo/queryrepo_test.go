@@ -156,7 +156,7 @@ func TestIDsPersistAcrossHandles(t *testing.T) {
 func TestConcurrentRecordersAndReaders(t *testing.T) {
 	r := newRepo(t)
 	const (
-		recorders  = 8
+		recorders   = 8
 		perRecorder = 25
 	)
 	var wg sync.WaitGroup

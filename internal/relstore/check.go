@@ -1,7 +1,6 @@
 package relstore
 
 import (
-	"bytes"
 	"fmt"
 )
 
@@ -10,7 +9,8 @@ import (
 // row decodability against the schema, and bidirectional consistency
 // between each table and its secondary indexes (every row has exactly its
 // index entries; every index entry resolves to a live row). It is the
-// backing of the CLI's fsck command.
+// backing of the CLI's fsck command. The per-table logic lives on
+// TableView.Check, so snapshots can be checked the same way.
 func (db *DB) Check() error {
 	db.mu.RLock()
 	err := db.catalog.Check()
@@ -29,95 +29,6 @@ func (db *DB) Check() error {
 		}
 		if err := t.Check(); err != nil {
 			return err
-		}
-	}
-	return nil
-}
-
-// Check verifies one table (see DB.Check). It runs under the database read
-// lock, so checks proceed in parallel with other readers.
-func (t *Table) Check() error {
-	t.db.mu.RLock()
-	defer t.db.mu.RUnlock()
-	if err := t.primary.Check(); err != nil {
-		return fmt.Errorf("relstore: %s primary tree: %w", t.schema.Name, err)
-	}
-	for name, tree := range t.indexes {
-		if err := tree.Check(); err != nil {
-			return fmt.Errorf("relstore: %s index %s tree: %w", t.schema.Name, name, err)
-		}
-	}
-	// Forward pass: every row decodes, matches the schema, is keyed
-	// correctly, and owns one entry in every index.
-	rows := 0
-	c, err := t.primary.First()
-	if err != nil {
-		return err
-	}
-	defer c.Close()
-	for c.Valid() {
-		enc, err := c.Value()
-		if err != nil {
-			return err
-		}
-		row, err := decodeRow(enc)
-		if err != nil {
-			return fmt.Errorf("relstore: %s: undecodable row at key %x: %w", t.schema.Name, c.Key(), err)
-		}
-		if err := t.checkRow(row); err != nil {
-			return fmt.Errorf("relstore: %s: stored row violates schema: %w", t.schema.Name, err)
-		}
-		if !bytes.Equal(t.primaryKey(row), c.Key()) {
-			return fmt.Errorf("relstore: %s: row stored under wrong key %x", t.schema.Name, c.Key())
-		}
-		for _, ix := range t.schema.Indexes {
-			pk, ok, err := t.indexes[ix.Name].Get(t.indexKey(ix, row))
-			if err != nil {
-				return err
-			}
-			if !ok {
-				return fmt.Errorf("relstore: %s: row %s missing from index %s", t.schema.Name, row[t.keyCol], ix.Name)
-			}
-			if !bytes.Equal(pk, t.primaryKey(row)) {
-				return fmt.Errorf("relstore: %s: index %s entry for %s holds wrong primary key", t.schema.Name, ix.Name, row[t.keyCol])
-			}
-		}
-		rows++
-		if err := c.Next(); err != nil {
-			return err
-		}
-	}
-	// Reverse pass: every index entry points at a live row, and entry
-	// counts match the row count (no dangling or duplicate entries).
-	for _, ix := range t.schema.Indexes {
-		entries := 0
-		ic, err := t.indexes[ix.Name].First()
-		if err != nil {
-			return err
-		}
-		for ic.Valid() {
-			pk, err := ic.Value()
-			if err != nil {
-				ic.Close()
-				return err
-			}
-			if ok, err := t.primary.Has(pk); err != nil {
-				ic.Close()
-				return err
-			} else if !ok {
-				err := fmt.Errorf("relstore: %s: index %s entry %x dangles", t.schema.Name, ix.Name, ic.Key())
-				ic.Close()
-				return err
-			}
-			entries++
-			if err := ic.Next(); err != nil {
-				ic.Close()
-				return err
-			}
-		}
-		ic.Close()
-		if entries != rows {
-			return fmt.Errorf("relstore: %s: index %s has %d entries for %d rows", t.schema.Name, ix.Name, entries, rows)
 		}
 	}
 	return nil

@@ -29,16 +29,18 @@ type catalogEntry struct {
 // in one page file, with a persistent catalog. All mutations become durable
 // at Commit (or Close).
 //
-// Concurrency: the database follows a many-readers/one-writer discipline
-// enforced by an internal RWMutex shared by every table. Read operations
-// (Get, Scan, ScanRange, IndexScan, IndexRange, Len, Check) take the read
-// lock and run in parallel from any number of goroutines; mutations
-// (Insert, Put, Delete, BulkInsert, CreateTable, DropTable) and Commit take
-// the write lock and exclude everything else. Scan callbacks run with the
-// read lock held and therefore must not invoke mutating DB or Table
-// methods; calling further *read* methods from a callback is also unsafe
-// (a waiting writer can deadlock a re-entrant read lock) — collect what
-// the callback needs and issue follow-up reads after the scan returns.
+// Concurrency: the database is multi-version. Live tables follow a
+// many-readers/one-writer discipline enforced by an internal RWMutex: read
+// operations (Get, Scan, ScanRange, IndexScan, IndexRange, Len, Check)
+// take the read lock, mutations (Insert, Put, Delete, BulkInsert,
+// CreateTable, DropTable) and Commit take the write lock. Live-table scan
+// callbacks run with the read lock held and must not invoke further DB or
+// Table methods (a waiting writer can deadlock a re-entrant read lock).
+//
+// For reads that must never wait on a writer — the server's query path,
+// long analytical scans during bulk loads — take a Snapshot instead: its
+// table views read copy-on-write pages pinned at the last committed epoch
+// and acquire no database lock at all.
 type DB struct {
 	mu      sync.RWMutex
 	store   *storage.Store
@@ -79,6 +81,11 @@ func newDB(store *storage.Store) (*DB, error) {
 		}
 		db.catalog = tree
 		store.SetRoot(catalogRootSlot, tree.Root())
+		// Publish the empty catalog so snapshots taken before the first
+		// user commit see an empty database rather than no database.
+		if err := store.Commit(); err != nil {
+			return nil, err
+		}
 	} else {
 		db.catalog = storage.OpenBTree(store, root)
 	}
@@ -87,6 +94,10 @@ func newDB(store *storage.Store) (*DB, error) {
 
 // Store exposes the underlying page store (used by tests and fsck).
 func (db *DB) Store() *storage.Store { return db.store }
+
+// MVCC reports the storage engine's epoch, open snapshot count and
+// reclamation backlog (surfaced in server stats and serve logs).
+func (db *DB) MVCC() storage.MVCCStats { return db.store.MVCC() }
 
 // CreateTable creates a new table from schema.
 func (db *DB) CreateTable(schema Schema) (*Table, error) {
@@ -106,11 +117,13 @@ func (db *DB) CreateTable(schema Schema) (*Table, error) {
 	}
 	keyCol, _ := schema.colIndex(schema.Key)
 	t := &Table{
+		TableView: TableView{
+			schema:  schema,
+			keyCol:  keyCol,
+			primary: primary,
+			indexes: make(map[string]*storage.BTree, len(schema.Indexes)),
+		},
 		db:          db,
-		schema:      schema,
-		keyCol:      keyCol,
-		primary:     primary,
-		indexes:     make(map[string]*storage.BTree, len(schema.Indexes)),
 		primaryRoot: primary.Root(),
 		indexRoots:  make(map[string]storage.PageID, len(schema.Indexes)),
 	}
@@ -153,11 +166,13 @@ func (db *DB) loadTable(name string) (*Table, error) {
 	}
 	keyCol, _ := ent.Schema.colIndex(ent.Schema.Key)
 	t := &Table{
+		TableView: TableView{
+			schema:  ent.Schema,
+			keyCol:  keyCol,
+			primary: storage.OpenBTree(db.store, ent.PrimaryRoot),
+			indexes: make(map[string]*storage.BTree, len(ent.IndexRoots)),
+		},
 		db:          db,
-		schema:      ent.Schema,
-		keyCol:      keyCol,
-		primary:     storage.OpenBTree(db.store, ent.PrimaryRoot),
-		indexes:     make(map[string]*storage.BTree, len(ent.IndexRoots)),
 		primaryRoot: ent.PrimaryRoot,
 		indexRoots:  make(map[string]storage.PageID, len(ent.IndexRoots)),
 	}
@@ -188,11 +203,17 @@ func (db *DB) Tables() ([]string, error) {
 	return names, nil
 }
 
-// DropTable removes the table from the catalog. Its pages are left to the
-// free list lazily (no eager page reclamation).
+// DropTable removes the table from the catalog and retires every page of
+// its primary tree and indexes through epoch reclamation: snapshots opened
+// before the drop keep reading the relation until they close, after which
+// the pages return to the free list — deletes no longer leak space.
 func (db *DB) DropTable(name string) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	t, err := db.loadTable(name)
+	if err != nil {
+		return err
+	}
 	ok, err := db.catalog.Delete(catalogKey(name))
 	if err != nil {
 		return err
@@ -202,12 +223,21 @@ func (db *DB) DropTable(name string) error {
 	}
 	delete(db.tables, name)
 	db.syncCatalogRoot()
+	if err := t.primary.RetireAll(); err != nil {
+		return err
+	}
+	for _, tree := range t.indexes {
+		if err := tree.RetireAll(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
 // noteRootsLocked re-saves the table's catalog entry if any of its B+tree
-// roots moved due to splits. Called by tables after each mutation; the
-// caller holds the database write lock.
+// roots moved. Under copy-on-write roots move on nearly every mutation.
+// Called by tables after each mutation; the caller holds the database
+// write lock.
 func (db *DB) noteRootsLocked(t *Table) error {
 	moved := t.primary.Root() != t.primaryRoot
 	if !moved {
@@ -249,8 +279,9 @@ func (db *DB) syncCatalogRoot() {
 
 func catalogKey(name string) []byte { return []byte("table/" + name) }
 
-// Commit makes all buffered changes durable. It takes the database write
-// lock, so a commit never interleaves with in-flight readers.
+// Commit makes all buffered changes durable and publishes them as a new
+// epoch: snapshots taken after Commit see the new state, snapshots taken
+// before keep their own.
 func (db *DB) Commit() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()

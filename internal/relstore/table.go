@@ -95,7 +95,10 @@ var (
 // Table is a stored relation: a primary B+tree keyed by the encoded primary
 // key holding encoded rows, plus one B+tree per secondary index whose keys
 // are (indexed columns..., primary key) and whose values are the encoded
-// primary key.
+// primary key. The embedded TableView carries the read logic; Table wraps
+// each read with the database read lock so live reads coordinate with the
+// writer. For reads that must not block behind a writer, take a snapshot
+// (DB.Snapshot) and use the snapshot's lock-free views instead.
 //
 // Concurrency follows the owning DB's discipline: Get, Len and the scan
 // methods take the shared database read lock and may run from many
@@ -103,68 +106,12 @@ var (
 // lock. Scan callbacks run under the read lock and must not call back into
 // the database (see the DB doc comment).
 type Table struct {
-	db      *DB
-	schema  Schema
-	keyCol  int
-	primary *storage.BTree
-	indexes map[string]*storage.BTree
+	TableView
+	db *DB
 
 	// Roots recorded in the catalog; used to detect root movement.
 	primaryRoot storage.PageID
 	indexRoots  map[string]storage.PageID
-}
-
-// Schema returns a copy of the table's schema.
-func (t *Table) Schema() Schema {
-	s := t.schema
-	s.Columns = append([]Column(nil), t.schema.Columns...)
-	s.Indexes = append([]Index(nil), t.schema.Indexes...)
-	return s
-}
-
-// Name returns the table name.
-func (t *Table) Name() string { return t.schema.Name }
-
-func (t *Table) checkRow(row Row) error {
-	if len(row) != len(t.schema.Columns) {
-		return fmt.Errorf("%w: %d values for %d columns", ErrSchemaRow, len(row), len(t.schema.Columns))
-	}
-	for i, v := range row {
-		if v.Type != t.schema.Columns[i].Type {
-			return fmt.Errorf("%w: column %s wants %s, got %s",
-				ErrSchemaRow, t.schema.Columns[i].Name, t.schema.Columns[i].Type, v.Type)
-		}
-	}
-	return nil
-}
-
-func (t *Table) primaryKey(row Row) []byte { return EncodeKey(row[t.keyCol]) }
-
-func (t *Table) indexKey(ix Index, row Row) []byte {
-	vals := make([]Value, 0, len(ix.Columns)+1)
-	for _, c := range ix.Columns {
-		ci, _ := t.schema.colIndex(c)
-		vals = append(vals, row[ci])
-	}
-	vals = append(vals, row[t.keyCol])
-	return EncodeKey(vals...)
-}
-
-// indexPrefix encodes just the indexed column values, for prefix scans.
-func (t *Table) indexPrefix(ix Index, vals []Value) ([]byte, error) {
-	if len(vals) > len(ix.Columns) {
-		return nil, fmt.Errorf("relstore: %d values for %d-column index %s", len(vals), len(ix.Columns), ix.Name)
-	}
-	var key []byte
-	for i, v := range vals {
-		ci, _ := t.schema.colIndex(ix.Columns[i])
-		if v.Type != t.schema.Columns[ci].Type {
-			return nil, fmt.Errorf("%w: index %s column %s wants %s, got %s",
-				ErrSchemaRow, ix.Name, ix.Columns[i], t.schema.Columns[ci].Type, v.Type)
-		}
-		key = appendTupleValue(key, v)
-	}
-	return key, nil
 }
 
 // Insert adds a new row; it fails with ErrDuplicateKey if the primary key
@@ -364,41 +311,11 @@ func (t *Table) write(pk []byte, row, old Row) error {
 	return t.db.noteRootsLocked(t)
 }
 
-func (t *Table) indexVals(ix Index, row Row) []Value {
-	vals := make([]Value, len(ix.Columns))
-	for i, c := range ix.Columns {
-		ci, _ := t.schema.colIndex(c)
-		vals[i] = row[ci]
-	}
-	return vals
-}
-
-// Get fetches the row with the given primary key value. Safe for
-// concurrent readers.
-func (t *Table) Get(key Value) (Row, bool, error) {
-	t.db.mu.RLock()
-	defer t.db.mu.RUnlock()
-	return t.getLocked(key)
-}
-
-func (t *Table) getLocked(key Value) (Row, bool, error) {
-	if key.Type != t.schema.Columns[t.keyCol].Type {
-		return nil, false, fmt.Errorf("%w: key wants %s, got %s",
-			ErrSchemaRow, t.schema.Columns[t.keyCol].Type, key.Type)
-	}
-	enc, ok, err := t.primary.Get(EncodeKey(key))
-	if err != nil || !ok {
-		return nil, false, err
-	}
-	row, err := decodeRow(enc)
-	return row, err == nil, err
-}
-
 // Delete removes the row with the given primary key, reporting presence.
 func (t *Table) Delete(key Value) (bool, error) {
 	t.db.mu.Lock()
 	defer t.db.mu.Unlock()
-	row, ok, err := t.getLocked(key)
+	row, ok, err := t.TableView.Get(key)
 	if err != nil || !ok {
 		return false, err
 	}
@@ -414,11 +331,25 @@ func (t *Table) Delete(key Value) (bool, error) {
 	return true, t.db.noteRootsLocked(t)
 }
 
+// --- locked read wrappers ---------------------------------------------------
+//
+// Each read method shadows the embedded TableView's with a version that
+// holds the database read lock, so live reads never observe a half-applied
+// mutation. Snapshot views (Snap.Table) skip the lock entirely.
+
+// Get fetches the row with the given primary key value. Safe for
+// concurrent readers.
+func (t *Table) Get(key Value) (Row, bool, error) {
+	t.db.mu.RLock()
+	defer t.db.mu.RUnlock()
+	return t.TableView.Get(key)
+}
+
 // Len returns the row count. Safe for concurrent readers.
 func (t *Table) Len() (int, error) {
 	t.db.mu.RLock()
 	defer t.db.mu.RUnlock()
-	return t.primary.Len()
+	return t.TableView.Len()
 }
 
 // Scan visits all rows in primary key order. The callback returns false to
@@ -427,11 +358,7 @@ func (t *Table) Len() (int, error) {
 func (t *Table) Scan(fn func(Row) (bool, error)) error {
 	t.db.mu.RLock()
 	defer t.db.mu.RUnlock()
-	c, err := t.primary.First()
-	if err != nil {
-		return err
-	}
-	return t.scanCursor(c, nil, fn)
+	return t.TableView.Scan(fn)
 }
 
 // ScanRange visits rows with primary key in [lo, hi); either bound may be
@@ -439,46 +366,7 @@ func (t *Table) Scan(fn func(Row) (bool, error)) error {
 func (t *Table) ScanRange(lo, hi Value, fn func(Row) (bool, error)) error {
 	t.db.mu.RLock()
 	defer t.db.mu.RUnlock()
-	var c *storage.Cursor
-	var err error
-	if lo.Type == 0 {
-		c, err = t.primary.First()
-	} else {
-		c, err = t.primary.Seek(EncodeKey(lo))
-	}
-	if err != nil {
-		return err
-	}
-	var hiKey []byte
-	if hi.Type != 0 {
-		hiKey = EncodeKey(hi)
-	}
-	return t.scanCursor(c, hiKey, fn)
-}
-
-func (t *Table) scanCursor(c *storage.Cursor, hiKey []byte, fn func(Row) (bool, error)) error {
-	defer c.Close()
-	for c.Valid() {
-		if hiKey != nil && bytes.Compare(c.Key(), hiKey) >= 0 {
-			return nil
-		}
-		enc, err := c.Value()
-		if err != nil {
-			return err
-		}
-		row, err := decodeRow(enc)
-		if err != nil {
-			return err
-		}
-		cont, err := fn(row)
-		if err != nil || !cont {
-			return err
-		}
-		if err := c.Next(); err != nil {
-			return err
-		}
-	}
-	return nil
+	return t.TableView.ScanRange(lo, hi, fn)
 }
 
 // IndexScan visits rows whose indexed columns equal vals (a prefix of the
@@ -487,44 +375,7 @@ func (t *Table) scanCursor(c *storage.Cursor, hiKey []byte, fn func(Row) (bool, 
 func (t *Table) IndexScan(index string, vals []Value, fn func(Row) (bool, error)) error {
 	t.db.mu.RLock()
 	defer t.db.mu.RUnlock()
-	ix, tree, err := t.findIndex(index)
-	if err != nil {
-		return err
-	}
-	prefix, err := t.indexPrefix(ix, vals)
-	if err != nil {
-		return err
-	}
-	c, err := tree.Seek(prefix)
-	if err != nil {
-		return err
-	}
-	defer c.Close()
-	for c.Valid() && bytes.HasPrefix(c.Key(), prefix) {
-		pk, err := c.Value()
-		if err != nil {
-			return err
-		}
-		enc, ok, err := t.primary.Get(pk)
-		if err != nil {
-			return err
-		}
-		if !ok {
-			return fmt.Errorf("relstore: index %s.%s points at missing row", t.schema.Name, index)
-		}
-		row, err := decodeRow(enc)
-		if err != nil {
-			return err
-		}
-		cont, err := fn(row)
-		if err != nil || !cont {
-			return err
-		}
-		if err := c.Next(); err != nil {
-			return err
-		}
-	}
-	return nil
+	return t.TableView.IndexScan(index, vals, fn)
 }
 
 // IndexRange visits rows whose first indexed column lies in [lo, hi); either
@@ -532,65 +383,13 @@ func (t *Table) IndexScan(index string, vals []Value, fn func(Row) (bool, error)
 func (t *Table) IndexRange(index string, lo, hi Value, fn func(Row) (bool, error)) error {
 	t.db.mu.RLock()
 	defer t.db.mu.RUnlock()
-	ix, tree, err := t.findIndex(index)
-	if err != nil {
-		return err
-	}
-	var c *storage.Cursor
-	if lo.Type == 0 {
-		c, err = tree.First()
-	} else {
-		var loKey []byte
-		if loKey, err = t.indexPrefix(ix, []Value{lo}); err != nil {
-			return err
-		}
-		c, err = tree.Seek(loKey)
-	}
-	if err != nil {
-		return err
-	}
-	defer c.Close()
-	var hiKey []byte
-	if hi.Type != 0 {
-		if hiKey, err = t.indexPrefix(ix, []Value{hi}); err != nil {
-			return err
-		}
-	}
-	for c.Valid() {
-		if hiKey != nil && bytes.Compare(c.Key(), hiKey) >= 0 {
-			return nil
-		}
-		pk, err := c.Value()
-		if err != nil {
-			return err
-		}
-		enc, ok, err := t.primary.Get(pk)
-		if err != nil {
-			return err
-		}
-		if !ok {
-			return fmt.Errorf("relstore: index %s.%s points at missing row", t.schema.Name, index)
-		}
-		row, err := decodeRow(enc)
-		if err != nil {
-			return err
-		}
-		cont, err := fn(row)
-		if err != nil || !cont {
-			return err
-		}
-		if err := c.Next(); err != nil {
-			return err
-		}
-	}
-	return nil
+	return t.TableView.IndexRange(index, lo, hi, fn)
 }
 
-func (t *Table) findIndex(name string) (Index, *storage.BTree, error) {
-	for _, ix := range t.schema.Indexes {
-		if ix.Name == name {
-			return ix, t.indexes[name], nil
-		}
-	}
-	return Index{}, nil, fmt.Errorf("%w: %s.%s", ErrNoIndex, t.schema.Name, name)
+// Check verifies one table (see DB.Check). It runs under the database read
+// lock, so checks proceed in parallel with other readers.
+func (t *Table) Check() error {
+	t.db.mu.RLock()
+	defer t.db.mu.RUnlock()
+	return t.TableView.Check()
 }

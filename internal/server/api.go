@@ -115,7 +115,8 @@ type BenchRequest struct {
 }
 
 // StatsSnapshot is the /v1/stats body: one consistent view of the
-// server's counters.
+// server's counters, including the storage engine's MVCC state (epoch,
+// open snapshots, pages awaiting reclamation).
 type StatsSnapshot struct {
 	UptimeSeconds float64          `json:"uptime_seconds"`
 	Requests      int64            `json:"requests"`
@@ -126,6 +127,14 @@ type StatsSnapshot struct {
 	CacheEntries  int              `json:"cache_entries"`
 	OpenTrees     int              `json:"open_trees"`
 	PerOp         map[string]int64 `json:"per_op"`
+
+	// MVCC state of the storage engine under the repository.
+	Epoch               uint64 `json:"epoch"`
+	OpenSnapshots       int    `json:"open_snapshots"`
+	PendingReclaimPages int    `json:"pending_reclaim_pages"`
+	// HistoryDropped counts read-path query-history records discarded
+	// because the async recorder's queue was full.
+	HistoryDropped int64 `json:"history_dropped"`
 }
 
 // ErrorResponse is the body of every non-2xx JSON response.

@@ -5,13 +5,20 @@
 // paper's demo assumed (a shared data-management service for
 // phylogenetics groups) and the layer every scaling PR plugs into.
 //
-// Concurrency discipline: queries run on the repository's read path and
-// fan out up to Config.MaxInFlightReads at a time (a semaphore bounds
-// them; excess requests queue). Mutations — load, delete, species put —
-// serialize on a single writer mutex, honoring the storage engine's
-// many-readers/one-writer contract. Repeated projections, LCAs, clades
-// and pattern matches are served from a bounded LRU result cache that is
-// invalidated when its tree is deleted.
+// Concurrency discipline: every read request runs against its own MVCC
+// snapshot of the repository, pinned to the last committed epoch. Snapshot
+// reads are lock-free — they never touch the database mutex — so queries
+// proceed at full speed while a bulk load or delete is in flight, and each
+// request sees a consistent committed state (never a half-loaded or
+// half-deleted tree). A semaphore bounds in-flight reads
+// (Config.MaxInFlightReads); excess requests queue. Mutations — load,
+// delete, species put — serialize on a single writer mutex, honoring the
+// storage engine's single-writer contract. Read-path query-history records
+// are drained by an async recorder goroutine so recording never puts a
+// read behind the writer lock. Repeated projections, LCAs, clades and
+// pattern matches are served from a bounded LRU result cache that is
+// invalidated when its tree is deleted; per-tree handles are cached per
+// epoch and refreshed whenever a commit publishes a new one.
 package server
 
 import (
@@ -27,6 +34,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/benchmark"
 	"repro/internal/core"
@@ -98,12 +106,34 @@ type Server struct {
 	writeMu sync.Mutex    // serializes the write path
 
 	handleMu sync.Mutex
-	handles  map[string]*treestore.Tree // per-tree handle cache
-	gens     map[string]uint64          // bumped on load/delete; guards stale inserts
+	handles  map[string]epochHandle // per-tree handles, keyed to the epoch they read
+	gens     map[string]uint64      // bumped on load/delete; guards stale inserts
+
+	recCh     chan histRecord // read-path history records, drained async
+	recWG     sync.WaitGroup
+	recStart  sync.Once    // lazily spawns recordLoop on the first record
+	recMu     sync.RWMutex // guards recCh sends against shutdown close
+	recClosed bool
 
 	httpSrv *http.Server
 	lnMu    sync.Mutex
 	ln      net.Listener
+}
+
+// epochHandle is a cached tree handle valid only for requests whose
+// snapshot reads the same epoch. The requesting snapshot's pin keeps the
+// epoch's pages alive while the handle is in use, so serving a cached
+// handle is exactly as safe as opening a fresh one.
+type epochHandle struct {
+	epoch uint64
+	tree  *treestore.Tree
+}
+
+// histRecord is one deferred query-history append.
+type histRecord struct {
+	kind    string
+	args    any
+	summary string
 }
 
 // New builds a server over the backend. Call Start, Serve or
@@ -118,12 +148,90 @@ func New(be Backend, cfg Config) *Server {
 		stats:   newServerStats(),
 		cache:   newResultCache(cfg.ResultCacheSize),
 		readSem: make(chan struct{}, cfg.MaxInFlightReads),
-		handles: make(map[string]*treestore.Tree),
+		handles: make(map[string]epochHandle),
 		gens:    make(map[string]uint64),
+		recCh:   make(chan histRecord, 256),
 	}
 	s.routes()
 	s.httpSrv = &http.Server{Handler: s}
 	return s
+}
+
+// recordLoop drains read-path history records onto the write path. Taking
+// writeMu keeps history appends from interleaving with a half-applied
+// load or delete; readers themselves never wait on it. Commits (which
+// fsync on file-backed stores and publish a new epoch) are throttled to
+// once per recCommitBatch records or recCommitInterval, whichever comes
+// first, so a steady query stream costs at most ~one fsync per second —
+// not one per query — and the epoch stays stable enough for the
+// epoch-keyed tree-handle cache to hit. Records not yet committed become
+// durable at the next write endpoint's commit or at Shutdown.
+func (s *Server) recordLoop() {
+	defer s.recWG.Done()
+	const (
+		recCommitBatch    = 64
+		recCommitInterval = time.Second
+	)
+	recordOne := func(rec histRecord) {
+		if _, err := s.be.Queries.Record(rec.kind, rec.args, rec.summary); err != nil {
+			s.logf("crimsond: recording %s query: %v", rec.kind, err)
+		}
+	}
+	commit := func() {
+		if err := s.be.DB.Commit(); err != nil {
+			s.logf("crimsond: committing history batch: %v", err)
+		}
+	}
+	pending := 0
+	lastCommit := time.Now()
+	var flush <-chan time.Time // armed while records await commit
+	for {
+		select {
+		case rec, ok := <-s.recCh:
+			if !ok {
+				if pending > 0 {
+					s.writeMu.Lock()
+					commit()
+					s.writeMu.Unlock()
+				}
+				return
+			}
+			s.writeMu.Lock()
+			recordOne(rec)
+			pending++
+		drain:
+			for pending < 4*recCommitBatch {
+				select {
+				case more, moreOK := <-s.recCh:
+					if !moreOK {
+						break drain
+					}
+					recordOne(more)
+					pending++
+				default:
+					break drain
+				}
+			}
+			if pending >= recCommitBatch || time.Since(lastCommit) >= recCommitInterval {
+				commit()
+				pending = 0
+				lastCommit = time.Now()
+				flush = nil
+			} else if flush == nil {
+				flush = time.After(recCommitInterval)
+			}
+			s.writeMu.Unlock()
+		case <-flush:
+			flush = nil
+			if pending > 0 {
+				s.writeMu.Lock()
+				commit()
+				pending = 0
+				lastCommit = time.Now()
+				s.writeMu.Unlock()
+			}
+		}
+	}
 }
 
 func (s *Server) logf(format string, args ...any) {
@@ -220,10 +328,18 @@ func (s *Server) Addr() string {
 	return s.ln.Addr().String()
 }
 
-// Shutdown gracefully drains in-flight requests, then commits the
-// repository so buffered query-history records reach the page file.
+// Shutdown gracefully drains in-flight requests and the async history
+// recorder, then commits the repository so buffered query-history records
+// reach the page file.
 func (s *Server) Shutdown(ctx context.Context) error {
 	err := s.httpSrv.Shutdown(ctx)
+	s.recMu.Lock()
+	if !s.recClosed {
+		s.recClosed = true
+		close(s.recCh)
+	}
+	s.recMu.Unlock()
+	s.recWG.Wait()
 	s.writeMu.Lock()
 	defer s.writeMu.Unlock()
 	if cerr := s.be.DB.Commit(); err == nil {
@@ -236,51 +352,82 @@ func (s *Server) snapshot() StatsSnapshot {
 	s.handleMu.Lock()
 	open := len(s.handles)
 	s.handleMu.Unlock()
-	return s.stats.snapshot(s.cache.len(), open)
+	st := s.stats.snapshot(s.cache.len(), open)
+	mv := s.be.DB.MVCC()
+	st.Epoch = mv.Epoch
+	st.OpenSnapshots = mv.OpenSnapshots
+	st.PendingReclaimPages = mv.PendingReclaimPages
+	return st
 }
+
+// reqSnap is the per-request MVCC view: one relational snapshot shared by
+// the tree, species and history read surfaces. It is opened by the read
+// wrappers and closed when the request finishes.
+type reqSnap struct {
+	rs    *relstore.Snap
+	trees *treestore.Snap
+}
+
+func (s *Server) openSnap() *reqSnap {
+	rs := s.be.DB.Snapshot()
+	return &reqSnap{rs: rs, trees: treestore.SnapOn(rs)}
+}
+
+func (sn *reqSnap) close() { sn.rs.Close() }
 
 // generation reports the current generation of a tree name. Load and
 // delete bump it; readers snapshot it before touching the store so that
 // results computed against a tree that has since been dropped are never
-// inserted into the handle or result caches (a reader racing a DELETE
-// could otherwise resurrect a stale handle or cache entry).
+// inserted into the result cache (a reader racing a DELETE could
+// otherwise resurrect a stale cache entry).
 func (s *Server) generation(name string) uint64 {
 	s.handleMu.Lock()
 	defer s.handleMu.Unlock()
 	return s.gens[name]
 }
 
-// tree returns a cached handle on a stored tree, opening it on first use.
-func (s *Server) tree(name string) (*treestore.Tree, error) {
+// tree returns a handle on a stored tree as of the request's snapshot,
+// reusing the cached handle while it reads the same epoch. The request's
+// snapshot pin is what keeps the handle's pages alive, so the cache adds
+// no lifetime of its own. Inserts are guarded by the tree's generation:
+// a reader whose snapshot predates a DELETE must not re-insert the dead
+// tree's handle after dropTree already evicted it (the entry could never
+// match a future epoch and would linger forever).
+func (s *Server) tree(sn *reqSnap, name string) (*treestore.Tree, error) {
+	ep := sn.rs.Epoch()
 	s.handleMu.Lock()
-	t := s.handles[name]
+	h, ok := s.handles[name]
 	gen := s.gens[name]
 	s.handleMu.Unlock()
-	if t != nil {
-		return t, nil
+	if ok && h.epoch == ep {
+		return h.tree, nil
 	}
-	t, err := s.be.Trees.Tree(name)
+	t, err := sn.trees.Tree(name)
 	if err != nil {
 		return nil, err
 	}
 	s.handleMu.Lock()
-	switch prev, ok := s.handles[name]; {
-	case ok:
-		t = prev // another goroutine won the race; handles are read-only
-	case s.gens[name] == gen:
-		s.handles[name] = t
-	default:
-		// The tree was dropped while we opened it; serve this request
-		// from the stale handle but do not re-cache it.
+	if s.gens[name] == gen {
+		if cur, ok := s.handles[name]; !ok || cur.epoch < ep {
+			s.handles[name] = epochHandle{epoch: ep, tree: t}
+		}
 	}
 	s.handleMu.Unlock()
 	return t, nil
 }
 
-// cachePut inserts a computed result unless the tree moved to a new
-// generation since gen was snapshotted (atomic with dropTree's
-// invalidation: both run under handleMu).
-func (s *Server) cachePut(name string, gen uint64, key string, val any) {
+// cachePut inserts a computed result unless it could be stale: the tree
+// must still be on the same generation (atomic with dropTree's
+// invalidation: both run under handleMu), and no commit may have published
+// since the request pinned its snapshot — a snapshot pinned before a
+// delete+reload commits would otherwise cache the old tree's result under
+// the new generation. The epoch test rejects the odd fresh result after an
+// unrelated commit (cheap: the next identical query re-fills), never
+// admits a stale one.
+func (s *Server) cachePut(name string, gen, epoch uint64, key string, val any) {
+	if s.be.DB.MVCC().Epoch != epoch {
+		return
+	}
 	s.handleMu.Lock()
 	defer s.handleMu.Unlock()
 	if s.gens[name] == gen {
@@ -298,11 +445,18 @@ func (s *Server) dropTree(name string) {
 
 // --- handler plumbing ------------------------------------------------------
 
-type handlerFunc func(r *http.Request) (any, error)
+// writeFunc is a mutation handler; it runs under the writer mutex against
+// the live repository.
+type writeFunc func(r *http.Request) (any, error)
+
+// readFunc is a query handler; it runs against the request's own MVCC
+// snapshot and takes no repository lock.
+type readFunc func(r *http.Request, sn *reqSnap) (any, error)
 
 // read wraps a query handler: count it, take a read slot (bounded
-// in-flight), run, encode. A nil result encodes as 204 No Content.
-func (s *Server) read(op string, fn handlerFunc) http.HandlerFunc {
+// in-flight), pin a snapshot, run, encode. A nil result encodes as 204 No
+// Content.
+func (s *Server) read(op string, fn readFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.stats.countRequest(op)
 		select {
@@ -316,14 +470,16 @@ func (s *Server) read(op string, fn handlerFunc) http.HandlerFunc {
 			s.stats.inFlightReads.Add(-1)
 			<-s.readSem
 		}()
-		v, err := fn(r)
+		sn := s.openSnap()
+		defer sn.close()
+		v, err := fn(r, sn)
 		s.finish(w, v, err)
 	}
 }
 
 // write wraps a mutation handler: one at a time, honoring the storage
 // engine's single-writer contract.
-func (s *Server) write(op string, fn handlerFunc) http.HandlerFunc {
+func (s *Server) write(op string, fn writeFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.stats.countRequest(op)
 		s.writeMu.Lock()
@@ -334,7 +490,7 @@ func (s *Server) write(op string, fn handlerFunc) http.HandlerFunc {
 }
 
 // readText wraps a query handler that produces a plain-text body.
-func (s *Server) readText(op string, fn func(r *http.Request) (string, string, error)) http.HandlerFunc {
+func (s *Server) readText(op string, fn func(r *http.Request, sn *reqSnap) (string, string, error)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.stats.countRequest(op)
 		select {
@@ -348,7 +504,9 @@ func (s *Server) readText(op string, fn func(r *http.Request) (string, string, e
 			s.stats.inFlightReads.Add(-1)
 			<-s.readSem
 		}()
-		body, contentType, err := fn(r)
+		sn := s.openSnap()
+		defer sn.close()
+		body, contentType, err := fn(r, sn)
 		if err != nil {
 			s.fail(w, errStatus(err), err)
 			return
@@ -455,18 +613,44 @@ func queryInt64(r *http.Request, key string, def int64) (int64, error) {
 	return v, nil
 }
 
-// record appends to the query history; history is buffered until the
-// next commit (write endpoints and Shutdown commit).
+// record appends to the query history synchronously. Only write handlers
+// (already holding writeMu) use it, so a mutation and its history record
+// commit together; history is buffered until the next commit.
 func (s *Server) record(kind string, args any, summary string) {
 	if _, err := s.be.Queries.Record(kind, args, summary); err != nil {
 		s.logf("crimsond: recording %s query: %v", kind, err)
 	}
 }
 
+// recordAsync enqueues a read-path history record for the recorder
+// goroutine. Read handlers must never touch the write path themselves — a
+// bulk load in flight would stall them — so the append happens later,
+// off the request's latency path. A full queue drops the record (counted
+// in stats) rather than block a reader. The recorder goroutine spawns
+// lazily on the first record, so a Server used as a bare http.Handler
+// and never queried leaks nothing; once queries have flowed, Shutdown is
+// what stops the recorder.
+func (s *Server) recordAsync(kind string, args any, summary string) {
+	s.recMu.RLock()
+	defer s.recMu.RUnlock()
+	if s.recClosed {
+		return
+	}
+	s.recStart.Do(func() {
+		s.recWG.Add(1)
+		go s.recordLoop()
+	})
+	select {
+	case s.recCh <- histRecord{kind: kind, args: args, summary: summary}:
+	default:
+		s.stats.historyDropped.Add(1)
+	}
+}
+
 // --- tree handlers ---------------------------------------------------------
 
-func (s *Server) handleTrees(r *http.Request) (any, error) {
-	infos, err := s.be.Trees.Trees()
+func (s *Server) handleTrees(r *http.Request, sn *reqSnap) (any, error) {
+	infos, err := sn.trees.Trees()
 	if err != nil {
 		return nil, err
 	}
@@ -477,8 +661,8 @@ func (s *Server) handleTrees(r *http.Request) (any, error) {
 	return resp, nil
 }
 
-func (s *Server) handleInfo(r *http.Request) (any, error) {
-	t, err := s.tree(r.PathValue("name"))
+func (s *Server) handleInfo(r *http.Request, sn *reqSnap) (any, error) {
+	t, err := s.tree(sn, r.PathValue("name"))
 	if err != nil {
 		return nil, err
 	}
@@ -567,8 +751,8 @@ func (s *Server) handleDelete(r *http.Request) (any, error) {
 	return nil, s.be.DB.Commit()
 }
 
-func (s *Server) handleExport(r *http.Request) (string, string, error) {
-	t, err := s.tree(r.PathValue("name"))
+func (s *Server) handleExport(r *http.Request, sn *reqSnap) (string, string, error) {
+	t, err := s.tree(sn, r.PathValue("name"))
 	if err != nil {
 		return "", "", err
 	}
@@ -581,7 +765,7 @@ func (s *Server) handleExport(r *http.Request) (string, string, error) {
 
 // --- query handlers --------------------------------------------------------
 
-func (s *Server) handleProject(r *http.Request) (any, error) {
+func (s *Server) handleProject(r *http.Request, sn *reqSnap) (any, error) {
 	name := r.PathValue("name")
 	names := splitList(r.URL.Query().Get("species"))
 	if len(names) == 0 {
@@ -598,7 +782,7 @@ func (s *Server) handleProject(r *http.Request) (any, error) {
 	}
 	s.stats.cacheMisses.Add(1)
 	gen := s.generation(name)
-	t, err := s.tree(name)
+	t, err := s.tree(sn, name)
 	if err != nil {
 		return nil, err
 	}
@@ -607,12 +791,12 @@ func (s *Server) handleProject(r *http.Request) (any, error) {
 		return nil, err
 	}
 	resp := ProjectResponse{Newick: newick.String(projected), Leaves: projected.NumLeaves()}
-	s.cachePut(name, gen, key, resp)
-	s.record("project", map[string]any{"tree": name, "species": names}, resp.Newick)
+	s.cachePut(name, gen, sn.rs.Epoch(), key, resp)
+	s.recordAsync("project", map[string]any{"tree": name, "species": names}, resp.Newick)
 	return resp, nil
 }
 
-func (s *Server) handleLCA(r *http.Request) (any, error) {
+func (s *Server) handleLCA(r *http.Request, sn *reqSnap) (any, error) {
 	name := r.PathValue("name")
 	a, b := r.URL.Query().Get("a"), r.URL.Query().Get("b")
 	if a == "" || b == "" {
@@ -631,7 +815,7 @@ func (s *Server) handleLCA(r *http.Request) (any, error) {
 	}
 	s.stats.cacheMisses.Add(1)
 	gen := s.generation(name)
-	t, err := s.tree(name)
+	t, err := s.tree(sn, name)
 	if err != nil {
 		return nil, err
 	}
@@ -652,12 +836,12 @@ func (s *Server) handleLCA(r *http.Request) (any, error) {
 		return nil, err
 	}
 	resp := LCAResponse{Node: nodeJSON(row)}
-	s.cachePut(name, gen, key, resp)
-	s.record("lca", map[string]any{"tree": name, "a": a, "b": b}, fmt.Sprintf("node %d", id))
+	s.cachePut(name, gen, sn.rs.Epoch(), key, resp)
+	s.recordAsync("lca", map[string]any{"tree": name, "a": a, "b": b}, fmt.Sprintf("node %d", id))
 	return resp, nil
 }
 
-func (s *Server) handleSample(r *http.Request) (any, error) {
+func (s *Server) handleSample(r *http.Request, sn *reqSnap) (any, error) {
 	name := r.PathValue("name")
 	k, err := queryInt(r, "k", 10)
 	if err != nil {
@@ -667,7 +851,7 @@ func (s *Server) handleSample(r *http.Request) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	t, err := s.tree(name)
+	t, err := s.tree(sn, name)
 	if err != nil {
 		return nil, err
 	}
@@ -691,12 +875,12 @@ func (s *Server) handleSample(r *http.Request) (any, error) {
 		resp.Species[i] = n.Name
 	}
 	sort.Strings(resp.Species)
-	s.record("sample", map[string]any{"tree": name, "k": k, "time": timeArg, "seed": seed},
+	s.recordAsync("sample", map[string]any{"tree": name, "k": k, "time": timeArg, "seed": seed},
 		strings.Join(resp.Species, " "))
 	return resp, nil
 }
 
-func (s *Server) handleClade(r *http.Request) (any, error) {
+func (s *Server) handleClade(r *http.Request, sn *reqSnap) (any, error) {
 	name := r.PathValue("name")
 	names := splitList(r.URL.Query().Get("species"))
 	if len(names) == 0 {
@@ -713,7 +897,7 @@ func (s *Server) handleClade(r *http.Request) (any, error) {
 	}
 	s.stats.cacheMisses.Add(1)
 	gen := s.generation(name)
-	t, err := s.tree(name)
+	t, err := s.tree(sn, name)
 	if err != nil {
 		return nil, err
 	}
@@ -737,13 +921,13 @@ func (s *Server) handleClade(r *http.Request) (any, error) {
 		}
 	}
 	sort.Strings(resp.Species)
-	s.cachePut(name, gen, key, resp)
-	s.record("clade", map[string]any{"tree": name, "species": names},
+	s.cachePut(name, gen, sn.rs.Epoch(), key, resp)
+	s.recordAsync("clade", map[string]any{"tree": name, "species": names},
 		fmt.Sprintf("%d nodes", resp.Nodes))
 	return resp, nil
 }
 
-func (s *Server) handleMatch(r *http.Request) (any, error) {
+func (s *Server) handleMatch(r *http.Request, sn *reqSnap) (any, error) {
 	name := r.PathValue("name")
 	raw, err := io.ReadAll(r.Body)
 	if err != nil {
@@ -763,7 +947,7 @@ func (s *Server) handleMatch(r *http.Request) (any, error) {
 	}
 	s.stats.cacheMisses.Add(1)
 	gen := s.generation(name)
-	t, err := s.tree(name)
+	t, err := s.tree(sn, name)
 	if err != nil {
 		return nil, err
 	}
@@ -780,8 +964,8 @@ func (s *Server) handleMatch(r *http.Request) (any, error) {
 		return nil, err
 	}
 	resp := MatchResponse{Exact: rf == 0, RF: rf, NormRF: norm, Projected: newick.String(projected)}
-	s.cachePut(name, gen, key, resp)
-	s.record("match", map[string]any{"tree": name, "pattern": canonical},
+	s.cachePut(name, gen, sn.rs.Epoch(), key, resp)
+	s.recordAsync("match", map[string]any{"tree": name, "pattern": canonical},
 		fmt.Sprintf("RF=%d", rf))
 	return resp, nil
 }
@@ -789,13 +973,13 @@ func (s *Server) handleMatch(r *http.Request) (any, error) {
 // handleBench runs the Benchmark Manager against a stored gold tree.
 // It executes on the read path: the gold tree is exported once and the
 // whole run is in-memory from there.
-func (s *Server) handleBench(r *http.Request) (any, error) {
+func (s *Server) handleBench(r *http.Request, sn *reqSnap) (any, error) {
 	name := r.PathValue("name")
 	var req BenchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		return nil, badRequest("decoding bench request: %v", err)
 	}
-	t, err := s.tree(name)
+	t, err := s.tree(sn, name)
 	if err != nil {
 		return nil, err
 	}
@@ -833,7 +1017,7 @@ func (s *Server) handleBench(r *http.Request) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.record("bench", map[string]any{"tree": name, "sizes": cfg.SampleSizes,
+	s.recordAsync("bench", map[string]any{"tree": name, "sizes": cfg.SampleSizes,
 		"reps": cfg.Replicates, "algs": req.Algorithms}, "benchmark complete")
 	return rep.JSON(), nil
 }
@@ -852,8 +1036,8 @@ func (s *Server) handleSpeciesPut(r *http.Request) (any, error) {
 	return nil, s.be.DB.Commit()
 }
 
-func (s *Server) handleSpeciesGet(r *http.Request) (string, string, error) {
-	data, err := s.be.Species.Get(r.PathValue("name"), r.PathValue("sp"), r.PathValue("kind"))
+func (s *Server) handleSpeciesGet(r *http.Request, sn *reqSnap) (string, string, error) {
+	data, err := species.ViewOn(sn.rs).Get(r.PathValue("name"), r.PathValue("sp"), r.PathValue("kind"))
 	if err != nil {
 		return "", "", err
 	}
@@ -872,8 +1056,8 @@ func (s *Server) handleSpeciesDelete(r *http.Request) (any, error) {
 	return nil, s.be.DB.Commit()
 }
 
-func (s *Server) handleSpeciesList(r *http.Request) (any, error) {
-	recs, err := s.be.Species.List(r.PathValue("name"), r.PathValue("sp"))
+func (s *Server) handleSpeciesList(r *http.Request, sn *reqSnap) (any, error) {
+	recs, err := species.ViewOn(sn.rs).List(r.PathValue("name"), r.PathValue("sp"))
 	if err != nil {
 		return nil, err
 	}
@@ -890,17 +1074,18 @@ func entryJSON(e queryrepo.Entry) HistoryEntry {
 	return HistoryEntry{ID: e.ID, Time: e.Time, Kind: e.Kind, Args: e.Args, Summary: e.Summary}
 }
 
-func (s *Server) handleHistory(r *http.Request) (any, error) {
+func (s *Server) handleHistory(r *http.Request, sn *reqSnap) (any, error) {
 	var entries []queryrepo.Entry
 	var err error
+	view := queryrepo.ViewOn(sn.rs)
 	if kind := r.URL.Query().Get("kind"); kind != "" {
-		entries, err = s.be.Queries.ByKind(kind)
+		entries, err = view.ByKind(kind)
 	} else {
 		limit, lerr := queryInt(r, "limit", 50)
 		if lerr != nil {
 			return nil, lerr
 		}
-		entries, err = s.be.Queries.History(limit)
+		entries, err = view.History(limit)
 	}
 	if err != nil {
 		return nil, err
@@ -912,12 +1097,12 @@ func (s *Server) handleHistory(r *http.Request) (any, error) {
 	return resp, nil
 }
 
-func (s *Server) handleHistoryGet(r *http.Request) (any, error) {
+func (s *Server) handleHistoryGet(r *http.Request, sn *reqSnap) (any, error) {
 	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
 	if err != nil {
 		return nil, badRequest("bad history id %q", r.PathValue("id"))
 	}
-	e, err := s.be.Queries.Get(id)
+	e, err := queryrepo.ViewOn(sn.rs).Get(id)
 	if err != nil {
 		return nil, err
 	}

@@ -12,6 +12,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	crimson "repro"
 	"repro/client"
@@ -163,19 +164,33 @@ func TestEndToEnd(t *testing.T) {
 		t.Fatalf("trees = %+v", trees)
 	}
 
-	// The query history saw the wire queries.
-	hist, err := cl.History(0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	kinds := make(map[string]int)
-	for _, e := range hist {
-		kinds[e.Kind]++
-	}
-	for _, k := range []string{"load", "sample", "project", "lca", "match", "clade"} {
-		if kinds[k] == 0 {
-			t.Errorf("history has no %q entry (got %v)", k, kinds)
+	// The query history saw the wire queries. Read-path records drain
+	// through the async recorder, so poll until they land.
+	wantKinds := []string{"load", "sample", "project", "lca", "match", "clade"}
+	var kinds map[string]int
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		hist, err := cl.History(0)
+		if err != nil {
+			t.Fatal(err)
 		}
+		kinds = make(map[string]int)
+		for _, e := range hist {
+			kinds[e.Kind]++
+		}
+		missing := false
+		for _, k := range wantKinds {
+			if kinds[k] == 0 {
+				missing = true
+			}
+		}
+		if !missing {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("history still missing kinds after recorder drain (got %v)", kinds)
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }
 

@@ -12,12 +12,13 @@ import (
 // serverStats holds the counters behind /v1/stats and /metrics. Hot
 // counters are atomics; the per-op map takes a small mutex.
 type serverStats struct {
-	start         time.Time
-	requests      atomic.Int64
-	errors        atomic.Int64
-	inFlightReads atomic.Int64
-	cacheHits     atomic.Int64
-	cacheMisses   atomic.Int64
+	start          time.Time
+	requests       atomic.Int64
+	errors         atomic.Int64
+	inFlightReads  atomic.Int64
+	cacheHits      atomic.Int64
+	cacheMisses    atomic.Int64
+	historyDropped atomic.Int64
 
 	mu    sync.Mutex
 	perOp map[string]int64
@@ -44,15 +45,16 @@ func (st *serverStats) snapshot(cacheEntries, openTrees int) StatsSnapshot {
 	}
 	st.mu.Unlock()
 	return StatsSnapshot{
-		UptimeSeconds: time.Since(st.start).Seconds(),
-		Requests:      st.requests.Load(),
-		Errors:        st.errors.Load(),
-		InFlightReads: st.inFlightReads.Load(),
-		CacheHits:     st.cacheHits.Load(),
-		CacheMisses:   st.cacheMisses.Load(),
-		CacheEntries:  cacheEntries,
-		OpenTrees:     openTrees,
-		PerOp:         perOp,
+		UptimeSeconds:  time.Since(st.start).Seconds(),
+		Requests:       st.requests.Load(),
+		Errors:         st.errors.Load(),
+		InFlightReads:  st.inFlightReads.Load(),
+		CacheHits:      st.cacheHits.Load(),
+		CacheMisses:    st.cacheMisses.Load(),
+		CacheEntries:   cacheEntries,
+		OpenTrees:      openTrees,
+		HistoryDropped: st.historyDropped.Load(),
+		PerOp:          perOp,
 	}
 }
 
@@ -67,6 +69,10 @@ func metricsText(s StatsSnapshot) string {
 	fmt.Fprintf(&sb, "crimsond_cache_misses_total %d\n", s.CacheMisses)
 	fmt.Fprintf(&sb, "crimsond_cache_entries %d\n", s.CacheEntries)
 	fmt.Fprintf(&sb, "crimsond_open_trees %d\n", s.OpenTrees)
+	fmt.Fprintf(&sb, "crimsond_epoch %d\n", s.Epoch)
+	fmt.Fprintf(&sb, "crimsond_open_snapshots %d\n", s.OpenSnapshots)
+	fmt.Fprintf(&sb, "crimsond_reclaim_pending_pages %d\n", s.PendingReclaimPages)
+	fmt.Fprintf(&sb, "crimsond_history_dropped_total %d\n", s.HistoryDropped)
 	ops := make([]string, 0, len(s.PerOp))
 	for op := range s.PerOp {
 		ops = append(ops, op)

@@ -85,9 +85,15 @@ func (r *Repo) Put(tree, sp, kind string, data []byte) error {
 	})
 }
 
-// Get fetches one record.
-func (r *Repo) Get(tree, sp, kind string) ([]byte, error) {
-	row, ok, err := r.tab.Get(relstore.Str(key(tree, sp, kind)))
+// reader is the read surface Get and List need; both the live table
+// (lock-per-operation) and a snapshot view (lock-free) satisfy it.
+type reader interface {
+	Get(key relstore.Value) (relstore.Row, bool, error)
+	IndexScan(index string, vals []relstore.Value, fn func(relstore.Row) (bool, error)) error
+}
+
+func getRecord(tab reader, tree, sp, kind string) ([]byte, error) {
+	row, ok, err := tab.Get(relstore.Str(key(tree, sp, kind)))
 	if err != nil {
 		return nil, err
 	}
@@ -95,6 +101,26 @@ func (r *Repo) Get(tree, sp, kind string) ([]byte, error) {
 		return nil, fmt.Errorf("%w: %s", ErrNoData, key(tree, sp, kind))
 	}
 	return row[4].Bytes(), nil
+}
+
+func listRecords(tab reader, tree, sp string) ([]Record, error) {
+	var out []Record
+	err := tab.IndexScan("by_species", []relstore.Value{relstore.Str(tree), relstore.Str(sp)},
+		func(row relstore.Row) (bool, error) {
+			out = append(out, Record{
+				Tree:    row[1].Text(),
+				Species: row[2].Text(),
+				Kind:    row[3].Text(),
+				Data:    row[4].Bytes(),
+			})
+			return true, nil
+		})
+	return out, err
+}
+
+// Get fetches one record.
+func (r *Repo) Get(tree, sp, kind string) ([]byte, error) {
+	return getRecord(r.tab, tree, sp, kind)
 }
 
 // Record is one stored species-data item.
@@ -107,18 +133,51 @@ type Record struct {
 
 // List returns all records for one species of one tree.
 func (r *Repo) List(tree, sp string) ([]Record, error) {
-	var out []Record
-	err := r.tab.IndexScan("by_species", []relstore.Value{relstore.Str(tree), relstore.Str(sp)},
-		func(row relstore.Row) (bool, error) {
-			out = append(out, Record{
-				Tree:    row[1].Text(),
-				Species: row[2].Text(),
-				Kind:    row[3].Text(),
-				Data:    row[4].Bytes(),
-			})
-			return true, nil
-		})
-	return out, err
+	return listRecords(r.tab, tree, sp)
+}
+
+// View is a read-only snapshot view of the species repository: Get and
+// List run lock-free against the epoch the snapshot pinned, so they never
+// wait behind a bulk load or delete. The table is resolved lazily — a
+// snapshot taken before the repository's first commit simply has no data.
+type View struct {
+	rs *relstore.Snap
+}
+
+// ViewOn binds a species view to a relational snapshot (shared with the
+// tree and query repositories).
+func ViewOn(rs *relstore.Snap) *View { return &View{rs: rs} }
+
+func (v *View) reader() (reader, error) {
+	tab, err := v.rs.Table(tableName)
+	if errors.Is(err, relstore.ErrNoTable) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	return tab, nil
+}
+
+// Get fetches one record as of the snapshot.
+func (v *View) Get(tree, sp, kind string) ([]byte, error) {
+	tab, err := v.reader()
+	if err != nil {
+		return nil, err
+	}
+	if tab == nil {
+		return nil, fmt.Errorf("%w: %s", ErrNoData, key(tree, sp, kind))
+	}
+	return getRecord(tab, tree, sp, kind)
+}
+
+// List returns all records for one species of one tree as of the snapshot.
+func (v *View) List(tree, sp string) ([]Record, error) {
+	tab, err := v.reader()
+	if err != nil || tab == nil {
+		return nil, err
+	}
+	return listRecords(tab, tree, sp)
 }
 
 // Delete removes one record, reporting whether it existed.

@@ -23,23 +23,32 @@ const (
 	MaxInlineValue  = 1024
 	overflowRefSize = 12 // u64 head page + u32 total length
 
-	leafHeaderSize     = 1 + 2 + 8 // kind, nkeys, next
+	leafHeaderSize     = 1 + 2 + 8 // kind, nkeys, next (next is vestigial)
 	internalHeaderSize = 1 + 2 + 8 // kind, nkeys, child0
 	overflowHeaderSize = 1 + 8 + 4 // kind, next, len
 	overflowCapacity   = PageSize - overflowHeaderSize
 )
 
-// BTree is a B+tree over a Store with variable-length byte keys and values.
-// Interior nodes route by separator keys; all data lives in the leaf level,
-// which is chained left-to-right for range scans. Deletes are lazy (no
-// rebalancing); freed overflow chains are returned to the store free list.
+// BTree is a copy-on-write B+tree over a Store with variable-length byte
+// keys and values. Interior nodes route by separator keys; all data lives
+// in the leaf level. Deletes are lazy (no rebalancing); superseded pages
+// and freed overflow chains are retired through the store's epoch
+// reclamation.
+//
+// Mutations never modify a committed page in place: the dirtied path from
+// leaf to root is rewritten onto fresh pages (Store.WriteCOW), so the root
+// id changes on every mutation that touches committed pages. A tree opened
+// at a fixed root therefore remains a consistent immutable view of the
+// moment that root was current — the basis of snapshot reads.
 //
 // Concurrency: read operations (Get, Has, Len, First, Seek and cursor
 // iteration) are safe to call from many goroutines at once — every node
 // read copies page contents out of the store, so readers never share
 // mutable state. Mutations (Put, Delete, BulkLoad) require exclusive
-// access: callers must ensure no reader or other writer runs concurrently
-// (package relstore enforces this with a database-level RWMutex).
+// access: callers must ensure no reader of the SAME BTree handle or other
+// writer runs concurrently (package relstore enforces this with a
+// database-level mutex; snapshot readers use their own BTree handles over
+// pinned roots and never synchronize with writers at all).
 type BTree struct {
 	store *Store
 	root  PageID
@@ -66,8 +75,9 @@ func OpenBTree(store *Store, root PageID) *BTree {
 	return t
 }
 
-// Root returns the current root page id. It changes when the root splits,
-// so callers persisting trees must re-read it after mutations.
+// Root returns the current root page id. Under copy-on-write it changes on
+// every mutation that touches committed pages, so callers persisting trees
+// must re-read it after mutations.
 func (t *BTree) Root() PageID { return t.root }
 
 // node is the decoded in-memory form of a tree page.
@@ -78,7 +88,10 @@ type node struct {
 	vals     [][]byte // leaf only; overflow refs kept verbatim
 	overflow []bool   // leaf only; vals[i] is a 12-byte overflow ref
 	children []PageID // internal only; len(keys)+1
-	next     PageID   // leaf only
+	next     PageID   // leaf only; dead under COW and written as 0 (a
+	// sibling's stored pointer would reference superseded copies; cursors
+	// iterate via the ancestor stack instead). The header slot is kept for
+	// on-disk layout compatibility.
 }
 
 func (n *node) encodedSize() int {
@@ -99,8 +112,7 @@ func (n *node) encodedSize() int {
 	return PageSize
 }
 
-func (t *BTree) writeNode(n *node) error {
-	var buf [PageSize]byte
+func (n *node) encode(buf []byte) error {
 	buf[0] = n.kind
 	binary.LittleEndian.PutUint16(buf[1:], uint16(len(n.keys)))
 	switch n.kind {
@@ -130,9 +142,36 @@ func (t *BTree) writeNode(n *node) error {
 			off += 8
 		}
 	default:
-		return fmt.Errorf("storage: writeNode: bad kind %d", n.kind)
+		return fmt.Errorf("storage: encode node: bad kind %d", n.kind)
+	}
+	return nil
+}
+
+// writeNode writes the node to its page in place. Only valid for pages the
+// writer owns (freshly allocated this transaction); COW paths use
+// writeNodeCOW.
+func (t *BTree) writeNode(n *node) error {
+	var buf [PageSize]byte
+	if err := n.encode(buf[:]); err != nil {
+		return err
 	}
 	return t.store.WritePage(n.page, buf[:])
+}
+
+// writeNodeCOW writes the node with copy-on-write semantics and updates
+// n.page to wherever the image landed (a fresh page stays put; a committed
+// page is retired and replaced).
+func (t *BTree) writeNodeCOW(n *node) error {
+	var buf [PageSize]byte
+	if err := n.encode(buf[:]); err != nil {
+		return err
+	}
+	id, err := t.store.WriteCOW(n.page, buf[:])
+	if err != nil {
+		return err
+	}
+	n.page = id
+	return nil
 }
 
 func (t *BTree) readNode(id PageID) (*node, error) {
@@ -245,10 +284,11 @@ func (t *BTree) Put(key, value []byte) error {
 		}
 		stored, isOverflow = ref, true
 	}
-	split, added, err := t.insert(t.root, key, stored, isOverflow)
+	rootID, split, added, err := t.insert(t.root, key, stored, isOverflow)
 	if err != nil {
 		return err
 	}
+	t.root = rootID
 	if n := t.size.Load(); added && n >= 0 {
 		t.size.Store(n + 1)
 	}
@@ -273,10 +313,14 @@ func (t *BTree) Put(key, value []byte) error {
 	return nil
 }
 
-func (t *BTree) insert(pid PageID, key, value []byte, isOverflow bool) (*splitResult, bool, error) {
+// insert descends to the leaf, mutates it, and copy-on-writes the dirtied
+// path back up. It returns the (possibly moved) page id of the subtree
+// root, a pending split for the caller to absorb, and whether a new key
+// was added.
+func (t *BTree) insert(pid PageID, key, value []byte, isOverflow bool) (PageID, *splitResult, bool, error) {
 	n, err := t.readNode(pid)
 	if err != nil {
-		return nil, false, err
+		return 0, nil, false, err
 	}
 	if n.kind == pageLeaf {
 		pos, found := leafIndex(n, key)
@@ -284,7 +328,7 @@ func (t *BTree) insert(pid PageID, key, value []byte, isOverflow bool) (*splitRe
 		if found {
 			if n.overflow[pos] {
 				if err := t.freeOverflow(n.vals[pos]); err != nil {
-					return nil, false, err
+					return 0, nil, false, err
 				}
 			}
 			n.vals[pos] = value
@@ -301,28 +345,37 @@ func (t *BTree) insert(pid PageID, key, value []byte, isOverflow bool) (*splitRe
 			n.overflow[pos] = isOverflow
 		}
 		if n.encodedSize() <= PageSize {
-			return nil, added, t.writeNode(n)
+			err := t.writeNodeCOW(n)
+			return n.page, nil, added, err
 		}
 		split, err := t.splitLeaf(n)
-		return split, added, err
+		return n.page, split, added, err
 	}
 
 	idx := childIndex(n, key)
-	split, added, err := t.insert(n.children[idx], key, value, isOverflow)
-	if err != nil || split == nil {
-		return nil, added, err
+	childID, split, added, err := t.insert(n.children[idx], key, value, isOverflow)
+	if err != nil {
+		return 0, nil, added, err
 	}
-	n.keys = append(n.keys, nil)
-	copy(n.keys[idx+1:], n.keys[idx:])
-	n.keys[idx] = split.key
-	n.children = append(n.children, 0)
-	copy(n.children[idx+2:], n.children[idx+1:])
-	n.children[idx+1] = split.right
+	if split == nil && childID == n.children[idx] {
+		// Child was fresh and updated in place: this node is untouched.
+		return pid, nil, added, nil
+	}
+	n.children[idx] = childID
+	if split != nil {
+		n.keys = append(n.keys, nil)
+		copy(n.keys[idx+1:], n.keys[idx:])
+		n.keys[idx] = split.key
+		n.children = append(n.children, 0)
+		copy(n.children[idx+2:], n.children[idx+1:])
+		n.children[idx+1] = split.right
+	}
 	if n.encodedSize() <= PageSize {
-		return nil, added, t.writeNode(n)
+		err := t.writeNodeCOW(n)
+		return n.page, nil, added, err
 	}
 	up, err := t.splitInternal(n)
-	return up, added, err
+	return n.page, up, added, err
 }
 
 func (t *BTree) splitLeaf(n *node) (*splitResult, error) {
@@ -337,16 +390,15 @@ func (t *BTree) splitLeaf(n *node) (*splitResult, error) {
 		keys:     append([][]byte(nil), n.keys[mid:]...),
 		vals:     append([][]byte(nil), n.vals[mid:]...),
 		overflow: append([]bool(nil), n.overflow[mid:]...),
-		next:     n.next,
 	}
 	n.keys = n.keys[:mid]
 	n.vals = n.vals[:mid]
 	n.overflow = n.overflow[:mid]
-	n.next = rid
+	n.next = 0 // sibling links are not maintained under COW (see node)
 	if err := t.writeNode(right); err != nil {
 		return nil, err
 	}
-	if err := t.writeNode(n); err != nil {
+	if err := t.writeNodeCOW(n); err != nil {
 		return nil, err
 	}
 	return &splitResult{key: append([]byte(nil), right.keys[0]...), right: rid}, nil
@@ -370,40 +422,64 @@ func (t *BTree) splitInternal(n *node) (*splitResult, error) {
 	if err := t.writeNode(right); err != nil {
 		return nil, err
 	}
-	if err := t.writeNode(n); err != nil {
+	if err := t.writeNodeCOW(n); err != nil {
 		return nil, err
 	}
 	return &splitResult{key: up, right: rid}, nil
 }
 
 // Delete removes key, reporting whether it was present. Leaf pages are not
-// rebalanced (lazy deletion); overflow chains are freed immediately.
+// rebalanced (lazy deletion); overflow chains are retired immediately.
 func (t *BTree) Delete(key []byte) (bool, error) {
-	n, err := t.readNode(t.root)
+	rootID, found, err := t.remove(t.root, key)
 	if err != nil {
 		return false, err
 	}
-	for n.kind == pageInternal {
-		if n, err = t.readNode(n.children[childIndex(n, key)]); err != nil {
-			return false, err
-		}
-	}
-	pos, found := leafIndex(n, key)
 	if !found {
 		return false, nil
 	}
-	if n.overflow[pos] {
-		if err := t.freeOverflow(n.vals[pos]); err != nil {
-			return false, err
-		}
-	}
-	n.keys = append(n.keys[:pos], n.keys[pos+1:]...)
-	n.vals = append(n.vals[:pos], n.vals[pos+1:]...)
-	n.overflow = append(n.overflow[:pos], n.overflow[pos+1:]...)
+	t.root = rootID
 	if sz := t.size.Load(); sz > 0 {
 		t.size.Store(sz - 1)
 	}
-	return true, t.writeNode(n)
+	return true, nil
+}
+
+// remove is the COW mirror of insert for deletion: splice the key out of
+// its leaf and rewrite the dirtied path, returning the subtree's possibly
+// moved page id.
+func (t *BTree) remove(pid PageID, key []byte) (PageID, bool, error) {
+	n, err := t.readNode(pid)
+	if err != nil {
+		return 0, false, err
+	}
+	if n.kind == pageLeaf {
+		pos, found := leafIndex(n, key)
+		if !found {
+			return pid, false, nil
+		}
+		if n.overflow[pos] {
+			if err := t.freeOverflow(n.vals[pos]); err != nil {
+				return 0, false, err
+			}
+		}
+		n.keys = append(n.keys[:pos], n.keys[pos+1:]...)
+		n.vals = append(n.vals[:pos], n.vals[pos+1:]...)
+		n.overflow = append(n.overflow[:pos], n.overflow[pos+1:]...)
+		err := t.writeNodeCOW(n)
+		return n.page, true, err
+	}
+	idx := childIndex(n, key)
+	childID, found, err := t.remove(n.children[idx], key)
+	if err != nil || !found {
+		return pid, found, err
+	}
+	if childID == n.children[idx] {
+		return pid, true, nil
+	}
+	n.children[idx] = childID
+	err = t.writeNodeCOW(n)
+	return n.page, true, err
 }
 
 // Len returns the number of entries, counting by scan if the cached count
@@ -496,6 +572,9 @@ func (t *BTree) readOverflow(ref []byte) ([]byte, error) {
 	return out, nil
 }
 
+// freeOverflow retires an overflow chain. Fresh chains return to the free
+// list at once; committed chains wait for epoch reclamation so snapshot
+// readers can still resolve them.
 func (t *BTree) freeOverflow(ref []byte) error {
 	if len(ref) != overflowRefSize {
 		return fmt.Errorf("storage: bad overflow ref of %d bytes", len(ref))
@@ -507,7 +586,7 @@ func (t *BTree) freeOverflow(ref []byte) error {
 			return err
 		}
 		next := PageID(binary.LittleEndian.Uint64(buf[1:]))
-		if err := t.store.Free(id); err != nil {
+		if err := t.store.Retire(id); err != nil {
 			return err
 		}
 		id = next
@@ -515,64 +594,95 @@ func (t *BTree) freeOverflow(ref []byte) error {
 	return nil
 }
 
-// Cursor iterates leaf entries in ascending key order. While positioned on
-// a leaf, the cursor pins the leaf's buffer-pool frame so eviction pressure
-// from other readers cannot push pages under a live iteration out of the
-// pool. The pin is released automatically when the cursor is exhausted;
-// call Close to release it when abandoning a cursor early. A Cursor is for
-// use by one goroutine, but any number of cursors may iterate one tree
-// concurrently.
-type Cursor struct {
-	tree   *BTree
-	leaf   *node
-	pos    int
-	pinned PageID // page currently pinned; 0 = none
+// RetireAll retires every page of the tree — nodes and overflow chains —
+// through the store's epoch reclamation. Used when a relation is dropped:
+// snapshot readers opened before the drop keep reading the pages until
+// they close, after which the pages return to the free list.
+func (t *BTree) RetireAll() error {
+	var walk func(id PageID) error
+	walk = func(id PageID) error {
+		n, err := t.readNode(id)
+		if err != nil {
+			return err
+		}
+		if n.kind == pageInternal {
+			for _, child := range n.children {
+				if err := walk(child); err != nil {
+					return err
+				}
+			}
+		} else {
+			for i, isOv := range n.overflow {
+				if isOv {
+					if err := t.freeOverflow(n.vals[i]); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		return t.store.Retire(id)
+	}
+	return walk(t.root)
 }
 
-// pinLeaf moves the cursor's pin to page id (0 releases without re-pinning).
-func (c *Cursor) pinLeaf(id PageID) error {
-	if c.pinned == id {
-		return nil
+// Cursor iterates leaf entries in ascending key order by keeping the
+// descent path (decoded copies of the root-to-leaf nodes) on a stack.
+// Because every node is a private decoded copy, a cursor is immune to
+// concurrent pool eviction and — when iterating a snapshot-pinned root —
+// to concurrent writers. A Cursor is for use by one goroutine, but any
+// number of cursors may iterate one tree concurrently. Close releases
+// nothing under COW but is kept for API symmetry.
+type Cursor struct {
+	tree  *BTree
+	stack []cursorFrame // ancestors of the current leaf, root first
+	leaf  *node
+	pos   int
+}
+
+// cursorFrame is one internal node on the descent path and the child index
+// the path took through it.
+type cursorFrame struct {
+	n   *node
+	idx int
+}
+
+// Close releases the cursor. It is safe to call multiple times and on
+// exhausted cursors.
+func (c *Cursor) Close() {
+	c.leaf = nil
+	c.stack = nil
+}
+
+// descend walks from page id down to a leaf, pushing the internal nodes on
+// the cursor stack. With key == nil it follows the leftmost edge;
+// otherwise it routes by key.
+func (c *Cursor) descend(id PageID, key []byte) error {
+	n, err := c.tree.readNode(id)
+	if err != nil {
+		return err
 	}
-	if id != 0 {
-		if err := c.tree.store.Pin(id); err != nil {
+	for n.kind == pageInternal {
+		idx := 0
+		if key != nil {
+			idx = childIndex(n, key)
+		}
+		c.stack = append(c.stack, cursorFrame{n: n, idx: idx})
+		if n, err = c.tree.readNode(n.children[idx]); err != nil {
 			return err
 		}
 	}
-	if c.pinned != 0 {
-		c.tree.store.Unpin(c.pinned)
-	}
-	c.pinned = id
+	c.leaf = n
 	return nil
-}
-
-// Close releases the cursor's frame pin. It is safe to call multiple times
-// and on exhausted cursors.
-func (c *Cursor) Close() {
-	if c.pinned != 0 {
-		c.tree.store.Unpin(c.pinned)
-		c.pinned = 0
-	}
-	c.leaf = nil
 }
 
 // First positions a cursor at the smallest key.
 func (t *BTree) First() (*Cursor, error) {
-	n, err := t.readNode(t.root)
-	if err != nil {
+	c := &Cursor{tree: t}
+	if err := c.descend(t.root, nil); err != nil {
 		return nil, err
 	}
-	for n.kind == pageInternal {
-		if n, err = t.readNode(n.children[0]); err != nil {
-			return nil, err
-		}
-	}
-	c := &Cursor{tree: t, leaf: n, pos: 0}
-	if err := c.pinLeaf(n.page); err != nil {
-		return nil, err
-	}
+	c.pos = 0
 	if err := c.skipEmpty(); err != nil {
-		c.Close()
 		return nil, err
 	}
 	return c, nil
@@ -580,22 +690,12 @@ func (t *BTree) First() (*Cursor, error) {
 
 // Seek positions a cursor at the first key >= key.
 func (t *BTree) Seek(key []byte) (*Cursor, error) {
-	n, err := t.readNode(t.root)
-	if err != nil {
+	c := &Cursor{tree: t}
+	if err := c.descend(t.root, key); err != nil {
 		return nil, err
 	}
-	for n.kind == pageInternal {
-		if n, err = t.readNode(n.children[childIndex(n, key)]); err != nil {
-			return nil, err
-		}
-	}
-	pos, _ := leafIndex(n, key)
-	c := &Cursor{tree: t, leaf: n, pos: pos}
-	if err := c.pinLeaf(n.page); err != nil {
-		return nil, err
-	}
+	c.pos, _ = leafIndex(c.leaf, key)
 	if err := c.skipEmpty(); err != nil {
-		c.Close()
 		return nil, err
 	}
 	return c, nil
@@ -613,7 +713,8 @@ func (c *Cursor) Value() ([]byte, error) {
 	return v, err
 }
 
-// Next advances to the following entry, crossing leaf boundaries.
+// Next advances to the following entry, crossing leaf boundaries via the
+// ancestor stack.
 func (c *Cursor) Next() error {
 	if !c.Valid() {
 		return nil
@@ -622,20 +723,29 @@ func (c *Cursor) Next() error {
 	return c.skipEmpty()
 }
 
+// skipEmpty advances past exhausted (or lazily emptied) leaves: climb the
+// stack to the first ancestor with an unvisited child, then descend its
+// leftmost edge.
 func (c *Cursor) skipEmpty() error {
 	for c.leaf != nil && c.pos >= len(c.leaf.keys) {
-		if c.leaf.next == 0 {
+		advanced := false
+		for len(c.stack) > 0 {
+			f := &c.stack[len(c.stack)-1]
+			if f.idx+1 < len(f.n.children) {
+				f.idx++
+				if err := c.descend(f.n.children[f.idx], nil); err != nil {
+					return err
+				}
+				c.pos = 0
+				advanced = true
+				break
+			}
+			c.stack = c.stack[:len(c.stack)-1]
+		}
+		if !advanced {
 			c.Close()
 			return nil
 		}
-		n, err := c.tree.readNode(c.leaf.next)
-		if err != nil {
-			return err
-		}
-		if err := c.pinLeaf(n.page); err != nil {
-			return err
-		}
-		c.leaf, c.pos = n, 0
 	}
 	return nil
 }

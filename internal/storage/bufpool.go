@@ -11,27 +11,27 @@ import (
 const DefaultPoolSize = 4096
 
 // frame is one cached page. A frame is on the LRU list only while it is
-// clean and unpinned; dirty or pinned frames are never evicted.
+// clean; dirty frames are never evicted.
 type frame struct {
 	id    PageID
 	data  []byte
 	dirty bool
-	pins  int
-	elem  *list.Element // position in the LRU list (nil while dirty or pinned)
+	elem  *list.Element // position in the LRU list (nil while dirty)
 }
 
 // BufferPool caches page frames above a Pager with LRU eviction. Dirty
 // frames are never evicted; they are held until the Store commits them
 // through the WAL, which keeps crash recovery simple (no steal policy).
-// Pinned frames (live cursor positions) are likewise exempt from eviction.
 //
 // All methods are safe for concurrent use; an internal mutex serializes
-// access to the frame table, the LRU list and the underlying pager.
+// access to the frame table and the LRU list. Readers only ever copy page
+// contents out under the mutex, so no caller aliases a frame, and eviction
+// can never invalidate data a reader holds.
 type BufferPool struct {
 	mu     sync.Mutex
 	pager  Pager
 	frames map[PageID]*frame
-	lru    *list.List // clean, unpinned frames only, front = most recent
+	lru    *list.List // clean frames only, front = most recent
 	limit  int
 }
 
@@ -95,40 +95,6 @@ func (bp *BufferPool) Get(id PageID) ([]byte, error) {
 	return out, nil
 }
 
-// Pin marks page id as referenced by a live cursor: the frame is loaded if
-// absent and becomes exempt from eviction until a matching Unpin. Pins
-// nest; each Pin must be balanced by exactly one Unpin.
-func (bp *BufferPool) Pin(id PageID) error {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	f, err := bp.load(id)
-	if err != nil {
-		return err
-	}
-	f.pins++
-	if f.elem != nil {
-		bp.lru.Remove(f.elem)
-		f.elem = nil
-	}
-	return nil
-}
-
-// Unpin releases one pin on page id. When the last pin drops and the frame
-// is clean, it rejoins the LRU list and becomes evictable again.
-func (bp *BufferPool) Unpin(id PageID) {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	f, ok := bp.frames[id]
-	if !ok || f.pins == 0 {
-		return
-	}
-	f.pins--
-	if f.pins == 0 && !f.dirty {
-		f.elem = bp.lru.PushFront(f)
-		bp.evict()
-	}
-}
-
 // Put replaces the contents of page id in the pool and marks it dirty. The
 // page is not written to the pager until the owning Store commits.
 func (bp *BufferPool) Put(id PageID, data []byte) error {
@@ -170,9 +136,8 @@ func (bp *BufferPool) markDirty(f *frame) {
 	f.dirty = true
 }
 
-// evict trims the LRU list to the pool limit. Only clean, unpinned frames
-// are ever on the list, so dirty pages and cursor positions survive.
-// Callers hold bp.mu.
+// evict trims the LRU list to the pool limit. Only clean frames are ever
+// on the list, so dirty pages survive. Callers hold bp.mu.
 func (bp *BufferPool) evict() {
 	for bp.lru.Len() > bp.limit {
 		back := bp.lru.Back()
@@ -216,9 +181,7 @@ func (bp *BufferPool) ClearDirty() {
 	for _, f := range bp.frames {
 		if f.dirty {
 			f.dirty = false
-			if f.pins == 0 {
-				f.elem = bp.lru.PushFront(f)
-			}
+			f.elem = bp.lru.PushFront(f)
 		}
 	}
 	bp.evict()
@@ -229,17 +192,4 @@ func (bp *BufferPool) Len() int {
 	bp.mu.Lock()
 	defer bp.mu.Unlock()
 	return len(bp.frames)
-}
-
-// Pinned reports the number of currently pinned frames (for tests).
-func (bp *BufferPool) Pinned() int {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	n := 0
-	for _, f := range bp.frames {
-		if f.pins > 0 {
-			n++
-		}
-	}
-	return n
 }

@@ -71,10 +71,22 @@ func (t *BTree) BulkLoad(pairs []KV) error {
 		}
 	}
 
-	// Leaf level: fill pages left to right, chaining next pointers. The
-	// existing (empty) root page is reused as the leftmost leaf so a
-	// single-leaf load leaves the root id unchanged.
-	cur := &node{kind: pageLeaf, page: t.root}
+	// Leaf level: fill pages left to right. The existing (empty) root page
+	// is reused as the leftmost leaf when the writer still owns it (created
+	// this transaction); a committed empty root is retired and replaced,
+	// honoring copy-on-write so snapshot readers keep a stable empty tree.
+	first := t.root
+	if !t.store.Writable(first) {
+		id, err := t.store.Allocate()
+		if err != nil {
+			return err
+		}
+		if err := t.store.Retire(t.root); err != nil {
+			return err
+		}
+		first = id
+	}
+	cur := &node{kind: pageLeaf, page: first}
 	curSize := leafHeaderSize
 	level := []levelEntry{{key: pairs[0].Key, page: cur.page}}
 	for _, p := range pairs {
@@ -92,7 +104,6 @@ func (t *BTree) BulkLoad(pairs []KV) error {
 			if err != nil {
 				return err
 			}
-			cur.next = nid
 			if err := t.writeNode(cur); err != nil {
 				return err
 			}

@@ -153,12 +153,13 @@ func TestBulkLoadThenPutAndDelete(t *testing.T) {
 	}
 }
 
-// TestCursorPinsUnderEvictionPressure is the regression test for the old
+// TestCursorUnderEvictionPressure is the regression test for the old
 // BufferPool.Get aliasing hazard: with a 16-frame pool, iterating a tree
 // much larger than the pool while other reads thrash the LRU must still
-// visit every entry exactly once, and cursor pins must keep the current
-// leaf resident.
-func TestCursorPinsUnderEvictionPressure(t *testing.T) {
+// visit every entry exactly once. Under COW the cursor holds decoded
+// copies of its descent path, so eviction can never invalidate a live
+// iteration.
+func TestCursorUnderEvictionPressure(t *testing.T) {
 	s := OpenMemWithPoolLimit(16)
 	defer s.Close()
 	tr, err := NewBTree(s)
@@ -193,15 +194,9 @@ func TestCursorPinsUnderEvictionPressure(t *testing.T) {
 				t.Fatalf("interleaved Get(%s) = %v, %v", k, ok, err)
 			}
 		}
-		if s.Pool().Pinned() == 0 {
-			t.Fatal("live cursor holds no pinned frame")
-		}
 		if err := c.Next(); err != nil {
 			t.Fatal(err)
 		}
-	}
-	if got := s.Pool().Pinned(); got != 0 {
-		t.Fatalf("%d frames still pinned after cursor exhaustion", got)
 	}
 	if s.Pool().Len() > 16+1 { // limit + at most the frame being read
 		t.Fatalf("pool holds %d frames, limit 16", s.Pool().Len())

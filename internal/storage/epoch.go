@@ -1,0 +1,174 @@
+package storage
+
+import "sync"
+
+// This file implements the MVCC spine of the store: versioned roots
+// published at commit, snapshot handles that pin an epoch, and epoch-based
+// reclamation of copy-on-write superseded pages.
+//
+// The model:
+//
+//   - Writers never modify a committed page in place. They copy-on-write
+//     through Store.WriteCOW, which redirects the write to a fresh page and
+//     retires the superseded one.
+//   - Commit atomically publishes the new root set and epoch. Snapshots
+//     taken afterwards see the new state; snapshots taken before keep
+//     reading the old pages, which stay untouched on disk and in the pool.
+//   - A retired page becomes reusable only once (a) the commit that
+//     superseded it has published, and (b) no live snapshot pins an epoch
+//     that could still reference it. Until then it sits on a pending list,
+//     visible as "pages awaiting reclamation" in the stats.
+//
+// Lock ordering: Store.mu may be taken before epochs.mu, never the other
+// way around. Paths that discover freeable pages under epochs.mu release
+// it before re-entering the store to push them onto the free list.
+
+// retireBatch collects the pages retired while one epoch was current.
+// Batches are appended in epoch order, so the pending list stays sorted.
+type retireBatch struct {
+	epoch uint64
+	pages []PageID
+}
+
+// epochs tracks the published state and the reclamation pipeline.
+type epochs struct {
+	mu        sync.Mutex
+	current   uint64           // epoch of the last published (committed) state
+	published [NumRoots]PageID // root slots as of the last commit
+	active    map[uint64]int   // open snapshot refcounts by epoch
+	pending   []retireBatch    // retired pages awaiting reclamation, epoch-sorted
+	pendingN  int              // total pages across pending
+}
+
+func (e *epochs) init(epoch uint64, roots [NumRoots]PageID) {
+	e.current = epoch
+	e.published = roots
+	e.active = make(map[uint64]int)
+}
+
+// retire records a superseded committed page under the current epoch.
+func (e *epochs) retire(id PageID) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if n := len(e.pending); n > 0 && e.pending[n-1].epoch == e.current {
+		e.pending[n-1].pages = append(e.pending[n-1].pages, id)
+	} else {
+		e.pending = append(e.pending, retireBatch{epoch: e.current, pages: []PageID{id}})
+	}
+	e.pendingN++
+}
+
+// collectLocked removes and returns every pending page that is now safe to
+// reuse: its batch epoch precedes both the current epoch (the superseding
+// commit has published) and every open snapshot. Callers hold e.mu.
+func (e *epochs) collectLocked() []PageID {
+	min := e.current
+	for ep := range e.active {
+		if ep < min {
+			min = ep
+		}
+	}
+	i := 0
+	var out []PageID
+	for ; i < len(e.pending) && e.pending[i].epoch < min; i++ {
+		out = append(out, e.pending[i].pages...)
+	}
+	if i > 0 {
+		e.pending = append([]retireBatch(nil), e.pending[i:]...)
+		e.pendingN -= len(out)
+	}
+	return out
+}
+
+// Snap is a point-in-time read handle on a Store. It pins the epoch it was
+// taken at: pages reachable from its root set are not reclaimed until Close.
+// A Snap is safe for concurrent use by multiple goroutines; Close may be
+// called at most meaningfully once (further calls are no-ops).
+type Snap struct {
+	s     *Store
+	epoch uint64
+	roots [NumRoots]PageID
+	once  sync.Once
+}
+
+// Snapshot pins the last committed state and returns a read handle on it.
+func (s *Store) Snapshot() *Snap {
+	e := &s.ep
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.active[e.current]++
+	return &Snap{s: s, epoch: e.current, roots: e.published}
+}
+
+// Epoch reports the committed epoch this snapshot pins.
+func (sn *Snap) Epoch() uint64 { return sn.epoch }
+
+// Root returns the page id in the named root slot as of the snapshot.
+func (sn *Snap) Root(slot int) PageID { return sn.roots[slot] }
+
+// Store returns the store the snapshot reads from.
+func (sn *Snap) Store() *Store { return sn.s }
+
+// Close releases the epoch pin. Once every snapshot at or below a retired
+// page's epoch is closed (and the superseding commit has published), the
+// page returns to the free list. Safe to call multiple times.
+func (sn *Snap) Close() {
+	sn.once.Do(func() { sn.s.releaseSnapshot(sn.epoch) })
+}
+
+func (s *Store) releaseSnapshot(epoch uint64) {
+	e := &s.ep
+	e.mu.Lock()
+	if n := e.active[epoch]; n <= 1 {
+		delete(e.active, epoch)
+	} else {
+		e.active[epoch] = n - 1
+	}
+	free := e.collectLocked()
+	e.mu.Unlock()
+	s.freeReclaimed(free)
+}
+
+// freeReclaimed pushes reclaimed pages onto the free list. It takes the
+// store lock itself, so callers must not hold it (or epochs.mu).
+func (s *Store) freeReclaimed(ids []PageID) {
+	if len(ids) == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed.Load() {
+		return
+	}
+	for _, id := range ids {
+		if err := s.free(id); err != nil {
+			// Reclamation is best-effort: a failure leaks the page but
+			// cannot corrupt committed state.
+			return
+		}
+	}
+}
+
+// MVCCStats is a point-in-time view of the MVCC machinery, surfaced by the
+// server's /v1/stats and /metrics endpoints.
+type MVCCStats struct {
+	// Epoch is the epoch of the last committed (published) state.
+	Epoch uint64 `json:"epoch"`
+	// OpenSnapshots counts live snapshot handles across all epochs.
+	OpenSnapshots int `json:"open_snapshots"`
+	// PendingReclaimPages counts retired pages awaiting reclamation.
+	PendingReclaimPages int `json:"pending_reclaim_pages"`
+}
+
+// MVCC reports the current epoch, open snapshot count and reclamation
+// backlog.
+func (s *Store) MVCC() MVCCStats {
+	e := &s.ep
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	open := 0
+	for _, n := range e.active {
+		open += n
+	}
+	return MVCCStats{Epoch: e.current, OpenSnapshots: open, PendingReclaimPages: e.pendingN}
+}

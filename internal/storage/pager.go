@@ -1,9 +1,10 @@
 // Package storage implements the disk substrate Crimson stores trees in: a
-// page file with a free list, an LRU buffer pool, a B+tree with variable
-// length keys and overflow chains for large values, and a physical redo
-// write-ahead log. The paper loads phylogenetic trees "into a relational
-// database"; this package is the storage engine underneath that relational
-// layer (see package relstore).
+// page file with a free list, an LRU buffer pool, a copy-on-write B+tree
+// with variable length keys and overflow chains for large values, a
+// physical redo write-ahead log, and epoch-based multi-version concurrency
+// control. The paper loads phylogenetic trees "into a relational database";
+// this package is the storage engine underneath that relational layer (see
+// package relstore).
 package storage
 
 import (
@@ -13,6 +14,7 @@ import (
 	"io"
 	"os"
 	"sync"
+	"sync/atomic"
 )
 
 // PageSize is the fixed size of every page in a Crimson page file.
@@ -41,8 +43,8 @@ var (
 type PageID uint64
 
 // Pager is the raw page I/O abstraction shared by the on-disk and in-memory
-// backends. Implementations are not safe for concurrent use; the Store
-// serializes access.
+// backends. Implementations are internally synchronized: concurrent reads
+// (and the Store's commit-time writes) may interleave with pool misses.
 type Pager interface {
 	// ReadPage reads the page into buf, which must be PageSize long.
 	ReadPage(id PageID, buf []byte) error
@@ -58,8 +60,11 @@ type Pager interface {
 	Close() error
 }
 
-// filePager is a Pager backed by a single OS file.
+// filePager is a Pager backed by a single OS file. A RWMutex guards the
+// page count and file handle; page reads and writes at distinct offsets
+// proceed in parallel under the read lock.
 type filePager struct {
+	mu    sync.RWMutex
 	f     *os.File
 	count PageID
 }
@@ -84,6 +89,8 @@ func OpenFilePager(path string) (Pager, error) {
 }
 
 func (p *filePager) ReadPage(id PageID, buf []byte) error {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	if p.f == nil {
 		return ErrClosed
 	}
@@ -97,6 +104,8 @@ func (p *filePager) ReadPage(id PageID, buf []byte) error {
 }
 
 func (p *filePager) WritePage(id PageID, buf []byte) error {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	if p.f == nil {
 		return ErrClosed
 	}
@@ -110,6 +119,8 @@ func (p *filePager) WritePage(id PageID, buf []byte) error {
 }
 
 func (p *filePager) Grow() (PageID, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if p.f == nil {
 		return 0, ErrClosed
 	}
@@ -122,9 +133,15 @@ func (p *filePager) Grow() (PageID, error) {
 	return id, nil
 }
 
-func (p *filePager) PageCount() PageID { return p.count }
+func (p *filePager) PageCount() PageID {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.count
+}
 
 func (p *filePager) Sync() error {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	if p.f == nil {
 		return ErrClosed
 	}
@@ -132,6 +149,8 @@ func (p *filePager) Sync() error {
 }
 
 func (p *filePager) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if p.f == nil {
 		return nil
 	}
@@ -143,6 +162,7 @@ func (p *filePager) Close() error {
 // memPager is a Pager kept entirely in memory. It is used for tests, for
 // ephemeral repositories, and as the default backend of in-memory indexes.
 type memPager struct {
+	mu     sync.RWMutex
 	pages  [][]byte
 	closed bool
 }
@@ -151,6 +171,8 @@ type memPager struct {
 func NewMemPager() Pager { return &memPager{} }
 
 func (p *memPager) ReadPage(id PageID, buf []byte) error {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	if p.closed {
 		return ErrClosed
 	}
@@ -162,6 +184,8 @@ func (p *memPager) ReadPage(id PageID, buf []byte) error {
 }
 
 func (p *memPager) WritePage(id PageID, buf []byte) error {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	if p.closed {
 		return ErrClosed
 	}
@@ -173,6 +197,8 @@ func (p *memPager) WritePage(id PageID, buf []byte) error {
 }
 
 func (p *memPager) Grow() (PageID, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if p.closed {
 		return 0, ErrClosed
 	}
@@ -180,14 +206,29 @@ func (p *memPager) Grow() (PageID, error) {
 	return PageID(len(p.pages) - 1), nil
 }
 
-func (p *memPager) PageCount() PageID { return PageID(len(p.pages)) }
-func (p *memPager) Sync() error       { return nil }
-func (p *memPager) Close() error      { p.closed = true; return nil }
+func (p *memPager) PageCount() PageID {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return PageID(len(p.pages))
+}
 
-// meta is the decoded form of page 0.
+func (p *memPager) Sync() error { return nil }
+
+func (p *memPager) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.closed = true
+	return nil
+}
+
+// meta is the decoded form of page 0. The epoch counts commits: WAL
+// recovery always lands on the root set and epoch of the last commit whose
+// records fully reached the log, which is how a crashed store reopens on
+// its last published state.
 type meta struct {
 	freeHead PageID
 	roots    [NumRoots]PageID
+	epoch    uint64
 }
 
 func (m *meta) encode(buf []byte) {
@@ -201,6 +242,7 @@ func (m *meta) encode(buf []byte) {
 	for i, r := range m.roots {
 		binary.LittleEndian.PutUint64(buf[24+8*i:], uint64(r))
 	}
+	binary.LittleEndian.PutUint64(buf[24+8*NumRoots:], m.epoch)
 }
 
 func (m *meta) decode(buf []byte) error {
@@ -217,26 +259,39 @@ func (m *meta) decode(buf []byte) error {
 	for i := range m.roots {
 		m.roots[i] = PageID(binary.LittleEndian.Uint64(buf[24+8*i:]))
 	}
+	m.epoch = binary.LittleEndian.Uint64(buf[24+8*NumRoots:])
 	return nil
 }
 
 // Store couples a pager, a buffer pool and (for file-backed stores) a WAL
 // into the transactional page store the rest of Crimson builds on. All
-// mutations happen in the buffer pool; Commit makes them durable atomically.
+// mutations happen in the buffer pool; Commit makes them durable atomically
+// and publishes a new epoch.
 //
-// A Store is safe for concurrent use by multiple goroutines under a
-// many-readers/one-writer discipline: ReadPage, ReadPageInto, Root and the
-// pin calls take a shared (read) lock and may run in parallel, while
-// WritePage, Allocate, Free, SetRoot, Commit and Close take the exclusive
-// lock. Read calls return or fill private copies of page contents, so no
-// caller ever aliases a buffer-pool frame.
+// Concurrency: the store is multi-version. Mutations (WriteCOW, WritePage,
+// Allocate, Free, Retire, SetRoot, Commit, Close) serialize on the store
+// mutex and must come from one writer at a time (package relstore enforces
+// this with its database mutex). Reads — ReadPage, ReadPageInto — never
+// take the store mutex: they are served from the buffer pool under its own
+// short-lived latch and may run from any number of goroutines concurrently
+// with the writer. Snapshot readers are safe because a committed page is
+// never modified in place: writers copy-on-write onto fresh pages and the
+// superseded pages are only reused after every snapshot that could see
+// them has closed (see epoch.go).
 type Store struct {
 	mu     sync.RWMutex
 	pager  Pager
 	pool   *BufferPool
 	wal    *WAL
 	meta   meta
-	closed bool
+	closed atomic.Bool
+
+	// fresh holds the pages allocated since the last commit. They are
+	// invisible to every published state, so the writer may modify them in
+	// place and retiring one frees it immediately.
+	fresh map[PageID]struct{}
+
+	ep epochs
 }
 
 // Open opens a file-backed store, creating it if absent, and replays any
@@ -252,7 +307,7 @@ func Open(path string) (*Store, error) {
 		wal.Close()
 		return nil, err
 	}
-	s := &Store{pager: pager, pool: NewBufferPool(pager, DefaultPoolSize), wal: wal}
+	s := &Store{pager: pager, pool: NewBufferPool(pager, DefaultPoolSize), wal: wal, fresh: make(map[PageID]struct{})}
 	if err := s.init(); err != nil {
 		pager.Close()
 		wal.Close()
@@ -285,16 +340,26 @@ func (s *Store) init() error {
 		if err := s.pager.WritePage(0, buf[:]); err != nil {
 			return err
 		}
-		return s.pager.Sync()
+		if err := s.pager.Sync(); err != nil {
+			return err
+		}
+		s.ep.init(s.meta.epoch, s.meta.roots)
+		return nil
 	}
 	var buf [PageSize]byte
 	if err := s.pager.ReadPage(0, buf[:]); err != nil {
 		return err
 	}
-	return s.meta.decode(buf[:])
+	if err := s.meta.decode(buf[:]); err != nil {
+		return err
+	}
+	s.ep.init(s.meta.epoch, s.meta.roots)
+	return nil
 }
 
 // Allocate returns a page available for use, reusing freed pages first.
+// Allocated pages count as fresh until the next commit: the writer may
+// modify them in place, since no published state can reference them.
 func (s *Store) Allocate() (PageID, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -302,7 +367,7 @@ func (s *Store) Allocate() (PageID, error) {
 }
 
 func (s *Store) allocate() (PageID, error) {
-	if s.closed {
+	if s.closed.Load() {
 		return 0, ErrClosed
 	}
 	if s.meta.freeHead != 0 {
@@ -313,18 +378,31 @@ func (s *Store) allocate() (PageID, error) {
 		}
 		s.meta.freeHead = PageID(binary.LittleEndian.Uint64(buf[:]))
 		s.writeMeta()
+		s.fresh[id] = struct{}{}
 		return id, nil
 	}
-	return s.pool.Grow()
+	id, err := s.pool.Grow()
+	if err != nil {
+		return 0, err
+	}
+	s.fresh[id] = struct{}{}
+	return id, nil
 }
 
-// Free returns a page to the free list for reuse.
+// Free returns a page to the free list for immediate reuse. Callers must
+// know that no committed state or open snapshot can reference the page;
+// for pages superseded by copy-on-write use Retire instead.
 func (s *Store) Free(id PageID) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed {
+	if s.closed.Load() {
 		return ErrClosed
 	}
+	delete(s.fresh, id)
+	return s.free(id)
+}
+
+func (s *Store) free(id PageID) error {
 	var buf [PageSize]byte
 	binary.LittleEndian.PutUint64(buf[:], uint64(s.meta.freeHead))
 	if err := s.pool.Put(id, buf[:]); err != nil {
@@ -333,6 +411,38 @@ func (s *Store) Free(id PageID) error {
 	s.meta.freeHead = id
 	s.writeMeta()
 	return nil
+}
+
+// Retire marks a page as superseded. A fresh page (allocated since the
+// last commit) was never visible to anyone and is freed immediately; a
+// committed page enters the epoch-reclamation pipeline and returns to the
+// free list once the superseding commit has published and every snapshot
+// that could reference it has closed.
+func (s *Store) Retire(id PageID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	return s.retire(id)
+}
+
+func (s *Store) retire(id PageID) error {
+	if _, ok := s.fresh[id]; ok {
+		delete(s.fresh, id)
+		return s.free(id)
+	}
+	s.ep.retire(id)
+	return nil
+}
+
+// Writable reports whether the writer may modify the page in place: true
+// only for pages allocated since the last commit.
+func (s *Store) Writable(id PageID) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.fresh[id]
+	return ok
 }
 
 // writeMeta pushes the meta page into the buffer pool; it becomes durable at
@@ -346,13 +456,15 @@ func (s *Store) writeMeta() {
 }
 
 // Root returns the page id stored in the named root slot (0 if unset).
+// This is the writer's working root; snapshot readers use Snap.Root.
 func (s *Store) Root(slot int) PageID {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.meta.roots[slot]
 }
 
-// SetRoot records a named root page id in the meta page.
+// SetRoot records a named root page id in the meta page. The new root is
+// not visible to snapshots until Commit publishes it.
 func (s *Store) SetRoot(slot int, id PageID) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -362,7 +474,9 @@ func (s *Store) SetRoot(slot int, id PageID) {
 
 // ReadPage returns a private copy of the page contents via the buffer pool
 // (page-copy semantics: the slice never aliases a pool frame and stays valid
-// indefinitely). Safe for concurrent use with other readers.
+// indefinitely). Reads never take the store mutex, so they proceed while a
+// writer mutates other pages — the foundation of non-blocking snapshot
+// reads.
 func (s *Store) ReadPage(id PageID) ([]byte, error) {
 	out := make([]byte, PageSize)
 	if err := s.ReadPageInto(id, out); err != nil {
@@ -372,62 +486,93 @@ func (s *Store) ReadPage(id PageID) ([]byte, error) {
 }
 
 // ReadPageInto copies the page contents into buf (at least PageSize long),
-// avoiding the allocation of ReadPage on hot read paths. Safe for
-// concurrent use with other readers.
+// avoiding the allocation of ReadPage on hot read paths. Safe for any
+// number of concurrent readers, including while a writer commits.
 func (s *Store) ReadPageInto(id PageID, buf []byte) error {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if s.closed {
+	if s.closed.Load() {
 		return ErrClosed
 	}
 	return s.pool.ReadInto(id, buf)
 }
 
-// Pin exempts the page's buffer frame from eviction until Unpin, keeping
-// the pages under live cursors resident. Pins nest.
-func (s *Store) Pin(id PageID) error {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if s.closed {
-		return ErrClosed
-	}
-	return s.pool.Pin(id)
-}
-
-// Unpin releases one pin taken by Pin. Unpinning after close is a no-op.
-func (s *Store) Unpin(id PageID) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if s.closed {
-		return
-	}
-	s.pool.Unpin(id)
-}
-
-// WritePage replaces the page contents via the buffer pool.
+// WritePage replaces the page contents via the buffer pool, in place.
+// Callers must own the page (fresh, or provably unreferenced by any
+// published state); COW paths use WriteCOW.
 func (s *Store) WritePage(id PageID, buf []byte) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed {
+	if s.closed.Load() {
 		return ErrClosed
 	}
 	return s.pool.Put(id, buf)
 }
 
-// Commit makes all buffered mutations durable. For file-backed stores the
-// dirty pages are first appended to the WAL with a commit record and synced,
-// then written to the page file; the WAL is truncated once the page file is
-// synced. In-memory stores simply clear dirty flags.
+// WriteCOW writes a page image with copy-on-write semantics: a fresh page
+// is updated in place and keeps its id; a committed page is left untouched,
+// the image lands on a newly allocated page, and the old page is retired.
+// The returned id is where the image now lives.
+func (s *Store) WriteCOW(id PageID, buf []byte) (PageID, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed.Load() {
+		return 0, ErrClosed
+	}
+	if _, ok := s.fresh[id]; ok {
+		return id, s.pool.Put(id, buf)
+	}
+	nid, err := s.allocate()
+	if err != nil {
+		return 0, err
+	}
+	if err := s.pool.Put(nid, buf); err != nil {
+		return 0, err
+	}
+	if err := s.retire(id); err != nil {
+		return 0, err
+	}
+	return nid, nil
+}
+
+// Commit makes all buffered mutations durable and publishes them as a new
+// epoch. For file-backed stores the dirty pages are first appended to the
+// WAL with a commit record and synced, then written to the page file; the
+// WAL is truncated once the page file is synced. In-memory stores simply
+// clear dirty flags. After the flush the root set and epoch become the
+// published state new snapshots read, and pages retired in superseded
+// epochs are reclaimed if no snapshot still pins them.
 func (s *Store) Commit() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed {
+	if s.closed.Load() {
 		return ErrClosed
 	}
+	if err := s.commit(); err != nil {
+		return err
+	}
+	// Reclaim: anything retired before the (new) current epoch with no
+	// snapshot pinning it is safe to reuse.
+	e := &s.ep
+	e.mu.Lock()
+	free := e.collectLocked()
+	e.mu.Unlock()
+	for _, id := range free {
+		if err := s.free(id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *Store) commit() error {
 	dirty := s.pool.DirtyPages()
 	if len(dirty) == 0 {
 		return nil
 	}
+	// Stamp the new epoch into the meta page so recovery lands on it, then
+	// re-collect so the stamped meta page is part of the batch.
+	s.meta.epoch++
+	s.writeMeta()
+	dirty = s.pool.DirtyPages()
 	if s.wal != nil {
 		if err := s.wal.LogCommit(dirty); err != nil {
 			return err
@@ -447,13 +592,19 @@ func (s *Store) Commit() error {
 		}
 	}
 	s.pool.ClearDirty()
+	// Publish: snapshots taken from here on see the new roots and epoch.
+	e := &s.ep
+	e.mu.Lock()
+	e.current = s.meta.epoch
+	e.published = s.meta.roots
+	e.mu.Unlock()
+	// Everything allocated this transaction is now committed state.
+	s.fresh = make(map[PageID]struct{})
 	return nil
 }
 
 // PageCount reports the current number of pages, including the meta page.
 func (s *Store) PageCount() PageID {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	return s.pager.PageCount()
 }
 
@@ -464,7 +615,7 @@ func (s *Store) Pool() *BufferPool { return s.pool }
 // most limit frames — used by tests to force eviction pressure.
 func OpenMemWithPoolLimit(limit int) *Store {
 	pager := NewMemPager()
-	s := &Store{pager: pager, pool: NewBufferPool(pager, limit)}
+	s := &Store{pager: pager, pool: NewBufferPool(pager, limit), fresh: make(map[PageID]struct{})}
 	if err := s.init(); err != nil {
 		// The in-memory pager cannot fail on a fresh store.
 		panic("storage: init mem store: " + err.Error())
@@ -474,15 +625,20 @@ func OpenMemWithPoolLimit(limit int) *Store {
 
 // Close commits outstanding changes and releases the underlying files.
 func (s *Store) Close() error {
-	if err := s.Commit(); err != nil && !errors.Is(err, ErrClosed) {
-		return err
+	// Two commits: the first flushes the transaction, and its reclamation
+	// pass may push pages onto the free list (dirtying the free-list
+	// links); the second makes those durable so reopened stores reuse them.
+	for i := 0; i < 2; i++ {
+		if err := s.Commit(); err != nil && !errors.Is(err, ErrClosed) {
+			return err
+		}
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed {
+	if s.closed.Load() {
 		return nil
 	}
-	s.closed = true
+	s.closed.Store(true)
 	if s.wal != nil {
 		if err := s.wal.Close(); err != nil {
 			s.pager.Close()

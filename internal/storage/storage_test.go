@@ -619,7 +619,7 @@ func TestStoreCommitDurability(t *testing.T) {
 	if s.wal != nil {
 		s.wal.Close()
 	}
-	s.closed = true
+	s.closed.Store(true)
 
 	s2, err := Open(path)
 	if err != nil {

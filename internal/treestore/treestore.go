@@ -44,8 +44,27 @@ var (
 // read-lock path and may be called from many goroutines at once, including
 // while one writer goroutine is loading or deleting another tree — the
 // writer simply serializes against each individual read operation.
+//
+// For queries that must never wait on a writer at all — long analytical
+// reads overlapping bulk loads and deletes — take a Snapshot: tree handles
+// opened from it are bound to the last committed epoch and read lock-free
+// against copy-on-write pages, seeing the whole tree exactly as committed
+// even while it is concurrently deleted.
 type Store struct {
 	db *relstore.DB
+}
+
+// table is the read surface a stored tree queries against. Both live
+// tables (*relstore.Table, which lock per operation) and snapshot views
+// (*relstore.TableView, lock-free against a pinned epoch) satisfy it, so
+// one Tree implementation serves both paths.
+type table interface {
+	Get(key relstore.Value) (relstore.Row, bool, error)
+	Scan(fn func(relstore.Row) (bool, error)) error
+	ScanRange(lo, hi relstore.Value, fn func(relstore.Row) (bool, error)) error
+	IndexScan(index string, vals []relstore.Value, fn func(relstore.Row) (bool, error)) error
+	IndexRange(index string, lo, hi relstore.Value, fn func(relstore.Row) (bool, error)) error
+	Len() (int, error)
 }
 
 // Open opens (creating if needed) a repository in the page file at path.
@@ -331,10 +350,19 @@ func (s *Store) Load(name string, t *phylo.Tree, f int, progress Progress) (*Tre
 	return s.Tree(name)
 }
 
-// Tree opens a handle on a stored tree.
+// Tree opens a handle on a stored tree over the live tables.
 func (s *Store) Tree(name string) (*Tree, error) {
-	trees, err := s.db.Table("trees")
+	return openTree(name, func(tab string) (table, error) { return s.db.Table(tab) })
+}
+
+// openTree assembles a tree handle from whatever table source it is given
+// — the live database or a snapshot.
+func openTree(name string, get func(string) (table, error)) (*Tree, error) {
+	trees, err := get("trees")
 	if err != nil {
+		if errors.Is(err, relstore.ErrNoTable) {
+			return nil, fmt.Errorf("%w: %s", ErrNoTree, name)
+		}
 		return nil, err
 	}
 	row, ok, err := trees.Get(relstore.Str(name))
@@ -344,27 +372,20 @@ func (s *Store) Tree(name string) (*Tree, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrNoTree, name)
 	}
-	info := TreeInfo{
-		Name:   row[0].Text(),
-		Nodes:  int(row[1].Int64()),
-		Leaves: int(row[2].Int64()),
-		F:      int(row[3].Int64()),
-		Layers: int(row[4].Int64()),
-		Depth:  int(row[5].Int64()),
-	}
-	nodeTab, err := s.db.Table(nodesTable(name))
+	info := decodeInfo(row)
+	nodeTab, err := get(nodesTable(name))
 	if err != nil {
 		return nil, err
 	}
-	t := &Tree{store: s, info: info, nodes: nodeTab}
+	t := &Tree{info: info, nodes: nodeTab}
 	for k := 0; k < info.Layers; k++ {
-		subTab, err := s.db.Table(subsTable(name, k))
+		subTab, err := get(subsTable(name, k))
 		if err != nil {
 			return nil, err
 		}
 		t.subs = append(t.subs, subTab)
 		if k > 0 {
-			layTab, err := s.db.Table(layerTable(name, k))
+			layTab, err := get(layerTable(name, k))
 			if err != nil {
 				return nil, err
 			}
@@ -372,6 +393,17 @@ func (s *Store) Tree(name string) (*Tree, error) {
 		}
 	}
 	return t, nil
+}
+
+func decodeInfo(row relstore.Row) TreeInfo {
+	return TreeInfo{
+		Name:   row[0].Text(),
+		Nodes:  int(row[1].Int64()),
+		Leaves: int(row[2].Int64()),
+		F:      int(row[3].Int64()),
+		Layers: int(row[4].Int64()),
+		Depth:  int(row[5].Int64()),
+	}
 }
 
 // Trees lists all stored trees.
@@ -382,14 +414,58 @@ func (s *Store) Trees() ([]TreeInfo, error) {
 	}
 	var out []TreeInfo
 	err = trees.Scan(func(row relstore.Row) (bool, error) {
-		out = append(out, TreeInfo{
-			Name:   row[0].Text(),
-			Nodes:  int(row[1].Int64()),
-			Leaves: int(row[2].Int64()),
-			F:      int(row[3].Int64()),
-			Layers: int(row[4].Int64()),
-			Depth:  int(row[5].Int64()),
-		})
+		out = append(out, decodeInfo(row))
+		return true, nil
+	})
+	return out, err
+}
+
+// Snap is a point-in-time read view of the Tree Repository, pinned to the
+// last committed epoch. Tree handles opened from it run every query —
+// Project, LCA, Sample, Frontier, MinimalSpanningClade, Export — lock-free
+// against copy-on-write pages: a bulk load or delete running concurrently
+// can neither block them nor change what they see. Close releases the pin
+// so superseded pages can be reclaimed.
+type Snap struct {
+	rs *relstore.Snap
+}
+
+// Snapshot pins the last committed state of the repository.
+func (s *Store) Snapshot() *Snap { return SnapOn(s.db.Snapshot()) }
+
+// SnapOn wraps an existing relational snapshot (shared with the species
+// and query repositories) as a tree-repository view.
+func SnapOn(rs *relstore.Snap) *Snap { return &Snap{rs: rs} }
+
+// Rel exposes the underlying relational snapshot.
+func (sn *Snap) Rel() *relstore.Snap { return sn.rs }
+
+// Epoch reports the committed epoch this snapshot reads.
+func (sn *Snap) Epoch() uint64 { return sn.rs.Epoch() }
+
+// Close releases the snapshot's epoch pin. Safe to call multiple times.
+func (sn *Snap) Close() { sn.rs.Close() }
+
+// Tree opens a handle on a stored tree as of the snapshot. The handle
+// stays fully readable even if the tree is deleted afterwards: it either
+// sees the whole tree or (if the tree was not committed when the snapshot
+// was taken) ErrNoTree — never a torn state.
+func (sn *Snap) Tree(name string) (*Tree, error) {
+	return openTree(name, func(tab string) (table, error) { return sn.rs.Table(tab) })
+}
+
+// Trees lists the trees stored as of the snapshot.
+func (sn *Snap) Trees() ([]TreeInfo, error) {
+	trees, err := sn.rs.Table("trees")
+	if err != nil {
+		if errors.Is(err, relstore.ErrNoTable) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var out []TreeInfo
+	err = trees.Scan(func(row relstore.Row) (bool, error) {
+		out = append(out, decodeInfo(row))
 		return true, nil
 	})
 	return out, err
@@ -463,14 +539,16 @@ func decodeNode(row relstore.Row) Node {
 
 // Tree is a handle on one stored tree; every query goes to the relational
 // store row by row. A Tree handle is safe for concurrent use by multiple
-// goroutines (all methods are read-only and take the database read lock
-// per operation).
+// goroutines: all methods are read-only. A handle from Store.Tree reads
+// the live tables (each operation takes the database read lock, so it
+// serializes against the writer per row batch); a handle from Snap.Tree
+// reads a pinned snapshot lock-free and is immune to concurrent loads and
+// deletes.
 type Tree struct {
-	store  *Store
 	info   TreeInfo
-	nodes  *relstore.Table
-	layers []*relstore.Table // layer 1.. (index 0 = layer 1)
-	subs   []*relstore.Table // layer 0..
+	nodes  table
+	layers []table // layer 1.. (index 0 = layer 1)
+	subs   []table // layer 0..
 }
 
 // Info returns the tree's summary.

@@ -45,6 +45,8 @@ type (
 	BenchReport = benchmark.ReportJSON
 	// Stats is the server's counter snapshot.
 	Stats = server.StatsSnapshot
+	// ShardMVCC is one shard's MVCC state within Stats.Shards.
+	ShardMVCC = server.ShardMVCC
 )
 
 // APIError is a non-2xx response from the server.

@@ -23,6 +23,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -30,6 +31,7 @@ import (
 	"repro/internal/benchmark"
 	"repro/internal/recon"
 	"repro/internal/seqsim"
+	"repro/internal/shard"
 	"repro/internal/treegen"
 )
 
@@ -188,16 +190,27 @@ func cmdSeqGen(args []string) error {
 	return crimson.WriteNexus(w, doc)
 }
 
+// openRepo opens a repository, auto-detecting its layout: a plain page
+// file opens single-sharded, a directory with a shard manifest opens with
+// the manifest's shard count.
 func openRepo(path string) (*crimson.Repository, error) {
+	return openRepoSharded(path, 0)
+}
+
+// openRepoSharded opens (creating if needed) a repository with the given
+// shard count; 0 means auto-detect. Mismatches against an existing layout
+// are rejected.
+func openRepoSharded(path string, shards int) (*crimson.Repository, error) {
 	if path == "" {
 		return nil, fmt.Errorf("--repo is required")
 	}
-	return crimson.Open(path)
+	return crimson.OpenSharded(path, shards)
 }
 
 func cmdLoad(args []string) error {
 	fs := flag.NewFlagSet("load", flag.ContinueOnError)
-	repoPath := fs.String("repo", "", "repository page file")
+	repoPath := fs.String("repo", "", "repository page file (1 shard) or directory (sharded)")
+	shards := fs.Int("shards", 0, "shard count when creating the repository (0 = auto-detect; >1 makes a sharded directory layout)")
 	name := fs.String("name", "", "tree name (default: NEXUS tree name or 'tree')")
 	f := fs.Int("f", crimson.DefaultFanout, "hierarchical label depth bound")
 	newickFile := fs.String("newick", "", "Newick input file")
@@ -206,7 +219,7 @@ func cmdLoad(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	repo, err := openRepo(*repoPath)
+	repo, err := openRepoSharded(*repoPath, *shards)
 	if err != nil {
 		return err
 	}
@@ -540,8 +553,14 @@ func cmdBench(args []string) error {
 	seed := fs.Int64("seed", 1, "RNG seed")
 	parallel := fs.Int("parallel", runtime.NumCPU(), "concurrent replicate evaluations (1 = serial; results are identical either way)")
 	jsonOut := fs.String("json", "", "write the report as JSON to this file ('-' = stdout)")
+	loadShards := fs.Int("load-shards", 0, "instead of a reconstruction benchmark, measure concurrent tree-load throughput into an N-shard repository")
+	loadTrees := fs.Int("load-trees", 4, "trees loaded concurrently in --load-shards mode")
+	loadLeaves := fs.Int("load-leaves", 20000, "leaves per tree in --load-shards mode")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *loadShards > 0 {
+		return runLoadBench(*loadShards, *loadTrees, *loadLeaves, *seed, *jsonOut)
 	}
 	var gold *crimson.Tree
 	var repo *crimson.Repository
@@ -630,6 +649,111 @@ func cmdBench(args []string) error {
 			map[string]any{"tree": *name, "sizes": sizeList, "reps": *reps, "algs": *algs},
 			"benchmark complete")
 		return repo.Commit()
+	}
+	return nil
+}
+
+// loadBenchReport is the JSON body of a --load-shards run: aggregate
+// throughput of concurrent tree loads into an N-shard in-memory
+// repository. CI runs it at shards=1 and shards=4 so the sharding speedup
+// (or the single-core lack of one) is visible per build.
+type loadBenchReport struct {
+	Shards        int     `json:"shards"`
+	Trees         int     `json:"trees"`
+	LeavesPerTree int     `json:"leaves_per_tree"`
+	TotalNodes    int     `json:"total_nodes"`
+	Seconds       float64 `json:"seconds"`
+	NodesPerSec   float64 `json:"nodes_per_sec"`
+	GOMAXPROCS    int     `json:"gomaxprocs"`
+}
+
+// distinctShardNames picks k deterministic tree names spread over as many
+// distinct shards of router as possible (round-robin when k > N).
+func distinctShardNames(router *shard.Router, k int) []string {
+	names := make([]string, 0, k)
+	used := make(map[int]bool)
+	for i := 0; len(names) < k; i++ {
+		name := fmt.Sprintf("bench-tree-%d", i)
+		si := router.Place(name)
+		if used[si] && len(used) < router.N() && len(names) < router.N() {
+			continue // still hunting for an unused shard
+		}
+		used[si] = true
+		names = append(names, name)
+	}
+	return names
+}
+
+// runLoadBench loads trees concurrently — one goroutine per tree, loads on
+// the same shard serialized to honor the one-writer-per-shard contract —
+// and reports aggregate nodes/s.
+func runLoadBench(shards, nTrees, leaves int, seed int64, jsonOut string) error {
+	if nTrees < 1 {
+		return fmt.Errorf("bench: --load-trees must be >= 1")
+	}
+	router, err := shard.NewRouter(shards)
+	if err != nil {
+		return err
+	}
+	trees := make([]*crimson.Tree, nTrees)
+	total := 0
+	for i := range trees {
+		t, err := treegen.Yule(leaves, 1.0, rand.New(rand.NewSource(seed+int64(i))))
+		if err != nil {
+			return err
+		}
+		trees[i] = t
+		total += t.NumNodes()
+	}
+	names := distinctShardNames(router, nTrees)
+
+	repo := crimson.OpenMemSharded(shards)
+	defer repo.Close()
+	writerMu := make([]sync.Mutex, shards)
+	errs := make(chan error, nTrees)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := range trees {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			si := router.Place(names[i])
+			writerMu[si].Lock()
+			defer writerMu[si].Unlock()
+			if _, err := repo.Trees.Load(names[i], trees[i], crimson.DefaultFanout, nil); err != nil {
+				errs <- fmt.Errorf("loading %s: %w", names[i], err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	rep := loadBenchReport{
+		Shards:        shards,
+		Trees:         nTrees,
+		LeavesPerTree: leaves,
+		TotalNodes:    total,
+		Seconds:       elapsed.Seconds(),
+		NodesPerSec:   float64(total) / elapsed.Seconds(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+	}
+	fmt.Fprintf(os.Stderr, "loaded %d trees (%d nodes) on %d shard(s) in %.3fs: %.0f nodes/s (GOMAXPROCS=%d)\n",
+		rep.Trees, rep.TotalNodes, rep.Shards, rep.Seconds, rep.NodesPerSec, rep.GOMAXPROCS)
+	if jsonOut != "" {
+		raw, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		raw = append(raw, '\n')
+		if jsonOut == "-" {
+			os.Stdout.Write(raw)
+			return nil
+		}
+		return os.WriteFile(jsonOut, raw, 0o644)
 	}
 	return nil
 }
@@ -730,7 +854,8 @@ func cmdFsck(args []string) error {
 // typed client in repro/client).
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
-	repoPath := fs.String("repo", "", "repository page file (required unless --mem)")
+	repoPath := fs.String("repo", "", "repository page file or sharded directory (required unless --mem)")
+	shards := fs.Int("shards", 0, "shard count: 0 = auto-detect from the layout; >1 creates (or validates) a sharded directory, one writer per shard")
 	mem := fs.Bool("mem", false, "serve an in-memory repository (no durability; for demos)")
 	addr := fs.String("addr", ":8321", "listen address")
 	maxReads := fs.Int("max-reads", 64, "bound on concurrently executing read requests")
@@ -743,9 +868,13 @@ func cmdServe(args []string) error {
 	var repo *crimson.Repository
 	var err error
 	if *mem {
-		repo = crimson.OpenMem()
+		n := *shards
+		if n == 0 {
+			n = 1
+		}
+		repo = crimson.OpenMemSharded(n)
 	} else {
-		if repo, err = openRepo(*repoPath); err != nil {
+		if repo, err = openRepoSharded(*repoPath, *shards); err != nil {
 			return err
 		}
 	}
@@ -764,7 +893,7 @@ func cmdServe(args []string) error {
 	if err := srv.Start(); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "crimsond listening on %s (Ctrl-C to stop)\n", srv.Addr())
+	fmt.Fprintf(os.Stderr, "crimsond listening on %s (%d shard(s), Ctrl-C to stop)\n", srv.Addr(), repo.Shards())
 	// Surface the MVCC machinery while serving: the committed epoch, how
 	// many snapshot readers are open, and the reclamation backlog.
 	stopStats := make(chan struct{})

@@ -32,33 +32,39 @@
 //
 // # Concurrency
 //
-// A Repository is multi-version: the storage engine copy-on-writes every
-// page it mutates and publishes a new epoch at each commit, so readers
-// have two paths.
+// A Repository is multi-version and sharded: trees are partitioned across
+// N independent storage engines (OpenSharded; N=1 by default) by a hash
+// of the tree name, and each engine copy-on-writes every page it mutates
+// and publishes a new epoch at each commit, so readers have two paths.
 //
 // Live handles (Tree, Species, Queries methods) take a shared read lock
-// per operation and see the writer's working state; they serialize against
-// each individual mutation. Mutations — LoadTree, Delete, Species.Put,
-// Queries.Record, Commit — take the exclusive write lock; callers must not
-// run two writer goroutines at once.
+// per operation on their shard and see the writer's working state; they
+// serialize against each individual mutation. Mutations — LoadTree,
+// Delete, Species.Put, Queries.Record, Commit — take their shard's
+// exclusive write lock; callers must not run two writer goroutines
+// against the same shard at once, but writers on different shards (loads
+// of different trees that hash apart) proceed in parallel.
 //
-// Snapshots (Repository.Snapshot) pin the last committed epoch and read
-// lock-free: a projection, LCA, sample or export running on a snapshot
-// never waits on a concurrent bulk load or delete and always sees the
-// whole repository exactly as committed — mid-load and mid-delete states
-// are invisible. Superseded pages are reclaimed by epoch once the last
-// snapshot that could read them closes. Loads use a sorted bulk-load fast
-// path that builds the node relation and its indexes bottom-up rather than
-// one B+tree descent per row. In-memory helpers (Index, Planner, pattern
+// Snapshots (Repository.Snapshot) pin a per-shard epoch vector — each
+// shard's last committed epoch — and read lock-free: a projection, LCA,
+// sample or export running on a snapshot never waits on a concurrent bulk
+// load or delete and always sees the whole repository exactly as
+// committed per shard — mid-load and mid-delete states are invisible.
+// Superseded pages are reclaimed by epoch once the last snapshot that
+// could read them closes. Loads use a sorted bulk-load fast path that
+// builds the node relation and its indexes bottom-up rather than one
+// B+tree descent per row. In-memory helpers (Index, Planner, pattern
 // match, RunBenchmark) are read-only after construction and freely
 // shareable across goroutines.
 package crimson
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
 	"os"
+	"sync"
 
 	"repro/internal/benchmark"
 	"repro/internal/core"
@@ -73,6 +79,7 @@ import (
 	"repro/internal/sample"
 	"repro/internal/seqsim"
 	"repro/internal/server"
+	"repro/internal/shard"
 	"repro/internal/species"
 	"repro/internal/storage"
 	"repro/internal/treecmp"
@@ -125,8 +132,11 @@ type (
 	ServerConfig = server.Config
 	// ServerStats is the /v1/stats counter snapshot.
 	ServerStats = server.StatsSnapshot
-	// MVCCStats reports the storage engine's epoch, open snapshots and
-	// pages awaiting reclamation.
+	// ShardServerStats is one shard's MVCC state within ServerStats.Shards.
+	ShardServerStats = server.ShardMVCC
+	// MVCCStats reports a storage engine's epoch, open snapshots and
+	// pages awaiting reclamation (aggregated across shards by
+	// Repository.MVCC, per shard by Repository.MVCCShards).
 	MVCCStats = storage.MVCCStats
 )
 
@@ -156,80 +166,240 @@ var (
 	}
 )
 
-// Repository bundles the three §2.1 repositories over one page file: the
-// Tree Repository, the Species Repository and the Query Repository.
+// Repository bundles the three §2.1 repositories: the Tree Repository,
+// the Species Repository and the Query Repository.
+//
+// A repository spans one or more shards. Each shard is an independent
+// relational database — its own page file, WAL and epoch machinery — and
+// trees (with their species data) are placed on shards by a deterministic
+// hash of the tree name, so the API below is identical at every shard
+// count. Query history lives on shard 0. With N shards there are N
+// independent writer locks: loads of trees on different shards proceed
+// genuinely in parallel, and the single-writer contract holds per shard.
 //
 // A Repository is safe for many concurrent reader goroutines plus one
-// writer (see the package comment's Concurrency section).
+// writer per shard (see the package comment's Concurrency section).
 type Repository struct {
-	db      *relstore.DB
+	dbs    []*relstore.DB
+	router *shard.Router
+	// writeMus serializes the facade's managed mutations (LoadTree,
+	// LoadNexus) per shard, including their query-history writes on shard
+	// 0 — so two concurrent loads of trees that hash apart can never slice
+	// a commit into each other's half-applied shard-0 state. Callers going
+	// through Trees/Species/Queries directly bypass these and own the
+	// one-writer-per-shard contract themselves.
+	writeMus []sync.Mutex
+
 	Trees   *treestore.Store
 	Species *species.Repo
 	Queries *queryrepo.Repo
 }
 
-// Open opens (creating if needed) a repository stored at path.
-func Open(path string) (*Repository, error) {
-	db, err := relstore.OpenDB(path)
-	if err != nil {
-		return nil, err
+// Open opens (creating if needed) a repository stored at path. A plain
+// page file opens single-sharded (today's on-disk format, unchanged); a
+// directory with a shard manifest opens with the shard count the manifest
+// records.
+func Open(path string) (*Repository, error) { return OpenSharded(path, 0) }
+
+// OpenSharded opens (creating if needed) a repository with n shards.
+//
+// n == 0 means "whatever the layout already is": the manifest's count for
+// a sharded directory, 1 for a plain page file or a fresh path. n == 1
+// creates (or opens) the single page file layout at path — byte-compatible
+// with repositories from before sharding existed. n > 1 creates a
+// directory at path holding a manifest plus one subdirectory per shard,
+// each with its own page file and WAL; reopening validates n against the
+// manifest and rejects mismatches, since trees hashed under a different
+// modulus would be looked up on the wrong shard.
+func OpenSharded(path string, n int) (*Repository, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("crimson: shard count %d, want >= 0", n)
 	}
-	r, err := assemble(db)
+	st, statErr := os.Stat(path)
+	switch {
+	case statErr == nil && st.IsDir():
+		m, err := shard.ReadManifest(path)
+		if errors.Is(err, shard.ErrNoManifest) {
+			// A pre-created directory (container volume mounts, provisioning
+			// tools) may be initialized in place — but only if it is empty,
+			// so a stray data directory is never silently claimed.
+			entries, derr := os.ReadDir(path)
+			if derr != nil {
+				return nil, derr
+			}
+			if len(entries) > 0 {
+				return nil, fmt.Errorf("crimson: %s is a non-empty directory without a shard manifest: %w", path, err)
+			}
+			if n <= 1 {
+				return nil, fmt.Errorf("crimson: %s is an empty directory; pass --shards to initialize a sharded repository there (a 1-shard repository is a plain page file)", path)
+			}
+			if err := shard.WriteManifest(path, shard.NewManifest(n)); err != nil {
+				return nil, err
+			}
+			return openShardDirs(path, n)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("crimson: %s is a directory but not a sharded repository: %w", path, err)
+		}
+		if err := m.Validate(n); err != nil {
+			return nil, err
+		}
+		return openShardDirs(path, m.Shards)
+	case statErr == nil && n > 1:
+		return nil, fmt.Errorf("%w: repository at %s is a single page file (1 shard), --shards asked for %d",
+			shard.ErrShardMismatch, path, n)
+	case statErr == nil, n <= 1:
+		// Existing page file, or a fresh single-shard repository: the
+		// original one-file layout, byte for byte.
+		db, err := relstore.OpenDB(path)
+		if err != nil {
+			return nil, err
+		}
+		r, err := assemble([]*relstore.DB{db})
+		if err != nil {
+			db.Close()
+			return nil, err
+		}
+		return r, nil
+	default:
+		// Fresh sharded repository: directory, manifest, per-shard dirs.
+		if err := os.MkdirAll(path, 0o755); err != nil {
+			return nil, err
+		}
+		if err := shard.WriteManifest(path, shard.NewManifest(n)); err != nil {
+			return nil, err
+		}
+		return openShardDirs(path, n)
+	}
+}
+
+func openShardDirs(root string, n int) (*Repository, error) {
+	dbs := make([]*relstore.DB, 0, n)
+	for i := 0; i < n; i++ {
+		if err := os.MkdirAll(shard.Dir(root, i), 0o755); err != nil {
+			shard.CloseAll(dbs)
+			return nil, err
+		}
+		db, err := relstore.OpenDB(shard.PageFile(root, i))
+		if err != nil {
+			shard.CloseAll(dbs)
+			return nil, fmt.Errorf("crimson: opening shard %d: %w", i, err)
+		}
+		dbs = append(dbs, db)
+	}
+	r, err := assemble(dbs)
 	if err != nil {
-		db.Close()
+		shard.CloseAll(dbs)
 		return nil, err
 	}
 	return r, nil
 }
 
 // OpenMem opens an in-memory repository (no durability).
-func OpenMem() *Repository {
-	r, err := assemble(relstore.OpenMemDB())
+func OpenMem() *Repository { return OpenMemSharded(1) }
+
+// OpenMemSharded opens an in-memory repository partitioned across n shards
+// (no durability; used by tests and benchmarks exercising the sharded
+// topology without disk).
+func OpenMemSharded(n int) *Repository {
+	dbs := make([]*relstore.DB, n)
+	for i := range dbs {
+		dbs[i] = relstore.OpenMemDB()
+	}
+	r, err := assemble(dbs)
 	if err != nil {
 		panic("crimson: assembling mem repository: " + err.Error())
 	}
 	return r
 }
 
-func assemble(db *relstore.DB) (*Repository, error) {
-	trees, err := treestore.NewOnDB(db)
+func assemble(dbs []*relstore.DB) (*Repository, error) {
+	router, err := shard.NewRouter(len(dbs))
 	if err != nil {
 		return nil, err
 	}
-	sp, err := species.NewOnDB(db)
+	trees, err := treestore.NewOnShards(dbs, router)
 	if err != nil {
 		return nil, err
 	}
-	q, err := queryrepo.NewOnDB(db)
+	sp, err := species.NewOnShards(dbs, router)
 	if err != nil {
 		return nil, err
 	}
-	return &Repository{db: db, Trees: trees, Species: sp, Queries: q}, nil
+	// Query history is repository-global (not tree-scoped), so it lives on
+	// shard 0.
+	q, err := queryrepo.NewOnDB(dbs[0])
+	if err != nil {
+		return nil, err
+	}
+	return &Repository{
+		dbs:      dbs,
+		router:   router,
+		writeMus: make([]sync.Mutex, len(dbs)),
+		Trees:    trees,
+		Species:  sp,
+		Queries:  q,
+	}, nil
 }
 
-// Commit makes all buffered changes durable.
-func (r *Repository) Commit() error { return r.db.Commit() }
+// Shards reports the repository's shard count.
+func (r *Repository) Shards() int { return r.router.N() }
 
-// Check verifies the integrity of every table, tree and index in the
-// repository (the CLI's fsck).
-func (r *Repository) Check() error { return r.db.Check() }
+// Commit makes all buffered changes of every shard durable.
+func (r *Repository) Commit() error {
+	var errs []error
+	for i, db := range r.dbs {
+		if err := db.Commit(); err != nil {
+			errs = append(errs, fmt.Errorf("shard %d: %w", i, err))
+		}
+	}
+	return errors.Join(errs...)
+}
 
-// Close commits and closes the repository.
-func (r *Repository) Close() error { return r.db.Close() }
+// Check verifies the integrity of every table, tree and index in every
+// shard of the repository (the CLI's fsck).
+func (r *Repository) Check() error { return shard.CheckAll(r.dbs) }
+
+// Close commits and closes every shard of the repository. All shards are
+// closed even if one fails; failures come back joined.
+func (r *Repository) Close() error { return shard.CloseAll(r.dbs) }
+
+// recordCommit appends one history record and commits shard 0, under
+// shard 0's facade writer mutex: the record's counter read-modify-write
+// plus entry insert and the commit land as one unit, so a concurrent
+// load's shard-0 commit can never publish a half-applied record (nor can
+// a history commit publish another load's half-applied shard-0 tables —
+// loads hold the same mutex while they write shard 0). Callers must not
+// hold any facade writer mutex when calling (shard 0's included).
+func (r *Repository) recordCommit(kind string, args map[string]any, summary string) error {
+	r.writeMus[0].Lock()
+	defer r.writeMus[0].Unlock()
+	_, _ = r.Queries.Record(kind, args, summary)
+	if err := r.dbs[0].Commit(); err != nil {
+		return fmt.Errorf("crimson: committing history shard: %w", err)
+	}
+	return nil
+}
 
 // LoadTree stores an in-memory tree under the given name with depth bound
 // f, recording the load in the query history. Like LoadNexus, it commits
 // before returning: a successful load — tree relations and its history
 // record both — is durable even if the caller never calls Commit or
-// Close.
+// Close. Only the tree's shard (and the history's shard 0) is committed,
+// and both steps run under the facade's per-shard writer mutexes, so
+// concurrent LoadTree calls for trees on different shards never publish
+// each other's half-applied state.
 func (r *Repository) LoadTree(name string, t *Tree, f int, progress treestore.Progress) (*StoredTree, error) {
-	st, err := r.Trees.Load(name, t, f, progress)
+	si := r.router.Place(name)
+	r.writeMus[si].Lock()
+	st, err := r.Trees.Load(name, t, f, progress) // commits the tree's shard
+	r.writeMus[si].Unlock()
 	if err != nil {
 		return nil, err
 	}
-	_, _ = r.Queries.Record("load", map[string]any{"tree": name, "f": f, "nodes": t.NumNodes()},
+	err = r.recordCommit("load", map[string]any{"tree": name, "f": f, "nodes": t.NumNodes()},
 		fmt.Sprintf("loaded %d nodes", t.NumNodes()))
-	return st, r.Commit()
+	return st, err
 }
 
 // LoadNexus loads the first tree of a NEXUS document (under its TREE name
@@ -242,32 +412,45 @@ func (r *Repository) LoadNexus(doc *NexusDocument, name string, f int, progress 
 	if name == "" {
 		name = doc.Trees[0].Name
 	}
-	st, err := r.LoadTree(name, doc.Trees[0].Tree, f, progress)
+	si := r.router.Place(name)
+	r.writeMus[si].Lock()
+	st, err := r.Trees.Load(name, doc.Trees[0].Tree, f, progress) // commits the tree's shard
 	if err != nil {
+		r.writeMus[si].Unlock()
 		return nil, err
 	}
 	if ch := doc.Characters; ch != nil {
 		for _, taxon := range ch.Order {
 			if err := r.Species.Put(name, taxon, "seq:nexus", []byte(ch.Seqs[taxon])); err != nil {
+				r.writeMus[si].Unlock()
 				return nil, err
 			}
 		}
 		progress.Say("stored %d sequences in the species repository", len(ch.Order))
 	}
-	return st, r.Commit()
+	err = r.dbs[si].Commit() // sequences live on the tree's shard
+	r.writeMus[si].Unlock()
+	if err != nil {
+		return nil, fmt.Errorf("crimson: committing shard %d: %w", si, err)
+	}
+	err = r.recordCommit("load", map[string]any{"tree": name, "f": f, "nodes": st.Info().Nodes},
+		fmt.Sprintf("loaded %d nodes", st.Info().Nodes))
+	return st, err
 }
 
 // Tree opens a stored tree by name.
 func (r *Repository) Tree(name string) (*StoredTree, error) { return r.Trees.Tree(name) }
 
 // Snapshot is a consistent point-in-time read view of the whole
-// repository, pinned to the last committed epoch. Queries through it run
-// lock-free: they never wait on a concurrent LoadTree or Delete, and they
-// see every tree, species record and history entry exactly as committed —
-// a tree mid-load is invisible, a tree mid-delete is still whole. Close
-// releases the pin so the storage engine can reclaim superseded pages.
+// repository. It pins an epoch vector — each shard's last committed epoch,
+// one pin per shard — so queries through it run lock-free: they never wait
+// on a concurrent LoadTree or Delete, and they see every tree, species
+// record and history entry exactly as committed on its shard — a tree
+// mid-load is invisible, a tree mid-delete is still whole. Cross-shard
+// reads (listing trees) are consistent per shard. Close releases the pins
+// so the storage engines can reclaim superseded pages.
 type Snapshot struct {
-	rs *relstore.Snap
+	sns []*relstore.Snap // one pinned snapshot per shard
 	// TreeSnap, SpeciesView and QueryView expose the three repositories'
 	// snapshot read surfaces.
 	TreeSnap    *treestore.Snap
@@ -275,14 +458,18 @@ type Snapshot struct {
 	QueryView   *queryrepo.View
 }
 
-// Snapshot pins the current committed state for lock-free reading.
+// Snapshot pins the current committed state of every shard for lock-free
+// reading.
 func (r *Repository) Snapshot() *Snapshot {
-	rs := r.db.Snapshot()
+	sns := make([]*relstore.Snap, len(r.dbs))
+	for i, db := range r.dbs {
+		sns[i] = db.Snapshot()
+	}
 	return &Snapshot{
-		rs:          rs,
-		TreeSnap:    treestore.SnapOn(rs),
-		SpeciesView: species.ViewOn(rs),
-		QueryView:   queryrepo.ViewOn(rs),
+		sns:         sns,
+		TreeSnap:    treestore.SnapOnShards(sns, r.router),
+		SpeciesView: species.ViewOnShards(sns, r.router),
+		QueryView:   queryrepo.ViewOn(sns[0]),
 	}
 }
 
@@ -292,19 +479,67 @@ func (s *Snapshot) Tree(name string) (*StoredTree, error) { return s.TreeSnap.Tr
 // Trees lists the trees stored as of the snapshot.
 func (s *Snapshot) Trees() ([]TreeInfo, error) { return s.TreeSnap.Trees() }
 
-// Epoch reports the committed epoch the snapshot reads.
-func (s *Snapshot) Epoch() uint64 { return s.rs.Epoch() }
+// Epoch reports the sum of the pinned per-shard epochs: a scalar that
+// advances whenever any shard commits. Use Epochs for the vector.
+func (s *Snapshot) Epoch() uint64 {
+	var sum uint64
+	for _, rs := range s.sns {
+		sum += rs.Epoch()
+	}
+	return sum
+}
 
-// Check verifies the integrity of the snapshot's state without blocking
-// the writer.
-func (s *Snapshot) Check() error { return s.rs.Check() }
+// Epochs reports the pinned epoch vector, one entry per shard.
+func (s *Snapshot) Epochs() []uint64 {
+	out := make([]uint64, len(s.sns))
+	for i, rs := range s.sns {
+		out[i] = rs.Epoch()
+	}
+	return out
+}
 
-// Close releases the snapshot's epoch pin. Safe to call multiple times.
-func (s *Snapshot) Close() { s.rs.Close() }
+// Check verifies the integrity of the snapshot's state — every shard —
+// without blocking any writer.
+func (s *Snapshot) Check() error {
+	for i, rs := range s.sns {
+		if err := rs.Check(); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
 
-// MVCC reports the storage engine's current epoch, the number of open
-// snapshots, and the count of pages awaiting epoch reclamation.
-func (r *Repository) MVCC() MVCCStats { return r.db.MVCC() }
+// Close releases every shard's epoch pin. Safe to call multiple times.
+func (s *Snapshot) Close() {
+	for _, rs := range s.sns {
+		rs.Close()
+	}
+}
+
+// MVCC reports the storage engines' state aggregated across shards: the
+// epoch is the sum of per-shard epochs (so it advances on any commit),
+// open snapshots and pages awaiting reclamation are totals. Use MVCCShards
+// for the per-shard breakdown.
+func (r *Repository) MVCC() MVCCStats {
+	var agg MVCCStats
+	for _, db := range r.dbs {
+		mv := db.MVCC()
+		agg.Epoch += mv.Epoch
+		agg.OpenSnapshots += mv.OpenSnapshots
+		agg.PendingReclaimPages += mv.PendingReclaimPages
+	}
+	return agg
+}
+
+// MVCCShards reports each shard's epoch, open snapshot count and
+// reclamation backlog — the per-shard view behind the aggregate MVCC.
+func (r *Repository) MVCCShards() []MVCCStats {
+	out := make([]MVCCStats, len(r.dbs))
+	for i, db := range r.dbs {
+		out[i] = db.MVCC()
+	}
+	return out
+}
 
 // NewServer builds crimsond — the HTTP/JSON server — over this
 // repository. Start it with Start/ListenAndServe (or mount it as an
@@ -314,7 +549,13 @@ func (r *Repository) MVCC() MVCCStats { return r.db.MVCC() }
 //	if err := srv.Start(); err != nil { ... }
 //	defer srv.Shutdown(context.Background())
 func (r *Repository) NewServer(cfg ServerConfig) *Server {
-	return server.New(server.Backend{DB: r.db, Trees: r.Trees, Species: r.Species, Queries: r.Queries}, cfg)
+	return server.New(server.Backend{
+		DBs:     r.dbs,
+		Router:  r.router,
+		Trees:   r.Trees,
+		Species: r.Species,
+		Queries: r.Queries,
+	}, cfg)
 }
 
 // NewServer builds crimsond over repo; see Repository.NewServer.

@@ -49,6 +49,15 @@ type DB struct {
 }
 
 // OpenDB opens (creating if needed) a database in the page file at path.
+// If the file was not shut down cleanly, WAL recovery is followed by a
+// reclamation sweep: retire lists are kept in memory, so a crash between
+// retiring pages (a COW rewrite, a dropped relation) and reclaiming them
+// leaks the pages — unreachable from any root, yet not on the free list.
+// The sweep diffs the pages reachable from the recovered catalog against
+// the page file and returns the leaked ones to the free list, so crashes
+// cannot grow the file permanently. Cleanly closed files skip the sweep —
+// the clean-shutdown flag in the meta page certifies nothing was pending
+// — keeping open O(1) in the database size on the common path.
 func OpenDB(path string) (*DB, error) {
 	store, err := storage.Open(path)
 	if err != nil {
@@ -59,7 +68,52 @@ func OpenDB(path string) (*DB, error) {
 		store.Close()
 		return nil, err
 	}
+	if !store.WasCleanShutdown() {
+		if _, err := db.sweepLeaked(); err != nil {
+			store.Close()
+			return nil, fmt.Errorf("relstore: startup reclamation sweep: %w", err)
+		}
+	}
 	return db, nil
+}
+
+// sweepLeaked computes the set of pages reachable from the published state
+// — the catalog tree plus every table's primary tree, secondary indexes
+// and overflow chains — and frees everything the page file holds beyond
+// that set and the free list. It runs single-threaded at open, before any
+// snapshot or writer exists. If a root slot other than the catalog's is in
+// use the sweep backs off entirely: it cannot prove reachability for a
+// layout it does not understand.
+func (db *DB) sweepLeaked() (int, error) {
+	for slot := 0; slot < storage.NumRoots; slot++ {
+		if slot != catalogRootSlot && db.store.Root(slot) != 0 {
+			return 0, nil
+		}
+	}
+	reachable := make(map[storage.PageID]bool)
+	visit := func(id storage.PageID) { reachable[id] = true }
+	if err := db.catalog.Pages(visit); err != nil {
+		return 0, fmt.Errorf("walking catalog: %w", err)
+	}
+	names, err := db.Tables()
+	if err != nil {
+		return 0, err
+	}
+	for _, name := range names {
+		t, err := db.Table(name)
+		if err != nil {
+			return 0, err
+		}
+		if err := t.primary.Pages(visit); err != nil {
+			return 0, fmt.Errorf("walking %s: %w", name, err)
+		}
+		for ixName, tree := range t.indexes {
+			if err := tree.Pages(visit); err != nil {
+				return 0, fmt.Errorf("walking %s index %s: %w", name, ixName, err)
+			}
+		}
+	}
+	return db.store.ReclaimUnreachable(reachable)
 }
 
 // OpenMemDB opens a database backed entirely by memory.

@@ -128,13 +128,27 @@ type StatsSnapshot struct {
 	OpenTrees     int              `json:"open_trees"`
 	PerOp         map[string]int64 `json:"per_op"`
 
-	// MVCC state of the storage engine under the repository.
+	// MVCC state of the storage engines under the repository, aggregated
+	// across shards: Epoch is the sum of per-shard epochs (it advances on
+	// any shard's commit); the other two are totals.
 	Epoch               uint64 `json:"epoch"`
 	OpenSnapshots       int    `json:"open_snapshots"`
 	PendingReclaimPages int    `json:"pending_reclaim_pages"`
+	// Shards breaks the MVCC state down per shard (one entry even on
+	// single-shard repositories).
+	Shards []ShardMVCC `json:"shards"`
 	// HistoryDropped counts read-path query-history records discarded
 	// because the async recorder's queue was full.
 	HistoryDropped int64 `json:"history_dropped"`
+}
+
+// ShardMVCC is one shard's storage-engine state: its committed epoch, open
+// snapshot count and reclamation backlog.
+type ShardMVCC struct {
+	Shard               int    `json:"shard"`
+	Epoch               uint64 `json:"epoch"`
+	OpenSnapshots       int    `json:"open_snapshots"`
+	PendingReclaimPages int    `json:"pending_reclaim_pages"`
 }
 
 // ErrorResponse is the body of every non-2xx JSON response.

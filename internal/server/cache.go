@@ -2,14 +2,18 @@ package server
 
 import (
 	"container/list"
+	"strconv"
 	"strings"
 	"sync"
 )
 
 // resultCache is a bounded LRU over query results. Keys are
-// "<tree>\x00<op>\x00<canonical args>" so every entry of a tree can be
-// dropped when the tree is deleted or replaced. A capacity of zero
-// disables the cache entirely.
+// "<tree>\x00<version>\x00<op>\x00<canonical args>", where the version is
+// the shard epoch the tree's current incarnation was committed at: an
+// entry names one immutable incarnation of one tree, so nothing ever has
+// to be updated in place — reloading a tree moves the version and strands
+// the old keys (they age out of the LRU), and deleting a tree drops its
+// prefix eagerly. A capacity of zero disables the cache entirely.
 type resultCache struct {
 	mu    sync.Mutex
 	cap   int
@@ -26,9 +30,10 @@ func newResultCache(capacity int) *resultCache {
 	return &resultCache{cap: capacity, ll: list.New(), items: make(map[string]*list.Element)}
 }
 
-// cacheKey builds a canonical cache key for op on tree.
-func cacheKey(tree, op string, args ...string) string {
-	return tree + "\x00" + op + "\x00" + strings.Join(args, "\x1f")
+// cacheKey builds a canonical cache key for op on one incarnation (ver) of
+// a tree.
+func cacheKey(tree string, ver uint64, op string, args ...string) string {
+	return tree + "\x00" + strconv.FormatUint(ver, 10) + "\x00" + op + "\x00" + strings.Join(args, "\x1f")
 }
 
 func (c *resultCache) get(key string) (any, bool) {

@@ -6,19 +6,22 @@
 // phylogenetics groups) and the layer every scaling PR plugs into.
 //
 // Concurrency discipline: every read request runs against its own MVCC
-// snapshot of the repository, pinned to the last committed epoch. Snapshot
-// reads are lock-free — they never touch the database mutex — so queries
-// proceed at full speed while a bulk load or delete is in flight, and each
-// request sees a consistent committed state (never a half-loaded or
-// half-deleted tree). A semaphore bounds in-flight reads
-// (Config.MaxInFlightReads); excess requests queue. Mutations — load,
-// delete, species put — serialize on a single writer mutex, honoring the
-// storage engine's single-writer contract. Read-path query-history records
-// are drained by an async recorder goroutine so recording never puts a
-// read behind the writer lock. Repeated projections, LCAs, clades and
-// pattern matches are served from a bounded LRU result cache that is
-// invalidated when its tree is deleted; per-tree handles are cached per
-// epoch and refreshed whenever a commit publishes a new one.
+// snapshot, pinned lazily per shard — a request touching one tree pins
+// only that tree's shard. Snapshot reads are lock-free — they never touch
+// a database mutex — so queries proceed at full speed while a bulk load or
+// delete is in flight, and each request sees a consistent committed state
+// (never a half-loaded or half-deleted tree). A semaphore bounds in-flight
+// reads (Config.MaxInFlightReads); excess requests queue. Mutations —
+// load, delete, species put — serialize on a per-shard writer mutex: each
+// shard is its own storage engine with its own single-writer contract, so
+// loads of trees on different shards proceed genuinely in parallel.
+// Query-history lives on shard 0; read-path records are drained by an
+// async recorder goroutine so recording never puts a read behind any
+// writer lock. Repeated projections, LCAs, clades and pattern matches are
+// served from a bounded LRU result cache keyed by (tree, version), where a
+// tree's version is the shard epoch its current incarnation was committed
+// at — entries are immutable by construction, since a reload or delete
+// moves the version and strands the old keys.
 package server
 
 import (
@@ -43,15 +46,19 @@ import (
 	"repro/internal/queryrepo"
 	"repro/internal/recon"
 	"repro/internal/relstore"
+	"repro/internal/shard"
 	"repro/internal/species"
 	"repro/internal/treecmp"
 	"repro/internal/treestore"
 )
 
-// Backend bundles the repositories the server exposes. All four share
-// one relational database (and therefore one lock discipline).
+// Backend bundles the repositories the server exposes. DBs holds one
+// relational database per shard; the repositories route tree-scoped
+// operations with Router (query history lives on shard 0). A nil Router
+// with a single database is normalized to the one-shard layout.
 type Backend struct {
-	DB      *relstore.DB
+	DBs     []*relstore.DB
+	Router  *shard.Router
 	Trees   *treestore.Store
 	Species *species.Repo
 	Queries *queryrepo.Repo
@@ -102,12 +109,17 @@ type Server struct {
 	stats *serverStats
 	cache *resultCache
 
-	readSem chan struct{} // bounds in-flight reads
-	writeMu sync.Mutex    // serializes the write path
+	readSem  chan struct{} // bounds in-flight reads
+	writeMus []sync.Mutex  // one writer mutex per shard; mutations lock their tree's shard
 
 	handleMu sync.Mutex
 	handles  map[string]epochHandle // per-tree handles, keyed to the epoch they read
-	gens     map[string]uint64      // bumped on load/delete; guards stale inserts
+	// vers maps each tree to its version: the shard epoch at which the
+	// tree's current incarnation was committed (set by the load path) or
+	// first observed (seeded by the read path from a current snapshot).
+	// Result-cache keys embed the version, so entries are immutable: a
+	// reload or delete moves or removes the version and strands old keys.
+	vers map[string]uint64
 
 	recCh     chan histRecord // read-path history records, drained async
 	recWG     sync.WaitGroup
@@ -141,31 +153,40 @@ type histRecord struct {
 // http.Handler.
 func New(be Backend, cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	if be.Router == nil {
+		r, err := shard.NewRouter(len(be.DBs))
+		if err != nil {
+			panic("server: backend with no databases: " + err.Error())
+		}
+		be.Router = r
+	}
 	s := &Server{
-		cfg:     cfg,
-		be:      be,
-		mux:     http.NewServeMux(),
-		stats:   newServerStats(),
-		cache:   newResultCache(cfg.ResultCacheSize),
-		readSem: make(chan struct{}, cfg.MaxInFlightReads),
-		handles: make(map[string]epochHandle),
-		gens:    make(map[string]uint64),
-		recCh:   make(chan histRecord, 256),
+		cfg:      cfg,
+		be:       be,
+		mux:      http.NewServeMux(),
+		stats:    newServerStats(),
+		cache:    newResultCache(cfg.ResultCacheSize),
+		readSem:  make(chan struct{}, cfg.MaxInFlightReads),
+		writeMus: make([]sync.Mutex, len(be.DBs)),
+		handles:  make(map[string]epochHandle),
+		vers:     make(map[string]uint64),
+		recCh:    make(chan histRecord, 256),
 	}
 	s.routes()
 	s.httpSrv = &http.Server{Handler: s}
 	return s
 }
 
-// recordLoop drains read-path history records onto the write path. Taking
-// writeMu keeps history appends from interleaving with a half-applied
-// load or delete; readers themselves never wait on it. Commits (which
-// fsync on file-backed stores and publish a new epoch) are throttled to
-// once per recCommitBatch records or recCommitInterval, whichever comes
-// first, so a steady query stream costs at most ~one fsync per second —
-// not one per query — and the epoch stays stable enough for the
-// epoch-keyed tree-handle cache to hit. Records not yet committed become
-// durable at the next write endpoint's commit or at Shutdown.
+// recordLoop drains read-path history records onto the write path of
+// shard 0, where the query history lives. Taking that shard's writer mutex
+// keeps history appends (and especially their commits) from interleaving
+// with a half-applied load or delete on the same shard; readers themselves
+// never wait on it. Commits (which fsync on file-backed stores and publish
+// a new epoch) are throttled to once per recCommitBatch records or
+// recCommitInterval, whichever comes first, so a steady query stream costs
+// at most ~one fsync per second — not one per query. Records not yet
+// committed become durable at the next write endpoint's commit or at
+// Shutdown.
 func (s *Server) recordLoop() {
 	defer s.recWG.Done()
 	const (
@@ -178,7 +199,7 @@ func (s *Server) recordLoop() {
 		}
 	}
 	commit := func() {
-		if err := s.be.DB.Commit(); err != nil {
+		if err := s.be.DBs[0].Commit(); err != nil {
 			s.logf("crimsond: committing history batch: %v", err)
 		}
 	}
@@ -190,13 +211,13 @@ func (s *Server) recordLoop() {
 		case rec, ok := <-s.recCh:
 			if !ok {
 				if pending > 0 {
-					s.writeMu.Lock()
+					s.writeMus[0].Lock()
 					commit()
-					s.writeMu.Unlock()
+					s.writeMus[0].Unlock()
 				}
 				return
 			}
-			s.writeMu.Lock()
+			s.writeMus[0].Lock()
 			recordOne(rec)
 			pending++
 		drain:
@@ -220,15 +241,15 @@ func (s *Server) recordLoop() {
 			} else if flush == nil {
 				flush = time.After(recCommitInterval)
 			}
-			s.writeMu.Unlock()
+			s.writeMus[0].Unlock()
 		case <-flush:
 			flush = nil
 			if pending > 0 {
-				s.writeMu.Lock()
+				s.writeMus[0].Lock()
 				commit()
 				pending = 0
 				lastCommit = time.Now()
-				s.writeMu.Unlock()
+				s.writeMus[0].Unlock()
 			}
 		}
 	}
@@ -329,8 +350,8 @@ func (s *Server) Addr() string {
 }
 
 // Shutdown gracefully drains in-flight requests and the async history
-// recorder, then commits the repository so buffered query-history records
-// reach the page file.
+// recorder, then commits every shard so buffered query-history records
+// (and any other pending pages) reach the page files.
 func (s *Server) Shutdown(ctx context.Context) error {
 	err := s.httpSrv.Shutdown(ctx)
 	s.recMu.Lock()
@@ -340,10 +361,13 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 	s.recMu.Unlock()
 	s.recWG.Wait()
-	s.writeMu.Lock()
-	defer s.writeMu.Unlock()
-	if cerr := s.be.DB.Commit(); err == nil {
-		err = cerr
+	for i := range s.be.DBs {
+		s.writeMus[i].Lock()
+		cerr := s.be.DBs[i].Commit()
+		s.writeMus[i].Unlock()
+		if err == nil && cerr != nil {
+			err = fmt.Errorf("committing shard %d: %w", i, cerr)
+		}
 	}
 	return err
 }
@@ -353,61 +377,109 @@ func (s *Server) snapshot() StatsSnapshot {
 	open := len(s.handles)
 	s.handleMu.Unlock()
 	st := s.stats.snapshot(s.cache.len(), open)
-	mv := s.be.DB.MVCC()
-	st.Epoch = mv.Epoch
-	st.OpenSnapshots = mv.OpenSnapshots
-	st.PendingReclaimPages = mv.PendingReclaimPages
+	st.Shards = make([]ShardMVCC, len(s.be.DBs))
+	for i, db := range s.be.DBs {
+		mv := db.MVCC()
+		st.Epoch += mv.Epoch
+		st.OpenSnapshots += mv.OpenSnapshots
+		st.PendingReclaimPages += mv.PendingReclaimPages
+		st.Shards[i] = ShardMVCC{
+			Shard:               i,
+			Epoch:               mv.Epoch,
+			OpenSnapshots:       mv.OpenSnapshots,
+			PendingReclaimPages: mv.PendingReclaimPages,
+		}
+	}
 	return st
 }
 
-// reqSnap is the per-request MVCC view: one relational snapshot shared by
-// the tree, species and history read surfaces. It is opened by the read
-// wrappers and closed when the request finishes.
+// reqSnap is the per-request MVCC view: at most one relational snapshot
+// per shard, pinned lazily so a request touching a single tree pins only
+// that tree's shard. It is opened by the read wrappers and closed when the
+// request finishes.
 type reqSnap struct {
-	rs    *relstore.Snap
-	trees *treestore.Snap
+	s   *Server
+	sns []*relstore.Snap // indexed by shard; nil until first touched
 }
 
 func (s *Server) openSnap() *reqSnap {
-	rs := s.be.DB.Snapshot()
-	return &reqSnap{rs: rs, trees: treestore.SnapOn(rs)}
+	return &reqSnap{s: s, sns: make([]*relstore.Snap, len(s.be.DBs))}
 }
 
-func (sn *reqSnap) close() { sn.rs.Close() }
+// shard pins (once) and returns the snapshot of shard i. A reqSnap serves
+// one request goroutine, so no locking is needed.
+func (sn *reqSnap) shard(i int) *relstore.Snap {
+	if sn.sns[i] == nil {
+		sn.sns[i] = sn.s.be.DBs[i].Snapshot()
+	}
+	return sn.sns[i]
+}
 
-// generation reports the current generation of a tree name. Load and
-// delete bump it; readers snapshot it before touching the store so that
-// results computed against a tree that has since been dropped are never
-// inserted into the result cache (a reader racing a DELETE could
-// otherwise resurrect a stale cache entry).
-func (s *Server) generation(name string) uint64 {
+// forTree returns the pinned snapshot of the shard owning the named tree,
+// along with the shard index.
+func (sn *reqSnap) forTree(name string) (*relstore.Snap, int) {
+	i := sn.s.be.Router.Place(name)
+	return sn.shard(i), i
+}
+
+// treeSnap pins every shard and returns the merged tree-repository view
+// (used by cross-shard reads like the tree listing).
+func (sn *reqSnap) treeSnap() *treestore.Snap {
+	for i := range sn.sns {
+		sn.shard(i)
+	}
+	return treestore.SnapOnShards(sn.sns, sn.s.be.Router)
+}
+
+func (sn *reqSnap) close() {
+	for _, rs := range sn.sns {
+		if rs != nil {
+			rs.Close()
+		}
+	}
+}
+
+// treeVer reports the tree's version — the shard epoch its current
+// incarnation was committed at — and whether a request whose shard
+// snapshot reads epoch ep may use the result cache. A request older than
+// the current incarnation must bypass the cache entirely: it sees (and
+// must serve) a previous incarnation.
+func (s *Server) treeVer(name string, ep uint64) (uint64, bool) {
 	s.handleMu.Lock()
 	defer s.handleMu.Unlock()
-	return s.gens[name]
+	ver, known := s.vers[name]
+	return ver, known && ep >= ver
 }
 
 // tree returns a handle on a stored tree as of the request's snapshot,
-// reusing the cached handle while it reads the same epoch. The request's
-// snapshot pin is what keeps the handle's pages alive, so the cache adds
-// no lifetime of its own. Inserts are guarded by the tree's generation:
-// a reader whose snapshot predates a DELETE must not re-insert the dead
-// tree's handle after dropTree already evicted it (the entry could never
-// match a future epoch and would linger forever).
+// reusing the cached handle whenever it reads the same version of the
+// tree — tree relations are immutable between loads, so any handle opened
+// at or after the version epoch sees identical content, and the request's
+// snapshot pin keeps the version's pages alive while the handle is in
+// use. On a miss the fresh handle is cached, and trees loaded before the
+// server started have their version seeded here — but only from a
+// snapshot reading the shard's current published epoch, so a reader
+// holding a pre-delete snapshot can never resurrect a dead tree's version
+// (dropTree runs strictly after the delete publishes).
 func (s *Server) tree(sn *reqSnap, name string) (*treestore.Tree, error) {
-	ep := sn.rs.Epoch()
+	rs, si := sn.forTree(name)
+	ep := rs.Epoch()
 	s.handleMu.Lock()
 	h, ok := s.handles[name]
-	gen := s.gens[name]
+	ver, known := s.vers[name]
 	s.handleMu.Unlock()
-	if ok && h.epoch == ep {
+	if ok && (h.epoch == ep || (known && h.epoch >= ver && ep >= ver)) {
 		return h.tree, nil
 	}
-	t, err := sn.trees.Tree(name)
+	t, err := treestore.SnapOn(rs).Tree(name)
 	if err != nil {
 		return nil, err
 	}
 	s.handleMu.Lock()
-	if s.gens[name] == gen {
+	if _, k := s.vers[name]; !k && s.be.DBs[si].MVCC().Epoch == ep {
+		s.vers[name] = ep
+	}
+	if v, k := s.vers[name]; k && ep >= v {
 		if cur, ok := s.handles[name]; !ok || cur.epoch < ep {
 			s.handles[name] = epochHandle{epoch: ep, tree: t}
 		}
@@ -416,38 +488,51 @@ func (s *Server) tree(sn *reqSnap, name string) (*treestore.Tree, error) {
 	return t, nil
 }
 
-// cachePut inserts a computed result unless it could be stale: the tree
-// must still be on the same generation (atomic with dropTree's
-// invalidation: both run under handleMu), and no commit may have published
-// since the request pinned its snapshot — a snapshot pinned before a
-// delete+reload commits would otherwise cache the old tree's result under
-// the new generation. The epoch test rejects the odd fresh result after an
-// unrelated commit (cheap: the next identical query re-fills), never
-// admits a stale one.
-func (s *Server) cachePut(name string, gen, epoch uint64, key string, val any) {
-	if s.be.DB.MVCC().Epoch != epoch {
-		return
-	}
+// cachePut inserts a computed result under its (tree, version) key. The
+// entry is immutable by construction — the key names one incarnation of
+// the tree, and the caller proved its snapshot reads that incarnation
+// (ep >= ver) — so unrelated commits on the shard are irrelevant and no
+// epoch freshness check is needed. The one guard left: the version must
+// still be current, so entries for a just-deleted tree are not
+// re-inserted after dropTree purged them (they would be unreachable
+// anyway, but would sit in the LRU until evicted).
+func (s *Server) cachePut(name string, ver uint64, key string, val any) {
 	s.handleMu.Lock()
 	defer s.handleMu.Unlock()
-	if s.gens[name] == gen {
+	if v, ok := s.vers[name]; ok && v == ver {
 		s.cache.put(key, val)
 	}
 }
 
+// bumpTree installs a freshly loaded tree's version (the shard epoch its
+// load published at) and drops whatever handle or cached results a
+// previous incarnation under the same name left behind. Called by the load
+// path after its final commit on the tree's shard.
+func (s *Server) bumpTree(name string, si int) {
+	ep := s.be.DBs[si].MVCC().Epoch
+	s.handleMu.Lock()
+	defer s.handleMu.Unlock()
+	delete(s.handles, name)
+	s.vers[name] = ep
+	s.cache.invalidateTree(name)
+}
+
+// dropTree removes a deleted tree's version, handle and cached results.
+// Called by the delete path after the delete has committed.
 func (s *Server) dropTree(name string) {
 	s.handleMu.Lock()
 	defer s.handleMu.Unlock()
 	delete(s.handles, name)
-	s.gens[name]++
+	delete(s.vers, name)
 	s.cache.invalidateTree(name)
 }
 
 // --- handler plumbing ------------------------------------------------------
 
-// writeFunc is a mutation handler; it runs under the writer mutex against
-// the live repository.
-type writeFunc func(r *http.Request) (any, error)
+// writeFunc is a mutation handler; it runs under its tree's shard writer
+// mutex against the live repository. si is the shard index the wrapper
+// locked.
+type writeFunc func(r *http.Request, si int) (any, error)
 
 // readFunc is a query handler; it runs against the request's own MVCC
 // snapshot and takes no repository lock.
@@ -477,14 +562,18 @@ func (s *Server) read(op string, fn readFunc) http.HandlerFunc {
 	}
 }
 
-// write wraps a mutation handler: one at a time, honoring the storage
-// engine's single-writer contract.
+// write wraps a mutation handler: one writer at a time per shard. Every
+// write endpoint is tree-scoped ({name} in the route), so the wrapper
+// routes the request to its shard and locks only that shard's writer
+// mutex — mutations on different shards run in parallel while each shard's
+// storage engine keeps its single-writer contract.
 func (s *Server) write(op string, fn writeFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.stats.countRequest(op)
-		s.writeMu.Lock()
-		defer s.writeMu.Unlock()
-		v, err := fn(r)
+		si := s.be.Router.Place(r.PathValue("name"))
+		s.writeMus[si].Lock()
+		defer s.writeMus[si].Unlock()
+		v, err := fn(r, si)
 		s.finish(w, v, err)
 	}
 }
@@ -613,13 +702,21 @@ func queryInt64(r *http.Request, key string, def int64) (int64, error) {
 	return v, nil
 }
 
-// record appends to the query history synchronously. Only write handlers
-// (already holding writeMu) use it, so a mutation and its history record
-// commit together; history is buffered until the next commit.
-func (s *Server) record(kind string, args any, summary string) {
+// recordWrite appends a mutation's history record on shard 0 and commits
+// it. The caller holds shard si's writer mutex; when the history shard is
+// a different one, its mutex is taken here — commits on a shard require
+// its writer lock, or a concurrent history commit could publish another
+// load's half-applied tables. Lock order is safe: shard 0's mutex is only
+// ever acquired bare or after another shard's, never the other way.
+func (s *Server) recordWrite(si int, kind string, args any, summary string) error {
+	if si != 0 {
+		s.writeMus[0].Lock()
+		defer s.writeMus[0].Unlock()
+	}
 	if _, err := s.be.Queries.Record(kind, args, summary); err != nil {
 		s.logf("crimsond: recording %s query: %v", kind, err)
 	}
+	return s.be.DBs[0].Commit()
 }
 
 // recordAsync enqueues a read-path history record for the recorder
@@ -650,7 +747,7 @@ func (s *Server) recordAsync(kind string, args any, summary string) {
 // --- tree handlers ---------------------------------------------------------
 
 func (s *Server) handleTrees(r *http.Request, sn *reqSnap) (any, error) {
-	infos, err := sn.trees.Trees()
+	infos, err := sn.treeSnap().Trees()
 	if err != nil {
 		return nil, err
 	}
@@ -672,7 +769,7 @@ func (s *Server) handleInfo(r *http.Request, sn *reqSnap) (any, error) {
 // handleLoad stores a tree posted as a Newick or NEXUS body. The body
 // streams through the parser for NEXUS; Newick is read whole (the
 // grammar needs the full string) but still bounded by MaxBodyBytes.
-func (s *Server) handleLoad(r *http.Request) (any, error) {
+func (s *Server) handleLoad(r *http.Request, si int) (any, error) {
 	name := r.PathValue("name")
 	f, err := queryInt(r, "f", core.DefaultFanout)
 	if err != nil {
@@ -732,23 +829,34 @@ func (s *Server) handleLoad(r *http.Request) (any, error) {
 	default:
 		return nil, badRequest("unknown format %q (want newick or nexus)", format)
 	}
-	s.dropTree(name) // a fresh tree under a previously deleted name
-	s.record("load", map[string]any{"tree": name, "f": f, "nodes": resp.Tree.Nodes},
+	// Commit the tree's shard (sequences from a NEXUS body land there too),
+	// then publish the new incarnation's version to the caches.
+	if err := s.be.DBs[si].Commit(); err != nil {
+		return nil, err
+	}
+	s.bumpTree(name, si)
+	return resp, s.recordWrite(si, "load",
+		map[string]any{"tree": name, "f": f, "nodes": resp.Tree.Nodes},
 		fmt.Sprintf("loaded %d nodes", resp.Tree.Nodes))
-	return resp, s.be.DB.Commit()
 }
 
-func (s *Server) handleDelete(r *http.Request) (any, error) {
+func (s *Server) handleDelete(r *http.Request, si int) (any, error) {
 	name := r.PathValue("name")
 	if err := s.be.Trees.Delete(name); err != nil {
 		return nil, err
 	}
+	// The delete is committed and published at this point: drop the
+	// version, handle and cached results before anything fallible runs,
+	// or a failed species cleanup would leave the cache serving a tree
+	// whose relations are gone.
+	s.dropTree(name)
 	if _, err := s.be.Species.DeleteTree(name); err != nil {
 		return nil, err
 	}
-	s.dropTree(name)
-	s.record("delete", map[string]any{"tree": name}, "deleted")
-	return nil, s.be.DB.Commit()
+	if err := s.be.DBs[si].Commit(); err != nil {
+		return nil, err
+	}
+	return nil, s.recordWrite(si, "delete", map[string]any{"tree": name}, "deleted")
 }
 
 func (s *Server) handleExport(r *http.Request, sn *reqSnap) (string, string, error) {
@@ -773,15 +881,20 @@ func (s *Server) handleProject(r *http.Request, sn *reqSnap) (any, error) {
 	}
 	sorted := append([]string(nil), names...)
 	sort.Strings(sorted)
-	key := cacheKey(name, "project", sorted...)
-	if v, ok := s.cache.get(key); ok {
-		s.stats.cacheHits.Add(1)
-		resp := v.(ProjectResponse)
-		resp.Cached = true
-		return resp, nil
+	rs, _ := sn.forTree(name)
+	ep := rs.Epoch()
+	ver, cacheable := s.treeVer(name, ep)
+	var key string
+	if cacheable {
+		key = cacheKey(name, ver, "project", sorted...)
+		if v, ok := s.cache.get(key); ok {
+			s.stats.cacheHits.Add(1)
+			resp := v.(ProjectResponse)
+			resp.Cached = true
+			return resp, nil
+		}
 	}
 	s.stats.cacheMisses.Add(1)
-	gen := s.generation(name)
 	t, err := s.tree(sn, name)
 	if err != nil {
 		return nil, err
@@ -791,7 +904,9 @@ func (s *Server) handleProject(r *http.Request, sn *reqSnap) (any, error) {
 		return nil, err
 	}
 	resp := ProjectResponse{Newick: newick.String(projected), Leaves: projected.NumLeaves()}
-	s.cachePut(name, gen, sn.rs.Epoch(), key, resp)
+	if cacheable {
+		s.cachePut(name, ver, key, resp)
+	}
 	s.recordAsync("project", map[string]any{"tree": name, "species": names}, resp.Newick)
 	return resp, nil
 }
@@ -806,15 +921,20 @@ func (s *Server) handleLCA(r *http.Request, sn *reqSnap) (any, error) {
 	if ka > kb {
 		ka, kb = kb, ka // LCA is symmetric; canonicalize the key
 	}
-	key := cacheKey(name, "lca", ka, kb)
-	if v, ok := s.cache.get(key); ok {
-		s.stats.cacheHits.Add(1)
-		resp := v.(LCAResponse)
-		resp.Cached = true
-		return resp, nil
+	rs, _ := sn.forTree(name)
+	ep := rs.Epoch()
+	ver, cacheable := s.treeVer(name, ep)
+	var key string
+	if cacheable {
+		key = cacheKey(name, ver, "lca", ka, kb)
+		if v, ok := s.cache.get(key); ok {
+			s.stats.cacheHits.Add(1)
+			resp := v.(LCAResponse)
+			resp.Cached = true
+			return resp, nil
+		}
 	}
 	s.stats.cacheMisses.Add(1)
-	gen := s.generation(name)
 	t, err := s.tree(sn, name)
 	if err != nil {
 		return nil, err
@@ -836,7 +956,9 @@ func (s *Server) handleLCA(r *http.Request, sn *reqSnap) (any, error) {
 		return nil, err
 	}
 	resp := LCAResponse{Node: nodeJSON(row)}
-	s.cachePut(name, gen, sn.rs.Epoch(), key, resp)
+	if cacheable {
+		s.cachePut(name, ver, key, resp)
+	}
 	s.recordAsync("lca", map[string]any{"tree": name, "a": a, "b": b}, fmt.Sprintf("node %d", id))
 	return resp, nil
 }
@@ -888,15 +1010,20 @@ func (s *Server) handleClade(r *http.Request, sn *reqSnap) (any, error) {
 	}
 	sorted := append([]string(nil), names...)
 	sort.Strings(sorted)
-	key := cacheKey(name, "clade", sorted...)
-	if v, ok := s.cache.get(key); ok {
-		s.stats.cacheHits.Add(1)
-		resp := v.(CladeResponse)
-		resp.Cached = true
-		return resp, nil
+	rs, _ := sn.forTree(name)
+	ep := rs.Epoch()
+	ver, cacheable := s.treeVer(name, ep)
+	var key string
+	if cacheable {
+		key = cacheKey(name, ver, "clade", sorted...)
+		if v, ok := s.cache.get(key); ok {
+			s.stats.cacheHits.Add(1)
+			resp := v.(CladeResponse)
+			resp.Cached = true
+			return resp, nil
+		}
 	}
 	s.stats.cacheMisses.Add(1)
-	gen := s.generation(name)
 	t, err := s.tree(sn, name)
 	if err != nil {
 		return nil, err
@@ -921,7 +1048,9 @@ func (s *Server) handleClade(r *http.Request, sn *reqSnap) (any, error) {
 		}
 	}
 	sort.Strings(resp.Species)
-	s.cachePut(name, gen, sn.rs.Epoch(), key, resp)
+	if cacheable {
+		s.cachePut(name, ver, key, resp)
+	}
 	s.recordAsync("clade", map[string]any{"tree": name, "species": names},
 		fmt.Sprintf("%d nodes", resp.Nodes))
 	return resp, nil
@@ -938,15 +1067,20 @@ func (s *Server) handleMatch(r *http.Request, sn *reqSnap) (any, error) {
 		return nil, err
 	}
 	canonical := newick.String(pattern)
-	key := cacheKey(name, "match", canonical)
-	if v, ok := s.cache.get(key); ok {
-		s.stats.cacheHits.Add(1)
-		resp := v.(MatchResponse)
-		resp.Cached = true
-		return resp, nil
+	rs, _ := sn.forTree(name)
+	ep := rs.Epoch()
+	ver, cacheable := s.treeVer(name, ep)
+	var key string
+	if cacheable {
+		key = cacheKey(name, ver, "match", canonical)
+		if v, ok := s.cache.get(key); ok {
+			s.stats.cacheHits.Add(1)
+			resp := v.(MatchResponse)
+			resp.Cached = true
+			return resp, nil
+		}
 	}
 	s.stats.cacheMisses.Add(1)
-	gen := s.generation(name)
 	t, err := s.tree(sn, name)
 	if err != nil {
 		return nil, err
@@ -964,7 +1098,9 @@ func (s *Server) handleMatch(r *http.Request, sn *reqSnap) (any, error) {
 		return nil, err
 	}
 	resp := MatchResponse{Exact: rf == 0, RF: rf, NormRF: norm, Projected: newick.String(projected)}
-	s.cachePut(name, gen, sn.rs.Epoch(), key, resp)
+	if cacheable {
+		s.cachePut(name, ver, key, resp)
+	}
 	s.recordAsync("match", map[string]any{"tree": name, "pattern": canonical},
 		fmt.Sprintf("RF=%d", rf))
 	return resp, nil
@@ -1024,7 +1160,7 @@ func (s *Server) handleBench(r *http.Request, sn *reqSnap) (any, error) {
 
 // --- species handlers ------------------------------------------------------
 
-func (s *Server) handleSpeciesPut(r *http.Request) (any, error) {
+func (s *Server) handleSpeciesPut(r *http.Request, si int) (any, error) {
 	name, sp, kind := r.PathValue("name"), r.PathValue("sp"), r.PathValue("kind")
 	data, err := io.ReadAll(r.Body)
 	if err != nil {
@@ -1033,18 +1169,19 @@ func (s *Server) handleSpeciesPut(r *http.Request) (any, error) {
 	if err := s.be.Species.Put(name, sp, kind, data); err != nil {
 		return nil, err
 	}
-	return nil, s.be.DB.Commit()
+	return nil, s.be.DBs[si].Commit()
 }
 
 func (s *Server) handleSpeciesGet(r *http.Request, sn *reqSnap) (string, string, error) {
-	data, err := species.ViewOn(sn.rs).Get(r.PathValue("name"), r.PathValue("sp"), r.PathValue("kind"))
+	rs, _ := sn.forTree(r.PathValue("name"))
+	data, err := species.ViewOn(rs).Get(r.PathValue("name"), r.PathValue("sp"), r.PathValue("kind"))
 	if err != nil {
 		return "", "", err
 	}
 	return string(data), "application/octet-stream", nil
 }
 
-func (s *Server) handleSpeciesDelete(r *http.Request) (any, error) {
+func (s *Server) handleSpeciesDelete(r *http.Request, si int) (any, error) {
 	ok, err := s.be.Species.Delete(r.PathValue("name"), r.PathValue("sp"), r.PathValue("kind"))
 	if err != nil {
 		return nil, err
@@ -1053,11 +1190,12 @@ func (s *Server) handleSpeciesDelete(r *http.Request) (any, error) {
 		return nil, fmt.Errorf("%w: %s/%s/%s", species.ErrNoData,
 			r.PathValue("name"), r.PathValue("sp"), r.PathValue("kind"))
 	}
-	return nil, s.be.DB.Commit()
+	return nil, s.be.DBs[si].Commit()
 }
 
 func (s *Server) handleSpeciesList(r *http.Request, sn *reqSnap) (any, error) {
-	recs, err := species.ViewOn(sn.rs).List(r.PathValue("name"), r.PathValue("sp"))
+	rs, _ := sn.forTree(r.PathValue("name"))
+	recs, err := species.ViewOn(rs).List(r.PathValue("name"), r.PathValue("sp"))
 	if err != nil {
 		return nil, err
 	}
@@ -1077,7 +1215,7 @@ func entryJSON(e queryrepo.Entry) HistoryEntry {
 func (s *Server) handleHistory(r *http.Request, sn *reqSnap) (any, error) {
 	var entries []queryrepo.Entry
 	var err error
-	view := queryrepo.ViewOn(sn.rs)
+	view := queryrepo.ViewOn(sn.shard(0)) // history lives on shard 0
 	if kind := r.URL.Query().Get("kind"); kind != "" {
 		entries, err = view.ByKind(kind)
 	} else {
@@ -1102,7 +1240,7 @@ func (s *Server) handleHistoryGet(r *http.Request, sn *reqSnap) (any, error) {
 	if err != nil {
 		return nil, badRequest("bad history id %q", r.PathValue("id"))
 	}
-	e, err := queryrepo.ViewOn(sn.rs).Get(id)
+	e, err := queryrepo.ViewOn(sn.shard(0)).Get(id)
 	if err != nil {
 		return nil, err
 	}

@@ -8,7 +8,9 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -17,14 +19,36 @@ import (
 	crimson "repro"
 	"repro/client"
 	"repro/internal/phylo"
+	"repro/internal/shard"
 	"repro/internal/treegen"
 )
 
-// startServer opens an in-memory repository, serves it on an ephemeral
-// port, and returns the repository plus a client on the live wire path.
-func startServer(t *testing.T, cfg crimson.ServerConfig) (*crimson.Repository, *client.Client) {
+// testShards is the shard count the E2E suite runs at: 1 by default, or
+// whatever CRIMSON_TEST_SHARDS says (CI runs the suite a second time at 4
+// to prove the wire behavior is identical on a sharded repository).
+func testShards(t *testing.T) int {
 	t.Helper()
-	repo := crimson.OpenMem()
+	raw := os.Getenv("CRIMSON_TEST_SHARDS")
+	if raw == "" {
+		return 1
+	}
+	n, err := strconv.Atoi(raw)
+	if err != nil || n < 1 {
+		t.Fatalf("bad CRIMSON_TEST_SHARDS=%q", raw)
+	}
+	return n
+}
+
+// startServer opens an in-memory repository (sharded per
+// CRIMSON_TEST_SHARDS), serves it on an ephemeral port, and returns the
+// repository plus a client on the live wire path.
+func startServer(t *testing.T, cfg crimson.ServerConfig) (*crimson.Repository, *client.Client) {
+	return startServerShards(t, cfg, testShards(t))
+}
+
+func startServerShards(t *testing.T, cfg crimson.ServerConfig, shards int) (*crimson.Repository, *client.Client) {
+	t.Helper()
+	repo := crimson.OpenMemSharded(shards)
 	cfg.Addr = "127.0.0.1:0"
 	srv := repo.NewServer(cfg)
 	if err := srv.Start(); err != nil {
@@ -475,4 +499,114 @@ func TestServerBenchAndSpeciesAndErrors(t *testing.T) {
 func isStatus(err error, status int) bool {
 	var apiErr *client.APIError
 	return errors.As(err, &apiErr) && apiErr.Status == status
+}
+
+// TestShardedServer drives an explicitly 4-sharded server: concurrent
+// loads of trees on distinct shards over the wire, per-shard MVCC gauges
+// in /v1/stats, version-keyed cache hits, and delete+reload cache
+// correctness across a shard.
+func TestShardedServer(t *testing.T) {
+	const shards = 4
+	_, cl := startServerShards(t, crimson.ServerConfig{}, shards)
+
+	// One tree name per shard (deterministic scan over the router).
+	router, err := shard.NewRouter(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, shards)
+	for i, found := 0, 0; found < shards; i++ {
+		name := fmt.Sprintf("wtree%d", i)
+		if si := router.Place(name); names[si] == "" {
+			names[si] = name
+			found++
+		}
+	}
+	trees := make([]*phylo.Tree, shards)
+	for i := range trees {
+		trees[i] = yule(t, 150+10*i, int64(60+i))
+	}
+
+	// Concurrent loads onto distinct shards: each takes a different shard's
+	// writer mutex, so they genuinely run in parallel.
+	var wg sync.WaitGroup
+	errc := make(chan error, shards)
+	for i := range names {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := cl.LoadTree(names[i], 0, trees[i]); err != nil {
+				errc <- fmt.Errorf("load %s: %w", names[i], err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+
+	listed, err := cl.Trees()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(listed) != shards {
+		t.Fatalf("listing has %d trees, want %d", len(listed), shards)
+	}
+
+	// Per-shard gauges: every shard committed at least once, and the
+	// aggregate epoch is their sum.
+	stats, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Shards) != shards {
+		t.Fatalf("stats report %d shards, want %d", len(stats.Shards), shards)
+	}
+	var sum uint64
+	for i, sh := range stats.Shards {
+		if sh.Epoch == 0 {
+			t.Fatalf("shard %d never committed (epoch 0) after loading a tree on it", i)
+		}
+		sum += sh.Epoch
+	}
+	if stats.Epoch != sum {
+		t.Fatalf("aggregate epoch %d != shard sum %d", stats.Epoch, sum)
+	}
+
+	// Version-keyed cache: repeats hit, and a delete+reload of the same
+	// name moves the version so the old entries can never be served.
+	name := names[1]
+	sample, err := cl.SampleUniform(name, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := cl.Project(name, sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := cl.Project(name, sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Cached || again.Newick != first.Newick {
+		t.Fatalf("repeat projection not served from cache: %+v", again)
+	}
+	if err := cl.Delete(name); err != nil {
+		t.Fatal(err)
+	}
+	replacement := yule(t, 90, 77)
+	if _, err := cl.LoadTree(name, 0, replacement); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := cl.Project(name, replacement.LeafNames()[:4])
+	if err != nil {
+		t.Fatalf("projection after reload: %v", err)
+	}
+	if fresh.Cached {
+		t.Fatal("projection on the reloaded tree claims to be cached")
+	}
+	if _, err := cl.Project(name, sample); !isStatus(err, 404) {
+		t.Fatalf("old species set against the reloaded tree: err = %v, want 404 (stale cache must not answer)", err)
+	}
 }

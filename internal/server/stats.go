@@ -72,6 +72,12 @@ func metricsText(s StatsSnapshot) string {
 	fmt.Fprintf(&sb, "crimsond_epoch %d\n", s.Epoch)
 	fmt.Fprintf(&sb, "crimsond_open_snapshots %d\n", s.OpenSnapshots)
 	fmt.Fprintf(&sb, "crimsond_reclaim_pending_pages %d\n", s.PendingReclaimPages)
+	fmt.Fprintf(&sb, "crimsond_shards %d\n", len(s.Shards))
+	for _, sh := range s.Shards {
+		fmt.Fprintf(&sb, "crimsond_shard_epoch{shard=\"%d\"} %d\n", sh.Shard, sh.Epoch)
+		fmt.Fprintf(&sb, "crimsond_shard_open_snapshots{shard=\"%d\"} %d\n", sh.Shard, sh.OpenSnapshots)
+		fmt.Fprintf(&sb, "crimsond_shard_reclaim_pending_pages{shard=\"%d\"} %d\n", sh.Shard, sh.PendingReclaimPages)
+	}
 	fmt.Fprintf(&sb, "crimsond_history_dropped_total %d\n", s.HistoryDropped)
 	ops := make([]string, 0, len(s.PerOp))
 	for op := range s.PerOp {

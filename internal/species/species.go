@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/relstore"
 	"repro/internal/seqsim"
+	"repro/internal/shard"
 )
 
 // ErrNoData is returned when a requested record does not exist.
@@ -23,15 +24,16 @@ var ErrBadKey = errors.New("species: invalid key part")
 
 const tableName = "species_data"
 
-// Repo is the species data repository over a relational database.
+// Repo is the species data repository over a relational database. When the
+// repository is sharded, species data co-locates with its tree: records
+// are routed to the shard that owns the tree they belong to, so a tree and
+// its sequences always live (and are deleted) together.
 type Repo struct {
-	db  *relstore.DB
-	tab *relstore.Table
+	tabs   []*relstore.Table // one species_data table per shard
+	router *shard.Router
 }
 
-// NewOnDB layers the repository over an existing database (shared with
-// the tree repository).
-func NewOnDB(db *relstore.DB) (*Repo, error) {
+func initShard(db *relstore.DB) (*relstore.Table, error) {
 	tab, err := db.Table(tableName)
 	if errors.Is(err, relstore.ErrNoTable) {
 		tab, err = db.CreateTable(relstore.Schema{
@@ -50,10 +52,36 @@ func NewOnDB(db *relstore.DB) (*Repo, error) {
 			},
 		})
 	}
-	if err != nil {
-		return nil, err
+	return tab, err
+}
+
+// NewOnDB layers the repository over an existing database (shared with
+// the tree repository).
+func NewOnDB(db *relstore.DB) (*Repo, error) {
+	return NewOnShards([]*relstore.DB{db}, shard.Single)
+}
+
+// NewOnShards layers the repository over one database per shard, using the
+// same router as the tree repository so species data lands on its tree's
+// shard.
+func NewOnShards(dbs []*relstore.DB, router *shard.Router) (*Repo, error) {
+	if router.N() != len(dbs) {
+		return nil, fmt.Errorf("species: router covers %d shards, got %d databases", router.N(), len(dbs))
 	}
-	return &Repo{db: db, tab: tab}, nil
+	r := &Repo{tabs: make([]*relstore.Table, len(dbs)), router: router}
+	for i, db := range dbs {
+		tab, err := initShard(db)
+		if err != nil {
+			return nil, fmt.Errorf("species: initializing shard %d: %w", i, err)
+		}
+		r.tabs[i] = tab
+	}
+	return r, nil
+}
+
+// tabFor returns the shard table that owns records of the given tree.
+func (r *Repo) tabFor(tree string) *relstore.Table {
+	return r.tabs[r.router.Place(tree)]
 }
 
 func key(tree, sp, kind string) string { return tree + "/" + sp + "/" + kind }
@@ -76,7 +104,7 @@ func (r *Repo) Put(tree, sp, kind string, data []byte) error {
 			return err
 		}
 	}
-	return r.tab.Put(relstore.Row{
+	return r.tabFor(tree).Put(relstore.Row{
 		relstore.Str(key(tree, sp, kind)),
 		relstore.Str(tree),
 		relstore.Str(sp),
@@ -120,7 +148,7 @@ func listRecords(tab reader, tree, sp string) ([]Record, error) {
 
 // Get fetches one record.
 func (r *Repo) Get(tree, sp, kind string) ([]byte, error) {
-	return getRecord(r.tab, tree, sp, kind)
+	return getRecord(r.tabFor(tree), tree, sp, kind)
 }
 
 // Record is one stored species-data item.
@@ -133,23 +161,32 @@ type Record struct {
 
 // List returns all records for one species of one tree.
 func (r *Repo) List(tree, sp string) ([]Record, error) {
-	return listRecords(r.tab, tree, sp)
+	return listRecords(r.tabFor(tree), tree, sp)
 }
 
 // View is a read-only snapshot view of the species repository: Get and
 // List run lock-free against the epoch the snapshot pinned, so they never
-// wait behind a bulk load or delete. The table is resolved lazily — a
-// snapshot taken before the repository's first commit simply has no data.
+// wait behind a bulk load or delete. Records are routed to the snapshot of
+// the shard that owns their tree. Tables are resolved lazily — a snapshot
+// taken before the repository's first commit simply has no data.
 type View struct {
-	rs *relstore.Snap
+	sns    []*relstore.Snap
+	router *shard.Router
 }
 
 // ViewOn binds a species view to a relational snapshot (shared with the
 // tree and query repositories).
-func ViewOn(rs *relstore.Snap) *View { return &View{rs: rs} }
+func ViewOn(rs *relstore.Snap) *View {
+	return &View{sns: []*relstore.Snap{rs}, router: shard.Single}
+}
 
-func (v *View) reader() (reader, error) {
-	tab, err := v.rs.Table(tableName)
+// ViewOnShards binds a species view to one relational snapshot per shard.
+func ViewOnShards(sns []*relstore.Snap, router *shard.Router) *View {
+	return &View{sns: sns, router: router}
+}
+
+func (v *View) readerFor(tree string) (reader, error) {
+	tab, err := v.sns[v.router.Place(tree)].Table(tableName)
 	if errors.Is(err, relstore.ErrNoTable) {
 		return nil, nil
 	}
@@ -161,7 +198,7 @@ func (v *View) reader() (reader, error) {
 
 // Get fetches one record as of the snapshot.
 func (v *View) Get(tree, sp, kind string) ([]byte, error) {
-	tab, err := v.reader()
+	tab, err := v.readerFor(tree)
 	if err != nil {
 		return nil, err
 	}
@@ -173,7 +210,7 @@ func (v *View) Get(tree, sp, kind string) ([]byte, error) {
 
 // List returns all records for one species of one tree as of the snapshot.
 func (v *View) List(tree, sp string) ([]Record, error) {
-	tab, err := v.reader()
+	tab, err := v.readerFor(tree)
 	if err != nil || tab == nil {
 		return nil, err
 	}
@@ -182,13 +219,14 @@ func (v *View) List(tree, sp string) ([]Record, error) {
 
 // Delete removes one record, reporting whether it existed.
 func (r *Repo) Delete(tree, sp, kind string) (bool, error) {
-	return r.tab.Delete(relstore.Str(key(tree, sp, kind)))
+	return r.tabFor(tree).Delete(relstore.Str(key(tree, sp, kind)))
 }
 
 // DeleteTree removes all species data of one tree.
 func (r *Repo) DeleteTree(tree string) (int, error) {
+	tab := r.tabFor(tree)
 	var keys []string
-	err := r.tab.IndexScan("by_tree", []relstore.Value{relstore.Str(tree)}, func(row relstore.Row) (bool, error) {
+	err := tab.IndexScan("by_tree", []relstore.Value{relstore.Str(tree)}, func(row relstore.Row) (bool, error) {
 		keys = append(keys, row[0].Text())
 		return true, nil
 	})
@@ -196,7 +234,7 @@ func (r *Repo) DeleteTree(tree string) (int, error) {
 		return 0, err
 	}
 	for _, k := range keys {
-		if _, err := r.tab.Delete(relstore.Str(k)); err != nil {
+		if _, err := tab.Delete(relstore.Str(k)); err != nil {
 			return 0, err
 		}
 	}

@@ -224,12 +224,19 @@ func (p *memPager) Close() error {
 // meta is the decoded form of page 0. The epoch counts commits: WAL
 // recovery always lands on the root set and epoch of the last commit whose
 // records fully reached the log, which is how a crashed store reopens on
-// its last published state.
+// its last published state. The clean flag marks a shutdown that left no
+// retired pages awaiting reclamation — opening with it unset is the
+// signal that a reclamation sweep may find leaked pages. Pre-flag files
+// read as unclean (the byte was always zero), which costs exactly one
+// sweep on their first open with current code.
 type meta struct {
 	freeHead PageID
 	roots    [NumRoots]PageID
 	epoch    uint64
+	clean    bool
 }
+
+const metaCleanOff = 24 + 8*NumRoots + 8
 
 func (m *meta) encode(buf []byte) {
 	for i := range buf {
@@ -243,6 +250,9 @@ func (m *meta) encode(buf []byte) {
 		binary.LittleEndian.PutUint64(buf[24+8*i:], uint64(r))
 	}
 	binary.LittleEndian.PutUint64(buf[24+8*NumRoots:], m.epoch)
+	if m.clean {
+		buf[metaCleanOff] = 1
+	}
 }
 
 func (m *meta) decode(buf []byte) error {
@@ -260,6 +270,7 @@ func (m *meta) decode(buf []byte) error {
 		m.roots[i] = PageID(binary.LittleEndian.Uint64(buf[24+8*i:]))
 	}
 	m.epoch = binary.LittleEndian.Uint64(buf[24+8*NumRoots:])
+	m.clean = buf[metaCleanOff] == 1
 	return nil
 }
 
@@ -290,6 +301,10 @@ type Store struct {
 	// invisible to every published state, so the writer may modify them in
 	// place and retiring one frees it immediately.
 	fresh map[PageID]struct{}
+
+	// wasClean records whether the file carried the clean-shutdown flag
+	// when opened (fresh stores count as clean: nothing can have leaked).
+	wasClean bool
 
 	ep epochs
 }
@@ -344,6 +359,7 @@ func (s *Store) init() error {
 			return err
 		}
 		s.ep.init(s.meta.epoch, s.meta.roots)
+		s.wasClean = true // fresh store: nothing can have leaked
 		return nil
 	}
 	var buf [PageSize]byte
@@ -354,8 +370,26 @@ func (s *Store) init() error {
 		return err
 	}
 	s.ep.init(s.meta.epoch, s.meta.roots)
+	s.wasClean = s.meta.clean
+	if s.meta.clean {
+		// Clear the flag durably (through the WAL) before anyone mutates:
+		// if this session crashes — even without ever committing, after
+		// growing the file inside an uncommitted transaction — the next
+		// open sees an unclean file and sweeps.
+		s.meta.clean = false
+		s.writeMeta()
+		if err := s.commit(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
+
+// WasCleanShutdown reports whether the store was last closed with no
+// retired pages awaiting reclamation. When false, crash-leaked pages may
+// exist and callers that know the full root topology (package relstore)
+// should run a reclamation sweep.
+func (s *Store) WasCleanShutdown() bool { return s.wasClean }
 
 // Allocate returns a page available for use, reusing freed pages first.
 // Allocated pages count as fresh until the next commit: the writer may
@@ -637,6 +671,19 @@ func (s *Store) Close() error {
 	defer s.mu.Unlock()
 	if s.closed.Load() {
 		return nil
+	}
+	// Stamp the clean-shutdown flag — but only if no retired pages are
+	// still pending (a snapshot left open across Close pins them, and they
+	// would leak); an unclean file tells the next open to sweep them back.
+	s.ep.mu.Lock()
+	pending := s.ep.pendingN
+	s.ep.mu.Unlock()
+	if pending == 0 {
+		s.meta.clean = true
+		s.writeMeta()
+		if err := s.commit(); err != nil {
+			return err
+		}
 	}
 	s.closed.Store(true)
 	if s.wal != nil {

@@ -1,0 +1,115 @@
+package storage
+
+import "encoding/binary"
+
+// This file implements the startup reclamation sweep. Retire lists live in
+// memory, so a crash between retiring a page (COW supersession, an overflow
+// chain replacement, a dropped relation) and the reclamation pass that
+// returns it to the free list leaks the page: it is neither reachable from
+// any published root nor on the free list, and nothing would ever reuse it.
+// The sweep closes that gap at open time: callers that know the full root
+// topology (package relstore walks the catalog and every table tree)
+// compute the reachable page set, and ReclaimUnreachable frees everything
+// else. A page leaked by a crash is by construction unreachable from the
+// recovered (last published) state, so the sweep can never free live data.
+
+// Pages calls visit for every page the tree occupies: internal nodes, leaf
+// nodes and the overflow chains of spilled values. It is a read-only walk
+// of the tree rooted at the handle's current root.
+func (t *BTree) Pages(visit func(PageID)) error {
+	var walk func(id PageID) error
+	walk = func(id PageID) error {
+		visit(id)
+		n, err := t.readNode(id)
+		if err != nil {
+			return err
+		}
+		if n.kind == pageInternal {
+			for _, child := range n.children {
+				if err := walk(child); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for i, isOv := range n.overflow {
+			if !isOv {
+				continue
+			}
+			if err := t.overflowPages(n.vals[i], visit); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return walk(t.root)
+}
+
+// overflowPages visits every page of one overflow chain.
+func (t *BTree) overflowPages(ref []byte, visit func(PageID)) error {
+	if len(ref) != overflowRefSize {
+		return nil // unreadable ref: nothing to visit
+	}
+	id := PageID(binary.LittleEndian.Uint64(ref))
+	for id != 0 {
+		visit(id)
+		buf, err := t.store.ReadPage(id)
+		if err != nil {
+			return err
+		}
+		id = PageID(binary.LittleEndian.Uint64(buf[1:]))
+	}
+	return nil
+}
+
+// FreePages returns the page ids currently chained on the free list.
+func (s *Store) FreePages() ([]PageID, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.freePagesLocked()
+}
+
+func (s *Store) freePagesLocked() ([]PageID, error) {
+	var out []PageID
+	var buf [PageSize]byte
+	for id := s.meta.freeHead; id != 0; {
+		out = append(out, id)
+		if err := s.pool.ReadInto(id, buf[:]); err != nil {
+			return nil, err
+		}
+		id = PageID(binary.LittleEndian.Uint64(buf[:]))
+	}
+	return out, nil
+}
+
+// ReclaimUnreachable returns every allocated page that is neither in
+// reachable nor already on the free list to the free list, reporting how
+// many were reclaimed. The caller supplies the complete reachable set (the
+// meta page is implicit); pages freed here become durable at the next
+// commit. Intended to run at open time, before any snapshot is taken.
+func (s *Store) ReclaimUnreachable(reachable map[PageID]bool) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed.Load() {
+		return 0, ErrClosed
+	}
+	free, err := s.freePagesLocked()
+	if err != nil {
+		return 0, err
+	}
+	onFreeList := make(map[PageID]bool, len(free))
+	for _, id := range free {
+		onFreeList[id] = true
+	}
+	n := 0
+	for id := PageID(1); id < s.pager.PageCount(); id++ {
+		if reachable[id] || onFreeList[id] {
+			continue
+		}
+		if err := s.free(id); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}

@@ -27,6 +27,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/phylo"
 	"repro/internal/relstore"
+	"repro/internal/shard"
 )
 
 // Errors returned by the repository.
@@ -50,8 +51,23 @@ var (
 // opened from it are bound to the last committed epoch and read lock-free
 // against copy-on-write pages, seeing the whole tree exactly as committed
 // even while it is concurrently deleted.
+//
+// Sharding: a Store may span N independent databases (one per shard, each
+// its own page file, WAL and epoch machinery). Trees are placed on shards
+// by a deterministic hash of the tree name, so every tree's relations live
+// wholly on one shard and tree-scoped operations route to exactly one
+// database; Trees fans out and merges. Because each shard is its own
+// engine with its own writer lock, loads of trees on different shards
+// proceed genuinely in parallel — the one-writer-at-a-time contract holds
+// per shard, not globally.
 type Store struct {
-	db *relstore.DB
+	dbs    []*relstore.DB
+	router *shard.Router
+}
+
+// dbFor returns the shard database that owns the named tree.
+func (s *Store) dbFor(name string) *relstore.DB {
+	return s.dbs[s.router.Place(name)]
 }
 
 // table is the read surface a stored tree queries against. Both live
@@ -73,8 +89,8 @@ func Open(path string) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Store{db: db}
-	if err := s.init(); err != nil {
+	s, err := NewOnDB(db)
+	if err != nil {
 		db.Close()
 		return nil, err
 	}
@@ -83,8 +99,8 @@ func Open(path string) (*Store, error) {
 
 // OpenMem opens an in-memory repository.
 func OpenMem() *Store {
-	s := &Store{db: relstore.OpenMemDB()}
-	if err := s.init(); err != nil {
+	s, err := NewOnDB(relstore.OpenMemDB())
+	if err != nil {
 		panic("treestore: init mem store: " + err.Error())
 	}
 	return s
@@ -93,17 +109,30 @@ func OpenMem() *Store {
 // NewOnDB layers a tree repository over an existing relational database,
 // so the Tree, Species and Query repositories can share one page file.
 func NewOnDB(db *relstore.DB) (*Store, error) {
-	s := &Store{db: db}
-	if err := s.init(); err != nil {
-		return nil, err
+	return NewOnShards([]*relstore.DB{db}, shard.Single)
+}
+
+// NewOnShards layers a tree repository over one database per shard. The
+// router decides which shard owns each tree name; it must describe exactly
+// len(dbs) shards and must be the same router the databases were written
+// under, or reopened trees would be looked up on the wrong shard.
+func NewOnShards(dbs []*relstore.DB, router *shard.Router) (*Store, error) {
+	if router.N() != len(dbs) {
+		return nil, fmt.Errorf("treestore: router covers %d shards, got %d databases", router.N(), len(dbs))
+	}
+	s := &Store{dbs: dbs, router: router}
+	for i, db := range dbs {
+		if err := initShard(db); err != nil {
+			return nil, fmt.Errorf("treestore: initializing shard %d: %w", i, err)
+		}
 	}
 	return s, nil
 }
 
-func (s *Store) init() error {
-	_, err := s.db.Table("trees")
+func initShard(db *relstore.DB) error {
+	_, err := db.Table("trees")
 	if errors.Is(err, relstore.ErrNoTable) {
-		_, err = s.db.CreateTable(relstore.Schema{
+		_, err = db.CreateTable(relstore.Schema{
 			Name: "trees",
 			Columns: []relstore.Column{
 				{Name: "name", Type: relstore.TString},
@@ -119,14 +148,22 @@ func (s *Store) init() error {
 	return err
 }
 
-// DB exposes the underlying database (shared with other repositories).
-func (s *Store) DB() *relstore.DB { return s.db }
+// Commit flushes buffered pages of every shard to disk.
+func (s *Store) Commit() error {
+	for i, db := range s.dbs {
+		if err := db.Commit(); err != nil {
+			return fmt.Errorf("treestore: committing shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
 
-// Commit flushes buffered pages to disk.
-func (s *Store) Commit() error { return s.db.Commit() }
-
-// Close commits and closes the underlying database.
-func (s *Store) Close() error { return s.db.Close() }
+// Close commits and closes every shard's database. All shards are closed
+// even if one fails — a broken shard must not leave the others' WALs
+// unflushed — and the failures come back joined.
+func (s *Store) Close() error {
+	return shard.CloseAll(s.dbs)
+}
 
 func validName(name string) bool {
 	if name == "" {
@@ -176,7 +213,8 @@ func (s *Store) Load(name string, t *phylo.Tree, f int, progress Progress) (*Tre
 	if err := t.Validate(); err != nil {
 		return nil, fmt.Errorf("treestore: invalid tree: %w", err)
 	}
-	trees, err := s.db.Table("trees")
+	db := s.dbFor(name)
+	trees, err := db.Table("trees")
 	if err != nil {
 		return nil, err
 	}
@@ -211,7 +249,7 @@ func (s *Store) Load(name string, t *phylo.Tree, f int, progress Progress) (*Tre
 	}
 
 	progress.Say("creating relations for tree %q", name)
-	nodeTab, err := s.db.CreateTable(relstore.Schema{
+	nodeTab, err := db.CreateTable(relstore.Schema{
 		Name: nodesTable(name),
 		Columns: []relstore.Column{
 			{Name: "id", Type: relstore.TInt},
@@ -267,7 +305,7 @@ func (s *Store) Load(name string, t *phylo.Tree, f int, progress Progress) (*Tre
 
 	// Higher layers and per-layer subtree tables, bulk-loaded the same way.
 	for k, layer := range ix.Layers {
-		subTab, err := s.db.CreateTable(relstore.Schema{
+		subTab, err := db.CreateTable(relstore.Schema{
 			Name: subsTable(name, k),
 			Columns: []relstore.Column{
 				{Name: "id", Type: relstore.TInt},
@@ -293,7 +331,7 @@ func (s *Store) Load(name string, t *phylo.Tree, f int, progress Progress) (*Tre
 		if k == 0 {
 			continue
 		}
-		layTab, err := s.db.CreateTable(relstore.Schema{
+		layTab, err := db.CreateTable(relstore.Schema{
 			Name: layerTable(name, k),
 			Columns: []relstore.Column{
 				{Name: "id", Type: relstore.TInt},
@@ -343,16 +381,17 @@ func (s *Store) Load(name string, t *phylo.Tree, f int, progress Progress) (*Tre
 	if err != nil {
 		return nil, err
 	}
-	if err := s.db.Commit(); err != nil {
+	if err := db.Commit(); err != nil {
 		return nil, err
 	}
 	progress.Say("tree %q committed (%d layers, depth %d)", name, info.Layers, info.Depth)
 	return s.Tree(name)
 }
 
-// Tree opens a handle on a stored tree over the live tables.
+// Tree opens a handle on a stored tree over the live tables of its shard.
 func (s *Store) Tree(name string) (*Tree, error) {
-	return openTree(name, func(tab string) (table, error) { return s.db.Table(tab) })
+	db := s.dbFor(name)
+	return openTree(name, func(tab string) (table, error) { return db.Table(tab) })
 }
 
 // openTree assembles a tree handle from whatever table source it is given
@@ -406,74 +445,125 @@ func decodeInfo(row relstore.Row) TreeInfo {
 	}
 }
 
-// Trees lists all stored trees.
+// Trees lists all stored trees, fanning out over every shard and merging
+// the per-shard catalogs in name order.
 func (s *Store) Trees() ([]TreeInfo, error) {
-	trees, err := s.db.Table("trees")
-	if err != nil {
-		return nil, err
-	}
 	var out []TreeInfo
-	err = trees.Scan(func(row relstore.Row) (bool, error) {
-		out = append(out, decodeInfo(row))
-		return true, nil
-	})
-	return out, err
+	for i, db := range s.dbs {
+		trees, err := db.Table("trees")
+		if err != nil {
+			return nil, fmt.Errorf("treestore: shard %d catalog: %w", i, err)
+		}
+		err = trees.Scan(func(row relstore.Row) (bool, error) {
+			out = append(out, decodeInfo(row))
+			return true, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
 }
 
-// Snap is a point-in-time read view of the Tree Repository, pinned to the
-// last committed epoch. Tree handles opened from it run every query —
-// Project, LCA, Sample, Frontier, MinimalSpanningClade, Export — lock-free
-// against copy-on-write pages: a bulk load or delete running concurrently
-// can neither block them nor change what they see. Close releases the pin
-// so superseded pages can be reclaimed.
+// Snap is a point-in-time read view of the Tree Repository. Each shard's
+// view is pinned to that shard's last committed epoch — a per-shard epoch
+// vector rather than one global number — so tree handles opened from it
+// run every query — Project, LCA, Sample, Frontier, MinimalSpanningClade,
+// Export — lock-free against copy-on-write pages: a bulk load or delete
+// running concurrently can neither block them nor change what they see.
+// Cross-shard reads (Trees) are consistent per shard. Close releases every
+// pin so superseded pages can be reclaimed.
 type Snap struct {
-	rs *relstore.Snap
+	sns    []*relstore.Snap
+	router *shard.Router
 }
 
-// Snapshot pins the last committed state of the repository.
-func (s *Store) Snapshot() *Snap { return SnapOn(s.db.Snapshot()) }
+// Snapshot pins the last committed state of every shard.
+func (s *Store) Snapshot() *Snap {
+	sns := make([]*relstore.Snap, len(s.dbs))
+	for i, db := range s.dbs {
+		sns[i] = db.Snapshot()
+	}
+	return &Snap{sns: sns, router: s.router}
+}
 
 // SnapOn wraps an existing relational snapshot (shared with the species
-// and query repositories) as a tree-repository view.
-func SnapOn(rs *relstore.Snap) *Snap { return &Snap{rs: rs} }
-
-// Rel exposes the underlying relational snapshot.
-func (sn *Snap) Rel() *relstore.Snap { return sn.rs }
-
-// Epoch reports the committed epoch this snapshot reads.
-func (sn *Snap) Epoch() uint64 { return sn.rs.Epoch() }
-
-// Close releases the snapshot's epoch pin. Safe to call multiple times.
-func (sn *Snap) Close() { sn.rs.Close() }
-
-// Tree opens a handle on a stored tree as of the snapshot. The handle
-// stays fully readable even if the tree is deleted afterwards: it either
-// sees the whole tree or (if the tree was not committed when the snapshot
-// was taken) ErrNoTree — never a torn state.
-func (sn *Snap) Tree(name string) (*Tree, error) {
-	return openTree(name, func(tab string) (table, error) { return sn.rs.Table(tab) })
+// and query repositories) as a single-shard tree-repository view.
+func SnapOn(rs *relstore.Snap) *Snap {
+	return &Snap{sns: []*relstore.Snap{rs}, router: shard.Single}
 }
 
-// Trees lists the trees stored as of the snapshot.
-func (sn *Snap) Trees() ([]TreeInfo, error) {
-	trees, err := sn.rs.Table("trees")
-	if err != nil {
-		if errors.Is(err, relstore.ErrNoTable) {
-			return nil, nil
-		}
-		return nil, err
+// SnapOnShards wraps one relational snapshot per shard as a
+// tree-repository view. The router must match the store the snapshots came
+// from.
+func SnapOnShards(sns []*relstore.Snap, router *shard.Router) *Snap {
+	return &Snap{sns: sns, router: router}
+}
+
+// Epoch reports the sum of the per-shard committed epochs: a scalar that
+// advances whenever any shard commits. Use Epochs for the full vector.
+func (sn *Snap) Epoch() uint64 {
+	var sum uint64
+	for _, rs := range sn.sns {
+		sum += rs.Epoch()
 	}
-	var out []TreeInfo
-	err = trees.Scan(func(row relstore.Row) (bool, error) {
-		out = append(out, decodeInfo(row))
-		return true, nil
-	})
-	return out, err
+	return sum
 }
 
-// Delete removes a stored tree and its relations.
+// Epochs reports the per-shard epoch vector this snapshot pins.
+func (sn *Snap) Epochs() []uint64 {
+	out := make([]uint64, len(sn.sns))
+	for i, rs := range sn.sns {
+		out[i] = rs.Epoch()
+	}
+	return out
+}
+
+// Close releases every shard's epoch pin. Safe to call multiple times.
+func (sn *Snap) Close() {
+	for _, rs := range sn.sns {
+		rs.Close()
+	}
+}
+
+// Tree opens a handle on a stored tree as of its shard's snapshot. The
+// handle stays fully readable even if the tree is deleted afterwards: it
+// either sees the whole tree or (if the tree was not committed when the
+// snapshot was taken) ErrNoTree — never a torn state.
+func (sn *Snap) Tree(name string) (*Tree, error) {
+	rs := sn.sns[sn.router.Place(name)]
+	return openTree(name, func(tab string) (table, error) { return rs.Table(tab) })
+}
+
+// Trees lists the trees stored as of the snapshot, merged across shards in
+// name order.
+func (sn *Snap) Trees() ([]TreeInfo, error) {
+	var out []TreeInfo
+	for _, rs := range sn.sns {
+		trees, err := rs.Table("trees")
+		if err != nil {
+			if errors.Is(err, relstore.ErrNoTable) {
+				continue
+			}
+			return nil, err
+		}
+		err = trees.Scan(func(row relstore.Row) (bool, error) {
+			out = append(out, decodeInfo(row))
+			return true, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// Delete removes a stored tree and its relations from its shard.
 func (s *Store) Delete(name string) error {
-	trees, err := s.db.Table("trees")
+	db := s.dbFor(name)
+	trees, err := db.Table("trees")
 	if err != nil {
 		return err
 	}
@@ -488,20 +578,20 @@ func (s *Store) Delete(name string) error {
 	if _, err := trees.Delete(relstore.Str(name)); err != nil {
 		return err
 	}
-	if err := s.db.DropTable(nodesTable(name)); err != nil {
+	if err := db.DropTable(nodesTable(name)); err != nil {
 		return err
 	}
 	for k := 0; k < layers; k++ {
-		if err := s.db.DropTable(subsTable(name, k)); err != nil {
+		if err := db.DropTable(subsTable(name, k)); err != nil {
 			return err
 		}
 		if k > 0 {
-			if err := s.db.DropTable(layerTable(name, k)); err != nil {
+			if err := db.DropTable(layerTable(name, k)); err != nil {
 				return err
 			}
 		}
 	}
-	return s.db.Commit()
+	return db.Commit()
 }
 
 // Node is one stored tree node row.

@@ -3,17 +3,29 @@
 // server encodes, parses Newick payloads back into phylo trees, and is
 // safe for concurrent use by many goroutines (it holds no mutable state
 // beyond the underlying http.Client).
+//
+// The API is context-first: every operation has a Ctx form that honors
+// cancellation and deadlines end to end — cancelling the context aborts
+// the request, and the server aborts the underlying scan and releases its
+// snapshot. The legacy context-free methods remain as thin deprecated
+// wrappers over the Ctx forms. A default per-request timeout can be set
+// with WithTimeout; large results stream: Export via ExportReader, and the
+// tree/history listings via auto-paginating iterators (TreesIter,
+// HistoryIter) over the server's cursor pagination.
 package client
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
+	"iter"
 	"net/http"
 	"net/url"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/benchmark"
 	"repro/internal/newick"
@@ -61,25 +73,66 @@ func (e *APIError) Error() string {
 
 // Client talks to one crimsond server.
 type Client struct {
-	base string
-	hc   *http.Client
+	base    string
+	hc      *http.Client
+	timeout time.Duration
+}
+
+// Option tunes a Client at construction.
+type Option func(*Client)
+
+// WithTimeout sets a default per-request timeout, applied whenever the
+// caller's context carries no deadline of its own (zero disables, the
+// default). A caller-supplied deadline always wins.
+func WithTimeout(d time.Duration) Option {
+	return func(c *Client) { c.timeout = d }
 }
 
 // New returns a client for the server at base, e.g.
 // "http://127.0.0.1:8321". A nil httpClient uses http.DefaultClient.
-func New(base string, httpClient *http.Client) *Client {
+func New(base string, httpClient *http.Client, opts ...Option) *Client {
 	if httpClient == nil {
 		httpClient = http.DefaultClient
 	}
-	return &Client{base: strings.TrimRight(base, "/"), hc: httpClient}
+	c := &Client{base: strings.TrimRight(base, "/"), hc: httpClient}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
 }
 
-func (c *Client) do(method, path string, query url.Values, body io.Reader, contentType string, out any) error {
+// reqCtx applies the client's default timeout when ctx has no deadline.
+// The returned cancel must be called once the response body is consumed.
+func (c *Client) reqCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if c.timeout > 0 {
+		if _, ok := ctx.Deadline(); !ok {
+			return context.WithTimeout(ctx, c.timeout)
+		}
+	}
+	return ctx, func() {}
+}
+
+// apiError decodes a non-2xx response body into an APIError.
+func apiError(resp *http.Response) *APIError {
+	var wire server.ErrorResponse
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if json.Unmarshal(raw, &wire) != nil || wire.Error == "" {
+		wire.Error = strings.TrimSpace(string(raw))
+	}
+	return &APIError{Status: resp.StatusCode, Message: wire.Error}
+}
+
+func (c *Client) do(ctx context.Context, method, path string, query url.Values, body io.Reader, contentType string, out any) error {
+	ctx, cancel := c.reqCtx(ctx)
+	defer cancel()
 	u := c.base + path
 	if len(query) > 0 {
 		u += "?" + query.Encode()
 	}
-	req, err := http.NewRequest(method, u, body)
+	req, err := http.NewRequestWithContext(ctx, method, u, body)
 	if err != nil {
 		return err
 	}
@@ -92,12 +145,7 @@ func (c *Client) do(method, path string, query url.Values, body io.Reader, conte
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
-		var apiErr server.ErrorResponse
-		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
-		if json.Unmarshal(raw, &apiErr) != nil || apiErr.Error == "" {
-			apiErr.Error = strings.TrimSpace(string(raw))
-		}
-		return &APIError{Status: resp.StatusCode, Message: apiErr.Error}
+		return apiError(resp)
 	}
 	switch v := out.(type) {
 	case nil:
@@ -115,122 +163,304 @@ func (c *Client) do(method, path string, query url.Values, body io.Reader, conte
 	}
 }
 
-func (c *Client) get(path string, query url.Values, out any) error {
-	return c.do(http.MethodGet, path, query, nil, "", out)
+func (c *Client) get(ctx context.Context, path string, query url.Values, out any) error {
+	return c.do(ctx, http.MethodGet, path, query, nil, "", out)
+}
+
+// HealthCtx reports whether the server answers /healthz.
+func (c *Client) HealthCtx(ctx context.Context) error {
+	return c.get(ctx, "/healthz", nil, nil)
 }
 
 // Health reports whether the server answers /healthz.
-func (c *Client) Health() error {
-	return c.get("/healthz", nil, nil)
-}
+//
+// Deprecated: use HealthCtx.
+func (c *Client) Health() error { return c.HealthCtx(context.Background()) }
 
-// Stats fetches the server's counter snapshot.
-func (c *Client) Stats() (Stats, error) {
+// StatsCtx fetches the server's counter snapshot.
+func (c *Client) StatsCtx(ctx context.Context) (Stats, error) {
 	var s Stats
-	err := c.get("/v1/stats", nil, &s)
+	err := c.get(ctx, "/v1/stats", nil, &s)
 	return s, err
 }
 
+// Stats fetches the server's counter snapshot.
+//
+// Deprecated: use StatsCtx.
+func (c *Client) Stats() (Stats, error) { return c.StatsCtx(context.Background()) }
+
 // --- trees -----------------------------------------------------------------
 
-// Trees lists the stored trees.
-func (c *Client) Trees() ([]TreeInfo, error) {
+// TreesCtx lists every stored tree in one response.
+func (c *Client) TreesCtx(ctx context.Context) ([]TreeInfo, error) {
 	var resp server.TreesResponse
-	if err := c.get("/v1/trees", nil, &resp); err != nil {
+	if err := c.get(ctx, "/v1/trees", nil, &resp); err != nil {
 		return nil, err
 	}
 	return resp.Trees, nil
 }
 
-// Info fetches one stored tree's summary.
-func (c *Client) Info(name string) (TreeInfo, error) {
+// Trees lists the stored trees.
+//
+// Deprecated: use TreesCtx, or TreesIter to paginate large repositories.
+func (c *Client) Trees() ([]TreeInfo, error) { return c.TreesCtx(context.Background()) }
+
+// TreesPage fetches one page of the name-sorted tree listing: up to limit
+// trees starting after cursor ("" = from the beginning). It returns the
+// page and the cursor for the next one ("" once the listing is complete).
+func (c *Client) TreesPage(ctx context.Context, cursor string, limit int) ([]TreeInfo, string, error) {
+	q := url.Values{}
+	if limit > 0 {
+		q.Set("limit", strconv.Itoa(limit))
+	}
+	if cursor != "" {
+		q.Set("cursor", cursor)
+	}
+	var resp server.TreesResponse
+	if err := c.get(ctx, "/v1/trees", q, &resp); err != nil {
+		return nil, "", err
+	}
+	return resp.Trees, resp.NextCursor, nil
+}
+
+// defaultPageSize bounds iterator pages when the caller does not choose.
+const defaultPageSize = 100
+
+// TreesIter iterates the full name-sorted tree listing, fetching pageSize
+// trees per request (<= 0 uses a default) and following cursors until the
+// listing is exhausted, the caller breaks, or ctx is cancelled. A request
+// failure is yielded as the final pair's error with a zero TreeInfo.
+func (c *Client) TreesIter(ctx context.Context, pageSize int) iter.Seq2[TreeInfo, error] {
+	if pageSize <= 0 {
+		pageSize = defaultPageSize
+	}
+	return func(yield func(TreeInfo, error) bool) {
+		cursor := ""
+		for {
+			page, next, err := c.TreesPage(ctx, cursor, pageSize)
+			if err != nil {
+				yield(TreeInfo{}, err)
+				return
+			}
+			for _, info := range page {
+				if !yield(info, nil) {
+					return
+				}
+			}
+			if next == "" {
+				return
+			}
+			cursor = next
+		}
+	}
+}
+
+// InfoCtx fetches one stored tree's summary.
+func (c *Client) InfoCtx(ctx context.Context, name string) (TreeInfo, error) {
 	var info TreeInfo
-	err := c.get("/v1/trees/"+url.PathEscape(name), nil, &info)
+	err := c.get(ctx, "/v1/trees/"+url.PathEscape(name), nil, &info)
 	return info, err
 }
 
-// LoadNewick streams a Newick body into the repository under name with
+// Info fetches one stored tree's summary.
+//
+// Deprecated: use InfoCtx.
+func (c *Client) Info(name string) (TreeInfo, error) {
+	return c.InfoCtx(context.Background(), name)
+}
+
+// LoadNewickCtx streams a Newick body into the repository under name with
 // depth bound f (f <= 0 uses the server default).
+func (c *Client) LoadNewickCtx(ctx context.Context, name string, f int, body io.Reader) (TreeInfo, error) {
+	return c.load(ctx, name, f, "newick", body)
+}
+
+// LoadNewick streams a Newick body into the repository.
+//
+// Deprecated: use LoadNewickCtx.
 func (c *Client) LoadNewick(name string, f int, body io.Reader) (TreeInfo, error) {
-	return c.load(name, f, "newick", body)
+	return c.LoadNewickCtx(context.Background(), name, f, body)
+}
+
+// LoadTreeCtx serializes an in-memory tree and loads it.
+func (c *Client) LoadTreeCtx(ctx context.Context, name string, f int, t *phylo.Tree) (TreeInfo, error) {
+	return c.LoadNewickCtx(ctx, name, f, strings.NewReader(newick.String(t)))
 }
 
 // LoadTree serializes an in-memory tree and loads it.
+//
+// Deprecated: use LoadTreeCtx.
 func (c *Client) LoadTree(name string, f int, t *phylo.Tree) (TreeInfo, error) {
-	return c.LoadNewick(name, f, strings.NewReader(newick.String(t)))
+	return c.LoadTreeCtx(context.Background(), name, f, t)
 }
 
-// LoadNexus streams a NEXUS document (trees + sequences) into the
+// LoadNexusCtx streams a NEXUS document (trees + sequences) into the
 // repository under name.
-func (c *Client) LoadNexus(name string, f int, body io.Reader) (TreeInfo, error) {
-	return c.load(name, f, "nexus", body)
+func (c *Client) LoadNexusCtx(ctx context.Context, name string, f int, body io.Reader) (TreeInfo, error) {
+	return c.load(ctx, name, f, "nexus", body)
 }
 
-func (c *Client) load(name string, f int, format string, body io.Reader) (TreeInfo, error) {
+// LoadNexus streams a NEXUS document into the repository.
+//
+// Deprecated: use LoadNexusCtx.
+func (c *Client) LoadNexus(name string, f int, body io.Reader) (TreeInfo, error) {
+	return c.LoadNexusCtx(context.Background(), name, f, body)
+}
+
+func (c *Client) load(ctx context.Context, name string, f int, format string, body io.Reader) (TreeInfo, error) {
 	q := url.Values{"format": {format}}
 	if f > 0 {
 		q.Set("f", strconv.Itoa(f))
 	}
 	var resp server.LoadResponse
-	err := c.do(http.MethodPost, "/v1/trees/"+url.PathEscape(name), q, body, "text/plain", &resp)
+	err := c.do(ctx, http.MethodPost, "/v1/trees/"+url.PathEscape(name), q, body, "text/plain", &resp)
 	return resp.Tree, err
 }
 
-// Delete removes a stored tree and its species data.
-func (c *Client) Delete(name string) error {
-	return c.do(http.MethodDelete, "/v1/trees/"+url.PathEscape(name), nil, nil, "", nil)
+// DeleteCtx removes a stored tree and its species data.
+func (c *Client) DeleteCtx(ctx context.Context, name string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/trees/"+url.PathEscape(name), nil, nil, "", nil)
 }
 
-// Export fetches the complete stored tree as an in-memory tree.
-func (c *Client) Export(name string) (*phylo.Tree, error) {
-	var raw []byte
-	if err := c.get("/v1/trees/"+url.PathEscape(name)+"/export", nil, &raw); err != nil {
+// Delete removes a stored tree and its species data.
+//
+// Deprecated: use DeleteCtx.
+func (c *Client) Delete(name string) error { return c.DeleteCtx(context.Background(), name) }
+
+// cancelReadCloser couples a response body to the request's cancel func so
+// a default-timeout context is released exactly when the stream is closed.
+type cancelReadCloser struct {
+	rc     io.ReadCloser
+	cancel context.CancelFunc
+}
+
+func (c *cancelReadCloser) Read(p []byte) (int, error) { return c.rc.Read(p) }
+
+func (c *cancelReadCloser) Close() error {
+	err := c.rc.Close()
+	c.cancel()
+	return err
+}
+
+// ExportReader streams the stored tree's Newick serialization as it leaves
+// the server — constant client memory no matter the tree size. The caller
+// must Close the reader; cancelling ctx aborts the download and makes the
+// server abort its scan and release its snapshot. The stream ends with a
+// trailing newline after the terminating ";".
+func (c *Client) ExportReader(ctx context.Context, name string) (io.ReadCloser, error) {
+	ctx, cancel := c.reqCtx(ctx)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.base+"/v1/trees/"+url.PathEscape(name)+"/export", nil)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		err := apiError(resp)
+		resp.Body.Close()
+		cancel()
+		return nil, err
+	}
+	return &cancelReadCloser{rc: resp.Body, cancel: cancel}, nil
+}
+
+// ExportCtx fetches the complete stored tree as an in-memory tree (the
+// Newick grammar needs the whole text, so this materializes client-side;
+// use ExportReader to process the serialization as a stream).
+func (c *Client) ExportCtx(ctx context.Context, name string) (*phylo.Tree, error) {
+	rc, err := c.ExportReader(ctx, name)
+	if err != nil {
+		return nil, err
+	}
+	defer rc.Close()
+	raw, err := io.ReadAll(rc)
+	if err != nil {
 		return nil, err
 	}
 	return newick.Parse(string(raw))
 }
 
+// Export fetches the complete stored tree as an in-memory tree.
+//
+// Deprecated: use ExportCtx, or ExportReader for a streaming download.
+func (c *Client) Export(name string) (*phylo.Tree, error) {
+	return c.ExportCtx(context.Background(), name)
+}
+
 // --- queries ---------------------------------------------------------------
 
-// Project projects the stored tree over the given species and returns
+// ProjectCtx projects the stored tree over the given species and returns
 // the full response (Newick text plus cache flag).
-func (c *Client) Project(name string, speciesNames []string) (ProjectResponse, error) {
+func (c *Client) ProjectCtx(ctx context.Context, name string, speciesNames []string) (ProjectResponse, error) {
 	var resp ProjectResponse
-	err := c.get("/v1/trees/"+url.PathEscape(name)+"/project",
+	err := c.get(ctx, "/v1/trees/"+url.PathEscape(name)+"/project",
 		url.Values{"species": {strings.Join(speciesNames, ",")}}, &resp)
 	return resp, err
 }
 
-// ProjectTree projects and parses the result into an in-memory tree.
-func (c *Client) ProjectTree(name string, speciesNames []string) (*phylo.Tree, error) {
-	resp, err := c.Project(name, speciesNames)
+// Project projects the stored tree over the given species.
+//
+// Deprecated: use ProjectCtx.
+func (c *Client) Project(name string, speciesNames []string) (ProjectResponse, error) {
+	return c.ProjectCtx(context.Background(), name, speciesNames)
+}
+
+// ProjectTreeCtx projects and parses the result into an in-memory tree.
+func (c *Client) ProjectTreeCtx(ctx context.Context, name string, speciesNames []string) (*phylo.Tree, error) {
+	resp, err := c.ProjectCtx(ctx, name, speciesNames)
 	if err != nil {
 		return nil, err
 	}
 	return newick.Parse(resp.Newick)
 }
 
-// LCA returns the least common ancestor of species a and b.
-func (c *Client) LCA(name, a, b string) (LCAResponse, error) {
+// ProjectTree projects and parses the result into an in-memory tree.
+//
+// Deprecated: use ProjectTreeCtx.
+func (c *Client) ProjectTree(name string, speciesNames []string) (*phylo.Tree, error) {
+	return c.ProjectTreeCtx(context.Background(), name, speciesNames)
+}
+
+// LCACtx returns the least common ancestor of species a and b.
+func (c *Client) LCACtx(ctx context.Context, name, a, b string) (LCAResponse, error) {
 	var resp LCAResponse
-	err := c.get("/v1/trees/"+url.PathEscape(name)+"/lca",
+	err := c.get(ctx, "/v1/trees/"+url.PathEscape(name)+"/lca",
 		url.Values{"a": {a}, "b": {b}}, &resp)
 	return resp, err
 }
 
-// SampleUniform draws k distinct species uniformly (seeded, so a fixed
+// LCA returns the least common ancestor of species a and b.
+//
+// Deprecated: use LCACtx.
+func (c *Client) LCA(name, a, b string) (LCAResponse, error) {
+	return c.LCACtx(context.Background(), name, a, b)
+}
+
+// SampleUniformCtx draws k distinct species uniformly (seeded, so a fixed
 // seed reproduces the draw).
-func (c *Client) SampleUniform(name string, k int, seed int64) ([]string, error) {
+func (c *Client) SampleUniformCtx(ctx context.Context, name string, k int, seed int64) ([]string, error) {
 	var resp server.SampleResponse
-	err := c.get("/v1/trees/"+url.PathEscape(name)+"/sample",
+	err := c.get(ctx, "/v1/trees/"+url.PathEscape(name)+"/sample",
 		url.Values{"k": {strconv.Itoa(k)}, "seed": {strconv.FormatInt(seed, 10)}}, &resp)
 	return resp.Species, err
 }
 
-// SampleWithTime samples k species with respect to evolutionary time.
-func (c *Client) SampleWithTime(name string, time float64, k int, seed int64) ([]string, error) {
+// SampleUniform draws k distinct species uniformly.
+//
+// Deprecated: use SampleUniformCtx.
+func (c *Client) SampleUniform(name string, k int, seed int64) ([]string, error) {
+	return c.SampleUniformCtx(context.Background(), name, k, seed)
+}
+
+// SampleWithTimeCtx samples k species with respect to evolutionary time.
+func (c *Client) SampleWithTimeCtx(ctx context.Context, name string, time float64, k int, seed int64) ([]string, error) {
 	var resp server.SampleResponse
-	err := c.get("/v1/trees/"+url.PathEscape(name)+"/sample", url.Values{
+	err := c.get(ctx, "/v1/trees/"+url.PathEscape(name)+"/sample", url.Values{
 		"k":    {strconv.Itoa(k)},
 		"time": {strconv.FormatFloat(time, 'g', -1, 64)},
 		"seed": {strconv.FormatInt(seed, 10)},
@@ -238,36 +468,65 @@ func (c *Client) SampleWithTime(name string, time float64, k int, seed int64) ([
 	return resp.Species, err
 }
 
-// Clade returns the minimal spanning clade of the given species.
-func (c *Client) Clade(name string, speciesNames []string) (CladeResponse, error) {
+// SampleWithTime samples k species with respect to evolutionary time.
+//
+// Deprecated: use SampleWithTimeCtx.
+func (c *Client) SampleWithTime(name string, time float64, k int, seed int64) ([]string, error) {
+	return c.SampleWithTimeCtx(context.Background(), name, time, k, seed)
+}
+
+// CladeCtx returns the minimal spanning clade of the given species.
+func (c *Client) CladeCtx(ctx context.Context, name string, speciesNames []string) (CladeResponse, error) {
 	var resp CladeResponse
-	err := c.get("/v1/trees/"+url.PathEscape(name)+"/clade",
+	err := c.get(ctx, "/v1/trees/"+url.PathEscape(name)+"/clade",
 		url.Values{"species": {strings.Join(speciesNames, ",")}}, &resp)
 	return resp, err
 }
 
-// Match runs the tree pattern match query against the stored tree.
-func (c *Client) Match(name string, pattern *phylo.Tree) (MatchResponse, error) {
+// Clade returns the minimal spanning clade of the given species.
+//
+// Deprecated: use CladeCtx.
+func (c *Client) Clade(name string, speciesNames []string) (CladeResponse, error) {
+	return c.CladeCtx(context.Background(), name, speciesNames)
+}
+
+// MatchCtx runs the tree pattern match query against the stored tree.
+func (c *Client) MatchCtx(ctx context.Context, name string, pattern *phylo.Tree) (MatchResponse, error) {
 	var resp MatchResponse
-	err := c.do(http.MethodPost, "/v1/trees/"+url.PathEscape(name)+"/match", nil,
+	err := c.do(ctx, http.MethodPost, "/v1/trees/"+url.PathEscape(name)+"/match", nil,
 		strings.NewReader(newick.String(pattern)), "text/plain", &resp)
 	return resp, err
 }
 
-// Bench runs the Benchmark Manager on the server against a stored gold
-// tree and returns the machine-readable report.
-func (c *Client) Bench(name string, req BenchRequest) (*BenchReport, error) {
+// Match runs the tree pattern match query against the stored tree.
+//
+// Deprecated: use MatchCtx.
+func (c *Client) Match(name string, pattern *phylo.Tree) (MatchResponse, error) {
+	return c.MatchCtx(context.Background(), name, pattern)
+}
+
+// BenchCtx runs the Benchmark Manager on the server against a stored gold
+// tree and returns the machine-readable report. Benchmark runs can be
+// long; pass a context with a deadline matched to the workload.
+func (c *Client) BenchCtx(ctx context.Context, name string, req BenchRequest) (*BenchReport, error) {
 	payload, err := json.Marshal(req)
 	if err != nil {
 		return nil, err
 	}
 	var rep BenchReport
-	err = c.do(http.MethodPost, "/v1/trees/"+url.PathEscape(name)+"/bench", nil,
+	err = c.do(ctx, http.MethodPost, "/v1/trees/"+url.PathEscape(name)+"/bench", nil,
 		bytes.NewReader(payload), "application/json", &rep)
 	if err != nil {
 		return nil, err
 	}
 	return &rep, nil
+}
+
+// Bench runs the Benchmark Manager on the server.
+//
+// Deprecated: use BenchCtx.
+func (c *Client) Bench(name string, req BenchRequest) (*BenchReport, error) {
+	return c.BenchCtx(context.Background(), name, req)
 }
 
 // --- species data ----------------------------------------------------------
@@ -280,55 +539,147 @@ func speciesPath(tree, sp, kind string) string {
 	return p
 }
 
-// PutSpeciesData stores one species-data record.
-func (c *Client) PutSpeciesData(tree, sp, kind string, data []byte) error {
-	return c.do(http.MethodPut, speciesPath(tree, sp, kind), nil,
+// PutSpeciesDataCtx stores one species-data record.
+func (c *Client) PutSpeciesDataCtx(ctx context.Context, tree, sp, kind string, data []byte) error {
+	return c.do(ctx, http.MethodPut, speciesPath(tree, sp, kind), nil,
 		bytes.NewReader(data), "application/octet-stream", nil)
 }
 
-// SpeciesData fetches one species-data record.
-func (c *Client) SpeciesData(tree, sp, kind string) ([]byte, error) {
+// PutSpeciesData stores one species-data record.
+//
+// Deprecated: use PutSpeciesDataCtx.
+func (c *Client) PutSpeciesData(tree, sp, kind string, data []byte) error {
+	return c.PutSpeciesDataCtx(context.Background(), tree, sp, kind, data)
+}
+
+// SpeciesDataCtx fetches one species-data record.
+func (c *Client) SpeciesDataCtx(ctx context.Context, tree, sp, kind string) ([]byte, error) {
 	var raw []byte
-	err := c.get(speciesPath(tree, sp, kind), nil, &raw)
+	err := c.get(ctx, speciesPath(tree, sp, kind), nil, &raw)
 	return raw, err
 }
 
+// SpeciesData fetches one species-data record.
+//
+// Deprecated: use SpeciesDataCtx.
+func (c *Client) SpeciesData(tree, sp, kind string) ([]byte, error) {
+	return c.SpeciesDataCtx(context.Background(), tree, sp, kind)
+}
+
+// DeleteSpeciesDataCtx removes one species-data record.
+func (c *Client) DeleteSpeciesDataCtx(ctx context.Context, tree, sp, kind string) error {
+	return c.do(ctx, http.MethodDelete, speciesPath(tree, sp, kind), nil, nil, "", nil)
+}
+
 // DeleteSpeciesData removes one species-data record.
+//
+// Deprecated: use DeleteSpeciesDataCtx.
 func (c *Client) DeleteSpeciesData(tree, sp, kind string) error {
-	return c.do(http.MethodDelete, speciesPath(tree, sp, kind), nil, nil, "", nil)
+	return c.DeleteSpeciesDataCtx(context.Background(), tree, sp, kind)
+}
+
+// ListSpeciesDataCtx lists all records stored for one species.
+func (c *Client) ListSpeciesDataCtx(ctx context.Context, tree, sp string) ([]SpeciesRecord, error) {
+	var resp server.SpeciesListResponse
+	err := c.get(ctx, speciesPath(tree, sp, ""), nil, &resp)
+	return resp.Records, err
 }
 
 // ListSpeciesData lists all records stored for one species.
+//
+// Deprecated: use ListSpeciesDataCtx.
 func (c *Client) ListSpeciesData(tree, sp string) ([]SpeciesRecord, error) {
-	var resp server.SpeciesListResponse
-	err := c.get(speciesPath(tree, sp, ""), nil, &resp)
-	return resp.Records, err
+	return c.ListSpeciesDataCtx(context.Background(), tree, sp)
 }
 
 // --- history ---------------------------------------------------------------
 
-// History returns up to limit most recent query-history entries,
+// HistoryCtx returns up to limit most recent query-history entries,
 // newest first (limit <= 0 means the server default).
+func (c *Client) HistoryCtx(ctx context.Context, limit int) ([]HistoryEntry, error) {
+	entries, _, err := c.HistoryPage(ctx, "", limit)
+	return entries, err
+}
+
+// History returns up to limit most recent query-history entries.
+//
+// Deprecated: use HistoryCtx, or HistoryIter to walk long histories.
 func (c *Client) History(limit int) ([]HistoryEntry, error) {
+	return c.HistoryCtx(context.Background(), limit)
+}
+
+// HistoryPage fetches one page of the history, newest first: up to limit
+// entries older than the cursor position ("" = from the newest). It
+// returns the page and the cursor for the next (older) page — "" once the
+// history is exhausted.
+func (c *Client) HistoryPage(ctx context.Context, cursor string, limit int) ([]HistoryEntry, string, error) {
 	q := url.Values{}
 	if limit > 0 {
 		q.Set("limit", strconv.Itoa(limit))
 	}
+	if cursor != "" {
+		q.Set("cursor", cursor)
+	}
 	var resp server.HistoryResponse
-	err := c.get("/v1/history", q, &resp)
+	if err := c.get(ctx, "/v1/history", q, &resp); err != nil {
+		return nil, "", err
+	}
+	return resp.Entries, resp.NextCursor, nil
+}
+
+// HistoryIter iterates the whole query history newest first, fetching
+// pageSize entries per request (<= 0 uses a default) and following cursors
+// until exhaustion, a break, or ctx cancellation. A request failure is
+// yielded as the final pair's error.
+func (c *Client) HistoryIter(ctx context.Context, pageSize int) iter.Seq2[HistoryEntry, error] {
+	if pageSize <= 0 {
+		pageSize = defaultPageSize
+	}
+	return func(yield func(HistoryEntry, error) bool) {
+		cursor := ""
+		for {
+			page, next, err := c.HistoryPage(ctx, cursor, pageSize)
+			if err != nil {
+				yield(HistoryEntry{}, err)
+				return
+			}
+			for _, e := range page {
+				if !yield(e, nil) {
+					return
+				}
+			}
+			if next == "" {
+				return
+			}
+			cursor = next
+		}
+	}
+}
+
+// HistoryByKindCtx returns all entries of one query kind, oldest first.
+func (c *Client) HistoryByKindCtx(ctx context.Context, kind string) ([]HistoryEntry, error) {
+	var resp server.HistoryResponse
+	err := c.get(ctx, "/v1/history", url.Values{"kind": {kind}}, &resp)
 	return resp.Entries, err
 }
 
 // HistoryByKind returns all entries of one query kind, oldest first.
+//
+// Deprecated: use HistoryByKindCtx.
 func (c *Client) HistoryByKind(kind string) ([]HistoryEntry, error) {
-	var resp server.HistoryResponse
-	err := c.get("/v1/history", url.Values{"kind": {kind}}, &resp)
-	return resp.Entries, err
+	return c.HistoryByKindCtx(context.Background(), kind)
+}
+
+// HistoryEntryByIDCtx fetches one history entry.
+func (c *Client) HistoryEntryByIDCtx(ctx context.Context, id int64) (HistoryEntry, error) {
+	var e HistoryEntry
+	err := c.get(ctx, "/v1/history/"+strconv.FormatInt(id, 10), nil, &e)
+	return e, err
 }
 
 // HistoryEntryByID fetches one history entry.
+//
+// Deprecated: use HistoryEntryByIDCtx.
 func (c *Client) HistoryEntryByID(id int64) (HistoryEntry, error) {
-	var e HistoryEntry
-	err := c.get("/v1/history/"+strconv.FormatInt(id, 10), nil, &e)
-	return e, err
+	return c.HistoryEntryByIDCtx(context.Background(), id)
 }

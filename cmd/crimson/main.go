@@ -60,6 +60,7 @@ func init() {
 		{"clade", "minimal spanning clade of a species set", cmdClade},
 		{"sample", "sample species uniformly or with respect to time", cmdSample},
 		{"project", "project the stored tree over a species set", cmdProject},
+		{"export", "stream a stored tree as Newick to stdout (or --out)", cmdExport},
 		{"match", "tree pattern match against a stored tree", cmdMatch},
 		{"bench", "benchmark reconstruction algorithms against a stored gold tree", cmdBench},
 		{"history", "show the query history", cmdHistory},
@@ -90,6 +91,13 @@ func usage() {
 	for _, c := range commands {
 		fmt.Printf("  %-8s %s\n", c.name, c.help)
 	}
+}
+
+// signalContext returns a context cancelled by SIGINT/SIGTERM, so a
+// long-running query command aborts its engine scans cleanly on Ctrl-C
+// instead of dying mid-write. Callers defer stop.
+func signalContext() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 }
 
 func outWriter(path string) (*os.File, func(), error) {
@@ -333,6 +341,8 @@ func cmdLCA(args []string) error {
 	if len(names) != 2 {
 		return fmt.Errorf("lca: --species needs exactly two names")
 	}
+	ctx, stop := signalContext()
+	defer stop()
 	repo, err := openRepo(*repoPath)
 	if err != nil {
 		return err
@@ -342,15 +352,15 @@ func cmdLCA(args []string) error {
 	if err != nil {
 		return err
 	}
-	a, err := st.NodeByName(names[0])
+	a, err := st.NodeByNameCtx(ctx, names[0])
 	if err != nil {
 		return err
 	}
-	b, err := st.NodeByName(names[1])
+	b, err := st.NodeByNameCtx(ctx, names[1])
 	if err != nil {
 		return err
 	}
-	l, err := st.LCA(a.ID, b.ID)
+	l, err := st.LCACtx(ctx, a.ID, b.ID)
 	if err != nil {
 		return err
 	}
@@ -381,6 +391,8 @@ func cmdClade(args []string) error {
 	if len(names) == 0 {
 		return fmt.Errorf("clade: --species is required")
 	}
+	ctx, stop := signalContext()
+	defer stop()
 	repo, err := openRepo(*repoPath)
 	if err != nil {
 		return err
@@ -392,13 +404,13 @@ func cmdClade(args []string) error {
 	}
 	ids := make([]int, len(names))
 	for i, n := range names {
-		row, err := st.NodeByName(n)
+		row, err := st.NodeByNameCtx(ctx, n)
 		if err != nil {
 			return err
 		}
 		ids[i] = row.ID
 	}
-	clade, err := st.MinimalSpanningClade(ids)
+	clade, err := st.MinimalSpanningCladeCtx(ctx, ids)
 	if err != nil {
 		return err
 	}
@@ -430,6 +442,8 @@ func cmdSample(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	ctx, stop := signalContext()
+	defer stop()
 	repo, err := openRepo(*repoPath)
 	if err != nil {
 		return err
@@ -442,9 +456,9 @@ func cmdSample(args []string) error {
 	r := rand.New(rand.NewSource(*seed))
 	var rows []crimson.StoredNode
 	if *timeArg >= 0 {
-		rows, err = st.SampleWithTime(*timeArg, *k, r)
+		rows, err = st.SampleWithTimeCtx(ctx, *timeArg, *k, r)
 	} else {
-		rows, err = st.SampleUniform(*k, r)
+		rows, err = st.SampleUniformCtx(ctx, *k, r)
 	}
 	if err != nil {
 		return err
@@ -474,6 +488,8 @@ func cmdProject(args []string) error {
 	if len(names) == 0 {
 		return fmt.Errorf("project: --species is required")
 	}
+	ctx, stop := signalContext()
+	defer stop()
 	repo, err := openRepo(*repoPath)
 	if err != nil {
 		return err
@@ -483,7 +499,7 @@ func cmdProject(args []string) error {
 	if err != nil {
 		return err
 	}
-	t, err := st.ProjectNames(names)
+	t, err := st.ProjectNamesCtx(ctx, names)
 	if err != nil {
 		return err
 	}
@@ -496,6 +512,49 @@ func cmdProject(args []string) error {
 	_, _ = repo.Queries.Record("project", map[string]any{"tree": *name, "species": names},
 		crimson.FormatNewick(t))
 	return repo.Commit()
+}
+
+// cmdExport streams a stored tree's Newick serialization to stdout (or
+// --out) without materializing the tree or its text: one relation scan
+// feeds the chunked emitter, so exporting a multi-million-node tree runs
+// in constant memory and Ctrl-C aborts it mid-scan.
+func cmdExport(args []string) error {
+	fs := flag.NewFlagSet("export", flag.ContinueOnError)
+	repoPath := fs.String("repo", "", "repository page file")
+	name := fs.String("name", "", "tree name")
+	out := fs.String("out", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *name == "" {
+		return fmt.Errorf("export: --name is required")
+	}
+	ctx, stop := signalContext()
+	defer stop()
+	repo, err := openRepo(*repoPath)
+	if err != nil {
+		return err
+	}
+	defer repo.Close()
+	snap, err := repo.SnapshotCtx(ctx)
+	if err != nil {
+		return err
+	}
+	defer snap.Close()
+	st, err := snap.Tree(*name)
+	if err != nil {
+		return err
+	}
+	w, done, err := outWriter(*out)
+	if err != nil {
+		return err
+	}
+	defer done()
+	if err := st.ExportNewickTo(ctx, w); err != nil {
+		return err
+	}
+	_, err = fmt.Fprintln(w)
+	return err
 }
 
 func cmdMatch(args []string) error {
@@ -522,7 +581,9 @@ func cmdMatch(args []string) error {
 	if err != nil {
 		return err
 	}
-	projected, err := st.ProjectNames(pattern.LeafNames())
+	ctx, stop := signalContext()
+	defer stop()
+	projected, err := st.ProjectNamesCtx(ctx, pattern.LeafNames())
 	if err != nil {
 		return err
 	}
@@ -580,7 +641,9 @@ func cmdBench(args []string) error {
 			return err
 		}
 		// Rebuild the in-memory tree from the store for the benchmark run.
-		gold, err = st.Export()
+		ctx, stop := signalContext()
+		gold, err = st.ExportCtx(ctx)
+		stop()
 		if err != nil {
 			return err
 		}

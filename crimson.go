@@ -27,7 +27,7 @@
 //	defer repo.Close()
 //	tree, _ := crimson.ParseNewick("(Syn:2.5,((Lla:1,Spy:1):1.5,Bha:0.75):0.5,Bsu:1.25);")
 //	stored, _ := repo.LoadTree("gold", tree, crimson.DefaultFanout, nil)
-//	projected, _ := stored.ProjectNames([]string{"Bha", "Lla", "Syn"})
+//	projected, _ := stored.ProjectNamesCtx(ctx, []string{"Bha", "Lla", "Syn"})
 //	fmt.Print(crimson.ASCII(projected))
 //
 // # Concurrency
@@ -56,9 +56,24 @@
 // B+tree descent per row. In-memory helpers (Index, Planner, pattern
 // match, RunBenchmark) are read-only after construction and freely
 // shareable across goroutines.
+//
+// # Cancellation and streaming
+//
+// The read API is context-first: every stored-tree query has a ctx form
+// (ProjectCtx, LCACtx, SampleUniformCtx, ExportCtx, ...) that threads the
+// context down to the storage engine's scan loops, so cancelling it
+// aborts the work within a few row reads and releases whatever snapshot
+// pins the query held. SnapshotCtx ties a snapshot's lifetime to a
+// context — an abandoned snapshot closes itself on cancellation instead
+// of stalling page reclamation. StoredTree.ExportNewickTo streams a
+// tree's Newick serialization in bounded memory, and Snapshot.TreesPage
+// paginates the catalog with a resumable shard-merge cursor. The legacy
+// context-free signatures remain as thin deprecated wrappers over the
+// ctx forms.
 package crimson
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -456,6 +471,10 @@ type Snapshot struct {
 	TreeSnap    *treestore.Snap
 	SpeciesView *species.View
 	QueryView   *queryrepo.View
+
+	// unwatch detaches the context watcher a SnapshotCtx installed
+	// (nil for plain Snapshot).
+	unwatch func() bool
 }
 
 // Snapshot pins the current committed state of every shard for lock-free
@@ -473,11 +492,49 @@ func (r *Repository) Snapshot() *Snapshot {
 	}
 }
 
+// SnapshotCtx pins the current committed state of every shard and ties the
+// pins' lifetime to ctx: when the context is cancelled the snapshot closes
+// itself, so an abandoned request can never keep epoch pins alive and
+// stall page reclamation behind a dead reader. Close remains the normal
+// release path (idempotent, and it detaches the context watcher); the
+// cancellation hook is the backstop that makes release guaranteed rather
+// than best-effort. Returns ctx's error if it is already done.
+//
+// Contract: queries through a SnapshotCtx snapshot must run under ctx or
+// a context derived from it. Cancellation both aborts those queries
+// cooperatively and releases the pins, after which the snapshot is
+// invalid — a query still in flight at that instant fails with the
+// context's error (the engine reports any read that races the release as
+// the cancellation). Reading through the snapshot with an unrelated
+// context after cancellation is the same misuse as reading after Close.
+func (r *Repository) SnapshotCtx(ctx context.Context) (*Snapshot, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	s := r.Snapshot()
+	// The watcher releases the pins directly rather than calling Close:
+	// Close reads s.unwatch, which is being assigned right below — the
+	// pin-only path keeps an immediate cancellation from racing that
+	// write.
+	stop := context.AfterFunc(ctx, s.closePins)
+	s.unwatch = stop
+	return s, nil
+}
+
 // Tree opens a stored tree as of the snapshot.
 func (s *Snapshot) Tree(name string) (*StoredTree, error) { return s.TreeSnap.Tree(name) }
 
 // Trees lists the trees stored as of the snapshot.
 func (s *Snapshot) Trees() ([]TreeInfo, error) { return s.TreeSnap.Trees() }
+
+// TreesPage lists up to limit trees whose name sorts strictly after the
+// cursor name (limit <= 0 means all), merged across shards in name order,
+// returning the name to resume from when more remain ("" once exhausted).
+// Paging over one snapshot yields one consistent listing no matter how
+// many loads and deletes land in between.
+func (s *Snapshot) TreesPage(ctx context.Context, after string, limit int) ([]TreeInfo, string, error) {
+	return s.TreeSnap.TreesPage(ctx, after, limit)
+}
 
 // Epoch reports the sum of the pinned per-shard epochs: a scalar that
 // advances whenever any shard commits. Use Epochs for the vector.
@@ -509,8 +566,18 @@ func (s *Snapshot) Check() error {
 	return nil
 }
 
-// Close releases every shard's epoch pin. Safe to call multiple times.
+// Close releases every shard's epoch pin. Safe to call multiple times,
+// and safe to race with the cancellation hook a SnapshotCtx installs —
+// each shard pin releases exactly once.
 func (s *Snapshot) Close() {
+	if s.unwatch != nil {
+		s.unwatch()
+	}
+	s.closePins()
+}
+
+// closePins releases the per-shard epoch pins; idempotent per shard.
+func (s *Snapshot) closePins() {
 	for _, rs := range s.sns {
 		rs.Close()
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -49,11 +50,13 @@ func main() {
 	}
 	fmt.Printf("tree info: %+v\n", stored.Info())
 
-	// Structure queries against the store.
+	// Structure queries against the store, under a cancellable context —
+	// the same ctx-first forms crimsond runs per request.
+	ctx := context.Background()
 	leaves := gold.LeafNames()
-	a, _ := stored.NodeByName(leaves[10])
-	b, _ := stored.NodeByName(leaves[4000])
-	lca, err := stored.LCA(a.ID, b.ID)
+	a, _ := stored.NodeByNameCtx(ctx, leaves[10])
+	b, _ := stored.NodeByNameCtx(ctx, leaves[4000])
+	lca, err := stored.LCACtx(ctx, a.ID, b.ID)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -62,7 +65,7 @@ func main() {
 	repo.Queries.Record("lca", map[string]string{"a": a.Name, "b": b.Name}, fmt.Sprintf("node %d", lca))
 
 	// Sample with respect to time and project — the §2.2 workload.
-	picked, err := stored.SampleWithTime(lrow.Dist, 8, r)
+	picked, err := stored.SampleWithTimeCtx(ctx, lrow.Dist, 8, r)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -70,7 +73,7 @@ func main() {
 	for i, n := range picked {
 		ids[i] = n.ID
 	}
-	projected, err := stored.Project(ids)
+	projected, err := stored.ProjectCtx(ctx, ids)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -4,6 +4,7 @@
 package queryrepo
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -131,8 +132,8 @@ func decodeEntry(row relstore.Row) Entry {
 // table (lock-per-operation) and a snapshot view (lock-free) satisfy it.
 type reader interface {
 	Get(key relstore.Value) (relstore.Row, bool, error)
-	ScanRange(lo, hi relstore.Value, fn func(relstore.Row) (bool, error)) error
-	IndexScan(index string, vals []relstore.Value, fn func(relstore.Row) (bool, error)) error
+	ScanRangeCtx(ctx context.Context, lo, hi relstore.Value, fn func(relstore.Row) (bool, error)) error
+	IndexScanCtx(ctx context.Context, index string, vals []relstore.Value, fn func(relstore.Row) (bool, error)) error
 }
 
 func getEntry(tab reader, id int64) (Entry, error) {
@@ -146,28 +147,96 @@ func getEntry(tab reader, id int64) (Entry, error) {
 	return decodeEntry(row), nil
 }
 
-func history(tab reader, limit int) ([]Entry, error) {
-	var all []Entry
-	err := tab.ScanRange(relstore.Int(0), relstore.Value{}, func(row relstore.Row) (bool, error) {
-		all = append(all, decodeEntry(row))
-		return true, nil
-	})
-	if err != nil {
-		return nil, err
+// historyPage returns up to limit entries with id < beforeID (beforeID <= 0
+// means "from the newest"), newest first, plus the id to pass as the next
+// page's beforeID (0 once the history is exhausted).
+//
+// The storage cursor only walks forward, but ids are issued by a dense
+// counter, so a page of L entries below beforeID almost always lives in
+// the id window [beforeID-L, beforeID). The pager scans that window,
+// prepends it reversed, and walks further windows down only to cover the
+// shortfall from gaps (a crashed insert that burned an id) — O(pages
+// read), not O(history), per page. A final one-descent probe below the
+// oldest returned id decides whether a next cursor exists.
+func historyPage(ctx context.Context, tab reader, beforeID int64, limit int) ([]Entry, int64, error) {
+	if limit <= 0 {
+		// Full listing: one ascending scan, reversed.
+		var all []Entry
+		hi := relstore.Value{}
+		if beforeID > 0 {
+			hi = relstore.Int(beforeID)
+		}
+		err := tab.ScanRangeCtx(ctx, relstore.Int(0), hi, func(row relstore.Row) (bool, error) {
+			all = append(all, decodeEntry(row))
+			return true, nil
+		})
+		if err != nil {
+			return nil, 0, err
+		}
+		for i, j := 0, len(all)-1; i < j; i, j = i+1, j-1 {
+			all[i], all[j] = all[j], all[i]
+		}
+		return all, 0, nil
 	}
-	// Reverse to newest-first.
-	for i, j := 0, len(all)-1; i < j; i, j = i+1, j-1 {
-		all[i], all[j] = all[j], all[i]
+
+	hi := beforeID
+	if hi <= 0 {
+		// First page: the counter row (id -1) holds the last issued id.
+		row, ok, err := tab.Get(relstore.Int(counterKey))
+		if err != nil {
+			return nil, 0, err
+		}
+		if !ok {
+			return nil, 0, nil // no history yet
+		}
+		hi = row[1].Int64() + 1
 	}
-	if limit > 0 && len(all) > limit {
-		all = all[:limit]
+	out := make([]Entry, 0, limit)
+	for hi > 0 && len(out) < limit {
+		lo := hi - int64(limit-len(out))
+		if lo < 0 {
+			lo = 0
+		}
+		var window []Entry // ascending within the window
+		err := tab.ScanRangeCtx(ctx, relstore.Int(lo), relstore.Int(hi), func(row relstore.Row) (bool, error) {
+			window = append(window, decodeEntry(row))
+			return true, nil
+		})
+		if err != nil {
+			return nil, 0, err
+		}
+		for i := len(window) - 1; i >= 0; i-- {
+			out = append(out, window[i])
+		}
+		hi = lo
 	}
-	return all, nil
+	next := int64(0)
+	if len(out) > 0 {
+		oldest := out[len(out)-1].ID
+		// Probe: does anything exist below the oldest returned id?
+		older := false
+		err := tab.ScanRangeCtx(ctx, relstore.Int(0), relstore.Int(oldest), func(relstore.Row) (bool, error) {
+			older = true
+			return false, nil
+		})
+		if err != nil {
+			return nil, 0, err
+		}
+		if older {
+			next = oldest
+		}
+	}
+	return out, next, nil
 }
 
-func byKind(tab reader, kind string) ([]Entry, error) {
+func history(ctx context.Context, tab reader, limit int) ([]Entry, error) {
+	out, _, err := historyPage(ctx, tab, 0, limit)
+	return out, err
+}
+
+func byKind(ctx context.Context, tab reader, kind string) ([]Entry, error) {
 	var out []Entry
-	err := tab.IndexScan("by_kind", []relstore.Value{relstore.Str(kind)}, func(row relstore.Row) (bool, error) {
+	err := tab.IndexScanCtx(ctx, "by_kind", []relstore.Value{relstore.Str(kind)}, func(row relstore.Row) (bool, error) {
 		out = append(out, decodeEntry(row))
 		return true, nil
 	})
@@ -177,12 +246,34 @@ func byKind(tab reader, kind string) ([]Entry, error) {
 // Get fetches one entry by id.
 func (r *Repo) Get(id int64) (Entry, error) { return getEntry(r.tab, id) }
 
+// HistoryCtx returns up to limit most recent entries under ctx, newest
+// first (limit <= 0 means all).
+func (r *Repo) HistoryCtx(ctx context.Context, limit int) ([]Entry, error) {
+	return history(ctx, r.tab, limit)
+}
+
 // History returns up to limit most recent entries, newest first
 // (limit <= 0 means all).
-func (r *Repo) History(limit int) ([]Entry, error) { return history(r.tab, limit) }
+func (r *Repo) History(limit int) ([]Entry, error) {
+	return r.HistoryCtx(context.Background(), limit)
+}
+
+// HistoryPage returns up to limit entries older than beforeID (beforeID
+// <= 0 starts at the newest), newest first, and the id to pass as the next
+// page's beforeID — 0 once the history is exhausted.
+func (r *Repo) HistoryPage(ctx context.Context, beforeID int64, limit int) ([]Entry, int64, error) {
+	return historyPage(ctx, r.tab, beforeID, limit)
+}
+
+// ByKindCtx returns all entries of one query kind under ctx, oldest first.
+func (r *Repo) ByKindCtx(ctx context.Context, kind string) ([]Entry, error) {
+	return byKind(ctx, r.tab, kind)
+}
 
 // ByKind returns all entries of one query kind, oldest first.
-func (r *Repo) ByKind(kind string) ([]Entry, error) { return byKind(r.tab, kind) }
+func (r *Repo) ByKind(kind string) ([]Entry, error) {
+	return r.ByKindCtx(context.Background(), kind)
+}
 
 // View is a read-only snapshot view of the query history: Get, History and
 // ByKind run lock-free against the epoch the snapshot pinned, so browsing
@@ -219,22 +310,44 @@ func (v *View) Get(id int64) (Entry, error) {
 	return getEntry(tab, id)
 }
 
-// History returns up to limit most recent entries as of the snapshot.
-func (v *View) History(limit int) ([]Entry, error) {
+// HistoryCtx returns up to limit most recent entries as of the snapshot
+// under ctx.
+func (v *View) HistoryCtx(ctx context.Context, limit int) ([]Entry, error) {
 	tab, err := v.reader()
 	if err != nil || tab == nil {
 		return nil, err
 	}
-	return history(tab, limit)
+	return history(ctx, tab, limit)
+}
+
+// History returns up to limit most recent entries as of the snapshot.
+func (v *View) History(limit int) ([]Entry, error) {
+	return v.HistoryCtx(context.Background(), limit)
+}
+
+// HistoryPage returns up to limit entries older than beforeID as of the
+// snapshot (beforeID <= 0 starts at the newest), newest first, and the id
+// to pass as the next page's beforeID — 0 once exhausted.
+func (v *View) HistoryPage(ctx context.Context, beforeID int64, limit int) ([]Entry, int64, error) {
+	tab, err := v.reader()
+	if err != nil || tab == nil {
+		return nil, 0, err
+	}
+	return historyPage(ctx, tab, beforeID, limit)
+}
+
+// ByKindCtx returns all entries of one kind as of the snapshot under ctx.
+func (v *View) ByKindCtx(ctx context.Context, kind string) ([]Entry, error) {
+	tab, err := v.reader()
+	if err != nil || tab == nil {
+		return nil, err
+	}
+	return byKind(ctx, tab, kind)
 }
 
 // ByKind returns all entries of one kind as of the snapshot.
 func (v *View) ByKind(kind string) ([]Entry, error) {
-	tab, err := v.reader()
-	if err != nil || tab == nil {
-		return nil, err
-	}
-	return byKind(tab, kind)
+	return v.ByKindCtx(context.Background(), kind)
 }
 
 // UnmarshalArgs decodes an entry's JSON args for rerunning the query.

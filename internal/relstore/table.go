@@ -2,8 +2,10 @@ package relstore
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
+	"iter"
 	"sort"
 
 	"repro/internal/storage"
@@ -352,38 +354,90 @@ func (t *Table) Len() (int, error) {
 	return t.TableView.Len()
 }
 
+// ScanCtx visits all rows in primary key order under ctx: the scan aborts
+// with the context's error once it is done, releasing the read lock — so a
+// cancelled request stops pinning the writer out promptly. Safe for
+// concurrent readers; the callback must not call back into the database
+// (see the DB doc comment).
+func (t *Table) ScanCtx(ctx context.Context, fn func(Row) (bool, error)) error {
+	t.db.mu.RLock()
+	defer t.db.mu.RUnlock()
+	return t.TableView.ScanCtx(ctx, fn)
+}
+
 // Scan visits all rows in primary key order. The callback returns false to
 // stop early. Safe for concurrent readers; the callback must not call back
 // into the database (see the DB doc comment).
 func (t *Table) Scan(fn func(Row) (bool, error)) error {
+	return t.ScanCtx(context.Background(), fn)
+}
+
+// ScanRangeCtx visits rows with primary key in [lo, hi) under ctx; either
+// bound may be the zero Value meaning unbounded. Safe for concurrent
+// readers.
+func (t *Table) ScanRangeCtx(ctx context.Context, lo, hi Value, fn func(Row) (bool, error)) error {
 	t.db.mu.RLock()
 	defer t.db.mu.RUnlock()
-	return t.TableView.Scan(fn)
+	return t.TableView.ScanRangeCtx(ctx, lo, hi, fn)
 }
 
 // ScanRange visits rows with primary key in [lo, hi); either bound may be
 // the zero Value meaning unbounded. Safe for concurrent readers.
 func (t *Table) ScanRange(lo, hi Value, fn func(Row) (bool, error)) error {
+	return t.ScanRangeCtx(context.Background(), lo, hi, fn)
+}
+
+// Rows returns an iterator over all rows in primary key order under ctx.
+// The database read lock is held for the whole iteration — the loop body
+// must not call back into the database; prefer a snapshot view's Rows for
+// long consumers.
+func (t *Table) Rows(ctx context.Context) iter.Seq2[Row, error] {
+	return t.RowsRange(ctx, Value{}, Value{})
+}
+
+// RowsRange returns an iterator over rows with primary key in [lo, hi)
+// under ctx; see Rows for the locking caveat.
+func (t *Table) RowsRange(ctx context.Context, lo, hi Value) iter.Seq2[Row, error] {
+	return func(yield func(Row, error) bool) {
+		t.db.mu.RLock()
+		defer t.db.mu.RUnlock()
+		for row, err := range t.TableView.RowsRange(ctx, lo, hi) {
+			if !yield(row, err) {
+				return
+			}
+		}
+	}
+}
+
+// IndexScanCtx visits rows whose indexed columns equal vals (a prefix of
+// the index columns may be given) under ctx. Rows arrive in index order.
+// Safe for concurrent readers.
+func (t *Table) IndexScanCtx(ctx context.Context, index string, vals []Value, fn func(Row) (bool, error)) error {
 	t.db.mu.RLock()
 	defer t.db.mu.RUnlock()
-	return t.TableView.ScanRange(lo, hi, fn)
+	return t.TableView.IndexScanCtx(ctx, index, vals, fn)
 }
 
 // IndexScan visits rows whose indexed columns equal vals (a prefix of the
 // index columns may be given). Rows arrive in index order. Safe for
 // concurrent readers.
 func (t *Table) IndexScan(index string, vals []Value, fn func(Row) (bool, error)) error {
+	return t.IndexScanCtx(context.Background(), index, vals, fn)
+}
+
+// IndexRangeCtx visits rows whose first indexed column lies in [lo, hi)
+// under ctx; either bound may be the zero Value for unbounded. Safe for
+// concurrent readers.
+func (t *Table) IndexRangeCtx(ctx context.Context, index string, lo, hi Value, fn func(Row) (bool, error)) error {
 	t.db.mu.RLock()
 	defer t.db.mu.RUnlock()
-	return t.TableView.IndexScan(index, vals, fn)
+	return t.TableView.IndexRangeCtx(ctx, index, lo, hi, fn)
 }
 
 // IndexRange visits rows whose first indexed column lies in [lo, hi); either
 // bound may be the zero Value for unbounded. Safe for concurrent readers.
 func (t *Table) IndexRange(index string, lo, hi Value, fn func(Row) (bool, error)) error {
-	t.db.mu.RLock()
-	defer t.db.mu.RUnlock()
-	return t.TableView.IndexRange(index, lo, hi, fn)
+	return t.IndexRangeCtx(context.Background(), index, lo, hi, fn)
 }
 
 // Check verifies one table (see DB.Check). It runs under the database read

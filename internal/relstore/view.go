@@ -2,7 +2,9 @@ package relstore
 
 import (
 	"bytes"
+	"context"
 	"fmt"
+	"iter"
 
 	"repro/internal/storage"
 )
@@ -119,64 +121,93 @@ func (v *TableView) Len() (int, error) {
 	return v.primary.Len()
 }
 
-// Scan visits all rows in primary key order. The callback returns false to
-// stop early.
-func (v *TableView) Scan(fn func(Row) (bool, error)) error {
-	c, err := v.primary.First()
-	if err != nil {
-		return err
-	}
-	return v.scanCursor(c, nil, fn)
+// ScanCtx visits all rows in primary key order under ctx: the scan checks
+// the context cooperatively and aborts with its error once it is done. The
+// callback returns false to stop early.
+func (v *TableView) ScanCtx(ctx context.Context, fn func(Row) (bool, error)) error {
+	return v.ScanRangeCtx(ctx, Value{}, Value{}, fn)
 }
 
-// ScanRange visits rows with primary key in [lo, hi); either bound may be
-// the zero Value meaning unbounded.
-func (v *TableView) ScanRange(lo, hi Value, fn func(Row) (bool, error)) error {
-	var c *storage.Cursor
-	var err error
-	if lo.Type == 0 {
-		c, err = v.primary.First()
-	} else {
-		c, err = v.primary.Seek(EncodeKey(lo))
-	}
-	if err != nil {
-		return err
+// Scan visits all rows in primary key order. The callback returns false to
+// stop early. Equivalent to ScanCtx with a background context (the scan
+// cannot be cancelled).
+func (v *TableView) Scan(fn func(Row) (bool, error)) error {
+	return v.ScanCtx(context.Background(), fn)
+}
+
+// ScanRangeCtx visits rows with primary key in [lo, hi) under ctx; either
+// bound may be the zero Value meaning unbounded.
+func (v *TableView) ScanRangeCtx(ctx context.Context, lo, hi Value, fn func(Row) (bool, error)) error {
+	var start []byte
+	if lo.Type != 0 {
+		start = EncodeKey(lo)
 	}
 	var hiKey []byte
 	if hi.Type != 0 {
 		hiKey = EncodeKey(hi)
 	}
-	return v.scanCursor(c, hiKey, fn)
-}
-
-func (v *TableView) scanCursor(c *storage.Cursor, hiKey []byte, fn func(Row) (bool, error)) error {
-	defer c.Close()
-	for c.Valid() {
-		if hiKey != nil && bytes.Compare(c.Key(), hiKey) >= 0 {
-			return nil
-		}
-		enc, err := c.Value()
-		if err != nil {
-			return err
+	return v.primary.Scan(ctx, start, func(key, enc []byte) (bool, error) {
+		if hiKey != nil && bytes.Compare(key, hiKey) >= 0 {
+			return false, nil
 		}
 		row, err := decodeRow(enc)
 		if err != nil {
-			return err
+			return false, err
 		}
-		cont, err := fn(row)
-		if err != nil || !cont {
-			return err
-		}
-		if err := c.Next(); err != nil {
-			return err
-		}
-	}
-	return nil
+		return fn(row)
+	})
 }
 
-// IndexScan visits rows whose indexed columns equal vals (a prefix of the
-// index columns may be given). Rows arrive in index order.
-func (v *TableView) IndexScan(index string, vals []Value, fn func(Row) (bool, error)) error {
+// ScanRange visits rows with primary key in [lo, hi); either bound may be
+// the zero Value meaning unbounded. Equivalent to ScanRangeCtx with a
+// background context.
+func (v *TableView) ScanRange(lo, hi Value, fn func(Row) (bool, error)) error {
+	return v.ScanRangeCtx(context.Background(), lo, hi, fn)
+}
+
+// Rows returns an iterator over all rows in primary key order under ctx.
+// A scan failure — context cancellation included — is yielded as the final
+// pair's error with a nil row.
+func (v *TableView) Rows(ctx context.Context) iter.Seq2[Row, error] {
+	return v.RowsRange(ctx, Value{}, Value{})
+}
+
+// RowsRange returns an iterator over the rows with primary key in [lo, hi)
+// under ctx; either bound may be the zero Value for unbounded. Breaking
+// out of the loop stops the underlying scan immediately.
+func (v *TableView) RowsRange(ctx context.Context, lo, hi Value) iter.Seq2[Row, error] {
+	return func(yield func(Row, error) bool) {
+		err := v.ScanRangeCtx(ctx, lo, hi, func(row Row) (bool, error) {
+			return yield(row, nil), nil
+		})
+		if err != nil {
+			yield(nil, err)
+		}
+	}
+}
+
+// indexRowScan resolves each index entry the underlying scan yields to its
+// primary row and hands it to fn.
+func (v *TableView) indexRowScan(index string, fn func(Row) (bool, error)) func(key, pk []byte) (bool, error) {
+	return func(_, pk []byte) (bool, error) {
+		enc, ok, err := v.primary.Get(pk)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, fmt.Errorf("relstore: index %s.%s points at missing row", v.schema.Name, index)
+		}
+		row, err := decodeRow(enc)
+		if err != nil {
+			return false, err
+		}
+		return fn(row)
+	}
+}
+
+// IndexScanCtx visits rows whose indexed columns equal vals (a prefix of
+// the index columns may be given) under ctx. Rows arrive in index order.
+func (v *TableView) IndexScanCtx(ctx context.Context, index string, vals []Value, fn func(Row) (bool, error)) error {
 	ix, tree, err := v.findIndex(index)
 	if err != nil {
 		return err
@@ -185,93 +216,55 @@ func (v *TableView) IndexScan(index string, vals []Value, fn func(Row) (bool, er
 	if err != nil {
 		return err
 	}
-	c, err := tree.Seek(prefix)
-	if err != nil {
-		return err
-	}
-	defer c.Close()
-	for c.Valid() && bytes.HasPrefix(c.Key(), prefix) {
-		pk, err := c.Value()
-		if err != nil {
-			return err
+	resolve := v.indexRowScan(index, fn)
+	return tree.Scan(ctx, prefix, func(key, pk []byte) (bool, error) {
+		if !bytes.HasPrefix(key, prefix) {
+			return false, nil
 		}
-		enc, ok, err := v.primary.Get(pk)
-		if err != nil {
-			return err
-		}
-		if !ok {
-			return fmt.Errorf("relstore: index %s.%s points at missing row", v.schema.Name, index)
-		}
-		row, err := decodeRow(enc)
-		if err != nil {
-			return err
-		}
-		cont, err := fn(row)
-		if err != nil || !cont {
-			return err
-		}
-		if err := c.Next(); err != nil {
-			return err
-		}
-	}
-	return nil
+		return resolve(key, pk)
+	})
 }
 
-// IndexRange visits rows whose first indexed column lies in [lo, hi); either
-// bound may be the zero Value for unbounded.
-func (v *TableView) IndexRange(index string, lo, hi Value, fn func(Row) (bool, error)) error {
+// IndexScan visits rows whose indexed columns equal vals (a prefix of the
+// index columns may be given). Rows arrive in index order. Equivalent to
+// IndexScanCtx with a background context.
+func (v *TableView) IndexScan(index string, vals []Value, fn func(Row) (bool, error)) error {
+	return v.IndexScanCtx(context.Background(), index, vals, fn)
+}
+
+// IndexRangeCtx visits rows whose first indexed column lies in [lo, hi)
+// under ctx; either bound may be the zero Value for unbounded.
+func (v *TableView) IndexRangeCtx(ctx context.Context, index string, lo, hi Value, fn func(Row) (bool, error)) error {
 	ix, tree, err := v.findIndex(index)
 	if err != nil {
 		return err
 	}
-	var c *storage.Cursor
-	if lo.Type == 0 {
-		c, err = tree.First()
-	} else {
-		var loKey []byte
-		if loKey, err = v.indexPrefix(ix, []Value{lo}); err != nil {
+	var start []byte
+	if lo.Type != 0 {
+		if start, err = v.indexPrefix(ix, []Value{lo}); err != nil {
 			return err
 		}
-		c, err = tree.Seek(loKey)
 	}
-	if err != nil {
-		return err
-	}
-	defer c.Close()
 	var hiKey []byte
 	if hi.Type != 0 {
 		if hiKey, err = v.indexPrefix(ix, []Value{hi}); err != nil {
 			return err
 		}
 	}
-	for c.Valid() {
-		if hiKey != nil && bytes.Compare(c.Key(), hiKey) >= 0 {
-			return nil
+	resolve := v.indexRowScan(index, fn)
+	return tree.Scan(ctx, start, func(key, pk []byte) (bool, error) {
+		if hiKey != nil && bytes.Compare(key, hiKey) >= 0 {
+			return false, nil
 		}
-		pk, err := c.Value()
-		if err != nil {
-			return err
-		}
-		enc, ok, err := v.primary.Get(pk)
-		if err != nil {
-			return err
-		}
-		if !ok {
-			return fmt.Errorf("relstore: index %s.%s points at missing row", v.schema.Name, index)
-		}
-		row, err := decodeRow(enc)
-		if err != nil {
-			return err
-		}
-		cont, err := fn(row)
-		if err != nil || !cont {
-			return err
-		}
-		if err := c.Next(); err != nil {
-			return err
-		}
-	}
-	return nil
+		return resolve(key, pk)
+	})
+}
+
+// IndexRange visits rows whose first indexed column lies in [lo, hi); either
+// bound may be the zero Value for unbounded. Equivalent to IndexRangeCtx
+// with a background context.
+func (v *TableView) IndexRange(index string, lo, hi Value, fn func(Row) (bool, error)) error {
+	return v.IndexRangeCtx(context.Background(), index, lo, hi, fn)
 }
 
 // Check verifies one table view: B+tree structural invariants, row

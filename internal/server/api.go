@@ -21,9 +21,13 @@ type LoadResponse struct {
 	Sequences int      `json:"sequences,omitempty"` // NEXUS CHARACTERS rows stored
 }
 
-// TreesResponse lists the repository's trees.
+// TreesResponse lists the repository's trees. When the request was
+// paginated (limit and/or cursor set) and more trees remain, NextCursor
+// carries the opaque cursor for the next page; a missing NextCursor means
+// the listing is complete.
 type TreesResponse struct {
-	Trees []TreeInfo `json:"trees"`
+	Trees      []TreeInfo `json:"trees"`
+	NextCursor string     `json:"next_cursor,omitempty"`
 }
 
 // Node is the JSON form of one stored tree node row.
@@ -97,9 +101,12 @@ type HistoryEntry struct {
 	Summary string    `json:"summary"`
 }
 
-// HistoryResponse lists query-history entries.
+// HistoryResponse lists query-history entries, newest first. NextCursor
+// carries the opaque cursor for the next (older) page when more entries
+// remain; absent once the history is exhausted.
 type HistoryResponse struct {
-	Entries []HistoryEntry `json:"entries"`
+	Entries    []HistoryEntry `json:"entries"`
+	NextCursor string         `json:"next_cursor,omitempty"`
 }
 
 // BenchRequest configures a server-side benchmark run over a stored gold
@@ -118,15 +125,19 @@ type BenchRequest struct {
 // server's counters, including the storage engine's MVCC state (epoch,
 // open snapshots, pages awaiting reclamation).
 type StatsSnapshot struct {
-	UptimeSeconds float64          `json:"uptime_seconds"`
-	Requests      int64            `json:"requests"`
-	Errors        int64            `json:"errors"`
-	InFlightReads int64            `json:"in_flight_reads"`
-	CacheHits     int64            `json:"cache_hits"`
-	CacheMisses   int64            `json:"cache_misses"`
-	CacheEntries  int              `json:"cache_entries"`
-	OpenTrees     int              `json:"open_trees"`
-	PerOp         map[string]int64 `json:"per_op"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Requests      int64   `json:"requests"`
+	Errors        int64   `json:"errors"`
+	InFlightReads int64   `json:"in_flight_reads"`
+	// AbortedReads counts read requests that ended because the client's
+	// context was cancelled — a disconnect or deadline — rather than
+	// completing. Each one released its snapshot pins on abort.
+	AbortedReads int64            `json:"aborted_reads"`
+	CacheHits    int64            `json:"cache_hits"`
+	CacheMisses  int64            `json:"cache_misses"`
+	CacheEntries int              `json:"cache_entries"`
+	OpenTrees    int              `json:"open_trees"`
+	PerOp        map[string]int64 `json:"per_op"`
 
 	// MVCC state of the storage engines under the repository, aggregated
 	// across shards: Epoch is the sum of per-shard epochs (it advances on

@@ -22,10 +22,18 @@
 // tree's version is the shard epoch its current incarnation was committed
 // at — entries are immutable by construction, since a reload or delete
 // moves the version and strands the old keys.
+//
+// Every read runs under its request's context: a client that disconnects
+// or times out aborts the engine scan cooperatively, the request's
+// snapshot pins release immediately (no reclamation backlog behind dead
+// requests), and the abort is counted in aborted_reads. Tree export
+// streams chunked Newick rather than materializing the serialization, and
+// the tree and history listings paginate with limit + opaque cursor.
 package server
 
 import (
 	"context"
+	"encoding/base64"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -285,7 +293,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/trees/{name}/clade", s.read("clade", s.handleClade))
 	s.mux.HandleFunc("POST /v1/trees/{name}/match", s.read("match", s.handleMatch))
 	s.mux.HandleFunc("POST /v1/trees/{name}/bench", s.read("bench", s.handleBench))
-	s.mux.HandleFunc("GET /v1/trees/{name}/export", s.readText("export", s.handleExport))
+	s.mux.HandleFunc("GET /v1/trees/{name}/export", s.readStream("export", s.handleExport))
 
 	s.mux.HandleFunc("PUT /v1/trees/{name}/species/{sp}/{kind}", s.write("species_put", s.handleSpeciesPut))
 	s.mux.HandleFunc("GET /v1/trees/{name}/species/{sp}/{kind}", s.readText("species_get", s.handleSpeciesGet))
@@ -538,9 +546,27 @@ type writeFunc func(r *http.Request, si int) (any, error)
 // snapshot and takes no repository lock.
 type readFunc func(r *http.Request, sn *reqSnap) (any, error)
 
+// statusClientClosedRequest is the non-standard (nginx-convention) status
+// for requests whose client went away; the response is almost certainly
+// unwritable, but the code keeps logs and tests unambiguous.
+const statusClientClosedRequest = 499
+
+// abortedByClient reports whether err means the request's own context
+// ended the read — the client disconnected or its deadline passed —
+// rather than the query failing on its merits.
+func abortedByClient(r *http.Request, err error) bool {
+	if err == nil || r.Context().Err() == nil {
+		return false
+	}
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
 // read wraps a query handler: count it, take a read slot (bounded
-// in-flight), pin a snapshot, run, encode. A nil result encodes as 204 No
-// Content.
+// in-flight), pin a snapshot, run under the request context, encode. A nil
+// result encodes as 204 No Content. The snapshot closes when the handler
+// returns — on cancellation the engine scans abort cooperatively, so a
+// disconnected client's epoch pins are released promptly instead of riding
+// out the full query.
 func (s *Server) read(op string, fn readFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.stats.countRequest(op)
@@ -558,8 +584,18 @@ func (s *Server) read(op string, fn readFunc) http.HandlerFunc {
 		sn := s.openSnap()
 		defer sn.close()
 		v, err := fn(r, sn)
+		if abortedByClient(r, err) {
+			s.countAborted(op, err)
+			s.fail(w, statusClientClosedRequest, err)
+			return
+		}
 		s.finish(w, v, err)
 	}
+}
+
+func (s *Server) countAborted(op string, err error) {
+	s.stats.abortedReads.Add(1)
+	s.logf("crimsond: %s aborted by client: %v", op, err)
 }
 
 // write wraps a mutation handler: one writer at a time per shard. Every
@@ -596,12 +632,81 @@ func (s *Server) readText(op string, fn func(r *http.Request, sn *reqSnap) (stri
 		sn := s.openSnap()
 		defer sn.close()
 		body, contentType, err := fn(r, sn)
+		if abortedByClient(r, err) {
+			s.countAborted(op, err)
+			s.fail(w, statusClientClosedRequest, err)
+			return
+		}
 		if err != nil {
 			s.fail(w, errStatus(err), err)
 			return
 		}
 		w.Header().Set("Content-Type", contentType)
 		io.WriteString(w, body)
+	}
+}
+
+// startedWriter tracks whether a streaming handler has begun writing its
+// body, which decides whether an error can still become a JSON error
+// response or must abort the connection.
+type startedWriter struct {
+	http.ResponseWriter
+	started bool
+}
+
+func (sw *startedWriter) WriteHeader(status int) {
+	sw.started = true
+	sw.ResponseWriter.WriteHeader(status)
+}
+
+func (sw *startedWriter) Write(p []byte) (int, error) {
+	sw.started = true
+	return sw.ResponseWriter.Write(p)
+}
+
+// readStream wraps a query handler that streams its own response body
+// (chunked export). The handler runs under the request context with a
+// pinned snapshot, exactly like read; results flow to the client as they
+// are produced instead of materializing server-side. An error before the
+// first byte becomes a normal JSON error response; an error mid-stream —
+// client disconnect included — kills the connection so the client sees
+// truncation rather than a clean end of body.
+func (s *Server) readStream(op string, fn func(r *http.Request, sn *reqSnap, w http.ResponseWriter) error) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.stats.countRequest(op)
+		select {
+		case s.readSem <- struct{}{}:
+		case <-r.Context().Done():
+			s.fail(w, http.StatusServiceUnavailable, errors.New("server overloaded"))
+			return
+		}
+		s.stats.inFlightReads.Add(1)
+		defer func() {
+			s.stats.inFlightReads.Add(-1)
+			<-s.readSem
+		}()
+		sn := s.openSnap()
+		defer sn.close()
+		sw := &startedWriter{ResponseWriter: w}
+		err := fn(r, sn, sw)
+		if err == nil {
+			return
+		}
+		aborted := abortedByClient(r, err)
+		if aborted {
+			s.countAborted(op, err)
+		}
+		if !sw.started {
+			if aborted {
+				s.fail(w, statusClientClosedRequest, err)
+			} else {
+				s.fail(w, errStatus(err), err)
+			}
+			return
+		}
+		s.logf("crimsond: %s stream cut mid-body: %v", op, err)
+		s.stats.errors.Add(1)
+		panic(http.ErrAbortHandler)
 	}
 }
 
@@ -744,16 +849,65 @@ func (s *Server) recordAsync(kind string, args any, summary string) {
 	}
 }
 
+// --- pagination cursors ----------------------------------------------------
+
+// Cursors are opaque to clients: base64url over a versioned "<kind>:<pos>"
+// payload, where pos is the resume position of the underlying scan — the
+// last tree name for /v1/trees (the shard-merge resume point), the
+// oldest-returned history id for /v1/history. The kind tag keeps a cursor
+// from one endpoint from being replayed against another.
+const (
+	treeCursorKind    = "t1"
+	historyCursorKind = "h1"
+)
+
+func encodeCursor(kind, pos string) string {
+	return base64.RawURLEncoding.EncodeToString([]byte(kind + ":" + pos))
+}
+
+func decodeCursor(kind, cursor string) (string, error) {
+	if cursor == "" {
+		return "", nil
+	}
+	raw, err := base64.RawURLEncoding.DecodeString(cursor)
+	if err != nil {
+		return "", badRequest("bad cursor: %v", err)
+	}
+	pos, ok := strings.CutPrefix(string(raw), kind+":")
+	if !ok {
+		return "", badRequest("cursor does not belong to this endpoint")
+	}
+	return pos, nil
+}
+
 // --- tree handlers ---------------------------------------------------------
 
+// handleTrees lists stored trees. With limit and/or cursor it pages: each
+// page resumes the name-sorted shard merge from where the previous one
+// stopped, reading only what the page needs from each shard. Without
+// either parameter it returns the full listing, as before.
 func (s *Server) handleTrees(r *http.Request, sn *reqSnap) (any, error) {
-	infos, err := sn.treeSnap().Trees()
+	limit, err := queryInt(r, "limit", 0)
+	if err != nil {
+		return nil, err
+	}
+	if limit < 0 {
+		return nil, badRequest("bad limit %d: must be >= 0", limit)
+	}
+	after, err := decodeCursor(treeCursorKind, r.URL.Query().Get("cursor"))
+	if err != nil {
+		return nil, err
+	}
+	infos, next, err := sn.treeSnap().TreesPage(r.Context(), after, limit)
 	if err != nil {
 		return nil, err
 	}
 	resp := TreesResponse{Trees: make([]TreeInfo, len(infos))}
 	for i, info := range infos {
 		resp.Trees[i] = infoJSON(info)
+	}
+	if next != "" {
+		resp.NextCursor = encodeCursor(treeCursorKind, next)
 	}
 	return resp, nil
 }
@@ -859,16 +1013,22 @@ func (s *Server) handleDelete(r *http.Request, si int) (any, error) {
 	return nil, s.recordWrite(si, "delete", map[string]any{"tree": name}, "deleted")
 }
 
-func (s *Server) handleExport(r *http.Request, sn *reqSnap) (string, string, error) {
+// handleExport streams the stored tree as chunked Newick: one relation
+// scan feeding the incremental emitter, so the server never materializes
+// the tree or its serialization — peak memory is the emit chunk, and a
+// client that disconnects stops the scan (and releases the snapshot)
+// within one cancellation check.
+func (s *Server) handleExport(r *http.Request, sn *reqSnap, w http.ResponseWriter) error {
 	t, err := s.tree(sn, r.PathValue("name"))
 	if err != nil {
-		return "", "", err
+		return err
 	}
-	full, err := t.Export()
-	if err != nil {
-		return "", "", err
+	w.Header().Set("Content-Type", "text/x-newick; charset=utf-8")
+	if err := t.ExportNewickTo(r.Context(), w); err != nil {
+		return err
 	}
-	return newick.String(full) + "\n", "text/x-newick; charset=utf-8", nil
+	_, err = io.WriteString(w, "\n")
+	return err
 }
 
 // --- query handlers --------------------------------------------------------
@@ -899,7 +1059,7 @@ func (s *Server) handleProject(r *http.Request, sn *reqSnap) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	projected, err := t.ProjectNames(names)
+	projected, err := t.ProjectNamesCtx(r.Context(), names)
 	if err != nil {
 		return nil, err
 	}
@@ -939,15 +1099,15 @@ func (s *Server) handleLCA(r *http.Request, sn *reqSnap) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	na, err := t.NodeByName(a)
+	na, err := t.NodeByNameCtx(r.Context(), a)
 	if err != nil {
 		return nil, err
 	}
-	nb, err := t.NodeByName(b)
+	nb, err := t.NodeByNameCtx(r.Context(), b)
 	if err != nil {
 		return nil, err
 	}
-	id, err := t.LCA(na.ID, nb.ID)
+	id, err := t.LCACtx(r.Context(), na.ID, nb.ID)
 	if err != nil {
 		return nil, err
 	}
@@ -985,9 +1145,9 @@ func (s *Server) handleSample(r *http.Request, sn *reqSnap) (any, error) {
 		if timeArg, err = strconv.ParseFloat(timeRaw, 64); err != nil {
 			return nil, badRequest("bad time=%q: %v", timeRaw, err)
 		}
-		rows, err = t.SampleWithTime(timeArg, k, rng)
+		rows, err = t.SampleWithTimeCtx(r.Context(), timeArg, k, rng)
 	} else {
-		rows, err = t.SampleUniform(k, rng)
+		rows, err = t.SampleUniformCtx(r.Context(), k, rng)
 	}
 	if err != nil {
 		return nil, err
@@ -1030,13 +1190,13 @@ func (s *Server) handleClade(r *http.Request, sn *reqSnap) (any, error) {
 	}
 	ids := make([]int, len(names))
 	for i, sp := range names {
-		row, err := t.NodeByName(sp)
+		row, err := t.NodeByNameCtx(r.Context(), sp)
 		if err != nil {
 			return nil, err
 		}
 		ids[i] = row.ID
 	}
-	clade, err := t.MinimalSpanningClade(ids)
+	clade, err := t.MinimalSpanningCladeCtx(r.Context(), ids)
 	if err != nil {
 		return nil, err
 	}
@@ -1085,7 +1245,7 @@ func (s *Server) handleMatch(r *http.Request, sn *reqSnap) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	projected, err := t.ProjectNames(pattern.LeafNames())
+	projected, err := t.ProjectNamesCtx(r.Context(), pattern.LeafNames())
 	if err != nil {
 		return nil, err
 	}
@@ -1119,7 +1279,7 @@ func (s *Server) handleBench(r *http.Request, sn *reqSnap) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	gold, err := t.Export()
+	gold, err := t.ExportCtx(r.Context())
 	if err != nil {
 		return nil, err
 	}
@@ -1212,27 +1372,51 @@ func entryJSON(e queryrepo.Entry) HistoryEntry {
 	return HistoryEntry{ID: e.ID, Time: e.Time, Kind: e.Kind, Args: e.Args, Summary: e.Summary}
 }
 
+// handleHistory lists query-history entries newest first. limit bounds the
+// page (default 50) and cursor resumes where the previous page stopped;
+// ?kind= filtering is unpaginated (index scan, oldest first), as before.
 func (s *Server) handleHistory(r *http.Request, sn *reqSnap) (any, error) {
-	var entries []queryrepo.Entry
-	var err error
 	view := queryrepo.ViewOn(sn.shard(0)) // history lives on shard 0
 	if kind := r.URL.Query().Get("kind"); kind != "" {
-		entries, err = view.ByKind(kind)
-	} else {
-		limit, lerr := queryInt(r, "limit", 50)
-		if lerr != nil {
-			return nil, lerr
+		entries, err := view.ByKindCtx(r.Context(), kind)
+		if err != nil {
+			return nil, err
 		}
-		entries, err = view.History(limit)
+		return historyJSON(entries, 0), nil
 	}
+	limit, err := queryInt(r, "limit", 50)
 	if err != nil {
 		return nil, err
 	}
+	if limit < 0 {
+		return nil, badRequest("bad limit %d: must be >= 0", limit)
+	}
+	pos, err := decodeCursor(historyCursorKind, r.URL.Query().Get("cursor"))
+	if err != nil {
+		return nil, err
+	}
+	before := int64(0)
+	if pos != "" {
+		if before, err = strconv.ParseInt(pos, 10, 64); err != nil {
+			return nil, badRequest("bad cursor position %q", pos)
+		}
+	}
+	entries, next, err := view.HistoryPage(r.Context(), before, limit)
+	if err != nil {
+		return nil, err
+	}
+	return historyJSON(entries, next), nil
+}
+
+func historyJSON(entries []queryrepo.Entry, next int64) HistoryResponse {
 	resp := HistoryResponse{Entries: make([]HistoryEntry, len(entries))}
 	for i, e := range entries {
 		resp.Entries[i] = entryJSON(e)
 	}
-	return resp, nil
+	if next > 0 {
+		resp.NextCursor = encodeCursor(historyCursorKind, strconv.FormatInt(next, 10))
+	}
+	return resp
 }
 
 func (s *Server) handleHistoryGet(r *http.Request, sn *reqSnap) (any, error) {

@@ -16,6 +16,7 @@ type serverStats struct {
 	requests       atomic.Int64
 	errors         atomic.Int64
 	inFlightReads  atomic.Int64
+	abortedReads   atomic.Int64
 	cacheHits      atomic.Int64
 	cacheMisses    atomic.Int64
 	historyDropped atomic.Int64
@@ -49,6 +50,7 @@ func (st *serverStats) snapshot(cacheEntries, openTrees int) StatsSnapshot {
 		Requests:       st.requests.Load(),
 		Errors:         st.errors.Load(),
 		InFlightReads:  st.inFlightReads.Load(),
+		AbortedReads:   st.abortedReads.Load(),
 		CacheHits:      st.cacheHits.Load(),
 		CacheMisses:    st.cacheMisses.Load(),
 		CacheEntries:   cacheEntries,
@@ -65,6 +67,7 @@ func metricsText(s StatsSnapshot) string {
 	fmt.Fprintf(&sb, "crimsond_requests_total %d\n", s.Requests)
 	fmt.Fprintf(&sb, "crimsond_errors_total %d\n", s.Errors)
 	fmt.Fprintf(&sb, "crimsond_inflight_reads %d\n", s.InFlightReads)
+	fmt.Fprintf(&sb, "crimsond_aborted_reads_total %d\n", s.AbortedReads)
 	fmt.Fprintf(&sb, "crimsond_cache_hits_total %d\n", s.CacheHits)
 	fmt.Fprintf(&sb, "crimsond_cache_misses_total %d\n", s.CacheMisses)
 	fmt.Fprintf(&sb, "crimsond_cache_entries %d\n", s.CacheEntries)

@@ -19,6 +19,7 @@
 package treestore
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -73,13 +74,15 @@ func (s *Store) dbFor(name string) *relstore.DB {
 // table is the read surface a stored tree queries against. Both live
 // tables (*relstore.Table, which lock per operation) and snapshot views
 // (*relstore.TableView, lock-free against a pinned epoch) satisfy it, so
-// one Tree implementation serves both paths.
+// one Tree implementation serves both paths. Scans are ctx-first: every
+// query on a stored tree threads its context down to here, so cancelling
+// the context aborts the row stream cooperatively.
 type table interface {
 	Get(key relstore.Value) (relstore.Row, bool, error)
-	Scan(fn func(relstore.Row) (bool, error)) error
-	ScanRange(lo, hi relstore.Value, fn func(relstore.Row) (bool, error)) error
-	IndexScan(index string, vals []relstore.Value, fn func(relstore.Row) (bool, error)) error
-	IndexRange(index string, lo, hi relstore.Value, fn func(relstore.Row) (bool, error)) error
+	ScanCtx(ctx context.Context, fn func(relstore.Row) (bool, error)) error
+	ScanRangeCtx(ctx context.Context, lo, hi relstore.Value, fn func(relstore.Row) (bool, error)) error
+	IndexScanCtx(ctx context.Context, index string, vals []relstore.Value, fn func(relstore.Row) (bool, error)) error
+	IndexRangeCtx(ctx context.Context, index string, lo, hi relstore.Value, fn func(relstore.Row) (bool, error)) error
 	Len() (int, error)
 }
 
@@ -448,22 +451,7 @@ func decodeInfo(row relstore.Row) TreeInfo {
 // Trees lists all stored trees, fanning out over every shard and merging
 // the per-shard catalogs in name order.
 func (s *Store) Trees() ([]TreeInfo, error) {
-	var out []TreeInfo
-	for i, db := range s.dbs {
-		trees, err := db.Table("trees")
-		if err != nil {
-			return nil, fmt.Errorf("treestore: shard %d catalog: %w", i, err)
-		}
-		err = trees.Scan(func(row relstore.Row) (bool, error) {
-			out = append(out, decodeInfo(row))
-			return true, nil
-		})
-		if err != nil {
-			return nil, err
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
-	return out, nil
+	return s.TreesCtx(context.Background())
 }
 
 // Snap is a point-in-time read view of the Tree Repository. Each shard's
@@ -539,25 +527,7 @@ func (sn *Snap) Tree(name string) (*Tree, error) {
 // Trees lists the trees stored as of the snapshot, merged across shards in
 // name order.
 func (sn *Snap) Trees() ([]TreeInfo, error) {
-	var out []TreeInfo
-	for _, rs := range sn.sns {
-		trees, err := rs.Table("trees")
-		if err != nil {
-			if errors.Is(err, relstore.ErrNoTable) {
-				continue
-			}
-			return nil, err
-		}
-		err = trees.Scan(func(row relstore.Row) (bool, error) {
-			out = append(out, decodeInfo(row))
-			return true, nil
-		})
-		if err != nil {
-			return nil, err
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
-	return out, nil
+	return sn.TreesCtx(context.Background())
 }
 
 // Delete removes a stored tree and its relations from its shard.
@@ -656,10 +626,10 @@ func (t *Tree) Node(id int) (Node, error) {
 	return decodeNode(row), nil
 }
 
-// NodeByName fetches a node by species name.
-func (t *Tree) NodeByName(name string) (Node, error) {
+// NodeByNameCtx fetches a node by species name under ctx.
+func (t *Tree) NodeByNameCtx(ctx context.Context, name string) (Node, error) {
 	var found *Node
-	err := t.nodes.IndexScan("by_name", []relstore.Value{relstore.Str(name)}, func(row relstore.Row) (bool, error) {
+	err := t.nodes.IndexScanCtx(ctx, "by_name", []relstore.Value{relstore.Str(name)}, func(row relstore.Row) (bool, error) {
 		n := decodeNode(row)
 		found = &n
 		return false, nil
@@ -673,10 +643,18 @@ func (t *Tree) NodeByName(name string) (Node, error) {
 	return *found, nil
 }
 
-// Children lists a node's children in ordinal order.
-func (t *Tree) Children(id int) ([]Node, error) {
+// NodeByName fetches a node by species name.
+//
+// Deprecated: use NodeByNameCtx so the lookup participates in request
+// cancellation.
+func (t *Tree) NodeByName(name string) (Node, error) {
+	return t.NodeByNameCtx(context.Background(), name)
+}
+
+// ChildrenCtx lists a node's children in ordinal order under ctx.
+func (t *Tree) ChildrenCtx(ctx context.Context, id int) ([]Node, error) {
 	var out []Node
-	err := t.nodes.IndexScan("by_parent", []relstore.Value{relstore.Int(int64(id))}, func(row relstore.Row) (bool, error) {
+	err := t.nodes.IndexScanCtx(ctx, "by_parent", []relstore.Value{relstore.Int(int64(id))}, func(row relstore.Row) (bool, error) {
 		out = append(out, decodeNode(row))
 		return true, nil
 	})
@@ -687,6 +665,14 @@ func (t *Tree) Children(id int) ([]Node, error) {
 	return out, nil
 }
 
+// Children lists a node's children in ordinal order.
+//
+// Deprecated: use ChildrenCtx so the listing participates in request
+// cancellation.
+func (t *Tree) Children(id int) ([]Node, error) {
+	return t.ChildrenCtx(context.Background(), id)
+}
+
 // layerCell is the subset of fields the LCA recursion needs.
 type layerCell struct {
 	sub     int
@@ -694,16 +680,32 @@ type layerCell struct {
 	ldepth  int
 }
 
-func (t *Tree) cell(k, id int) (layerCell, error) {
+// cell fetches the LCA recursion fields of node id at layer k, checking
+// ctx first: the layered recursion's loops are chains of point reads, so
+// this check is what makes a long LCA (and everything built on it —
+// Project, pattern match, clade) abort promptly on cancellation.
+func (t *Tree) cell(ctx context.Context, k, id int) (layerCell, error) {
+	if err := ctx.Err(); err != nil {
+		return layerCell{}, err
+	}
+	// Point-read failures after the context died are reported as the
+	// cancellation: a cancelled reader whose snapshot pins were released
+	// may hit reclaimed pages, and that must not masquerade as corruption.
 	if k == 0 {
 		n, err := t.Node(id)
 		if err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return layerCell{}, cerr
+			}
 			return layerCell{}, err
 		}
 		return layerCell{sub: n.Sub, lparent: n.LocalParent, ldepth: n.LocalDepth}, nil
 	}
 	row, ok, err := t.layers[k-1].Get(relstore.Int(int64(id)))
 	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return layerCell{}, cerr
+		}
 		return layerCell{}, err
 	}
 	if !ok {
@@ -728,98 +730,114 @@ func (t *Tree) subSource(k, s int) (int, error) {
 	return int(row[2].Int64()), nil
 }
 
-// LCA answers least-common-ancestor queries directly against the stored
-// relations, using the same layered recursion as core.Index but fetching
-// only the rows the query touches.
-func (t *Tree) LCA(a, b int) (int, error) {
-	return t.lcaAt(0, a, b)
+// LCACtx answers least-common-ancestor queries directly against the stored
+// relations under ctx, using the same layered recursion as core.Index but
+// fetching only the rows the query touches.
+func (t *Tree) LCACtx(ctx context.Context, a, b int) (int, error) {
+	return t.lcaAt(ctx, 0, a, b)
 }
 
-func (t *Tree) lcaAt(k, a, b int) (int, error) {
-	ca, err := t.cell(k, a)
+// LCA answers least-common-ancestor queries against the stored relations.
+//
+// Deprecated: use LCACtx so the recursion participates in request
+// cancellation.
+func (t *Tree) LCA(a, b int) (int, error) {
+	return t.LCACtx(context.Background(), a, b)
+}
+
+func (t *Tree) lcaAt(ctx context.Context, k, a, b int) (int, error) {
+	ca, err := t.cell(ctx, k, a)
 	if err != nil {
 		return 0, err
 	}
-	cb, err := t.cell(k, b)
+	cb, err := t.cell(ctx, k, b)
 	if err != nil {
 		return 0, err
 	}
 	if ca.sub == cb.sub {
-		return t.lcaLocal(k, a, ca, b, cb)
+		return t.lcaLocal(ctx, k, a, ca, b, cb)
 	}
-	s, err := t.lcaAt(k+1, ca.sub, cb.sub)
+	s, err := t.lcaAt(ctx, k+1, ca.sub, cb.sub)
 	if err != nil {
 		return 0, err
 	}
-	ap, capCell, err := t.ascend(k, a, ca, s)
+	ap, capCell, err := t.ascend(ctx, k, a, ca, s)
 	if err != nil {
 		return 0, err
 	}
-	bp, cbpCell, err := t.ascend(k, b, cb, s)
+	bp, cbpCell, err := t.ascend(ctx, k, b, cb, s)
 	if err != nil {
 		return 0, err
 	}
-	return t.lcaLocal(k, ap, capCell, bp, cbpCell)
+	return t.lcaLocal(ctx, k, ap, capCell, bp, cbpCell)
 }
 
-func (t *Tree) lcaLocal(k, a int, ca layerCell, b int, cb layerCell) (int, error) {
+func (t *Tree) lcaLocal(ctx context.Context, k, a int, ca layerCell, b int, cb layerCell) (int, error) {
 	for ca.ldepth > cb.ldepth {
 		a = ca.lparent
 		var err error
-		if ca, err = t.cell(k, a); err != nil {
+		if ca, err = t.cell(ctx, k, a); err != nil {
 			return 0, err
 		}
 	}
 	for cb.ldepth > ca.ldepth {
 		b = cb.lparent
 		var err error
-		if cb, err = t.cell(k, b); err != nil {
+		if cb, err = t.cell(ctx, k, b); err != nil {
 			return 0, err
 		}
 	}
 	for a != b {
 		var err error
 		a = ca.lparent
-		if ca, err = t.cell(k, a); err != nil {
+		if ca, err = t.cell(ctx, k, a); err != nil {
 			return 0, err
 		}
 		b = cb.lparent
-		if cb, err = t.cell(k, b); err != nil {
+		if cb, err = t.cell(ctx, k, b); err != nil {
 			return 0, err
 		}
 	}
 	return a, nil
 }
 
-func (t *Tree) ascend(k, id int, c layerCell, s int) (int, layerCell, error) {
+func (t *Tree) ascend(ctx context.Context, k, id int, c layerCell, s int) (int, layerCell, error) {
 	for c.sub != s {
 		src, err := t.subSource(k, c.sub)
 		if err != nil {
 			return 0, layerCell{}, err
 		}
 		id = src
-		if c, err = t.cell(k, id); err != nil {
+		if c, err = t.cell(ctx, k, id); err != nil {
 			return 0, layerCell{}, err
 		}
 	}
 	return id, c, nil
 }
 
-// IsAncestor reports whether a is a (non-strict) ancestor of b via the
-// LCA identity.
-func (t *Tree) IsAncestor(a, b int) (bool, error) {
-	l, err := t.LCA(a, b)
+// IsAncestorCtx reports whether a is a (non-strict) ancestor of b via the
+// LCA identity, under ctx.
+func (t *Tree) IsAncestorCtx(ctx context.Context, a, b int) (bool, error) {
+	l, err := t.LCACtx(ctx, a, b)
 	return l == a, err
 }
 
-// Frontier returns the maximal nodes whose root distance exceeds time,
-// found with a range scan on the by_dist index plus one parent fetch per
-// candidate — no full-tree traversal. Candidates are collected during the
-// scan and their parents fetched afterwards: scan callbacks run under the
-// database read lock and must not issue further queries.
-func (t *Tree) Frontier(time float64) ([]Node, error) {
+// IsAncestor reports whether a is a (non-strict) ancestor of b.
+//
+// Deprecated: use IsAncestorCtx so the check participates in request
+// cancellation.
+func (t *Tree) IsAncestor(a, b int) (bool, error) {
+	return t.IsAncestorCtx(context.Background(), a, b)
+}
+
+// FrontierCtx returns the maximal nodes whose root distance exceeds time
+// under ctx, found with a range scan on the by_dist index plus one parent
+// fetch per candidate — no full-tree traversal. Candidates are collected
+// during the scan and their parents fetched afterwards: scan callbacks run
+// under the database read lock and must not issue further queries.
+func (t *Tree) FrontierCtx(ctx context.Context, time float64) ([]Node, error) {
 	var cand []Node
-	err := t.nodes.IndexRange("by_dist", relstore.Float(time), relstore.Value{}, func(row relstore.Row) (bool, error) {
+	err := t.nodes.IndexRangeCtx(ctx, "by_dist", relstore.Float(time), relstore.Value{}, func(row relstore.Row) (bool, error) {
 		if n := decodeNode(row); n.Dist > time {
 			cand = append(cand, n)
 		}
@@ -830,6 +848,9 @@ func (t *Tree) Frontier(time float64) ([]Node, error) {
 	}
 	var out []Node
 	for _, n := range cand {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if n.Parent < 0 {
 			out = append(out, n)
 			continue
@@ -846,15 +867,24 @@ func (t *Tree) Frontier(time float64) ([]Node, error) {
 	return out, nil
 }
 
-// LeavesUnder returns the leaves in the clade rooted at id, using the
-// preorder-range property (descendants occupy ids [id, id+size)).
-func (t *Tree) LeavesUnder(id int) ([]Node, error) {
+// Frontier returns the maximal nodes whose root distance exceeds time.
+//
+// Deprecated: use FrontierCtx so the scan participates in request
+// cancellation.
+func (t *Tree) Frontier(time float64) ([]Node, error) {
+	return t.FrontierCtx(context.Background(), time)
+}
+
+// LeavesUnderCtx returns the leaves in the clade rooted at id under ctx,
+// using the preorder-range property (descendants occupy ids
+// [id, id+size)).
+func (t *Tree) LeavesUnderCtx(ctx context.Context, id int) ([]Node, error) {
 	n, err := t.Node(id)
 	if err != nil {
 		return nil, err
 	}
 	var out []Node
-	err = t.nodes.ScanRange(relstore.Int(int64(id)), relstore.Int(int64(id+n.Size)), func(row relstore.Row) (bool, error) {
+	err = t.nodes.ScanRangeCtx(ctx, relstore.Int(int64(id)), relstore.Int(int64(id+n.Size)), func(row relstore.Row) (bool, error) {
 		c := decodeNode(row)
 		if c.Leaf {
 			out = append(out, c)
@@ -864,17 +894,25 @@ func (t *Tree) LeavesUnder(id int) ([]Node, error) {
 	return out, err
 }
 
-// MinimalSpanningClade returns all nodes of the clade rooted at the LCA of
-// the given nodes (§2.2: "the set of nodes in the tree rooted by their
-// least common ancestor").
-func (t *Tree) MinimalSpanningClade(ids []int) ([]Node, error) {
+// LeavesUnder returns the leaves in the clade rooted at id.
+//
+// Deprecated: use LeavesUnderCtx so the scan participates in request
+// cancellation.
+func (t *Tree) LeavesUnder(id int) ([]Node, error) {
+	return t.LeavesUnderCtx(context.Background(), id)
+}
+
+// MinimalSpanningCladeCtx returns all nodes of the clade rooted at the LCA
+// of the given nodes under ctx (§2.2: "the set of nodes in the tree rooted
+// by their least common ancestor").
+func (t *Tree) MinimalSpanningCladeCtx(ctx context.Context, ids []int) ([]Node, error) {
 	if len(ids) == 0 {
 		return nil, errors.New("treestore: empty node set")
 	}
 	l := ids[0]
 	for _, id := range ids[1:] {
 		var err error
-		if l, err = t.LCA(l, id); err != nil {
+		if l, err = t.LCACtx(ctx, l, id); err != nil {
 			return nil, err
 		}
 	}
@@ -883,17 +921,26 @@ func (t *Tree) MinimalSpanningClade(ids []int) ([]Node, error) {
 		return nil, err
 	}
 	var out []Node
-	err = t.nodes.ScanRange(relstore.Int(int64(l)), relstore.Int(int64(l+root.Size)), func(row relstore.Row) (bool, error) {
+	err = t.nodes.ScanRangeCtx(ctx, relstore.Int(int64(l)), relstore.Int(int64(l+root.Size)), func(row relstore.Row) (bool, error) {
 		out = append(out, decodeNode(row))
 		return true, nil
 	})
 	return out, err
 }
 
-// SampleUniform draws k distinct random leaves using rejection sampling on
-// the id space (leaves are a large fraction of any phylogeny), falling
-// back to a scan when k approaches the leaf count.
-func (t *Tree) SampleUniform(k int, r *rand.Rand) ([]Node, error) {
+// MinimalSpanningClade returns all nodes of the clade rooted at the LCA of
+// the given nodes.
+//
+// Deprecated: use MinimalSpanningCladeCtx so the query participates in
+// request cancellation.
+func (t *Tree) MinimalSpanningClade(ids []int) ([]Node, error) {
+	return t.MinimalSpanningCladeCtx(context.Background(), ids)
+}
+
+// SampleUniformCtx draws k distinct random leaves under ctx using
+// rejection sampling on the id space (leaves are a large fraction of any
+// phylogeny), falling back to a scan when k approaches the leaf count.
+func (t *Tree) SampleUniformCtx(ctx context.Context, k int, r *rand.Rand) ([]Node, error) {
 	if k < 1 {
 		return nil, errors.New("treestore: sample size must be >= 1")
 	}
@@ -901,7 +948,7 @@ func (t *Tree) SampleUniform(k int, r *rand.Rand) ([]Node, error) {
 		return nil, fmt.Errorf("treestore: sample %d > %d leaves", k, t.info.Leaves)
 	}
 	if 2*k > t.info.Leaves {
-		leaves, err := t.LeavesUnder(0)
+		leaves, err := t.LeavesUnderCtx(ctx, 0)
 		if err != nil {
 			return nil, err
 		}
@@ -916,6 +963,9 @@ func (t *Tree) SampleUniform(k int, r *rand.Rand) ([]Node, error) {
 	picked := make(map[int]bool, k)
 	var out []Node
 	for len(out) < k {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		id := r.Intn(t.info.Nodes)
 		if picked[id] {
 			continue
@@ -934,14 +984,22 @@ func (t *Tree) SampleUniform(k int, r *rand.Rand) ([]Node, error) {
 	return out, nil
 }
 
-// SampleWithTime implements the paper's time-constrained sampling against
-// the stored tree: frontier via the distance index, then per-frontier
-// quotas with remainder redistribution.
-func (t *Tree) SampleWithTime(time float64, k int, r *rand.Rand) ([]Node, error) {
+// SampleUniform draws k distinct random leaves.
+//
+// Deprecated: use SampleUniformCtx so the draw participates in request
+// cancellation.
+func (t *Tree) SampleUniform(k int, r *rand.Rand) ([]Node, error) {
+	return t.SampleUniformCtx(context.Background(), k, r)
+}
+
+// SampleWithTimeCtx implements the paper's time-constrained sampling
+// against the stored tree under ctx: frontier via the distance index, then
+// per-frontier quotas with remainder redistribution.
+func (t *Tree) SampleWithTimeCtx(ctx context.Context, time float64, k int, r *rand.Rand) ([]Node, error) {
 	if k < 1 {
 		return nil, errors.New("treestore: sample size must be >= 1")
 	}
-	frontier, err := t.Frontier(time)
+	frontier, err := t.FrontierCtx(ctx, time)
 	if err != nil {
 		return nil, err
 	}
@@ -951,7 +1009,7 @@ func (t *Tree) SampleWithTime(time float64, k int, r *rand.Rand) ([]Node, error)
 	groups := make([][]Node, len(frontier))
 	total := 0
 	for i, fn := range frontier {
-		if groups[i], err = t.LeavesUnder(fn.ID); err != nil {
+		if groups[i], err = t.LeavesUnderCtx(ctx, fn.ID); err != nil {
 			return nil, err
 		}
 		total += len(groups[i])
@@ -1003,10 +1061,18 @@ func (t *Tree) SampleWithTime(time float64, k int, r *rand.Rand) ([]Node, error)
 	return out, nil
 }
 
-// Project computes the tree projection over the given node ids directly
-// against the store: ids are sorted (preorder), and the rightmost-path
-// insertion runs on stored LCA/depth/distance lookups.
-func (t *Tree) Project(ids []int) (*phylo.Tree, error) {
+// SampleWithTime implements the paper's time-constrained sampling.
+//
+// Deprecated: use SampleWithTimeCtx so the sampling participates in
+// request cancellation.
+func (t *Tree) SampleWithTime(time float64, k int, r *rand.Rand) ([]Node, error) {
+	return t.SampleWithTimeCtx(context.Background(), time, k, r)
+}
+
+// ProjectCtx computes the tree projection over the given node ids under
+// ctx, directly against the store: ids are sorted (preorder), and the
+// rightmost-path insertion runs on stored LCA/depth/distance lookups.
+func (t *Tree) ProjectCtx(ctx context.Context, ids []int) (*phylo.Tree, error) {
 	if len(ids) == 0 {
 		return nil, errors.New("treestore: empty projection set")
 	}
@@ -1020,6 +1086,9 @@ func (t *Tree) Project(ids []int) (*phylo.Tree, error) {
 	}
 	rows := make([]Node, len(uniq))
 	for i, id := range uniq {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		var err error
 		if rows[i], err = t.Node(id); err != nil {
 			return nil, err
@@ -1041,7 +1110,7 @@ func (t *Tree) Project(ids []int) (*phylo.Tree, error) {
 	stack := []*entry{{row: rows[0], nw: &phylo.Node{Name: rows[0].Name}}}
 	for _, x := range rows[1:] {
 		top := stack[len(stack)-1]
-		lid, err := t.LCA(top.row.ID, x.ID)
+		lid, err := t.LCACtx(ctx, top.row.ID, x.ID)
 		if err != nil {
 			return nil, err
 		}
@@ -1085,12 +1154,22 @@ func (t *Tree) Project(ids []int) (*phylo.Tree, error) {
 	return tr, nil
 }
 
-// Export rebuilds the complete in-memory tree from the stored relation —
-// the inverse of Load. One primary-key scan; used to hand a stored gold
-// tree to in-memory tooling (e.g. the Benchmark Manager).
-func (t *Tree) Export() (*phylo.Tree, error) {
+// Project computes the tree projection over the given node ids.
+//
+// Deprecated: use ProjectCtx so the projection participates in request
+// cancellation.
+func (t *Tree) Project(ids []int) (*phylo.Tree, error) {
+	return t.ProjectCtx(context.Background(), ids)
+}
+
+// ExportCtx rebuilds the complete in-memory tree from the stored relation
+// under ctx — the inverse of Load. One primary-key scan; used to hand a
+// stored gold tree to in-memory tooling (e.g. the Benchmark Manager). For
+// serialization, prefer ExportNewickTo, which streams the Newick text in
+// bounded memory instead of materializing the tree.
+func (t *Tree) ExportCtx(ctx context.Context) (*phylo.Tree, error) {
 	nodes := make([]*phylo.Node, t.info.Nodes)
-	err := t.nodes.Scan(func(row relstore.Row) (bool, error) {
+	err := t.nodes.ScanCtx(ctx, func(row relstore.Row) (bool, error) {
 		n := decodeNode(row)
 		if n.ID < 0 || n.ID >= len(nodes) {
 			return false, fmt.Errorf("treestore: export: node id %d out of range", n.ID)
@@ -1117,15 +1196,32 @@ func (t *Tree) Export() (*phylo.Tree, error) {
 	return out, nil
 }
 
-// ProjectNames projects over species names.
-func (t *Tree) ProjectNames(names []string) (*phylo.Tree, error) {
+// Export rebuilds the complete in-memory tree from the stored relation.
+//
+// Deprecated: use ExportCtx (or ExportNewickTo for serialization, which
+// streams in bounded memory) so the scan participates in request
+// cancellation.
+func (t *Tree) Export() (*phylo.Tree, error) {
+	return t.ExportCtx(context.Background())
+}
+
+// ProjectNamesCtx projects over species names under ctx.
+func (t *Tree) ProjectNamesCtx(ctx context.Context, names []string) (*phylo.Tree, error) {
 	ids := make([]int, len(names))
 	for i, name := range names {
-		n, err := t.NodeByName(name)
+		n, err := t.NodeByNameCtx(ctx, name)
 		if err != nil {
 			return nil, err
 		}
 		ids[i] = n.ID
 	}
-	return t.Project(ids)
+	return t.ProjectCtx(ctx, ids)
+}
+
+// ProjectNames projects over species names.
+//
+// Deprecated: use ProjectNamesCtx so the projection participates in
+// request cancellation.
+func (t *Tree) ProjectNames(names []string) (*phylo.Tree, error) {
+	return t.ProjectNamesCtx(context.Background(), names)
 }

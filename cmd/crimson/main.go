@@ -33,6 +33,7 @@ import (
 	"repro/internal/seqsim"
 	"repro/internal/shard"
 	"repro/internal/treegen"
+	"repro/internal/treestore"
 )
 
 func main() {
@@ -223,6 +224,7 @@ func cmdLoad(args []string) error {
 	f := fs.Int("f", crimson.DefaultFanout, "hierarchical label depth bound")
 	newickFile := fs.String("newick", "", "Newick input file")
 	nexusFile := fs.String("nexus", "", "NEXUS input file (loads sequences too)")
+	loadWorkers := fs.Int("load-workers", 0, "ingest pipeline fan-out: parse and staging workers (0 = GOMAXPROCS)")
 	quiet := fs.Bool("quiet", false, "suppress progress messages")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -248,21 +250,25 @@ func cmdLoad(args []string) error {
 		if err != nil {
 			return err
 		}
-		st, err := repo.LoadNexus(doc, *name, *f, progress)
+		st, err := repo.LoadNexusOpts(doc, *name, *f, crimson.LoadOptions{Workers: *loadWorkers}, progress)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("loaded %q: %d nodes, %d leaves, %d layers\n",
 			st.Info().Name, st.Info().Nodes, st.Info().Leaves, st.Info().Layers)
 	case *newickFile != "":
-		t, err := crimson.ReadNewickFile(*newickFile)
+		raw, err := os.ReadFile(*newickFile)
+		if err != nil {
+			return err
+		}
+		t, err := crimson.ParseNewickWorkers(string(raw), *loadWorkers)
 		if err != nil {
 			return err
 		}
 		if *name == "" {
 			*name = "tree"
 		}
-		st, err := repo.LoadTree(*name, t, *f, progress)
+		st, err := repo.LoadTreeOpts(*name, t, *f, crimson.LoadOptions{Workers: *loadWorkers}, progress)
 		if err != nil {
 			return err
 		}
@@ -617,8 +623,14 @@ func cmdBench(args []string) error {
 	loadShards := fs.Int("load-shards", 0, "instead of a reconstruction benchmark, measure concurrent tree-load throughput into an N-shard repository")
 	loadTrees := fs.Int("load-trees", 4, "trees loaded concurrently in --load-shards mode")
 	loadLeaves := fs.Int("load-leaves", 20000, "leaves per tree in --load-shards mode")
+	ingest := fs.Bool("ingest", false, "instead of a reconstruction benchmark, measure the single-tree ingest pipeline (parse / index / stage / insert) stage by stage")
+	ingestWorkers := fs.Int("ingest-workers", 0, "pipeline fan-out in --ingest mode (0 = GOMAXPROCS)")
+	ingestReps := fs.Int("ingest-reps", 3, "repetitions in --ingest mode (best run is reported)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *ingest {
+		return runIngestBench(*loadLeaves, *ingestWorkers, *ingestReps, *seed, *jsonOut)
 	}
 	if *loadShards > 0 {
 		return runLoadBench(*loadShards, *loadTrees, *loadLeaves, *seed, *jsonOut)
@@ -821,6 +833,89 @@ func runLoadBench(shards, nTrees, leaves int, seed int64, jsonOut string) error 
 	return nil
 }
 
+// ingestBenchReport is the JSON body of an --ingest run: the single-tree
+// ingest pipeline timed stage by stage. CI writes it to BENCH_load.json so
+// load-throughput regressions show up per build; the committed baseline at
+// the repo root records the 1-CPU container numbers.
+type ingestBenchReport struct {
+	Leaves      int     `json:"leaves"`
+	Nodes       int     `json:"nodes"`
+	InputBytes  int     `json:"input_bytes"`
+	Workers     int     `json:"workers"`
+	GOMAXPROCS  int     `json:"gomaxprocs"`
+	Reps        int     `json:"reps"`
+	ParseNS     int64   `json:"parse_ns"`
+	IndexNS     int64   `json:"index_ns"`
+	StageNS     int64   `json:"stage_ns"`
+	InsertNS    int64   `json:"insert_ns"`
+	TotalNS     int64   `json:"total_ns"`
+	NodesPerSec float64 `json:"nodes_per_sec"`
+}
+
+// runIngestBench generates a Yule tree, serializes it, and measures the
+// full ingest pipeline — chunked parse, hierarchical index, row staging,
+// pipelined bulk insert — reporting the best of reps runs.
+func runIngestBench(leaves, workers, reps int, seed int64, jsonOut string) error {
+	if reps < 1 {
+		reps = 1
+	}
+	gold, err := treegen.Yule(leaves, 1.0, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return err
+	}
+	text := crimson.FormatNewick(gold)
+	best := ingestBenchReport{
+		Leaves:     leaves,
+		InputBytes: len(text),
+		Workers:    workers,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Reps:       reps,
+	}
+	for rep := 0; rep < reps; rep++ {
+		parseStart := time.Now()
+		t, err := crimson.ParseNewickWorkers(text, workers)
+		if err != nil {
+			return err
+		}
+		parseNS := time.Since(parseStart).Nanoseconds()
+		s := treestore.OpenMem()
+		var m crimson.LoadMetrics
+		if _, err := s.LoadOpts("bench", t, crimson.DefaultFanout, crimson.LoadOptions{Workers: workers, Metrics: &m}, nil); err != nil {
+			s.Close()
+			return err
+		}
+		s.Close()
+		total := parseNS + m.IndexNS + m.StageNS + m.InsertNS
+		if best.TotalNS == 0 || total < best.TotalNS {
+			best.Nodes = t.NumNodes()
+			best.ParseNS = parseNS
+			best.IndexNS = m.IndexNS
+			best.StageNS = m.StageNS
+			best.InsertNS = m.InsertNS
+			best.TotalNS = total
+			best.NodesPerSec = float64(t.NumNodes()) / (float64(total) / 1e9)
+		}
+	}
+	fmt.Fprintf(os.Stderr,
+		"ingest %d leaves (%d nodes, %d bytes): parse %.1fms index %.1fms stage %.1fms insert %.1fms => %.0f nodes/s (workers=%d GOMAXPROCS=%d)\n",
+		best.Leaves, best.Nodes, best.InputBytes,
+		float64(best.ParseNS)/1e6, float64(best.IndexNS)/1e6, float64(best.StageNS)/1e6, float64(best.InsertNS)/1e6,
+		best.NodesPerSec, best.Workers, best.GOMAXPROCS)
+	if jsonOut != "" {
+		raw, err := json.MarshalIndent(best, "", "  ")
+		if err != nil {
+			return err
+		}
+		raw = append(raw, '\n')
+		if jsonOut == "-" {
+			os.Stdout.Write(raw)
+			return nil
+		}
+		return os.WriteFile(jsonOut, raw, 0o644)
+	}
+	return nil
+}
+
 func cmdHistory(args []string) error {
 	fs := flag.NewFlagSet("history", flag.ContinueOnError)
 	repoPath := fs.String("repo", "", "repository page file")
@@ -924,6 +1019,7 @@ func cmdServe(args []string) error {
 	maxReads := fs.Int("max-reads", 64, "bound on concurrently executing read requests")
 	cacheSize := fs.Int("cache", 1024, "result-cache capacity in entries (negative disables)")
 	maxBody := fs.Int64("max-body", 256<<20, "request body limit in bytes")
+	loadWorkers := fs.Int("load-workers", 0, "ingest pipeline fan-out per load request (0 = GOMAXPROCS)")
 	quiet := fs.Bool("quiet", false, "suppress log output")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -951,6 +1047,7 @@ func cmdServe(args []string) error {
 		MaxInFlightReads: *maxReads,
 		ResultCacheSize:  *cacheSize,
 		MaxBodyBytes:     *maxBody,
+		LoadWorkers:      *loadWorkers,
 		Logf:             logf,
 	})
 	if err := srv.Start(); err != nil {

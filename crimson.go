@@ -133,6 +133,11 @@ type (
 	BenchReport = benchmark.Report
 	// MatchResult reports a tree pattern match.
 	MatchResult = treecmp.MatchResult
+	// LoadOptions tunes the ingest pipeline (staging fan-out, per-stage
+	// timings); the zero value behaves like plain LoadTree.
+	LoadOptions = treestore.LoadOptions
+	// LoadMetrics receives per-stage wall times of one load.
+	LoadMetrics = treestore.LoadMetrics
 	// NexusDocument is a parsed NEXUS file.
 	NexusDocument = nexus.Document
 	// NamedTree is one TREE statement of a NEXUS TREES block.
@@ -405,9 +410,16 @@ func (r *Repository) recordCommit(kind string, args map[string]any, summary stri
 // concurrent LoadTree calls for trees on different shards never publish
 // each other's half-applied state.
 func (r *Repository) LoadTree(name string, t *Tree, f int, progress treestore.Progress) (*StoredTree, error) {
+	return r.LoadTreeOpts(name, t, f, LoadOptions{}, progress)
+}
+
+// LoadTreeOpts is LoadTree with ingest-pipeline options: row staging fans
+// out across opts.Workers goroutines and per-stage timings land in
+// opts.Metrics. The stored relations are identical at every worker count.
+func (r *Repository) LoadTreeOpts(name string, t *Tree, f int, opts LoadOptions, progress treestore.Progress) (*StoredTree, error) {
 	si := r.router.Place(name)
 	r.writeMus[si].Lock()
-	st, err := r.Trees.Load(name, t, f, progress) // commits the tree's shard
+	st, err := r.Trees.LoadOpts(name, t, f, opts, progress) // commits the tree's shard
 	r.writeMus[si].Unlock()
 	if err != nil {
 		return nil, err
@@ -421,6 +433,12 @@ func (r *Repository) LoadTree(name string, t *Tree, f int, progress treestore.Pr
 // unless name overrides it) and stores any CHARACTERS block in the
 // Species Repository under kind "seq:nexus".
 func (r *Repository) LoadNexus(doc *NexusDocument, name string, f int, progress treestore.Progress) (*StoredTree, error) {
+	return r.LoadNexusOpts(doc, name, f, LoadOptions{}, progress)
+}
+
+// LoadNexusOpts is LoadNexus with ingest-pipeline options; see
+// LoadTreeOpts.
+func (r *Repository) LoadNexusOpts(doc *NexusDocument, name string, f int, opts LoadOptions, progress treestore.Progress) (*StoredTree, error) {
 	if len(doc.Trees) == 0 {
 		return nil, fmt.Errorf("crimson: NEXUS document has no trees")
 	}
@@ -429,7 +447,7 @@ func (r *Repository) LoadNexus(doc *NexusDocument, name string, f int, progress 
 	}
 	si := r.router.Place(name)
 	r.writeMus[si].Lock()
-	st, err := r.Trees.Load(name, doc.Trees[0].Tree, f, progress) // commits the tree's shard
+	st, err := r.Trees.LoadOpts(name, doc.Trees[0].Tree, f, opts, progress) // commits the tree's shard
 	if err != nil {
 		r.writeMus[si].Unlock()
 		return nil, err
@@ -632,6 +650,11 @@ func NewServer(repo *Repository, cfg ServerConfig) *Server { return repo.NewServ
 
 // ParseNewick parses one Newick tree.
 func ParseNewick(s string) (*Tree, error) { return newick.Parse(s) }
+
+// ParseNewickWorkers parses one Newick tree with a bounded parsing
+// fan-out; workers <= 0 means GOMAXPROCS. The result is identical to
+// ParseNewick at every worker count.
+func ParseNewickWorkers(s string, workers int) (*Tree, error) { return newick.ParseWorkers(s, workers) }
 
 // FormatNewick serializes a tree as Newick with lengths.
 func FormatNewick(t *Tree) string { return newick.String(t) }

@@ -18,9 +18,16 @@ import (
 var ErrSyntax = errors.New("newick: syntax error")
 
 // Parse reads a single Newick tree from s (terminated by ';', which may be
-// omitted at end of input).
+// omitted at end of input). Inputs at or above the parallel size threshold
+// are parsed by the chunked concurrent parser (see ParseWorkers), which
+// produces a tree identical to the serial parse.
 func Parse(s string) (*phylo.Tree, error) {
-	p := &parser{in: s}
+	return ParseWorkers(s, 0)
+}
+
+// parseWith runs the whole-input grammar on an already-configured parser:
+// one tree, optional trailing ';', nothing after.
+func parseWith(p *parser) (*phylo.Tree, error) {
 	root, err := p.parseNode()
 	if err != nil {
 		return nil, err
@@ -67,6 +74,10 @@ func ParseAll(s string) ([]*phylo.Tree, error) {
 type parser struct {
 	in  string
 	pos int
+	// spans, when non-nil, maps byte offsets of '(' characters to subtree
+	// groups already parsed by the chunked concurrent parser; parseNode
+	// splices the pre-built children in instead of re-parsing the bytes.
+	spans map[int]*chunkSpan
 }
 
 func (p *parser) skipSpace() {
@@ -104,26 +115,14 @@ func (p *parser) parseNode() (*phylo.Node, error) {
 		return nil, fmt.Errorf("%w: unexpected end of input", ErrSyntax)
 	}
 	if c == '(' {
-		p.pos++
-		for {
-			child, err := p.parseNode()
-			if err != nil {
-				return nil, err
+		if sp, ok := p.spans[p.pos]; ok {
+			if sp.err != nil {
+				return nil, sp.err
 			}
-			n.AddChild(child)
-			c, ok = p.peek()
-			if !ok {
-				return nil, fmt.Errorf("%w: unclosed '('", ErrSyntax)
-			}
-			if c == ',' {
-				p.pos++
-				continue
-			}
-			if c == ')' {
-				p.pos++
-				break
-			}
-			return nil, fmt.Errorf("%w: expected ',' or ')' at offset %d", ErrSyntax, p.pos)
+			n = sp.root
+			p.pos = sp.end
+		} else if err := p.parseGroup(n); err != nil {
+			return nil, err
 		}
 	}
 	name, err := p.parseLabel()
@@ -143,6 +142,33 @@ func (p *parser) parseNode() (*phylo.Node, error) {
 		return nil, fmt.Errorf("%w: empty node at offset %d", ErrSyntax, p.pos)
 	}
 	return n, nil
+}
+
+// parseGroup parses a parenthesized child list "(child,child,...)" into n,
+// leaving the group's trailing label and branch length to the caller.
+// p.pos must be at the '('.
+func (p *parser) parseGroup(n *phylo.Node) error {
+	p.pos++
+	for {
+		child, err := p.parseNode()
+		if err != nil {
+			return err
+		}
+		n.AddChild(child)
+		c, ok := p.peek()
+		if !ok {
+			return fmt.Errorf("%w: unclosed '('", ErrSyntax)
+		}
+		if c == ',' {
+			p.pos++
+			continue
+		}
+		if c == ')' {
+			p.pos++
+			return nil
+		}
+		return fmt.Errorf("%w: expected ',' or ')' at offset %d", ErrSyntax, p.pos)
+	}
 }
 
 func (p *parser) parseLabel() (string, error) {

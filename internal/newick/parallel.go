@@ -1,0 +1,168 @@
+package newick
+
+import (
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/phylo"
+)
+
+// parallelMinInput is the input size below which ParseWorkers always takes
+// the serial path: chunk scanning and goroutine startup cost more than they
+// save on small trees.
+const parallelMinInput = 64 << 10
+
+// chunkSpan is one balanced-parenthesis region claimed by the chunk scanner:
+// in[start] is '(' and in[end-1] is its matching ')'. A worker parses the
+// span into root's children; the stitch pass splices root in when the serial
+// remainder parse reaches offset start.
+type chunkSpan struct {
+	start int
+	end   int
+	root  *phylo.Node
+	err   error
+}
+
+// ParseWorkers parses a single Newick tree like Parse, distributing subtree
+// parsing over up to workers goroutines. workers <= 0 means GOMAXPROCS.
+// The result — tree shape, labels, lengths, preorder ids, and any error —
+// is identical to the serial parser's.
+func ParseWorkers(s string, workers int) (*phylo.Tree, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 || len(s) < parallelMinInput {
+		return parseWith(&parser{in: s})
+	}
+	return parseChunked(s, workers, chunkSizeFor(len(s), workers))
+}
+
+// chunkSizeFor picks a target span size: enough spans to keep workers busy,
+// but large enough that per-span overhead stays negligible.
+func chunkSizeFor(n, workers int) int {
+	c := n / (8 * workers)
+	if c < 16<<10 {
+		c = 16 << 10
+	}
+	if c > 256<<10 {
+		c = 256 << 10
+	}
+	return c
+}
+
+func parseChunked(s string, workers, chunk int) (*phylo.Tree, error) {
+	spans := scanSpans(s, chunk, 4*chunk)
+	if len(spans) < 2 {
+		return parseWith(&parser{in: s})
+	}
+	if workers > len(spans) {
+		workers = len(spans)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(spans) {
+					return
+				}
+				sp := spans[i]
+				// The sub-parser sees the full prefix with absolute offsets
+				// so error positions match the serial parse byte-for-byte;
+				// capping at sp.end keeps it inside its claimed region.
+				p := &parser{in: s[:sp.end], pos: sp.start}
+				n := &phylo.Node{}
+				if err := p.parseGroup(n); err != nil {
+					sp.err = err
+					continue
+				}
+				sp.root = n
+			}
+		}()
+	}
+	wg.Wait()
+	byStart := make(map[int]*chunkSpan, len(spans))
+	for _, sp := range spans {
+		byStart[sp.start] = sp
+	}
+	return parseWith(&parser{in: s, spans: byStart})
+}
+
+// scanSpans walks s with a lexical scanner that mirrors the parser's view of
+// quotes, bracket comments, and parentheses, and claims disjoint, non-nested
+// balanced "(...)" spans whose size falls in [chunk, maxSpan]. The scanner
+// never misreads structure on inputs the parser accepts: both treat '[...]'
+// as a comment anywhere between tokens, "'...'" (with ” escapes) as an
+// opaque label, and any other byte as label/number material. On malformed
+// inputs the scan may claim spans the parser would reject — the sub-parse of
+// such a span then fails at exactly the offset the serial parser would, so
+// errors are identical too.
+func scanSpans(s string, chunk, maxSpan int) []*chunkSpan {
+	var spans []*chunkSpan
+	var stack []int
+	claimedEnd := -1
+	i := 0
+	for i < len(s) {
+		switch c := s[i]; c {
+		case '(':
+			stack = append(stack, i)
+			i++
+		case ')':
+			i++
+			if len(stack) == 0 {
+				continue
+			}
+			start := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			size := i - start
+			if start > claimedEnd && size >= chunk && size <= maxSpan {
+				spans = append(spans, &chunkSpan{start: start, end: i})
+				claimedEnd = i
+			}
+		case '[':
+			end := strings.IndexByte(s[i:], ']')
+			if end < 0 {
+				return spans
+			}
+			i += end + 1
+		case '\'':
+			i++
+			for i < len(s) {
+				if s[i] == '\'' {
+					if i+1 < len(s) && s[i+1] == '\'' {
+						i += 2
+						continue
+					}
+					i++
+					break
+				}
+				i++
+			}
+		case ',', ':', ';', ' ', '\t', '\n', '\r':
+			i++
+		default:
+			// Unquoted label or number run. Apostrophes inside a run are
+			// plain characters to the parser, so only a quote at a token
+			// boundary (handled above) opens a quoted label.
+			for i < len(s) && !isRunDelim(s[i]) {
+				i++
+			}
+		}
+	}
+	return spans
+}
+
+// isRunDelim reports the bytes that terminate an unquoted label or number,
+// matching parseLabel's delimiter set.
+func isRunDelim(c byte) bool {
+	switch c {
+	case ',', ')', '(', ':', ';', '[', ' ', '\t', '\n', '\r':
+		return true
+	}
+	return false
+}

@@ -1,0 +1,232 @@
+package newick
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/phylo"
+	"repro/internal/treegen"
+)
+
+// bigTree returns a Newick string large enough to cross parallelMinInput,
+// built from a deterministic Yule tree.
+func bigTree(t testing.TB, leaves int) string {
+	t.Helper()
+	tr, err := treegen.Yule(leaves, 1.0, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := String(tr)
+	if len(s) < parallelMinInput {
+		t.Fatalf("fixture too small for parallel path: %d bytes", len(s))
+	}
+	return s
+}
+
+func TestParseWorkersMatchesSerial(t *testing.T) {
+	in := bigTree(t, 20000)
+	want, err := parseWith(&parser{in: in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantStr := String(want)
+	for _, workers := range []int{1, 2, 4, 8} {
+		got, err := ParseWorkers(in, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if gotStr := String(got); gotStr != wantStr {
+			t.Fatalf("workers=%d: serialization differs from serial parse", workers)
+		}
+		if !phylo.Equal(got, want, 0) {
+			t.Fatalf("workers=%d: tree differs from serial parse", workers)
+		}
+	}
+}
+
+// TestParseChunkedSmallInputs forces the chunked machinery onto small trees
+// by shrinking the chunk window, so span claiming, sub-parsing and stitching
+// all run on inputs the production path would parse serially.
+func TestParseChunkedSmallInputs(t *testing.T) {
+	cases := []string{
+		"(Syn:2.5,((Lla:1,Spy:1):1.5,Bha:0.75):0.5,Bsu:1.25);",
+		"(A:1,B:2);",
+		"((A:1,B:2):0.5,C:3);",
+		"(A:1,B:2,C:3,D:4);",
+		"((((deep:1):1):1):1,top:2);",
+		"leaf;",
+		"('Homo sapiens':1,'It''s complicated':2);",
+		// Apostrophes inside unquoted labels are plain characters; the span
+		// scanner must not treat them as quote openers.
+		"(A,(B'C)D'E)F;",
+		"(A'B,C'D);",
+		"(a[comment with ')' inside]:1,b:2);",
+		"(a:1,b:2)[trailing];",
+	}
+	for _, in := range cases {
+		want, werr := parseWith(&parser{in: in})
+		for _, chunk := range []int{2, 3, 5, 8} {
+			got, gerr := parseChunked(in, 4, chunk)
+			if (werr == nil) != (gerr == nil) {
+				t.Fatalf("chunk=%d input=%q: serial err=%v chunked err=%v", chunk, in, werr, gerr)
+			}
+			if werr != nil {
+				if werr.Error() != gerr.Error() {
+					t.Fatalf("chunk=%d input=%q: error mismatch: %v vs %v", chunk, in, werr, gerr)
+				}
+				continue
+			}
+			if String(got) != String(want) {
+				t.Fatalf("chunk=%d input=%q: got %s want %s", chunk, in, String(got), String(want))
+			}
+		}
+	}
+}
+
+func TestParseChunkedErrorsMatchSerial(t *testing.T) {
+	cases := []string{
+		"(A:1,B:2",
+		"(A:1,B:2;",
+		"((A,B)C,(D,E)F",
+		"(A,B));",
+		"(A:xx,B:1);",
+		"(,);",
+		"(A,(B,C)D)E extra;",
+		"('unterminated:1,b:2);",
+		"(a[unclosed:1,b:2);",
+	}
+	for _, in := range cases {
+		_, werr := parseWith(&parser{in: in})
+		if werr == nil {
+			t.Fatalf("input %q: expected serial parse error", in)
+		}
+		for _, chunk := range []int{2, 4, 8} {
+			_, gerr := parseChunked(in, 4, chunk)
+			if gerr == nil || gerr.Error() != werr.Error() {
+				t.Fatalf("chunk=%d input=%q: error mismatch: %v vs %v", chunk, in, werr, gerr)
+			}
+		}
+	}
+}
+
+func TestScanSpansWellFormed(t *testing.T) {
+	in := bigTree(t, 5000)
+	chunk := chunkSizeFor(len(in), 4)
+	spans := scanSpans(in, chunk, 4*chunk)
+	if len(spans) == 0 {
+		t.Fatalf("no spans claimed on %d-byte input with chunk %d", len(in), chunk)
+	}
+	prevEnd := -1
+	for i, sp := range spans {
+		if sp.start <= prevEnd {
+			t.Fatalf("span %d overlaps previous: start %d prevEnd %d", i, sp.start, prevEnd)
+		}
+		if sp.end <= sp.start || sp.end > len(in) {
+			t.Fatalf("span %d bounds out of range: [%d,%d)", i, sp.start, sp.end)
+		}
+		if in[sp.start] != '(' || in[sp.end-1] != ')' {
+			t.Fatalf("span %d not parenthesis-delimited: %q..%q", i, in[sp.start], in[sp.end-1])
+		}
+		if size := sp.end - sp.start; size < chunk || size > 4*chunk {
+			t.Fatalf("span %d size %d outside [%d,%d]", i, size, chunk, 4*chunk)
+		}
+		prevEnd = sp.end
+	}
+}
+
+func TestParseWorkersShapes(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	shapes := map[string]*phylo.Tree{}
+	if tr, err := treegen.Yule(3000, 1.0, r); err == nil {
+		shapes["yule"] = tr
+	} else {
+		t.Fatal(err)
+	}
+	if tr, err := treegen.Caterpillar(2000, r); err == nil {
+		shapes["caterpillar"] = tr
+	} else {
+		t.Fatal(err)
+	}
+	shapes["single-leaf"] = phylo.New(&phylo.Node{Name: "only"})
+	for name, tr := range shapes {
+		in := String(tr)
+		want, err := parseWith(&parser{in: in})
+		if err != nil {
+			t.Fatalf("%s: serial parse: %v", name, err)
+		}
+		for _, workers := range []int{1, 2, 4, 8} {
+			// Force the chunked path regardless of input size.
+			got, err := parseChunked(in, workers, 1024)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", name, workers, err)
+			}
+			if String(got) != String(want) {
+				t.Fatalf("%s workers=%d: serialization differs", name, workers)
+			}
+		}
+	}
+}
+
+// FuzzParseChunked asserts the chunked parser agrees with the serial parser
+// on arbitrary inputs: same tree bytes or the same error.
+func FuzzParseChunked(f *testing.F) {
+	seeds := []string{
+		"(Syn:2.5,((Lla:1,Spy:1):1.5,Bha:0.75):0.5,Bsu:1.25);",
+		"(A:1,B:2);",
+		"((A:1,B:2):0.5,C:3);",
+		"((((deep:1):1):1):1,top:2);",
+		"(A:0.1,B:1e-05);",
+		"('Homo sapiens':1,'It''s complicated':2);",
+		"(A,(B'C)D'E)F;",
+		"(a[comment]:1,b:2);",
+		"(A:1,B:2",
+		"(A,B));",
+		"(,);",
+		"'",
+		"[",
+		"((a,b),(c,d),(e,f),(g,h));",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		if len(in) > 1<<16 {
+			return
+		}
+		want, werr := parseWith(&parser{in: in})
+		for _, chunk := range []int{3, 16} {
+			got, gerr := parseChunked(in, 4, chunk)
+			if (werr == nil) != (gerr == nil) {
+				t.Fatalf("chunk=%d: serial err=%v chunked err=%v", chunk, werr, gerr)
+			}
+			if werr != nil {
+				if werr.Error() != gerr.Error() {
+					t.Fatalf("chunk=%d: error mismatch: %q vs %q", chunk, werr, gerr)
+				}
+				continue
+			}
+			if String(got) != String(want) {
+				t.Fatalf("chunk=%d: tree mismatch: %q vs %q", chunk, String(got), String(want))
+			}
+		}
+	})
+}
+
+func TestParseDelegatesToWorkers(t *testing.T) {
+	in := bigTree(t, 20000)
+	a, err := Parse(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := parseWith(&parser{in: in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if String(a) != String(b) {
+		t.Fatal("Parse output differs from serial parse on large input")
+	}
+	if !strings.HasSuffix(String(a), ";") {
+		t.Fatal("serialization lost terminator")
+	}
+}

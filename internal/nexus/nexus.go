@@ -9,7 +9,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/newick"
 	"repro/internal/phylo"
@@ -236,8 +239,66 @@ func parseMatrix(tz *tokenizer, ch *Characters) error {
 	}
 }
 
+// pendingTree is one TREE statement awaiting its Newick parse: parsing is
+// deferred to the end of the TREES block so a multi-tree document fans the
+// whole-tree parses out across GOMAXPROCS goroutines. The translate table
+// is snapshotted per statement, preserving the immediate-application
+// semantics of the serial reader (a TRANSLATE after a TREE statement does
+// not retroactively rename that tree's taxa).
+type pendingTree struct {
+	name      string
+	rooted    bool
+	body      string
+	translate map[string]string
+}
+
+// parsePending parses every deferred TREE body concurrently and appends
+// the results to doc in statement order; the first (leftmost) failing
+// statement's error is returned.
+func parsePending(pending []pendingTree, doc *Document) error {
+	if len(pending) == 0 {
+		return nil
+	}
+	trees := make([]*phylo.Tree, len(pending))
+	errs := make([]error, len(pending))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(pending) {
+		workers = len(pending)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(pending) {
+					return
+				}
+				t, err := newick.Parse(pending[i].body)
+				if err != nil {
+					errs[i] = fmt.Errorf("nexus: TREE %s: %w", pending[i].name, err)
+					continue
+				}
+				applyTranslate(t, pending[i].translate)
+				trees[i] = t
+			}
+		}()
+	}
+	wg.Wait()
+	for i, p := range pending {
+		if errs[i] != nil {
+			return errs[i]
+		}
+		doc.Trees = append(doc.Trees, NamedTree{Name: p.name, Rooted: p.rooted, Tree: trees[i]})
+	}
+	return nil
+}
+
 func parseTrees(tz *tokenizer, doc *Document) error {
 	translate := map[string]string{}
+	var pending []pendingTree
 	for {
 		tok, err := tz.next()
 		if err != nil {
@@ -245,6 +306,9 @@ func parseTrees(tz *tokenizer, doc *Document) error {
 		}
 		switch {
 		case strings.EqualFold(tok, "END"), strings.EqualFold(tok, "ENDBLOCK"):
+			if err := parsePending(pending, doc); err != nil {
+				return err
+			}
 			return endCommand(tz)
 		case strings.EqualFold(tok, "TRANSLATE"):
 			for {
@@ -283,12 +347,14 @@ func parseTrees(tz *tokenizer, doc *Document) error {
 			if err != nil {
 				return err
 			}
-			tree, err := newick.Parse(body)
-			if err != nil {
-				return fmt.Errorf("nexus: TREE %s: %w", name, err)
+			var trans map[string]string
+			if len(translate) > 0 {
+				trans = make(map[string]string, len(translate))
+				for k, v := range translate {
+					trans[k] = v
+				}
 			}
-			applyTranslate(tree, translate)
-			doc.Trees = append(doc.Trees, NamedTree{Name: name, Rooted: rooted, Tree: tree})
+			pending = append(pending, pendingTree{name: name, rooted: rooted, body: body, translate: trans})
 		default:
 			if err := endCommand(tz); err != nil {
 				return err

@@ -151,6 +151,16 @@ type StatsSnapshot struct {
 	// HistoryDropped counts read-path query-history records discarded
 	// because the async recorder's queue was full.
 	HistoryDropped int64 `json:"history_dropped"`
+
+	// LoadWorkers is the ingest pipeline's configured fan-out (chunked
+	// parsing and row staging); Loads counts completed tree loads, and
+	// the *_ns counters accumulate per-stage wall time across them.
+	LoadWorkers  int   `json:"load_workers"`
+	Loads        int64 `json:"loads"`
+	LoadParseNS  int64 `json:"load_parse_ns"`
+	LoadIndexNS  int64 `json:"load_index_ns"`
+	LoadStageNS  int64 `json:"load_stage_ns"`
+	LoadInsertNS int64 `json:"load_insert_ns"`
 }
 
 // ShardMVCC is one shard's storage-engine state: its committed epoch, open

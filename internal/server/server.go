@@ -41,6 +41,7 @@ import (
 	"math/rand"
 	"net"
 	"net/http"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -86,6 +87,10 @@ type Config struct {
 	// MaxBodyBytes caps request bodies — tree uploads included
 	// (default 256 MiB).
 	MaxBodyBytes int64
+	// LoadWorkers bounds the ingest pipeline's fan-out — chunked Newick
+	// parsing and row staging — per load request (default GOMAXPROCS).
+	// Every worker count stores bit-for-bit identical relations.
+	LoadWorkers int
 	// Logf receives server log lines (nil = silent).
 	Logf func(format string, args ...any)
 }
@@ -105,6 +110,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBodyBytes == 0 {
 		c.MaxBodyBytes = 256 << 20
+	}
+	if c.LoadWorkers <= 0 {
+		c.LoadWorkers = runtime.GOMAXPROCS(0)
 	}
 	return c
 }
@@ -385,6 +393,7 @@ func (s *Server) snapshot() StatsSnapshot {
 	open := len(s.handles)
 	s.handleMu.Unlock()
 	st := s.stats.snapshot(s.cache.len(), open)
+	st.LoadWorkers = s.cfg.LoadWorkers
 	st.Shards = make([]ShardMVCC, len(s.be.DBs))
 	for i, db := range s.be.DBs {
 		mv := db.MVCC()
@@ -936,30 +945,37 @@ func (s *Server) handleLoad(r *http.Request, si int) (any, error) {
 	progress := func(msg string) { s.logf("crimsond: load %s: %s", name, msg) }
 
 	resp := LoadResponse{}
+	var metrics treestore.LoadMetrics
+	opts := treestore.LoadOptions{Workers: s.cfg.LoadWorkers, Metrics: &metrics}
+	var parseNS int64
 	switch format {
 	case "newick":
 		raw, err := io.ReadAll(r.Body)
 		if err != nil {
 			return nil, badRequest("reading body: %v", err)
 		}
-		t, err := newick.Parse(string(raw))
+		parseStart := time.Now()
+		t, err := newick.ParseWorkers(string(raw), s.cfg.LoadWorkers)
 		if err != nil {
 			return nil, err
 		}
-		st, err := s.be.Trees.Load(name, t, f, progress)
+		parseNS = time.Since(parseStart).Nanoseconds()
+		st, err := s.be.Trees.LoadOpts(name, t, f, opts, progress)
 		if err != nil {
 			return nil, err
 		}
 		resp.Tree = infoJSON(st.Info())
 	case "nexus":
+		parseStart := time.Now()
 		doc, err := nexus.Parse(r.Body)
 		if err != nil {
 			return nil, badRequest("parsing NEXUS: %v", err)
 		}
+		parseNS = time.Since(parseStart).Nanoseconds()
 		if len(doc.Trees) == 0 {
 			return nil, badRequest("NEXUS document has no trees")
 		}
-		st, err := s.be.Trees.Load(name, doc.Trees[0].Tree, f, progress)
+		st, err := s.be.Trees.LoadOpts(name, doc.Trees[0].Tree, f, opts, progress)
 		if err != nil {
 			return nil, err
 		}
@@ -988,6 +1004,7 @@ func (s *Server) handleLoad(r *http.Request, si int) (any, error) {
 	if err := s.be.DBs[si].Commit(); err != nil {
 		return nil, err
 	}
+	s.stats.countLoad(parseNS, metrics)
 	s.bumpTree(name, si)
 	return resp, s.recordWrite(si, "load",
 		map[string]any{"tree": name, "f": f, "nodes": resp.Tree.Nodes},

@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/treestore"
 )
 
 // serverStats holds the counters behind /v1/stats and /metrics. Hot
@@ -21,8 +23,24 @@ type serverStats struct {
 	cacheMisses    atomic.Int64
 	historyDropped atomic.Int64
 
+	// Ingest pipeline: completed loads and cumulative per-stage wall time.
+	loads        atomic.Int64
+	loadParseNS  atomic.Int64
+	loadIndexNS  atomic.Int64
+	loadStageNS  atomic.Int64
+	loadInsertNS atomic.Int64
+
 	mu    sync.Mutex
 	perOp map[string]int64
+}
+
+// countLoad records one completed tree load's per-stage timings.
+func (st *serverStats) countLoad(parseNS int64, m treestore.LoadMetrics) {
+	st.loads.Add(1)
+	st.loadParseNS.Add(parseNS)
+	st.loadIndexNS.Add(m.IndexNS)
+	st.loadStageNS.Add(m.StageNS)
+	st.loadInsertNS.Add(m.InsertNS)
 }
 
 func newServerStats() *serverStats {
@@ -56,6 +74,11 @@ func (st *serverStats) snapshot(cacheEntries, openTrees int) StatsSnapshot {
 		CacheEntries:   cacheEntries,
 		OpenTrees:      openTrees,
 		HistoryDropped: st.historyDropped.Load(),
+		Loads:          st.loads.Load(),
+		LoadParseNS:    st.loadParseNS.Load(),
+		LoadIndexNS:    st.loadIndexNS.Load(),
+		LoadStageNS:    st.loadStageNS.Load(),
+		LoadInsertNS:   st.loadInsertNS.Load(),
 		PerOp:          perOp,
 	}
 }
@@ -82,6 +105,12 @@ func metricsText(s StatsSnapshot) string {
 		fmt.Fprintf(&sb, "crimsond_shard_reclaim_pending_pages{shard=\"%d\"} %d\n", sh.Shard, sh.PendingReclaimPages)
 	}
 	fmt.Fprintf(&sb, "crimsond_history_dropped_total %d\n", s.HistoryDropped)
+	fmt.Fprintf(&sb, "crimsond_load_workers %d\n", s.LoadWorkers)
+	fmt.Fprintf(&sb, "crimsond_loads_total %d\n", s.Loads)
+	fmt.Fprintf(&sb, "crimsond_load_parse_ns_total %d\n", s.LoadParseNS)
+	fmt.Fprintf(&sb, "crimsond_load_index_ns_total %d\n", s.LoadIndexNS)
+	fmt.Fprintf(&sb, "crimsond_load_stage_ns_total %d\n", s.LoadStageNS)
+	fmt.Fprintf(&sb, "crimsond_load_insert_ns_total %d\n", s.LoadInsertNS)
 	ops := make([]string, 0, len(s.PerOp))
 	for op := range s.PerOp {
 		ops = append(ops, op)

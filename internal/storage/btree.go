@@ -23,7 +23,7 @@ const (
 	MaxInlineValue  = 1024
 	overflowRefSize = 12 // u64 head page + u32 total length
 
-	leafHeaderSize     = 1 + 2 + 8 // kind, nkeys, next (next is vestigial)
+	leafHeaderSize     = 1 + 2     // kind, nkeys
 	internalHeaderSize = 1 + 2 + 8 // kind, nkeys, child0
 	overflowHeaderSize = 1 + 8 + 4 // kind, next, len
 	overflowCapacity   = PageSize - overflowHeaderSize
@@ -88,10 +88,6 @@ type node struct {
 	vals     [][]byte // leaf only; overflow refs kept verbatim
 	overflow []bool   // leaf only; vals[i] is a 12-byte overflow ref
 	children []PageID // internal only; len(keys)+1
-	next     PageID   // leaf only; dead under COW and written as 0 (a
-	// sibling's stored pointer would reference superseded copies; cursors
-	// iterate via the ancestor stack instead). The header slot is kept for
-	// on-disk layout compatibility.
 }
 
 func (n *node) encodedSize() int {
@@ -117,7 +113,6 @@ func (n *node) encode(buf []byte) error {
 	binary.LittleEndian.PutUint16(buf[1:], uint16(len(n.keys)))
 	switch n.kind {
 	case pageLeaf:
-		binary.LittleEndian.PutUint64(buf[3:], uint64(n.next))
 		off := leafHeaderSize
 		for i, k := range n.keys {
 			v := n.vals[i]
@@ -183,7 +178,6 @@ func (t *BTree) readNode(id PageID) (*node, error) {
 	nkeys := int(binary.LittleEndian.Uint16(buf[1:]))
 	switch n.kind {
 	case pageLeaf:
-		n.next = PageID(binary.LittleEndian.Uint64(buf[3:]))
 		off := leafHeaderSize
 		n.keys = make([][]byte, nkeys)
 		n.vals = make([][]byte, nkeys)
@@ -394,7 +388,6 @@ func (t *BTree) splitLeaf(n *node) (*splitResult, error) {
 	n.keys = n.keys[:mid]
 	n.vals = n.vals[:mid]
 	n.overflow = n.overflow[:mid]
-	n.next = 0 // sibling links are not maintained under COW (see node)
 	if err := t.writeNode(right); err != nil {
 		return nil, err
 	}

@@ -42,7 +42,7 @@ func (t *BTree) Empty() (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	return root.kind == pageLeaf && len(root.keys) == 0 && root.next == 0, nil
+	return root.kind == pageLeaf && len(root.keys) == 0, nil
 }
 
 // BulkLoad builds the tree bottom-up from pairs, whose keys must be

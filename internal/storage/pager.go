@@ -21,8 +21,10 @@ import (
 const PageSize = 4096
 
 const (
-	metaMagic   = "CRIMSONP"
-	metaVersion = 1
+	metaMagic = "CRIMSONP"
+	// metaVersion 2 dropped the leaf pages' stored sibling-link slot,
+	// shrinking the leaf header; version-1 files are rejected on open.
+	metaVersion = 2
 
 	// NumRoots is the number of named root slots kept in the meta page.
 	// Slot 0 is reserved by the relational layer for its catalog tree.

@@ -23,7 +23,10 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sort"
+	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/phylo"
@@ -207,9 +210,70 @@ func (p Progress) Say(format string, args ...any) {
 	}
 }
 
+// LoadMetrics receives per-stage wall times of one load, in nanoseconds.
+// Written once, on success; the stages partition the load end-to-end:
+// hierarchical index construction, row staging, and bulk insert + commit.
+type LoadMetrics struct {
+	IndexNS  int64
+	StageNS  int64
+	InsertNS int64
+}
+
+// LoadOptions tunes the ingest pipeline. The zero value means serial-like
+// defaults: Workers <= 0 uses GOMAXPROCS.
+type LoadOptions struct {
+	// Workers bounds the fan-out of row staging. Every worker count
+	// produces bit-for-bit identical relations; this only trades wall
+	// time for CPU.
+	Workers int
+	// Metrics, when non-nil, receives per-stage timings on success.
+	Metrics *LoadMetrics
+}
+
+// workerCount resolves the effective fan-out.
+func (o LoadOptions) workerCount() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// fanOut splits [0,n) into contiguous ranges and runs fn on up to workers
+// goroutines. Ranges are deterministic; fn must only write its own range.
+func fanOut(n, workers int, fn func(lo, hi int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
 // Load stores the tree under the given name with depth bound f. The tree
 // must have preorder IDs (Reindex). Returns a handle for querying.
 func (s *Store) Load(name string, t *phylo.Tree, f int, progress Progress) (*Tree, error) {
+	return s.LoadOpts(name, t, f, LoadOptions{}, progress)
+}
+
+// LoadOpts is Load with pipeline options: row staging fans out across
+// opts.Workers goroutines and per-stage timings land in opts.Metrics. The
+// stored relations are identical to a serial load at every worker count.
+func (s *Store) LoadOpts(name string, t *phylo.Tree, f int, opts LoadOptions, progress Progress) (*Tree, error) {
 	if !validName(name) {
 		return nil, fmt.Errorf("%w: %q", ErrBadName, name)
 	}
@@ -227,7 +291,11 @@ func (s *Store) Load(name string, t *phylo.Tree, f int, progress Progress) (*Tre
 		return nil, fmt.Errorf("%w: %s", ErrTreeExists, name)
 	}
 
+	workers := opts.workerCount()
+	var stageNS, insertNS int64
+
 	progress.Say("building hierarchical index (f=%d) over %d nodes", f, t.NumNodes())
+	indexStart := time.Now()
 	ix, err := core.Build(t, f)
 	if err != nil {
 		return nil, err
@@ -250,6 +318,7 @@ func (s *Store) Load(name string, t *phylo.Tree, f int, progress Progress) (*Tre
 			size[p.ID] += size[nodes[i].ID]
 		}
 	}
+	indexNS := time.Since(indexStart).Nanoseconds()
 
 	progress.Say("creating relations for tree %q", name)
 	nodeTab, err := db.CreateTable(relstore.Schema{
@@ -281,29 +350,39 @@ func (s *Store) Load(name string, t *phylo.Tree, f int, progress Progress) (*Tre
 	// Stage all node rows, then hand them to BulkInsert in one batch: the
 	// rows are sorted by primary key and built into the primary tree and
 	// all three secondary indexes bottom-up (storage.BTree.BulkLoad),
-	// instead of one full B+tree descent per row.
+	// instead of one full B+tree descent per row. Staging is the
+	// allocation-heavy part of the load and every row is independent, so
+	// it fans out across the pipeline workers; rows land at fixed indices,
+	// making the batch identical at any worker count.
 	l0 := ix.Layers[0]
+	stageStart := time.Now()
 	nodeRows := make([]relstore.Row, len(nodes))
-	for i, n := range nodes {
-		nodeRows[i] = relstore.Row{
-			relstore.Int(int64(n.ID)),
-			relstore.Int(int64(l0.Parent[n.ID])),
-			relstore.Int(int64(l0.Ord[n.ID])),
-			relstore.Str(n.Name),
-			relstore.Float(n.Length),
-			relstore.Int(int64(depth[n.ID])),
-			relstore.Float(dist[n.ID]),
-			relstore.Int(int64(l0.Sub[n.ID])),
-			relstore.Int(int64(l0.LocalParent[n.ID])),
-			relstore.Int(int64(l0.LocalDepth[n.ID])),
-			relstore.Bool(n.IsLeaf()),
-			relstore.Int(int64(size[n.ID])),
+	fanOut(len(nodes), workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			n := nodes[i]
+			nodeRows[i] = relstore.Row{
+				relstore.Int(int64(n.ID)),
+				relstore.Int(int64(l0.Parent[n.ID])),
+				relstore.Int(int64(l0.Ord[n.ID])),
+				relstore.Str(n.Name),
+				relstore.Float(n.Length),
+				relstore.Int(int64(depth[n.ID])),
+				relstore.Float(dist[n.ID]),
+				relstore.Int(int64(l0.Sub[n.ID])),
+				relstore.Int(int64(l0.LocalParent[n.ID])),
+				relstore.Int(int64(l0.LocalDepth[n.ID])),
+				relstore.Bool(n.IsLeaf()),
+				relstore.Int(int64(size[n.ID])),
+			}
 		}
-	}
-	progress.Say("staged %d node rows for bulk load", len(nodeRows))
+	})
+	stageNS += time.Since(stageStart).Nanoseconds()
+	progress.Say("staged %d node rows for bulk load (%d workers)", len(nodeRows), workers)
+	insertStart := time.Now()
 	if err := nodeTab.BulkInsert(nodeRows); err != nil {
 		return nil, fmt.Errorf("treestore: bulk loading %d nodes: %w", len(nodeRows), err)
 	}
+	insertNS += time.Since(insertStart).Nanoseconds()
 	progress.Say("loaded %d/%d nodes", len(nodes), len(nodes))
 
 	// Higher layers and per-layer subtree tables, bulk-loaded the same way.
@@ -320,17 +399,24 @@ func (s *Store) Load(name string, t *phylo.Tree, f int, progress Progress) (*Tre
 		if err != nil {
 			return nil, err
 		}
+		layerRef := layer
+		stageStart = time.Now()
 		subRows := make([]relstore.Row, len(layer.SubRoot))
-		for sID := range layer.SubRoot {
-			subRows[sID] = relstore.Row{
-				relstore.Int(int64(sID)),
-				relstore.Int(int64(layer.SubRoot[sID])),
-				relstore.Int(int64(layer.SubSource[sID])),
+		fanOut(len(subRows), workers, func(lo, hi int) {
+			for sID := lo; sID < hi; sID++ {
+				subRows[sID] = relstore.Row{
+					relstore.Int(int64(sID)),
+					relstore.Int(int64(layerRef.SubRoot[sID])),
+					relstore.Int(int64(layerRef.SubSource[sID])),
+				}
 			}
-		}
+		})
+		stageNS += time.Since(stageStart).Nanoseconds()
+		insertStart = time.Now()
 		if err := subTab.BulkInsert(subRows); err != nil {
 			return nil, err
 		}
+		insertNS += time.Since(insertStart).Nanoseconds()
 		if k == 0 {
 			continue
 		}
@@ -349,20 +435,26 @@ func (s *Store) Load(name string, t *phylo.Tree, f int, progress Progress) (*Tre
 		if err != nil {
 			return nil, err
 		}
+		stageStart = time.Now()
 		layRows := make([]relstore.Row, len(layer.Parent))
-		for id := range layer.Parent {
-			layRows[id] = relstore.Row{
-				relstore.Int(int64(id)),
-				relstore.Int(int64(layer.Parent[id])),
-				relstore.Int(int64(layer.Ord[id])),
-				relstore.Int(int64(layer.Sub[id])),
-				relstore.Int(int64(layer.LocalParent[id])),
-				relstore.Int(int64(layer.LocalDepth[id])),
+		fanOut(len(layRows), workers, func(lo, hi int) {
+			for id := lo; id < hi; id++ {
+				layRows[id] = relstore.Row{
+					relstore.Int(int64(id)),
+					relstore.Int(int64(layerRef.Parent[id])),
+					relstore.Int(int64(layerRef.Ord[id])),
+					relstore.Int(int64(layerRef.Sub[id])),
+					relstore.Int(int64(layerRef.LocalParent[id])),
+					relstore.Int(int64(layerRef.LocalDepth[id])),
+				}
 			}
-		}
+		})
+		stageNS += time.Since(stageStart).Nanoseconds()
+		insertStart = time.Now()
 		if err := layTab.BulkInsert(layRows); err != nil {
 			return nil, err
 		}
+		insertNS += time.Since(insertStart).Nanoseconds()
 	}
 
 	info := TreeInfo{
@@ -373,6 +465,7 @@ func (s *Store) Load(name string, t *phylo.Tree, f int, progress Progress) (*Tre
 		Layers: ix.NumLayers(),
 		Depth:  t.MaxDepth(),
 	}
+	insertStart = time.Now()
 	err = trees.Insert(relstore.Row{
 		relstore.Str(info.Name),
 		relstore.Int(int64(info.Nodes)),
@@ -386,6 +479,10 @@ func (s *Store) Load(name string, t *phylo.Tree, f int, progress Progress) (*Tre
 	}
 	if err := db.Commit(); err != nil {
 		return nil, err
+	}
+	insertNS += time.Since(insertStart).Nanoseconds()
+	if opts.Metrics != nil {
+		*opts.Metrics = LoadMetrics{IndexNS: indexNS, StageNS: stageNS, InsertNS: insertNS}
 	}
 	progress.Say("tree %q committed (%d layers, depth %d)", name, info.Layers, info.Depth)
 	return s.Tree(name)

@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/benchmark"
 	"repro/internal/newick"
+	"repro/internal/obs"
 	"repro/internal/phylo"
 	"repro/internal/server"
 )
@@ -59,6 +60,11 @@ type (
 	Stats = server.StatsSnapshot
 	// ShardMVCC is one shard's MVCC state within Stats.Shards.
 	ShardMVCC = server.ShardMVCC
+	// OpLatency is one operation's latency summary within
+	// Stats.OpLatencies.
+	OpLatency = server.OpLatency
+	// SpanSummary is a request's span tree as echoed by ?debug=trace.
+	SpanSummary = obs.SpanSummary
 )
 
 // APIError is a non-2xx response from the server.
@@ -100,6 +106,9 @@ func New(base string, httpClient *http.Client, opts ...Option) *Client {
 	}
 	return c
 }
+
+// BaseURL reports the server base URL the client was built with.
+func (c *Client) BaseURL() string { return c.base }
 
 // reqCtx applies the client's default timeout when ctx has no deadline.
 // The returned cancel must be called once the response body is consumed.
@@ -188,6 +197,38 @@ func (c *Client) StatsCtx(ctx context.Context) (Stats, error) {
 //
 // Deprecated: use StatsCtx.
 func (c *Client) Stats() (Stats, error) { return c.StatsCtx(context.Background()) }
+
+// MetricsCtx fetches the raw Prometheus exposition text of /metrics.
+func (c *Client) MetricsCtx(ctx context.Context) (string, error) {
+	var raw []byte
+	err := c.get(ctx, "/metrics", nil, &raw)
+	return string(raw), err
+}
+
+// ProjectTracedCtx is ProjectCtx with ?debug=trace: the server collects a
+// span tree for the request — stage timings plus the engine counters
+// (pages read, rows scanned, pool hits/misses) the request incurred — and
+// echoes it alongside the response.
+func (c *Client) ProjectTracedCtx(ctx context.Context, name string, speciesNames []string) (ProjectResponse, *SpanSummary, error) {
+	q := url.Values{"species": {strings.Join(speciesNames, ",")}, "debug": {"trace"}}
+	var wire struct {
+		ProjectResponse
+		Trace *SpanSummary `json:"trace"`
+	}
+	err := c.get(ctx, "/v1/trees/"+url.PathEscape(name)+"/project", q, &wire)
+	return wire.ProjectResponse, wire.Trace, err
+}
+
+// LCATracedCtx is LCACtx with ?debug=trace; see ProjectTracedCtx.
+func (c *Client) LCATracedCtx(ctx context.Context, name, a, b string) (LCAResponse, *SpanSummary, error) {
+	q := url.Values{"a": {a}, "b": {b}, "debug": {"trace"}}
+	var wire struct {
+		LCAResponse
+		Trace *SpanSummary `json:"trace"`
+	}
+	err := c.get(ctx, "/v1/trees/"+url.PathEscape(name)+"/lca", q, &wire)
+	return wire.LCAResponse, wire.Trace, err
+}
 
 // --- trees -----------------------------------------------------------------
 

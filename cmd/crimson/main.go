@@ -16,6 +16,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"os"
 	"os/signal"
@@ -626,11 +627,13 @@ func cmdBench(args []string) error {
 	ingest := fs.Bool("ingest", false, "instead of a reconstruction benchmark, measure the single-tree ingest pipeline (parse / index / stage / insert) stage by stage")
 	ingestWorkers := fs.Int("ingest-workers", 0, "pipeline fan-out in --ingest mode (0 = GOMAXPROCS)")
 	ingestReps := fs.Int("ingest-reps", 3, "repetitions in --ingest mode (best run is reported)")
+	baseline := fs.String("baseline", "", "in --ingest mode, compare nodes_per_sec against this baseline JSON report (e.g. BENCH_load.json)")
+	maxRegress := fs.Float64("max-regress", 0.10, "with --baseline, fail when nodes_per_sec regresses by more than this fraction")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *ingest {
-		return runIngestBench(*loadLeaves, *ingestWorkers, *ingestReps, *seed, *jsonOut)
+		return runIngestBench(*loadLeaves, *ingestWorkers, *ingestReps, *seed, *jsonOut, *baseline, *maxRegress)
 	}
 	if *loadShards > 0 {
 		return runLoadBench(*loadShards, *loadTrees, *loadLeaves, *seed, *jsonOut)
@@ -854,8 +857,10 @@ type ingestBenchReport struct {
 
 // runIngestBench generates a Yule tree, serializes it, and measures the
 // full ingest pipeline — chunked parse, hierarchical index, row staging,
-// pipelined bulk insert — reporting the best of reps runs.
-func runIngestBench(leaves, workers, reps int, seed int64, jsonOut string) error {
+// pipelined bulk insert — reporting the best of reps runs. With baseline
+// set it also acts as a regression gate: the run fails when nodes_per_sec
+// falls more than maxRegress below the baseline report's.
+func runIngestBench(leaves, workers, reps int, seed int64, jsonOut, baseline string, maxRegress float64) error {
 	if reps < 1 {
 		reps = 1
 	}
@@ -901,6 +906,25 @@ func runIngestBench(leaves, workers, reps int, seed int64, jsonOut string) error
 		best.Leaves, best.Nodes, best.InputBytes,
 		float64(best.ParseNS)/1e6, float64(best.IndexNS)/1e6, float64(best.StageNS)/1e6, float64(best.InsertNS)/1e6,
 		best.NodesPerSec, best.Workers, best.GOMAXPROCS)
+	if baseline != "" {
+		raw, err := os.ReadFile(baseline)
+		if err != nil {
+			return fmt.Errorf("bench: reading baseline: %w", err)
+		}
+		var base ingestBenchReport
+		if err := json.Unmarshal(raw, &base); err != nil {
+			return fmt.Errorf("bench: parsing baseline %s: %w", baseline, err)
+		}
+		if base.NodesPerSec > 0 {
+			ratio := best.NodesPerSec / base.NodesPerSec
+			fmt.Fprintf(os.Stderr, "ingest gate: baseline %.0f nodes/s, current %.0f nodes/s (%.1f%% of baseline, floor %.1f%%)\n",
+				base.NodesPerSec, best.NodesPerSec, ratio*100, (1-maxRegress)*100)
+			if ratio < 1-maxRegress {
+				return fmt.Errorf("bench: ingest throughput regressed %.1f%% vs %s (limit %.1f%%)",
+					(1-ratio)*100, baseline, maxRegress*100)
+			}
+		}
+	}
 	if jsonOut != "" {
 		raw, err := json.MarshalIndent(best, "", "  ")
 		if err != nil {
@@ -1020,6 +1044,10 @@ func cmdServe(args []string) error {
 	cacheSize := fs.Int("cache", 1024, "result-cache capacity in entries (negative disables)")
 	maxBody := fs.Int64("max-body", 256<<20, "request body limit in bytes")
 	loadWorkers := fs.Int("load-workers", 0, "ingest pipeline fan-out per load request (0 = GOMAXPROCS)")
+	slowQueryMS := fs.Int("slow-query-ms", 0, "log requests slower than this many milliseconds together with their span tree (0 disables)")
+	traceAll := fs.Bool("trace", false, "collect a span tree on every request (clients still opt into the echo with ?debug=trace)")
+	pprofOn := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+	logJSON := fs.Bool("log-json", false, "emit structured JSON request logs (slog) alongside the plain server log")
 	quiet := fs.Bool("quiet", false, "suppress log output")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -1042,6 +1070,10 @@ func cmdServe(args []string) error {
 	if *quiet {
 		logf = nil
 	}
+	var logger *slog.Logger
+	if *logJSON && !*quiet {
+		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
 	srv := repo.NewServer(crimson.ServerConfig{
 		Addr:             *addr,
 		MaxInFlightReads: *maxReads,
@@ -1049,6 +1081,10 @@ func cmdServe(args []string) error {
 		MaxBodyBytes:     *maxBody,
 		LoadWorkers:      *loadWorkers,
 		Logf:             logf,
+		Logger:           logger,
+		SlowQueryMS:      *slowQueryMS,
+		Trace:            *traceAll,
+		EnablePprof:      *pprofOn,
 	})
 	if err := srv.Start(); err != nil {
 		return err

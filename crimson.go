@@ -86,6 +86,7 @@ import (
 	"repro/internal/dewey"
 	"repro/internal/newick"
 	"repro/internal/nexus"
+	"repro/internal/obs"
 	"repro/internal/phylo"
 	"repro/internal/project"
 	"repro/internal/queryrepo"
@@ -152,6 +153,15 @@ type (
 	ServerConfig = server.Config
 	// ServerStats is the /v1/stats counter snapshot.
 	ServerStats = server.StatsSnapshot
+	// OpLatency is one operation's latency summary within
+	// ServerStats.OpLatencies (count plus p50/p95/p99).
+	OpLatency = server.OpLatency
+	// Span is one node of a request trace: a named stage with its wall
+	// time and the engine counters attributed to it.
+	Span = obs.Span
+	// SpanSummary is the JSON form of a finished Span tree (what
+	// ?debug=trace echoes and the slow-query log records).
+	SpanSummary = obs.SpanSummary
 	// ShardServerStats is one shard's MVCC state within ServerStats.Shards.
 	ShardServerStats = server.ShardMVCC
 	// MVCCStats reports a storage engine's epoch, open snapshots and
@@ -645,6 +655,23 @@ func (r *Repository) NewServer(cfg ServerConfig) *Server {
 
 // NewServer builds crimsond over repo; see Repository.NewServer.
 func NewServer(repo *Repository, cfg ServerConfig) *Server { return repo.NewServer(cfg) }
+
+// EngineCounters snapshots the process-global storage-engine work
+// counters (B+tree descents, cells decoded, rows scanned, buffer-pool
+// hits/misses, pages read/written, COW pages, WAL bytes/syncs). They
+// tick on every engine operation regardless of tracing configuration;
+// zero counters are omitted.
+func EngineCounters() map[string]int64 { return obs.Engine.Snapshot() }
+
+// TraceContext installs a fresh root span named name into ctx and
+// returns the derived context plus the span. Engine work done under the
+// returned context is attributed to the span; call End then Summary on
+// it to read the tree. Embedders get the same per-request attribution
+// crimsond's ?debug=trace provides.
+func TraceContext(ctx context.Context, name string) (context.Context, *Span) {
+	root := obs.NewRoot(name)
+	return obs.ContextWithSpan(ctx, root), root
+}
 
 // --- In-memory pipeline helpers -------------------------------------------
 

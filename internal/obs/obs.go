@@ -1,0 +1,133 @@
+// Package obs is Crimson's zero-dependency observability substrate:
+// engine counters, request spans and latency histograms shared by every
+// tier from the HTTP handlers down to page I/O.
+//
+// Three pieces, designed to cost nearly nothing when tracing is off:
+//
+//   - Counters: a fixed, indexed set of atomic engine counters (B+tree
+//     descents, cells decoded, rows scanned, buffer-pool hits/misses,
+//     pages read/written, COW page allocations, WAL bytes/syncs). The
+//     process-global Engine instance is always incremented by the storage
+//     hooks — that is the entire "disabled" cost — while a second,
+//     per-request Counters travels in the context only when a span is
+//     active. All Counters methods are nil-safe, so hook sites never
+//     branch on whether tracing is on.
+//
+//   - Span: a node of a per-request trace tree carried via
+//     context.Context. StartSpan on a context without a span returns a
+//     nil span (the fast path); every Span method tolerates a nil
+//     receiver. Spans are concurrency-safe: parallel stages of one
+//     request may start children and bump counters from many goroutines.
+//
+//   - Histogram: a fixed log-bucketed, lock-free latency histogram
+//     (powers of two in microseconds) with Prometheus-style cumulative
+//     buckets and quantile estimation for p50/p95/p99 reporting.
+package obs
+
+import "sync/atomic"
+
+// Counter indexes one engine counter within a Counters set.
+type Counter int
+
+// The engine counters, ordered hot-to-cold. NumCounters must stay last.
+const (
+	// CtrBTreeDescents counts root-to-leaf B+tree descents (point reads
+	// and cursor positioning).
+	CtrBTreeDescents Counter = iota
+	// CtrCellsDecoded counts leaf/internal cells decoded from node pages.
+	CtrCellsDecoded
+	// CtrRowsScanned counts rows visited by relational scans.
+	CtrRowsScanned
+	// CtrPoolHits counts buffer-pool frame hits.
+	CtrPoolHits
+	// CtrPoolMisses counts buffer-pool misses (each one is a page read).
+	CtrPoolMisses
+	// CtrPagesRead counts pages read from the pager (pool misses).
+	CtrPagesRead
+	// CtrPagesWritten counts pages written to the pager at commit.
+	CtrPagesWritten
+	// CtrCOWPages counts pages allocated by copy-on-write supersession.
+	CtrCOWPages
+	// CtrWALBytes counts bytes appended to the write-ahead log.
+	CtrWALBytes
+	// CtrWALSyncs counts WAL fsync batches.
+	CtrWALSyncs
+
+	NumCounters
+)
+
+// counterNames are the wire/metric names, indexed by Counter.
+var counterNames = [NumCounters]string{
+	"btree_descents",
+	"cells_decoded",
+	"rows_scanned",
+	"pool_hits",
+	"pool_misses",
+	"pages_read",
+	"pages_written",
+	"cow_pages",
+	"wal_bytes",
+	"wal_syncs",
+}
+
+// Name returns the counter's snake_case wire name.
+func (c Counter) Name() string { return counterNames[c] }
+
+// CounterNames lists every counter name in index order.
+func CounterNames() []string { return counterNames[:] }
+
+// Counters is a fixed set of atomic engine counters. The zero value is
+// ready to use, and every method is nil-safe so instrumentation hooks can
+// pass a possibly-nil per-request set without branching.
+type Counters struct {
+	v [NumCounters]atomic.Int64
+}
+
+// Engine is the process-global counter set: the storage hooks always
+// increment it, so /metrics exposes engine totals even with tracing off.
+// It aggregates across every open store in the process.
+var Engine = &Counters{}
+
+// Add increments counter c by n. A nil receiver is a no-op.
+func (cs *Counters) Add(c Counter, n int64) {
+	if cs == nil {
+		return
+	}
+	cs.v[c].Add(n)
+}
+
+// Get returns the current value of counter c (0 on a nil receiver).
+func (cs *Counters) Get(c Counter) int64 {
+	if cs == nil {
+		return 0
+	}
+	return cs.v[c].Load()
+}
+
+// AddAll adds every counter of other into cs. Nil receivers and nil
+// arguments are no-ops.
+func (cs *Counters) AddAll(other *Counters) {
+	if cs == nil || other == nil {
+		return
+	}
+	for i := Counter(0); i < NumCounters; i++ {
+		if n := other.v[i].Load(); n != 0 {
+			cs.v[i].Add(n)
+		}
+	}
+}
+
+// Snapshot returns the nonzero counters by name. Nil receivers return an
+// empty map.
+func (cs *Counters) Snapshot() map[string]int64 {
+	out := make(map[string]int64)
+	if cs == nil {
+		return out
+	}
+	for i := Counter(0); i < NumCounters; i++ {
+		if n := cs.v[i].Load(); n != 0 {
+			out[counterNames[i]] = n
+		}
+	}
+	return out
+}

@@ -381,6 +381,14 @@ func (t *Table) Get(key Value) (Row, bool, error) {
 	return t.TableView.Get(key)
 }
 
+// GetCtx is Get attributing engine counters to the request span carried
+// by ctx, if any. Safe for concurrent readers.
+func (t *Table) GetCtx(ctx context.Context, key Value) (Row, bool, error) {
+	t.db.mu.RLock()
+	defer t.db.mu.RUnlock()
+	return t.TableView.GetCtx(ctx, key)
+}
+
 // Len returns the row count. Safe for concurrent readers.
 func (t *Table) Len() (int, error) {
 	t.db.mu.RLock()

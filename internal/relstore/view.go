@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"iter"
 
+	"repro/internal/obs"
 	"repro/internal/storage"
 )
 
@@ -104,11 +105,17 @@ func (v *TableView) findIndex(name string) (Index, *storage.BTree, error) {
 
 // Get fetches the row with the given primary key value.
 func (v *TableView) Get(key Value) (Row, bool, error) {
+	return v.GetCtx(context.Background(), key)
+}
+
+// GetCtx is Get attributing engine counters (B+tree descents, page reads,
+// pool hits/misses) to the request span carried by ctx, if any.
+func (v *TableView) GetCtx(ctx context.Context, key Value) (Row, bool, error) {
 	if key.Type != v.schema.Columns[v.keyCol].Type {
 		return nil, false, fmt.Errorf("%w: key wants %s, got %s",
 			ErrSchemaRow, v.schema.Columns[v.keyCol].Type, key.Type)
 	}
-	enc, ok, err := v.primary.Get(EncodeKey(key))
+	enc, ok, err := v.primary.GetCtx(ctx, EncodeKey(key))
 	if err != nil || !ok {
 		return nil, false, err
 	}
@@ -187,10 +194,13 @@ func (v *TableView) RowsRange(ctx context.Context, lo, hi Value) iter.Seq2[Row, 
 }
 
 // indexRowScan resolves each index entry the underlying scan yields to its
-// primary row and hands it to fn.
-func (v *TableView) indexRowScan(index string, fn func(Row) (bool, error)) func(key, pk []byte) (bool, error) {
+// primary row and hands it to fn. The per-request counter set is resolved
+// from ctx once, at closure construction, so the per-entry point reads
+// attribute to the request without a per-row context lookup.
+func (v *TableView) indexRowScan(ctx context.Context, index string, fn func(Row) (bool, error)) func(key, pk []byte) (bool, error) {
+	ctr := obs.CountersFrom(ctx)
 	return func(_, pk []byte) (bool, error) {
-		enc, ok, err := v.primary.Get(pk)
+		enc, ok, err := v.primary.GetC(pk, ctr)
 		if err != nil {
 			return false, err
 		}
@@ -216,7 +226,7 @@ func (v *TableView) IndexScanCtx(ctx context.Context, index string, vals []Value
 	if err != nil {
 		return err
 	}
-	resolve := v.indexRowScan(index, fn)
+	resolve := v.indexRowScan(ctx, index, fn)
 	return tree.Scan(ctx, prefix, func(key, pk []byte) (bool, error) {
 		if !bytes.HasPrefix(key, prefix) {
 			return false, nil
@@ -251,7 +261,7 @@ func (v *TableView) IndexRangeCtx(ctx context.Context, index string, lo, hi Valu
 			return err
 		}
 	}
-	resolve := v.indexRowScan(index, fn)
+	resolve := v.indexRowScan(ctx, index, fn)
 	return tree.Scan(ctx, start, func(key, pk []byte) (bool, error) {
 		if hiKey != nil && bytes.Compare(key, hiKey) >= 0 {
 			return false, nil

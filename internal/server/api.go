@@ -139,6 +139,21 @@ type StatsSnapshot struct {
 	OpenTrees    int              `json:"open_trees"`
 	PerOp        map[string]int64 `json:"per_op"`
 
+	// OpLatencies maps each op with at least one completed request (plus
+	// "commit" for engine commits) to its sample count and latency
+	// percentiles, estimated from the same log-bucketed histograms
+	// /metrics exposes as crimsond_op_duration_seconds.
+	OpLatencies map[string]OpLatency `json:"op_latencies,omitempty"`
+	// Engine exposes the process-global storage-engine counters (B+tree
+	// descents, cells decoded, rows scanned, pool hits/misses, pages
+	// read/written, COW pages, WAL bytes/syncs); zero counters are
+	// omitted.
+	Engine map[string]int64 `json:"engine,omitempty"`
+	// Goroutines and HeapAllocBytes are runtime gauges sampled at
+	// snapshot time.
+	Goroutines     int    `json:"goroutines"`
+	HeapAllocBytes uint64 `json:"heap_alloc_bytes"`
+
 	// MVCC state of the storage engines under the repository, aggregated
 	// across shards: Epoch is the sum of per-shard epochs (it advances on
 	// any shard's commit); the other two are totals.
@@ -161,6 +176,16 @@ type StatsSnapshot struct {
 	LoadIndexNS  int64 `json:"load_index_ns"`
 	LoadStageNS  int64 `json:"load_stage_ns"`
 	LoadInsertNS int64 `json:"load_insert_ns"`
+}
+
+// OpLatency summarizes one operation's latency histogram. Percentiles
+// are upper bounds of the log2 bucket containing the rank, so they are
+// conservative to within one power of two of microseconds.
+type OpLatency struct {
+	Count int64   `json:"count"`
+	P50MS float64 `json:"p50_ms"`
+	P95MS float64 `json:"p95_ms"`
+	P99MS float64 `json:"p99_ms"`
 }
 
 // ShardMVCC is one shard's storage-engine state: its committed epoch, open

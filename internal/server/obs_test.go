@@ -1,0 +1,405 @@
+// Observability E2E tests: request tracing over the wire (?debug=trace),
+// per-op latency percentiles in /v1/stats, and a strict Prometheus
+// exposition parse of /metrics.
+package server_test
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/url"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	crimson "repro"
+)
+
+// --- strict Prometheus exposition parser ------------------------------------
+
+var metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+type promSample struct {
+	name   string
+	labels map[string]string
+	value  float64
+}
+
+type promFamily struct {
+	name    string
+	typ     string
+	help    bool
+	samples []promSample
+}
+
+// parseProm parses a /metrics page the strict way: every sample line must
+// be well-formed, belong to a family whose # HELP and # TYPE metadata
+// precede it, and families must not restart once another began (all
+// series of a family grouped, as the exposition format requires).
+func parseProm(t *testing.T, text string) map[string]*promFamily {
+	t.Helper()
+	fams := make(map[string]*promFamily)
+	var current string
+	closed := make(map[string]bool) // families that already ended
+	lineNo := 0
+	for _, line := range strings.Split(text, "\n") {
+		lineNo++
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, help, ok := strings.Cut(rest, " ")
+			if !ok || help == "" {
+				t.Fatalf("line %d: HELP without text: %q", lineNo, line)
+			}
+			if !metricNameRe.MatchString(name) {
+				t.Fatalf("line %d: bad metric name %q", lineNo, name)
+			}
+			if fams[name] != nil {
+				t.Fatalf("line %d: duplicate HELP for %s", lineNo, name)
+			}
+			if current != "" && current != name {
+				closed[current] = true
+			}
+			if closed[name] {
+				t.Fatalf("line %d: family %s restarted after other families", lineNo, name)
+			}
+			fams[name] = &promFamily{name: name, help: true}
+			current = name
+		case strings.HasPrefix(line, "# TYPE "):
+			parts := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(parts) != 2 {
+				t.Fatalf("line %d: malformed TYPE: %q", lineNo, line)
+			}
+			name, typ := parts[0], parts[1]
+			f := fams[name]
+			if f == nil || !f.help {
+				t.Fatalf("line %d: TYPE %s before its HELP", lineNo, name)
+			}
+			if f.typ != "" {
+				t.Fatalf("line %d: duplicate TYPE for %s", lineNo, name)
+			}
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				t.Fatalf("line %d: unknown TYPE %q", lineNo, typ)
+			}
+			f.typ = typ
+		case strings.HasPrefix(line, "#"):
+			t.Fatalf("line %d: unexpected comment %q", lineNo, line)
+		default:
+			s := parsePromSample(t, lineNo, line)
+			fam := sampleFamily(s.name, fams)
+			if fam == nil {
+				t.Fatalf("line %d: sample %s has no preceding HELP/TYPE", lineNo, s.name)
+			}
+			if fam.name != current {
+				t.Fatalf("line %d: sample %s outside its family block (current %s)", lineNo, s.name, current)
+			}
+			fam.samples = append(fam.samples, s)
+		}
+	}
+	for name, f := range fams {
+		if f.typ == "" {
+			t.Fatalf("family %s has HELP but no TYPE", name)
+		}
+		if len(f.samples) == 0 {
+			t.Fatalf("family %s has metadata but no samples", name)
+		}
+	}
+	return fams
+}
+
+func parsePromSample(t *testing.T, lineNo int, line string) promSample {
+	t.Helper()
+	s := promSample{labels: map[string]string{}}
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		s.name = rest[:i]
+		end := strings.IndexByte(rest, '}')
+		if end < i {
+			t.Fatalf("line %d: unclosed label set: %q", lineNo, line)
+		}
+		for _, pair := range strings.Split(rest[i+1:end], ",") {
+			k, v, ok := strings.Cut(pair, "=")
+			if !ok || len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+				t.Fatalf("line %d: malformed label %q in %q", lineNo, pair, line)
+			}
+			s.labels[k] = v[1 : len(v)-1]
+		}
+		rest = strings.TrimSpace(rest[end+1:])
+	} else {
+		var ok bool
+		s.name, rest, ok = strings.Cut(rest, " ")
+		if !ok {
+			t.Fatalf("line %d: sample without value: %q", lineNo, line)
+		}
+	}
+	if !metricNameRe.MatchString(s.name) {
+		t.Fatalf("line %d: bad sample name %q", lineNo, s.name)
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+	if err != nil {
+		t.Fatalf("line %d: bad sample value in %q: %v", lineNo, line, err)
+	}
+	s.value = v
+	return s
+}
+
+// sampleFamily resolves a sample name to its family: itself, or — for
+// histogram series — the name with _bucket/_sum/_count stripped.
+func sampleFamily(name string, fams map[string]*promFamily) *promFamily {
+	if f := fams[name]; f != nil {
+		return f
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base != name {
+			if f := fams[base]; f != nil && f.typ == "histogram" {
+				return f
+			}
+		}
+	}
+	return nil
+}
+
+// TestMetricsStrictParse drives the server, then parses /metrics with the
+// strict parser above: metadata on every family, counter naming, and
+// histogram bucket/count/sum consistency.
+func TestMetricsStrictParse(t *testing.T) {
+	repo, cl := startServer(t, crimson.ServerConfig{})
+	_ = repo
+	ctx := context.Background()
+	gold := yule(t, 300, 11)
+	if _, err := cl.LoadTreeCtx(ctx, "m", crimson.DefaultFanout, gold); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	leaves := gold.LeafNames()
+	if _, err := cl.ProjectCtx(ctx, "m", leaves[:3]); err != nil {
+		t.Fatalf("project: %v", err)
+	}
+	if _, err := cl.LCACtx(ctx, "m", leaves[0], leaves[1]); err != nil {
+		t.Fatalf("lca: %v", err)
+	}
+	if _, err := cl.StatsCtx(ctx); err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+
+	text, err := cl.MetricsCtx(ctx)
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	fams := parseProm(t, text)
+
+	for name, f := range fams {
+		if f.typ == "counter" && !strings.HasSuffix(name, "_total") {
+			t.Errorf("counter family %s does not end in _total", name)
+		}
+	}
+	for _, want := range []string{
+		"crimsond_requests_total", "crimsond_op_requests_total",
+		"crimsond_engine_btree_descents_total", "crimsond_engine_pages_read_total",
+		"crimsond_engine_rows_scanned_total", "crimsond_op_duration_seconds",
+		"crimsond_goroutines", "crimsond_heap_alloc_bytes", "crimsond_shard_epoch",
+	} {
+		if fams[want] == nil {
+			t.Errorf("family %s missing from /metrics", want)
+		}
+	}
+
+	// The old drifting form must be gone: a per-op series named
+	// crimsond_requests (no _total) would collide with the request
+	// counter's family rules.
+	if strings.Contains(text, "crimsond_requests{") {
+		t.Errorf("/metrics still emits the drifted crimsond_requests{op=...} series")
+	}
+
+	// Histogram consistency: per label set, buckets monotone
+	// nondecreasing in le order (ours are emitted in order), le="+Inf"
+	// equal to _count, and a _sum sample present.
+	hist := fams["crimsond_op_duration_seconds"]
+	if hist == nil {
+		t.Fatal("no op duration histogram family")
+	}
+	type key struct{ op string }
+	lastBucket := map[key]float64{}
+	infBucket := map[key]float64{}
+	counts := map[key]float64{}
+	sums := map[key]bool{}
+	for _, s := range hist.samples {
+		k := key{s.labels["op"]}
+		switch s.name {
+		case "crimsond_op_duration_seconds_bucket":
+			if s.labels["le"] == "+Inf" {
+				infBucket[k] = s.value
+				continue
+			}
+			if _, err := strconv.ParseFloat(s.labels["le"], 64); err != nil {
+				t.Fatalf("bad le bound %q", s.labels["le"])
+			}
+			if s.value < lastBucket[k] {
+				t.Errorf("op %s: bucket counts not monotone (%v after %v)", k.op, s.value, lastBucket[k])
+			}
+			lastBucket[k] = s.value
+		case "crimsond_op_duration_seconds_sum":
+			sums[k] = true
+		case "crimsond_op_duration_seconds_count":
+			counts[k] = s.value
+		default:
+			t.Fatalf("unexpected histogram sample %s", s.name)
+		}
+	}
+	if len(counts) == 0 {
+		t.Fatal("histogram family has no _count samples")
+	}
+	for k, c := range counts {
+		if infBucket[k] != c {
+			t.Errorf("op %s: le=+Inf bucket %v != count %v", k.op, infBucket[k], c)
+		}
+		if !sums[k] {
+			t.Errorf("op %s: missing _sum sample", k.op)
+		}
+		if c < 1 {
+			t.Errorf("op %s: emitted histogram with zero count", k.op)
+		}
+	}
+	if _, ok := counts[key{"project"}]; !ok {
+		t.Error("no histogram series for op=project after a project request")
+	}
+}
+
+// TestTraceEndToEnd asks for ?debug=trace on project and LCA requests and
+// checks the echoed span tree: named stages, nonzero engine counters
+// attributed to the request, and totals consistent with (bounded by) the
+// process-global engine counters in /metrics. Also checks the per-op
+// latency percentiles surfaced in /v1/stats.
+func TestTraceEndToEnd(t *testing.T) {
+	_, cl := startServer(t, crimson.ServerConfig{})
+	ctx := context.Background()
+	gold := yule(t, 500, 13)
+	if _, err := cl.LoadTreeCtx(ctx, "traced", crimson.DefaultFanout, gold); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	leaves := gold.LeafNames()
+
+	proj, trace, err := cl.ProjectTracedCtx(ctx, "traced", leaves[:4])
+	if err != nil {
+		t.Fatalf("traced project: %v", err)
+	}
+	if proj.Newick == "" || proj.Leaves != 4 {
+		t.Fatalf("traced project returned wrong payload: %+v", proj)
+	}
+	if trace == nil {
+		t.Fatal("?debug=trace returned no trace")
+	}
+	if trace.Name != "project" {
+		t.Errorf("root span named %q, want project", trace.Name)
+	}
+	if trace.DurationUS <= 0 {
+		t.Errorf("root span duration %dus, want > 0", trace.DurationUS)
+	}
+	stages := map[string]bool{}
+	for _, ch := range trace.Children {
+		stages[ch.Name] = true
+	}
+	for _, want := range []string{"resolve_names"} {
+		if !stages[want] {
+			t.Errorf("trace missing stage %q (got %v)", want, stages)
+		}
+	}
+	totals := trace.Totals()
+	for _, ctr := range []string{"btree_descents", "cells_decoded", "rows_scanned"} {
+		if totals[ctr] <= 0 {
+			t.Errorf("trace counter %s = %d, want > 0 (totals %v)", ctr, totals[ctr], totals)
+		}
+	}
+	if totals["pool_hits"]+totals["pool_misses"] <= 0 {
+		t.Errorf("trace has no buffer-pool traffic: %v", totals)
+	}
+
+	lcaResp, lcaTrace, err := cl.LCATracedCtx(ctx, "traced", leaves[0], leaves[1])
+	if err != nil {
+		t.Fatalf("traced lca: %v", err)
+	}
+	if lcaResp.Node.ID < 0 || lcaTrace == nil {
+		t.Fatalf("traced lca: node %+v trace %v", lcaResp.Node, lcaTrace)
+	}
+	if lcaTrace.Totals()["btree_descents"] <= 0 {
+		t.Errorf("lca trace shows no descents: %v", lcaTrace.Totals())
+	}
+
+	// Engine totals in /metrics are process-global and monotone, so each
+	// request's attributed counters are bounded by them.
+	text, err := cl.MetricsCtx(ctx)
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	fams := parseProm(t, text)
+	for _, ctr := range []string{"btree_descents", "cells_decoded", "rows_scanned", "pool_hits"} {
+		fam := fams["crimsond_engine_"+ctr+"_total"]
+		if fam == nil {
+			t.Fatalf("no engine family for %s", ctr)
+		}
+		engine := fam.samples[0].value
+		if got := float64(totals[ctr]); got > engine {
+			t.Errorf("trace %s=%v exceeds engine total %v", ctr, got, engine)
+		}
+	}
+
+	st, err := cl.StatsCtx(ctx)
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	for _, op := range []string{"project", "lca", "load", "commit"} {
+		lat, ok := st.OpLatencies[op]
+		if !ok {
+			t.Errorf("stats missing op latency for %q (have %v)", op, st.OpLatencies)
+			continue
+		}
+		if lat.Count < 1 || lat.P50MS <= 0 || lat.P99MS < lat.P50MS || lat.P95MS > lat.P99MS {
+			t.Errorf("op %s latency summary inconsistent: %+v", op, lat)
+		}
+	}
+	if len(st.Engine) == 0 || st.Engine["btree_descents"] <= 0 {
+		t.Errorf("stats engine counters missing: %v", st.Engine)
+	}
+	if st.Goroutines <= 0 || st.HeapAllocBytes == 0 {
+		t.Errorf("runtime gauges missing: goroutines=%d heap=%d", st.Goroutines, st.HeapAllocBytes)
+	}
+}
+
+// TestUntracedRequestsCarryNoTrace pins the fast path: without
+// ?debug=trace (and without server-side trace config) responses carry no
+// trace field.
+func TestUntracedRequestsCarryNoTrace(t *testing.T) {
+	_, cl := startServer(t, crimson.ServerConfig{})
+	ctx := context.Background()
+	gold := yule(t, 60, 17)
+	if _, err := cl.LoadTreeCtx(ctx, "plain", crimson.DefaultFanout, gold); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if os.Getenv("CRIMSON_TEST_TRACE") == "1" {
+		t.Skip("suite running with forced tracing")
+	}
+	leaves := gold.LeafNames()
+	q := url.Values{"a": {leaves[0]}, "b": {leaves[1]}}
+	resp, err := http.Get(cl.BaseURL() + "/v1/trees/plain/lca?" + q.Encode())
+	if err != nil {
+		t.Fatalf("lca: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.Header.Get("X-Request-Id") == "" {
+		t.Error("response missing X-Request-Id header")
+	}
+	var raw map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+		t.Fatalf("decoding: %v", err)
+	}
+	if _, ok := raw["trace"]; ok {
+		t.Error("untraced response carries a trace field")
+	}
+}

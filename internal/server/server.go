@@ -38,20 +38,24 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"math/rand"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/benchmark"
 	"repro/internal/core"
 	"repro/internal/newick"
 	"repro/internal/nexus"
+	"repro/internal/obs"
 	"repro/internal/queryrepo"
 	"repro/internal/recon"
 	"repro/internal/relstore"
@@ -93,6 +97,21 @@ type Config struct {
 	LoadWorkers int
 	// Logf receives server log lines (nil = silent).
 	Logf func(format string, args ...any)
+	// Logger receives structured request and slow-query records (nil =
+	// fall back to Logf for slow queries, silent otherwise).
+	Logger *slog.Logger
+	// SlowQueryMS logs any request slower than this many milliseconds
+	// together with its full span tree (0 disables). Setting it enables
+	// span collection on every request.
+	SlowQueryMS int
+	// Trace forces span collection on every request, as if each carried
+	// ?debug=trace (the span is only echoed in the response when the
+	// client actually asks). Off, spans are still collected per request
+	// when ?debug=trace or SlowQueryMS asks for them; the engine counters
+	// in /metrics are always live.
+	Trace bool
+	// EnablePprof mounts net/http/pprof under /debug/pprof/.
+	EnablePprof bool
 }
 
 func (c Config) withDefaults() Config {
@@ -119,11 +138,13 @@ func (c Config) withDefaults() Config {
 
 // Server serves the crimsond HTTP API over one repository.
 type Server struct {
-	cfg   Config
-	be    Backend
-	mux   *http.ServeMux
-	stats *serverStats
-	cache *resultCache
+	cfg     Config
+	be      Backend
+	mux     *http.ServeMux
+	stats   *serverStats
+	cache   *resultCache
+	slogger *slog.Logger // nil unless Config.Logger was set
+	reqSeq  atomic.Int64 // request-id sequence
 
 	readSem  chan struct{} // bounds in-flight reads
 	writeMus []sync.Mutex  // one writer mutex per shard; mutations lock their tree's shard
@@ -188,6 +209,7 @@ func New(be Backend, cfg Config) *Server {
 		vers:     make(map[string]uint64),
 		recCh:    make(chan histRecord, 256),
 	}
+	s.slogger = cfg.Logger
 	s.routes()
 	s.httpSrv = &http.Server{Handler: s}
 	return s
@@ -215,7 +237,7 @@ func (s *Server) recordLoop() {
 		}
 	}
 	commit := func() {
-		if err := s.be.DBs[0].Commit(); err != nil {
+		if err := s.commitShard(context.Background(), 0); err != nil {
 			s.logf("crimsond: committing history batch: %v", err)
 		}
 	}
@@ -284,12 +306,22 @@ func (s *Server) routes() {
 	})
 	s.mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		s.stats.countRequest("stats")
-		writeJSON(w, http.StatusOK, s.snapshot())
+		start := time.Now()
+		snap := s.snapshot()
+		writeJSON(w, http.StatusOK, snap)
+		s.stats.observeOp("stats", time.Since(start))
 	})
 	s.mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		io.WriteString(w, metricsText(s.snapshot()))
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		io.WriteString(w, metricsText(s.snapshot(), s.stats.histSnapshots()))
 	})
+	if s.cfg.EnablePprof {
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 
 	s.mux.HandleFunc("GET /v1/trees", s.read("trees", s.handleTrees))
 	s.mux.HandleFunc("POST /v1/trees/{name}", s.write("load", s.handleLoad))
@@ -379,7 +411,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.recWG.Wait()
 	for i := range s.be.DBs {
 		s.writeMus[i].Lock()
-		cerr := s.be.DBs[i].Commit()
+		cerr := s.commitShard(context.Background(), i)
 		s.writeMus[i].Unlock()
 		if err == nil && cerr != nil {
 			err = fmt.Errorf("committing shard %d: %w", i, cerr)
@@ -544,7 +576,97 @@ func (s *Server) dropTree(name string) {
 	s.cache.invalidateTree(name)
 }
 
+// commitShard commits shard si, recording the commit's latency in the
+// commit histogram and, when the calling request is traced, as a
+// "commit" child span.
+func (s *Server) commitShard(ctx context.Context, si int) error {
+	start := time.Now()
+	err := s.be.DBs[si].Commit()
+	d := time.Since(start)
+	s.stats.observeCommit(d)
+	obs.SpanFrom(ctx).AddTimed("commit", d)
+	return err
+}
+
 // --- handler plumbing ------------------------------------------------------
+
+// opCtx is one request's observability state: its id, latency clock and
+// (when tracing is on for this request) the root span installed into the
+// request context.
+type opCtx struct {
+	op    string
+	rid   string
+	start time.Time
+	root  *obs.Span // nil when this request is not traced
+	debug bool      // client asked for ?debug=trace
+}
+
+// beginOp starts per-request observability. A root span is collected
+// when the client asks (?debug=trace) or the server is configured to
+// (Trace, or a slow-query threshold that may need the tree); otherwise
+// the request runs on the nil-span fast path and only the process-global
+// engine counters tick.
+func (s *Server) beginOp(op string, w http.ResponseWriter, r *http.Request) (*http.Request, *opCtx) {
+	oc := &opCtx{op: op, start: time.Now()}
+	oc.debug = r.URL.Query().Get("debug") == "trace"
+	oc.rid = "r" + strconv.FormatInt(s.reqSeq.Add(1), 10)
+	w.Header().Set("X-Request-Id", oc.rid)
+	if oc.debug || s.cfg.Trace || s.cfg.SlowQueryMS > 0 {
+		oc.root = obs.NewRoot(op)
+		r = r.WithContext(obs.ContextWithSpan(r.Context(), oc.root))
+	}
+	return r, oc
+}
+
+// endOp closes the request's observability: records the op latency
+// histogram, ends the span, and emits the slow-query and structured
+// request logs. It returns the span summary when ?debug=trace asked for
+// it (nil otherwise).
+func (s *Server) endOp(oc *opCtx, err error) *obs.SpanSummary {
+	d := time.Since(oc.start)
+	s.stats.observeOp(oc.op, d)
+	oc.root.End()
+	ms := float64(d) / float64(time.Millisecond)
+	slow := s.cfg.SlowQueryMS > 0 && d >= time.Duration(s.cfg.SlowQueryMS)*time.Millisecond
+	var sum *obs.SpanSummary
+	if oc.debug || slow {
+		sum = oc.root.Summary()
+	}
+	if slow {
+		tree, _ := json.Marshal(sum)
+		if s.slogger != nil {
+			s.slogger.Warn("slow query", "op", oc.op, "req_id", oc.rid,
+				"duration_ms", ms, "trace", json.RawMessage(tree))
+		} else {
+			s.logf("crimsond: slow %s req=%s %.1fms trace=%s", oc.op, oc.rid, ms, tree)
+		}
+	} else if s.slogger != nil {
+		if err != nil {
+			s.slogger.Info("request", "op", oc.op, "req_id", oc.rid, "duration_ms", ms, "err", err.Error())
+		} else {
+			s.slogger.Debug("request", "op", oc.op, "req_id", oc.rid, "duration_ms", ms)
+		}
+	}
+	if !oc.debug {
+		return nil
+	}
+	return sum
+}
+
+// injectTrace embeds the span summary into a JSON-object response body
+// under a "trace" key; non-object payloads are wrapped instead.
+func injectTrace(v any, sum *obs.SpanSummary) any {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return v
+	}
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil || m == nil {
+		return map[string]any{"result": json.RawMessage(b), "trace": sum}
+	}
+	m["trace"] = sum
+	return m
+}
 
 // writeFunc is a mutation handler; it runs under its tree's shard writer
 // mutex against the live repository. si is the shard index the wrapper
@@ -579,9 +701,11 @@ func abortedByClient(r *http.Request, err error) bool {
 func (s *Server) read(op string, fn readFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.stats.countRequest(op)
+		r, oc := s.beginOp(op, w, r)
 		select {
 		case s.readSem <- struct{}{}:
 		case <-r.Context().Done():
+			s.endOp(oc, errors.New("server overloaded"))
 			s.fail(w, http.StatusServiceUnavailable, errors.New("server overloaded"))
 			return
 		}
@@ -593,10 +717,14 @@ func (s *Server) read(op string, fn readFunc) http.HandlerFunc {
 		sn := s.openSnap()
 		defer sn.close()
 		v, err := fn(r, sn)
+		sum := s.endOp(oc, err)
 		if abortedByClient(r, err) {
 			s.countAborted(op, err)
 			s.fail(w, statusClientClosedRequest, err)
 			return
+		}
+		if err == nil && sum != nil && v != nil {
+			v = injectTrace(v, sum)
 		}
 		s.finish(w, v, err)
 	}
@@ -615,10 +743,15 @@ func (s *Server) countAborted(op string, err error) {
 func (s *Server) write(op string, fn writeFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.stats.countRequest(op)
+		r, oc := s.beginOp(op, w, r)
 		si := s.be.Router.Place(r.PathValue("name"))
 		s.writeMus[si].Lock()
 		defer s.writeMus[si].Unlock()
 		v, err := fn(r, si)
+		sum := s.endOp(oc, err)
+		if err == nil && sum != nil && v != nil {
+			v = injectTrace(v, sum)
+		}
 		s.finish(w, v, err)
 	}
 }
@@ -627,9 +760,11 @@ func (s *Server) write(op string, fn writeFunc) http.HandlerFunc {
 func (s *Server) readText(op string, fn func(r *http.Request, sn *reqSnap) (string, string, error)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.stats.countRequest(op)
+		r, oc := s.beginOp(op, w, r)
 		select {
 		case s.readSem <- struct{}{}:
 		case <-r.Context().Done():
+			s.endOp(oc, errors.New("server overloaded"))
 			s.fail(w, http.StatusServiceUnavailable, errors.New("server overloaded"))
 			return
 		}
@@ -641,6 +776,7 @@ func (s *Server) readText(op string, fn func(r *http.Request, sn *reqSnap) (stri
 		sn := s.openSnap()
 		defer sn.close()
 		body, contentType, err := fn(r, sn)
+		s.endOp(oc, err)
 		if abortedByClient(r, err) {
 			s.countAborted(op, err)
 			s.fail(w, statusClientClosedRequest, err)
@@ -683,9 +819,11 @@ func (sw *startedWriter) Write(p []byte) (int, error) {
 func (s *Server) readStream(op string, fn func(r *http.Request, sn *reqSnap, w http.ResponseWriter) error) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.stats.countRequest(op)
+		r, oc := s.beginOp(op, w, r)
 		select {
 		case s.readSem <- struct{}{}:
 		case <-r.Context().Done():
+			s.endOp(oc, errors.New("server overloaded"))
 			s.fail(w, http.StatusServiceUnavailable, errors.New("server overloaded"))
 			return
 		}
@@ -698,6 +836,7 @@ func (s *Server) readStream(op string, fn func(r *http.Request, sn *reqSnap, w h
 		defer sn.close()
 		sw := &startedWriter{ResponseWriter: w}
 		err := fn(r, sn, sw)
+		s.endOp(oc, err)
 		if err == nil {
 			return
 		}
@@ -830,7 +969,7 @@ func (s *Server) recordWrite(si int, kind string, args any, summary string) erro
 	if _, err := s.be.Queries.Record(kind, args, summary); err != nil {
 		s.logf("crimsond: recording %s query: %v", kind, err)
 	}
-	return s.be.DBs[0].Commit()
+	return s.commitShard(context.Background(), 0)
 }
 
 // recordAsync enqueues a read-path history record for the recorder
@@ -1001,10 +1140,16 @@ func (s *Server) handleLoad(r *http.Request, si int) (any, error) {
 	}
 	// Commit the tree's shard (sequences from a NEXUS body land there too),
 	// then publish the new incarnation's version to the caches.
-	if err := s.be.DBs[si].Commit(); err != nil {
+	if err := s.commitShard(r.Context(), si); err != nil {
 		return nil, err
 	}
 	s.stats.countLoad(parseNS, metrics)
+	if sp := obs.SpanFrom(r.Context()); sp != nil {
+		sp.AddTimed("parse", time.Duration(parseNS))
+		sp.AddTimed("index", time.Duration(metrics.IndexNS))
+		sp.AddTimed("stage", time.Duration(metrics.StageNS))
+		sp.AddTimed("insert", time.Duration(metrics.InsertNS))
+	}
 	s.bumpTree(name, si)
 	return resp, s.recordWrite(si, "load",
 		map[string]any{"tree": name, "f": f, "nodes": resp.Tree.Nodes},
@@ -1024,7 +1169,7 @@ func (s *Server) handleDelete(r *http.Request, si int) (any, error) {
 	if _, err := s.be.Species.DeleteTree(name); err != nil {
 		return nil, err
 	}
-	if err := s.be.DBs[si].Commit(); err != nil {
+	if err := s.commitShard(r.Context(), si); err != nil {
 		return nil, err
 	}
 	return nil, s.recordWrite(si, "delete", map[string]any{"tree": name}, "deleted")
@@ -1128,7 +1273,7 @@ func (s *Server) handleLCA(r *http.Request, sn *reqSnap) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	row, err := t.Node(id)
+	row, err := t.NodeCtx(r.Context(), id)
 	if err != nil {
 		return nil, err
 	}
@@ -1346,7 +1491,7 @@ func (s *Server) handleSpeciesPut(r *http.Request, si int) (any, error) {
 	if err := s.be.Species.Put(name, sp, kind, data); err != nil {
 		return nil, err
 	}
-	return nil, s.be.DBs[si].Commit()
+	return nil, s.commitShard(r.Context(), si)
 }
 
 func (s *Server) handleSpeciesGet(r *http.Request, sn *reqSnap) (string, string, error) {
@@ -1367,7 +1512,7 @@ func (s *Server) handleSpeciesDelete(r *http.Request, si int) (any, error) {
 		return nil, fmt.Errorf("%w: %s/%s/%s", species.ErrNoData,
 			r.PathValue("name"), r.PathValue("sp"), r.PathValue("kind"))
 	}
-	return nil, s.be.DBs[si].Commit()
+	return nil, s.commitShard(r.Context(), si)
 }
 
 func (s *Server) handleSpeciesList(r *http.Request, sn *reqSnap) (any, error) {

@@ -50,6 +50,15 @@ func startServerShards(t *testing.T, cfg crimson.ServerConfig, shards int) (*cri
 	t.Helper()
 	repo := crimson.OpenMemSharded(shards)
 	cfg.Addr = "127.0.0.1:0"
+	// CRIMSON_TEST_TRACE=1 reruns the whole suite with span collection on
+	// every request plus a slow-query threshold (CI does this under
+	// -race), proving the traced path changes no wire behavior.
+	if os.Getenv("CRIMSON_TEST_TRACE") == "1" {
+		cfg.Trace = true
+		if cfg.SlowQueryMS == 0 {
+			cfg.SlowQueryMS = 1
+		}
+	}
 	srv := repo.NewServer(cfg)
 	if err := srv.Start(); err != nil {
 		t.Fatalf("starting server: %v", err)

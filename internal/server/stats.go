@@ -2,17 +2,55 @@ package server
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"strconv"
 	"strings"
-	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/treestore"
 )
 
-// serverStats holds the counters behind /v1/stats and /metrics. Hot
-// counters are atomics; the per-op map takes a small mutex.
+// opNames is the preregistered, fixed operation set. Request counts and
+// latency histograms are arrays indexed by position here, so the hot
+// path is lock-free atomic adds with no map. Requests whose op is not in
+// the set (none today; the slot guards against future drift) land in the
+// trailing "other" bucket.
+var opNames = []string{
+	"stats", "trees", "load", "info", "delete",
+	"project", "lca", "sample", "clade", "match",
+	"bench", "export",
+	"species_put", "species_get", "species_delete", "species_list",
+	"history", "history_get",
+	"other",
+}
+
+const numOps = 19 // len(opNames); a constant so the stat arrays can size on it
+
+// opIndexOf maps op name -> array slot. Built once and read-only
+// afterwards, so lock-free lookups are safe.
+var opIndexOf = func() map[string]int {
+	if len(opNames) != numOps {
+		panic("numOps out of sync with opNames")
+	}
+	m := make(map[string]int, len(opNames))
+	for i, n := range opNames {
+		m[n] = i
+	}
+	return m
+}()
+
+func opIndex(op string) int {
+	if i, ok := opIndexOf[op]; ok {
+		return i
+	}
+	return numOps - 1 // "other"
+}
+
+// serverStats holds the counters behind /v1/stats and /metrics. All hot
+// paths are atomic; nothing takes a lock.
 type serverStats struct {
 	start          time.Time
 	requests       atomic.Int64
@@ -30,8 +68,13 @@ type serverStats struct {
 	loadStageNS  atomic.Int64
 	loadInsertNS atomic.Int64
 
-	mu    sync.Mutex
-	perOp map[string]int64
+	// perOp counts requests per operation; opHist records each op's
+	// end-to-end latency. Both are indexed by opIndex.
+	perOp  [numOps]atomic.Int64
+	opHist [numOps]obs.Histogram
+	// commitHist records storage-engine commit latency across all commit
+	// sites (loads, writes, the history recorder, shutdown).
+	commitHist obs.Histogram
 }
 
 // countLoad records one completed tree load's per-stage timings.
@@ -44,25 +87,68 @@ func (st *serverStats) countLoad(parseNS int64, m treestore.LoadMetrics) {
 }
 
 func newServerStats() *serverStats {
-	return &serverStats{start: time.Now(), perOp: make(map[string]int64)}
+	return &serverStats{start: time.Now()}
 }
 
 func (st *serverStats) countRequest(op string) {
 	st.requests.Add(1)
-	st.mu.Lock()
-	st.perOp[op]++
-	st.mu.Unlock()
+	st.perOp[opIndex(op)].Add(1)
+}
+
+// observeOp records one completed request's end-to-end latency.
+func (st *serverStats) observeOp(op string, d time.Duration) {
+	st.opHist[opIndex(op)].Observe(d)
+}
+
+// observeCommit records one storage-engine commit's latency.
+func (st *serverStats) observeCommit(d time.Duration) {
+	st.commitHist.Observe(d)
+}
+
+// opHistEntry pairs an op name with a consistent snapshot of its latency
+// histogram, for /metrics rendering and /v1/stats percentiles.
+type opHistEntry struct {
+	op string
+	h  obs.HistSnapshot
+}
+
+// histSnapshots returns one entry per op with at least one observation,
+// plus "commit" for engine commits, sorted by op name.
+func (st *serverStats) histSnapshots() []opHistEntry {
+	var out []opHistEntry
+	for i := range st.opHist {
+		h := st.opHist[i].Snapshot()
+		if h.Count > 0 {
+			out = append(out, opHistEntry{op: opNames[i], h: h})
+		}
+	}
+	if h := st.commitHist.Snapshot(); h.Count > 0 {
+		out = append(out, opHistEntry{op: "commit", h: h})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].op < out[j].op })
+	return out
 }
 
 // snapshot captures every counter; cacheEntries and openTrees are
 // supplied by the server since they live outside this struct.
 func (st *serverStats) snapshot(cacheEntries, openTrees int) StatsSnapshot {
-	st.mu.Lock()
-	perOp := make(map[string]int64, len(st.perOp))
-	for k, v := range st.perOp {
-		perOp[k] = v
+	perOp := make(map[string]int64)
+	for i := range st.perOp {
+		if n := st.perOp[i].Load(); n > 0 {
+			perOp[opNames[i]] = n
+		}
 	}
-	st.mu.Unlock()
+	lat := make(map[string]OpLatency)
+	for _, e := range st.histSnapshots() {
+		lat[e.op] = OpLatency{
+			Count: e.h.Count,
+			P50MS: e.h.Quantile(0.50) * 1000,
+			P95MS: e.h.Quantile(0.95) * 1000,
+			P99MS: e.h.Quantile(0.99) * 1000,
+		}
+	}
+	var mem runtime.MemStats
+	runtime.ReadMemStats(&mem)
 	return StatsSnapshot{
 		UptimeSeconds:  time.Since(st.start).Seconds(),
 		Requests:       st.requests.Load(),
@@ -73,51 +159,149 @@ func (st *serverStats) snapshot(cacheEntries, openTrees int) StatsSnapshot {
 		CacheMisses:    st.cacheMisses.Load(),
 		CacheEntries:   cacheEntries,
 		OpenTrees:      openTrees,
+		PerOp:          perOp,
+		OpLatencies:    lat,
+		Engine:         obs.Engine.Snapshot(),
+		Goroutines:     runtime.NumGoroutine(),
+		HeapAllocBytes: mem.HeapAlloc,
 		HistoryDropped: st.historyDropped.Load(),
 		Loads:          st.loads.Load(),
 		LoadParseNS:    st.loadParseNS.Load(),
 		LoadIndexNS:    st.loadIndexNS.Load(),
 		LoadStageNS:    st.loadStageNS.Load(),
 		LoadInsertNS:   st.loadInsertNS.Load(),
-		PerOp:          perOp,
 	}
 }
 
-// metricsText renders the snapshot in Prometheus exposition style.
-func metricsText(s StatsSnapshot) string {
+// metricsText renders the Prometheus exposition-format /metrics page.
+// Every series family carries # HELP and # TYPE metadata, counter names
+// end in _total, and label values use plain double quotes, so a strict
+// parser accepts the page.
+func metricsText(s StatsSnapshot, hists []opHistEntry) string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "crimsond_uptime_seconds %g\n", s.UptimeSeconds)
-	fmt.Fprintf(&sb, "crimsond_requests_total %d\n", s.Requests)
-	fmt.Fprintf(&sb, "crimsond_errors_total %d\n", s.Errors)
-	fmt.Fprintf(&sb, "crimsond_inflight_reads %d\n", s.InFlightReads)
-	fmt.Fprintf(&sb, "crimsond_aborted_reads_total %d\n", s.AbortedReads)
-	fmt.Fprintf(&sb, "crimsond_cache_hits_total %d\n", s.CacheHits)
-	fmt.Fprintf(&sb, "crimsond_cache_misses_total %d\n", s.CacheMisses)
-	fmt.Fprintf(&sb, "crimsond_cache_entries %d\n", s.CacheEntries)
-	fmt.Fprintf(&sb, "crimsond_open_trees %d\n", s.OpenTrees)
-	fmt.Fprintf(&sb, "crimsond_epoch %d\n", s.Epoch)
-	fmt.Fprintf(&sb, "crimsond_open_snapshots %d\n", s.OpenSnapshots)
-	fmt.Fprintf(&sb, "crimsond_reclaim_pending_pages %d\n", s.PendingReclaimPages)
-	fmt.Fprintf(&sb, "crimsond_shards %d\n", len(s.Shards))
-	for _, sh := range s.Shards {
-		fmt.Fprintf(&sb, "crimsond_shard_epoch{shard=\"%d\"} %d\n", sh.Shard, sh.Epoch)
-		fmt.Fprintf(&sb, "crimsond_shard_open_snapshots{shard=\"%d\"} %d\n", sh.Shard, sh.OpenSnapshots)
-		fmt.Fprintf(&sb, "crimsond_shard_reclaim_pending_pages{shard=\"%d\"} %d\n", sh.Shard, sh.PendingReclaimPages)
+	writeStandardFamilies(&sb, s)
+	writeEngineFamilies(&sb, s.Engine)
+	writeHistogramFamilies(&sb, hists)
+	writeRuntimeFamilies(&sb, s)
+	return sb.String()
+}
+
+// fnum renders a float the way Prometheus expects (shortest round-trip
+// representation, scientific notation allowed).
+func fnum(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func writeStandardFamilies(b *strings.Builder, s StatsSnapshot) {
+	family := func(name, help, typ string) {
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
 	}
-	fmt.Fprintf(&sb, "crimsond_history_dropped_total %d\n", s.HistoryDropped)
-	fmt.Fprintf(&sb, "crimsond_load_workers %d\n", s.LoadWorkers)
-	fmt.Fprintf(&sb, "crimsond_loads_total %d\n", s.Loads)
-	fmt.Fprintf(&sb, "crimsond_load_parse_ns_total %d\n", s.LoadParseNS)
-	fmt.Fprintf(&sb, "crimsond_load_index_ns_total %d\n", s.LoadIndexNS)
-	fmt.Fprintf(&sb, "crimsond_load_stage_ns_total %d\n", s.LoadStageNS)
-	fmt.Fprintf(&sb, "crimsond_load_insert_ns_total %d\n", s.LoadInsertNS)
+	gauge := func(name, help string, v int64) {
+		family(name, help, "gauge")
+		fmt.Fprintf(b, "%s %d\n", name, v)
+	}
+	counter := func(name, help string, v int64) {
+		family(name, help, "counter")
+		fmt.Fprintf(b, "%s %d\n", name, v)
+	}
+
+	family("crimsond_uptime_seconds", "Seconds since the server started.", "gauge")
+	fmt.Fprintf(b, "crimsond_uptime_seconds %s\n", fnum(s.UptimeSeconds))
+	counter("crimsond_requests_total", "HTTP API requests received.", s.Requests)
+	counter("crimsond_errors_total", "Requests that returned an error response.", s.Errors)
+	gauge("crimsond_inflight_reads", "Read requests currently executing.", s.InFlightReads)
+	counter("crimsond_aborted_reads_total", "Read requests aborted by client disconnect or deadline.", s.AbortedReads)
+	counter("crimsond_cache_hits_total", "Result-cache hits.", s.CacheHits)
+	counter("crimsond_cache_misses_total", "Result-cache misses.", s.CacheMisses)
+	gauge("crimsond_cache_entries", "Entries currently in the result cache.", int64(s.CacheEntries))
+	gauge("crimsond_open_trees", "Trees open in the repository catalog.", int64(s.OpenTrees))
+	gauge("crimsond_epoch", "Sum of committed MVCC epochs across shards.", int64(s.Epoch))
+	gauge("crimsond_open_snapshots", "Open MVCC snapshots across shards.", int64(s.OpenSnapshots))
+	gauge("crimsond_reclaim_pending_pages", "Pages awaiting MVCC reclamation across shards.", int64(s.PendingReclaimPages))
+	gauge("crimsond_shards", "Number of repository shards.", int64(len(s.Shards)))
+
+	family("crimsond_shard_epoch", "Committed MVCC epoch of one shard.", "gauge")
+	for _, sh := range s.Shards {
+		fmt.Fprintf(b, "crimsond_shard_epoch{shard=\"%d\"} %d\n", sh.Shard, sh.Epoch)
+	}
+	family("crimsond_shard_open_snapshots", "Open MVCC snapshots of one shard.", "gauge")
+	for _, sh := range s.Shards {
+		fmt.Fprintf(b, "crimsond_shard_open_snapshots{shard=\"%d\"} %d\n", sh.Shard, sh.OpenSnapshots)
+	}
+	family("crimsond_shard_reclaim_pending_pages", "Pages awaiting MVCC reclamation on one shard.", "gauge")
+	for _, sh := range s.Shards {
+		fmt.Fprintf(b, "crimsond_shard_reclaim_pending_pages{shard=\"%d\"} %d\n", sh.Shard, sh.PendingReclaimPages)
+	}
+
+	counter("crimsond_history_dropped_total", "Query-history records dropped because the recorder queue was full.", s.HistoryDropped)
+	gauge("crimsond_load_workers", "Configured ingest fan-out.", int64(s.LoadWorkers))
+	counter("crimsond_loads_total", "Completed tree loads.", s.Loads)
+	counter("crimsond_load_parse_ns_total", "Wall time parsing input across loads, in nanoseconds.", s.LoadParseNS)
+	counter("crimsond_load_index_ns_total", "Wall time indexing trees across loads, in nanoseconds.", s.LoadIndexNS)
+	counter("crimsond_load_stage_ns_total", "Wall time staging rows across loads, in nanoseconds.", s.LoadStageNS)
+	counter("crimsond_load_insert_ns_total", "Wall time inserting rows across loads, in nanoseconds.", s.LoadInsertNS)
+
+	family("crimsond_op_requests_total", "Requests received, by operation.", "counter")
 	ops := make([]string, 0, len(s.PerOp))
 	for op := range s.PerOp {
 		ops = append(ops, op)
 	}
 	sort.Strings(ops)
 	for _, op := range ops {
-		fmt.Fprintf(&sb, "crimsond_requests{op=%q} %d\n", op, s.PerOp[op])
+		fmt.Fprintf(b, "crimsond_op_requests_total{op=\"%s\"} %d\n", op, s.PerOp[op])
 	}
-	return sb.String()
+}
+
+// engineHelp documents each obs engine counter for /metrics HELP lines.
+var engineHelp = map[string]string{
+	"btree_descents": "B+tree root-to-leaf descents.",
+	"cells_decoded":  "B+tree cells decoded while reading nodes.",
+	"rows_scanned":   "Rows produced by range scans.",
+	"pool_hits":      "Buffer-pool page read hits.",
+	"pool_misses":    "Buffer-pool page read misses.",
+	"pages_read":     "Pages read from disk.",
+	"pages_written":  "Pages written at commit.",
+	"cow_pages":      "Pages copied by copy-on-write before modification.",
+	"wal_bytes":      "Bytes appended to the write-ahead log.",
+	"wal_syncs":      "Write-ahead log fsyncs.",
+}
+
+// writeEngineFamilies emits one counter family per process-global engine
+// counter. It takes the already-captured snapshot so /metrics and
+// /v1/stats agree within a scrape; counters absent from the snapshot
+// (zero) are still emitted as 0 so the series exist from startup.
+func writeEngineFamilies(b *strings.Builder, engine map[string]int64) {
+	for _, name := range obs.CounterNames() {
+		metric := "crimsond_engine_" + name + "_total"
+		help := engineHelp[name]
+		if help == "" {
+			help = "Storage-engine counter " + name + "."
+		}
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s counter\n", metric, help, metric)
+		fmt.Fprintf(b, "%s %d\n", metric, engine[name])
+	}
+}
+
+func writeHistogramFamilies(b *strings.Builder, hists []opHistEntry) {
+	fmt.Fprintf(b, "# HELP crimsond_op_duration_seconds End-to-end request latency by operation (op=\"commit\" is engine commit latency).\n")
+	fmt.Fprintf(b, "# TYPE crimsond_op_duration_seconds histogram\n")
+	for _, e := range hists {
+		for i := 0; i < obs.HistBuckets; i++ {
+			bound := float64(obs.BucketBoundUS(i)) / 1e6
+			fmt.Fprintf(b, "crimsond_op_duration_seconds_bucket{op=\"%s\",le=\"%s\"} %d\n",
+				e.op, fnum(bound), e.h.Counts[i])
+		}
+		fmt.Fprintf(b, "crimsond_op_duration_seconds_bucket{op=\"%s\",le=\"+Inf\"} %d\n", e.op, e.h.Counts[obs.HistBuckets])
+		fmt.Fprintf(b, "crimsond_op_duration_seconds_sum{op=\"%s\"} %s\n", e.op, fnum(float64(e.h.SumNS)/1e9))
+		fmt.Fprintf(b, "crimsond_op_duration_seconds_count{op=\"%s\"} %d\n", e.op, e.h.Count)
+	}
+}
+
+func writeRuntimeFamilies(b *strings.Builder, s StatsSnapshot) {
+	fmt.Fprintf(b, "# HELP crimsond_goroutines Goroutines currently running.\n# TYPE crimsond_goroutines gauge\n")
+	fmt.Fprintf(b, "crimsond_goroutines %d\n", s.Goroutines)
+	fmt.Fprintf(b, "# HELP crimsond_heap_alloc_bytes Bytes of allocated heap objects.\n# TYPE crimsond_heap_alloc_bytes gauge\n")
+	fmt.Fprintf(b, "crimsond_heap_alloc_bytes %d\n", s.HeapAllocBytes)
+	fmt.Fprintf(b, "# HELP crimsond_gomaxprocs GOMAXPROCS setting.\n# TYPE crimsond_gomaxprocs gauge\n")
+	fmt.Fprintf(b, "crimsond_gomaxprocs %d\n", runtime.GOMAXPROCS(0))
 }

@@ -2,10 +2,13 @@ package storage
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"sort"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // Node page kinds.
@@ -170,8 +173,15 @@ func (t *BTree) writeNodeCOW(n *node) error {
 }
 
 func (t *BTree) readNode(id PageID) (*node, error) {
+	return t.readNodeC(id, nil)
+}
+
+// readNodeC is readNode with per-request counter attribution: page reads
+// feed the buffer-pool hit/miss counters and every decoded cell is
+// counted, globally always and into c when a trace is active (c nil-safe).
+func (t *BTree) readNodeC(id PageID, c *obs.Counters) (*node, error) {
 	var buf [PageSize]byte
-	if err := t.store.ReadPageInto(id, buf[:]); err != nil {
+	if err := t.store.readPageInto(id, buf[:], c); err != nil {
 		return nil, err
 	}
 	n := &node{kind: buf[0], page: id}
@@ -209,6 +219,8 @@ func (t *BTree) readNode(id PageID) (*node, error) {
 	default:
 		return nil, fmt.Errorf("storage: page %d is not a tree node (kind %d)", id, n.kind)
 	}
+	obs.Engine.Add(obs.CtrCellsDecoded, int64(nkeys))
+	c.Add(obs.CtrCellsDecoded, int64(nkeys))
 	return n, nil
 }
 
@@ -230,12 +242,26 @@ func leafIndex(n *node, key []byte) (int, bool) {
 
 // Get returns the value stored under key.
 func (t *BTree) Get(key []byte) ([]byte, bool, error) {
-	n, err := t.readNode(t.root)
+	return t.GetC(key, nil)
+}
+
+// GetCtx is Get attributing engine counters to the request span carried
+// by ctx (if any). The span lookup happens once per call, never per page.
+func (t *BTree) GetCtx(ctx context.Context, key []byte) ([]byte, bool, error) {
+	return t.GetC(key, obs.CountersFrom(ctx))
+}
+
+// GetC is Get with explicit per-request counter attribution (c may be
+// nil). One call is one root-to-leaf descent.
+func (t *BTree) GetC(key []byte, c *obs.Counters) ([]byte, bool, error) {
+	obs.Engine.Add(obs.CtrBTreeDescents, 1)
+	c.Add(obs.CtrBTreeDescents, 1)
+	n, err := t.readNodeC(t.root, c)
 	if err != nil {
 		return nil, false, err
 	}
 	for n.kind == pageInternal {
-		if n, err = t.readNode(n.children[childIndex(n, key)]); err != nil {
+		if n, err = t.readNodeC(n.children[childIndex(n, key)], c); err != nil {
 			return nil, false, err
 		}
 	}
@@ -630,6 +656,7 @@ type Cursor struct {
 	stack []cursorFrame // ancestors of the current leaf, root first
 	leaf  *node
 	pos   int
+	c     *obs.Counters // per-request attribution target; may be nil
 }
 
 // cursorFrame is one internal node on the descent path and the child index
@@ -650,7 +677,9 @@ func (c *Cursor) Close() {
 // the cursor stack. With key == nil it follows the leftmost edge;
 // otherwise it routes by key.
 func (c *Cursor) descend(id PageID, key []byte) error {
-	n, err := c.tree.readNode(id)
+	obs.Engine.Add(obs.CtrBTreeDescents, 1)
+	c.c.Add(obs.CtrBTreeDescents, 1)
+	n, err := c.tree.readNodeC(id, c.c)
 	if err != nil {
 		return err
 	}
@@ -660,7 +689,7 @@ func (c *Cursor) descend(id PageID, key []byte) error {
 			idx = childIndex(n, key)
 		}
 		c.stack = append(c.stack, cursorFrame{n: n, idx: idx})
-		if n, err = c.tree.readNode(n.children[idx]); err != nil {
+		if n, err = c.tree.readNodeC(n.children[idx], c.c); err != nil {
 			return err
 		}
 	}
@@ -669,8 +698,11 @@ func (c *Cursor) descend(id PageID, key []byte) error {
 }
 
 // First positions a cursor at the smallest key.
-func (t *BTree) First() (*Cursor, error) {
-	c := &Cursor{tree: t}
+func (t *BTree) First() (*Cursor, error) { return t.firstC(nil) }
+
+// firstC is First with per-request counter attribution (c may be nil).
+func (t *BTree) firstC(ctr *obs.Counters) (*Cursor, error) {
+	c := &Cursor{tree: t, c: ctr}
 	if err := c.descend(t.root, nil); err != nil {
 		return nil, err
 	}
@@ -682,8 +714,11 @@ func (t *BTree) First() (*Cursor, error) {
 }
 
 // Seek positions a cursor at the first key >= key.
-func (t *BTree) Seek(key []byte) (*Cursor, error) {
-	c := &Cursor{tree: t}
+func (t *BTree) Seek(key []byte) (*Cursor, error) { return t.seekC(key, nil) }
+
+// seekC is Seek with per-request counter attribution (c may be nil).
+func (t *BTree) seekC(key []byte, ctr *obs.Counters) (*Cursor, error) {
+	c := &Cursor{tree: t, c: ctr}
 	if err := c.descend(t.root, key); err != nil {
 		return nil, err
 	}

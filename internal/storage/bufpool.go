@@ -48,41 +48,50 @@ func NewBufferPool(pager Pager, limit int) *BufferPool {
 	}
 }
 
-// load returns the frame for page id, reading it from the pager on a miss.
-// Callers must hold bp.mu.
-func (bp *BufferPool) load(id PageID) (*frame, error) {
+// load returns the frame for page id, reading it from the pager on a miss,
+// and reports whether the frame was already resident. Callers must hold
+// bp.mu.
+func (bp *BufferPool) load(id PageID) (*frame, bool, error) {
 	if f, ok := bp.frames[id]; ok {
 		if f.elem != nil {
 			bp.lru.MoveToFront(f.elem)
 		}
-		return f, nil
+		return f, true, nil
 	}
 	data := make([]byte, PageSize)
 	if err := bp.pager.ReadPage(id, data); err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	f := &frame{id: id, data: data}
 	f.elem = bp.lru.PushFront(f)
 	bp.frames[id] = f
 	bp.evict()
-	return f, nil
+	return f, false, nil
 }
 
 // ReadInto copies the contents of page id into dst (PageSize long), reading
 // it from the pager on a miss. The copy happens under the pool lock, so dst
 // never aliases a frame and stays valid regardless of later pool activity.
 func (bp *BufferPool) ReadInto(id PageID, dst []byte) error {
+	_, err := bp.ReadIntoHit(id, dst)
+	return err
+}
+
+// ReadIntoHit is ReadInto plus a hit report: it returns whether the page
+// was served from a resident frame (true) or read from the pager (false),
+// feeding the buffer-pool hit/miss counters.
+func (bp *BufferPool) ReadIntoHit(id PageID, dst []byte) (bool, error) {
 	if len(dst) < PageSize {
-		return fmt.Errorf("storage: ReadInto page %d with %d-byte buffer", id, len(dst))
+		return false, fmt.Errorf("storage: ReadInto page %d with %d-byte buffer", id, len(dst))
 	}
 	bp.mu.Lock()
 	defer bp.mu.Unlock()
-	f, err := bp.load(id)
+	f, hit, err := bp.load(id)
 	if err != nil {
-		return err
+		return false, err
 	}
 	copy(dst[:PageSize], f.data)
-	return nil
+	return hit, nil
 }
 
 // Get returns a private copy of the contents of page id. Prefer ReadInto on

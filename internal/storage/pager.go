@@ -15,6 +15,8 @@ import (
 	"os"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // PageSize is the fixed size of every page in a Crimson page file.
@@ -525,10 +527,30 @@ func (s *Store) ReadPage(id PageID) ([]byte, error) {
 // avoiding the allocation of ReadPage on hot read paths. Safe for any
 // number of concurrent readers, including while a writer commits.
 func (s *Store) ReadPageInto(id PageID, buf []byte) error {
+	return s.readPageInto(id, buf, nil)
+}
+
+// readPageInto is the counted read chokepoint: buffer-pool hits and
+// misses (each miss is one page read) feed the global engine counters
+// always, and the per-request set c when a trace is active (c nil-safe).
+func (s *Store) readPageInto(id PageID, buf []byte, c *obs.Counters) error {
 	if s.closed.Load() {
 		return ErrClosed
 	}
-	return s.pool.ReadInto(id, buf)
+	hit, err := s.pool.ReadIntoHit(id, buf)
+	if err != nil {
+		return err
+	}
+	if hit {
+		obs.Engine.Add(obs.CtrPoolHits, 1)
+		c.Add(obs.CtrPoolHits, 1)
+	} else {
+		obs.Engine.Add(obs.CtrPoolMisses, 1)
+		obs.Engine.Add(obs.CtrPagesRead, 1)
+		c.Add(obs.CtrPoolMisses, 1)
+		c.Add(obs.CtrPagesRead, 1)
+	}
+	return nil
 }
 
 // WritePage replaces the page contents via the buffer pool, in place.
@@ -566,6 +588,7 @@ func (s *Store) WriteCOW(id PageID, buf []byte) (PageID, error) {
 	if err := s.retire(id); err != nil {
 		return 0, err
 	}
+	obs.Engine.Add(obs.CtrCOWPages, 1)
 	return nid, nil
 }
 
@@ -619,6 +642,7 @@ func (s *Store) commit() error {
 			return err
 		}
 	}
+	obs.Engine.Add(obs.CtrPagesWritten, int64(len(dirty)))
 	if err := s.pager.Sync(); err != nil {
 		return err
 	}

@@ -3,6 +3,8 @@ package storage
 import (
 	"context"
 	"iter"
+
+	"repro/internal/obs"
 )
 
 // cancelCheckInterval is how many entries a streaming scan visits between
@@ -36,12 +38,22 @@ func (t *BTree) Scan(ctx context.Context, start []byte, fn func(key, value []byt
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	// Resolve the per-request counter set once per scan (never per row)
+	// and batch the rows-scanned count locally, flushing on return.
+	ctr := obs.CountersFrom(ctx)
+	rows := int64(0)
+	defer func() {
+		if rows > 0 {
+			obs.Engine.Add(obs.CtrRowsScanned, rows)
+			ctr.Add(obs.CtrRowsScanned, rows)
+		}
+	}()
 	var c *Cursor
 	var err error
 	if start == nil {
-		c, err = t.First()
+		c, err = t.firstC(ctr)
 	} else {
-		c, err = t.Seek(start)
+		c, err = t.seekC(start, ctr)
 	}
 	if err != nil {
 		return fail(err)
@@ -57,6 +69,7 @@ func (t *BTree) Scan(ctx context.Context, start []byte, fn func(key, value []byt
 		if err != nil {
 			return fail(err)
 		}
+		rows++
 		cont, err := fn(c.Key(), v)
 		if err != nil {
 			return fail(err)

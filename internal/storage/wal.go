@@ -7,6 +7,8 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+
+	"repro/internal/obs"
 )
 
 // WAL frame kinds.
@@ -69,7 +71,12 @@ func (w *WAL) LogCommit(pages []DirtyPage) error {
 	if _, err := w.f.Write(buf); err != nil {
 		return fmt.Errorf("storage: wal append: %w", err)
 	}
-	return w.f.Sync()
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	obs.Engine.Add(obs.CtrWALBytes, int64(len(buf)))
+	obs.Engine.Add(obs.CtrWALSyncs, 1)
+	return nil
 }
 
 // Recover replays committed batches onto the pager and truncates the log.

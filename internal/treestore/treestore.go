@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/phylo"
 	"repro/internal/relstore"
 	"repro/internal/shard"
@@ -82,6 +83,7 @@ func (s *Store) dbFor(name string) *relstore.DB {
 // the context aborts the row stream cooperatively.
 type table interface {
 	Get(key relstore.Value) (relstore.Row, bool, error)
+	GetCtx(ctx context.Context, key relstore.Value) (relstore.Row, bool, error)
 	ScanCtx(ctx context.Context, fn func(relstore.Row) (bool, error)) error
 	ScanRangeCtx(ctx context.Context, lo, hi relstore.Value, fn func(relstore.Row) (bool, error)) error
 	IndexScanCtx(ctx context.Context, index string, vals []relstore.Value, fn func(relstore.Row) (bool, error)) error
@@ -713,7 +715,13 @@ func (t *Tree) Info() TreeInfo { return t.info }
 
 // Node fetches a node by preorder id.
 func (t *Tree) Node(id int) (Node, error) {
-	row, ok, err := t.nodes.Get(relstore.Int(int64(id)))
+	return t.NodeCtx(context.Background(), id)
+}
+
+// NodeCtx is Node attributing engine counters to the request span carried
+// by ctx, if any.
+func (t *Tree) NodeCtx(ctx context.Context, id int) (Node, error) {
+	row, ok, err := t.nodes.GetCtx(ctx, relstore.Int(int64(id)))
 	if err != nil {
 		return Node{}, err
 	}
@@ -789,7 +797,7 @@ func (t *Tree) cell(ctx context.Context, k, id int) (layerCell, error) {
 	// cancellation: a cancelled reader whose snapshot pins were released
 	// may hit reclaimed pages, and that must not masquerade as corruption.
 	if k == 0 {
-		n, err := t.Node(id)
+		n, err := t.NodeCtx(ctx, id)
 		if err != nil {
 			if cerr := ctx.Err(); cerr != nil {
 				return layerCell{}, cerr
@@ -798,7 +806,7 @@ func (t *Tree) cell(ctx context.Context, k, id int) (layerCell, error) {
 		}
 		return layerCell{sub: n.Sub, lparent: n.LocalParent, ldepth: n.LocalDepth}, nil
 	}
-	row, ok, err := t.layers[k-1].Get(relstore.Int(int64(id)))
+	row, ok, err := t.layers[k-1].GetCtx(ctx, relstore.Int(int64(id)))
 	if err != nil {
 		if cerr := ctx.Err(); cerr != nil {
 			return layerCell{}, cerr
@@ -816,8 +824,8 @@ func (t *Tree) cell(ctx context.Context, k, id int) (layerCell, error) {
 }
 
 // subSource returns the source node of subtree s at layer k (-1 if none).
-func (t *Tree) subSource(k, s int) (int, error) {
-	row, ok, err := t.subs[k].Get(relstore.Int(int64(s)))
+func (t *Tree) subSource(ctx context.Context, k, s int) (int, error) {
+	row, ok, err := t.subs[k].GetCtx(ctx, relstore.Int(int64(s)))
 	if err != nil {
 		return 0, err
 	}
@@ -900,7 +908,7 @@ func (t *Tree) lcaLocal(ctx context.Context, k, a int, ca layerCell, b int, cb l
 
 func (t *Tree) ascend(ctx context.Context, k, id int, c layerCell, s int) (int, layerCell, error) {
 	for c.sub != s {
-		src, err := t.subSource(k, c.sub)
+		src, err := t.subSource(ctx, k, c.sub)
 		if err != nil {
 			return 0, layerCell{}, err
 		}
@@ -1067,7 +1075,7 @@ func (t *Tree) SampleUniformCtx(ctx context.Context, k int, r *rand.Rand) ([]Nod
 		if picked[id] {
 			continue
 		}
-		n, err := t.Node(id)
+		n, err := t.NodeCtx(ctx, id)
 		if err != nil {
 			return nil, err
 		}
@@ -1096,21 +1104,26 @@ func (t *Tree) SampleWithTimeCtx(ctx context.Context, time float64, k int, r *ra
 	if k < 1 {
 		return nil, errors.New("treestore: sample size must be >= 1")
 	}
-	frontier, err := t.FrontierCtx(ctx, time)
+	frontierCtx, frontierSpan := obs.StartSpan(ctx, "frontier")
+	frontier, err := t.FrontierCtx(frontierCtx, time)
+	frontierSpan.End()
 	if err != nil {
 		return nil, err
 	}
 	if len(frontier) == 0 {
 		return nil, fmt.Errorf("treestore: no nodes beyond time %g", time)
 	}
+	leavesCtx, leavesSpan := obs.StartSpan(ctx, "collect_leaves")
 	groups := make([][]Node, len(frontier))
 	total := 0
 	for i, fn := range frontier {
-		if groups[i], err = t.LeavesUnderCtx(ctx, fn.ID); err != nil {
+		if groups[i], err = t.LeavesUnderCtx(leavesCtx, fn.ID); err != nil {
+			leavesSpan.End()
 			return nil, err
 		}
 		total += len(groups[i])
 	}
+	leavesSpan.End()
 	if total < k {
 		return nil, fmt.Errorf("treestore: only %d leaves beyond time %g < %d", total, time, k)
 	}
@@ -1181,16 +1194,20 @@ func (t *Tree) ProjectCtx(ctx context.Context, ids []int) (*phylo.Tree, error) {
 			uniq = append(uniq, id)
 		}
 	}
+	fetchCtx, fetchSpan := obs.StartSpan(ctx, "fetch_nodes")
 	rows := make([]Node, len(uniq))
 	for i, id := range uniq {
 		if err := ctx.Err(); err != nil {
+			fetchSpan.End()
 			return nil, err
 		}
 		var err error
-		if rows[i], err = t.Node(id); err != nil {
+		if rows[i], err = t.NodeCtx(fetchCtx, id); err != nil {
+			fetchSpan.End()
 			return nil, err
 		}
 	}
+	fetchSpan.End()
 	if len(rows) == 1 {
 		tr := phylo.New(&phylo.Node{Name: rows[0].Name})
 		tr.Reindex()
@@ -1204,14 +1221,16 @@ func (t *Tree) ProjectCtx(ctx context.Context, ids []int) (*phylo.Tree, error) {
 		child.nw.Length = child.row.Dist - parent.row.Dist
 		parent.nw.AddChild(child.nw)
 	}
+	lcaCtx, lcaSpan := obs.StartSpan(ctx, "lca_walk")
+	defer lcaSpan.End()
 	stack := []*entry{{row: rows[0], nw: &phylo.Node{Name: rows[0].Name}}}
 	for _, x := range rows[1:] {
 		top := stack[len(stack)-1]
-		lid, err := t.LCACtx(ctx, top.row.ID, x.ID)
+		lid, err := t.LCACtx(lcaCtx, top.row.ID, x.ID)
 		if err != nil {
 			return nil, err
 		}
-		lrow, err := t.Node(lid)
+		lrow, err := t.NodeCtx(lcaCtx, lid)
 		if err != nil {
 			return nil, err
 		}
@@ -1304,14 +1323,17 @@ func (t *Tree) Export() (*phylo.Tree, error) {
 
 // ProjectNamesCtx projects over species names under ctx.
 func (t *Tree) ProjectNamesCtx(ctx context.Context, names []string) (*phylo.Tree, error) {
+	resolveCtx, resolveSpan := obs.StartSpan(ctx, "resolve_names")
 	ids := make([]int, len(names))
 	for i, name := range names {
-		n, err := t.NodeByNameCtx(ctx, name)
+		n, err := t.NodeByNameCtx(resolveCtx, name)
 		if err != nil {
+			resolveSpan.End()
 			return nil, err
 		}
 		ids[i] = n.ID
 	}
+	resolveSpan.End()
 	return t.ProjectCtx(ctx, ids)
 }
 

@@ -627,10 +627,17 @@ func cmdBench(args []string) error {
 	ingest := fs.Bool("ingest", false, "instead of a reconstruction benchmark, measure the single-tree ingest pipeline (parse / index / stage / insert) stage by stage")
 	ingestWorkers := fs.Int("ingest-workers", 0, "pipeline fan-out in --ingest mode (0 = GOMAXPROCS)")
 	ingestReps := fs.Int("ingest-reps", 3, "repetitions in --ingest mode (best run is reported)")
-	baseline := fs.String("baseline", "", "in --ingest mode, compare nodes_per_sec against this baseline JSON report (e.g. BENCH_load.json)")
-	maxRegress := fs.Float64("max-regress", 0.10, "with --baseline, fail when nodes_per_sec regresses by more than this fraction")
+	readBench := fs.Bool("read", false, "instead of a reconstruction benchmark, measure the hot read path (project / lca / clade / match) against a stored Yule tree")
+	readReps := fs.Int("read-reps", 3, "repetitions in --read mode (best run is reported)")
+	readCacheMB := fs.Int("read-cache-mb", 64, "decoded-node read cache budget in --read mode, MB (0 disables the cache and the batched fast path)")
+	projectK := fs.Int("project-k", 50, "species sample size for the projection / clade / match queries in --read mode")
+	baseline := fs.String("baseline", "", "in --ingest or --read mode, compare the throughput scalar against this baseline JSON report (e.g. BENCH_load.json, BENCH_read.json)")
+	maxRegress := fs.Float64("max-regress", 0.10, "with --baseline, fail when throughput regresses by more than this fraction")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *readBench {
+		return runReadBench(*loadLeaves, *readReps, *projectK, *readCacheMB, *seed, *jsonOut, *baseline, *maxRegress)
 	}
 	if *ingest {
 		return runIngestBench(*loadLeaves, *ingestWorkers, *ingestReps, *seed, *jsonOut, *baseline, *maxRegress)
@@ -940,6 +947,161 @@ func runIngestBench(leaves, workers, reps int, seed int64, jsonOut, baseline str
 	return nil
 }
 
+// readBenchReport is the JSON body of a --read run: the hot read path —
+// projection, LCA, minimal spanning clade and pattern match against a
+// stored Yule tree — timed with the decoded-node read cache enabled. CI
+// writes it to bench-read.json and gates queries_per_sec against the
+// committed BENCH_read.json baseline; the Counters map records the obs
+// engine deltas (descents, cells decoded, cache hits/misses) for the run
+// so cache behaviour is visible per build.
+type readBenchReport struct {
+	Leaves        int              `json:"leaves"`
+	Nodes         int              `json:"nodes"`
+	ProjectK      int              `json:"project_k"`
+	CacheMB       int              `json:"cache_mb"`
+	Reps          int              `json:"reps"`
+	GOMAXPROCS    int              `json:"gomaxprocs"`
+	Queries       int              `json:"queries"`
+	ProjectNS     int64            `json:"project_ns"`
+	LCANS         int64            `json:"lca_ns"`
+	CladeNS       int64            `json:"clade_ns"`
+	MatchNS       int64            `json:"match_ns"`
+	TotalNS       int64            `json:"total_ns"`
+	QueriesPerSec float64          `json:"queries_per_sec"`
+	Counters      map[string]int64 `json:"counters"`
+}
+
+// runReadBench generates a Yule tree, loads it into a single-shard
+// in-memory repository, enables the decoded-node read cache, and times a
+// fixed query mix — one k-species projection, a batch of LCA pairs, one
+// minimal spanning clade, one pattern match — reporting the best of reps
+// runs. With baseline set it also acts as a regression gate on
+// queries_per_sec, mirroring the ingest gate.
+func runReadBench(leaves, reps, projectK, cacheMB int, seed int64, jsonOut, baseline string, maxRegress float64) error {
+	if reps < 1 {
+		reps = 1
+	}
+	if projectK < 2 {
+		return fmt.Errorf("bench: --project-k must be >= 2")
+	}
+	gold, err := treegen.Yule(leaves, 1.0, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return err
+	}
+	repo := crimson.OpenMemSharded(1)
+	defer repo.Close()
+	if _, err := repo.Trees.Load("bench", gold, crimson.DefaultFanout, nil); err != nil {
+		return err
+	}
+	repo.SetReadCacheMB(cacheMB)
+	st, err := repo.Tree("bench")
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	sample, err := st.SampleUniformCtx(ctx, projectK, rand.New(rand.NewSource(seed+1)))
+	if err != nil {
+		return err
+	}
+	ids := make([]int, len(sample))
+	names := make([]string, len(sample))
+	for i, n := range sample {
+		ids[i] = n.ID
+		names[i] = n.Name
+	}
+	const lcaPairs = 32
+	best := readBenchReport{
+		Leaves:     leaves,
+		Nodes:      gold.NumNodes(),
+		ProjectK:   projectK,
+		CacheMB:    cacheMB,
+		Reps:       reps,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Queries:    3 + lcaPairs,
+	}
+	before := crimson.EngineCounters()
+	for rep := 0; rep < reps; rep++ {
+		t0 := time.Now()
+		if _, err := st.ProjectCtx(ctx, ids); err != nil {
+			return err
+		}
+		projectNS := time.Since(t0).Nanoseconds()
+		t0 = time.Now()
+		for i := 0; i < lcaPairs; i++ {
+			if _, err := st.LCACtx(ctx, ids[i%len(ids)], ids[(i+1)%len(ids)]); err != nil {
+				return err
+			}
+		}
+		lcaNS := time.Since(t0).Nanoseconds()
+		t0 = time.Now()
+		if _, err := st.MinimalSpanningCladeCtx(ctx, ids); err != nil {
+			return err
+		}
+		cladeNS := time.Since(t0).Nanoseconds()
+		t0 = time.Now()
+		if _, err := st.ProjectNamesCtx(ctx, names); err != nil {
+			return err
+		}
+		matchNS := time.Since(t0).Nanoseconds()
+		total := projectNS + lcaNS + cladeNS + matchNS
+		if best.TotalNS == 0 || total < best.TotalNS {
+			best.ProjectNS = projectNS
+			best.LCANS = lcaNS
+			best.CladeNS = cladeNS
+			best.MatchNS = matchNS
+			best.TotalNS = total
+			best.QueriesPerSec = float64(best.Queries) / (float64(total) / 1e9)
+		}
+	}
+	after := crimson.EngineCounters()
+	best.Counters = make(map[string]int64)
+	for name, v := range after {
+		if d := v - before[name]; d != 0 {
+			best.Counters[name] = d
+		}
+	}
+	fmt.Fprintf(os.Stderr,
+		"read %d leaves (%d nodes, cache %dMB, k=%d): project %.1fms lca %.1fms clade %.1fms match %.1fms => %.0f queries/s (GOMAXPROCS=%d)\n",
+		best.Leaves, best.Nodes, best.CacheMB, best.ProjectK,
+		float64(best.ProjectNS)/1e6, float64(best.LCANS)/1e6, float64(best.CladeNS)/1e6, float64(best.MatchNS)/1e6,
+		best.QueriesPerSec, best.GOMAXPROCS)
+	fmt.Fprintf(os.Stderr, "read counters (all reps): descents=%d cells_decoded=%d cache hits=%d misses=%d evicts=%d\n",
+		best.Counters["btree_descents"], best.Counters["cells_decoded"],
+		best.Counters["read_cache_hits"], best.Counters["read_cache_misses"], best.Counters["read_cache_evicts"])
+	if baseline != "" {
+		raw, err := os.ReadFile(baseline)
+		if err != nil {
+			return fmt.Errorf("bench: reading baseline: %w", err)
+		}
+		var base readBenchReport
+		if err := json.Unmarshal(raw, &base); err != nil {
+			return fmt.Errorf("bench: parsing baseline %s: %w", baseline, err)
+		}
+		if base.QueriesPerSec > 0 {
+			ratio := best.QueriesPerSec / base.QueriesPerSec
+			fmt.Fprintf(os.Stderr, "read gate: baseline %.0f queries/s, current %.0f queries/s (%.1f%% of baseline, floor %.1f%%)\n",
+				base.QueriesPerSec, best.QueriesPerSec, ratio*100, (1-maxRegress)*100)
+			if ratio < 1-maxRegress {
+				return fmt.Errorf("bench: read throughput regressed %.1f%% vs %s (limit %.1f%%)",
+					(1-ratio)*100, baseline, maxRegress*100)
+			}
+		}
+	}
+	if jsonOut != "" {
+		raw, err := json.MarshalIndent(best, "", "  ")
+		if err != nil {
+			return err
+		}
+		raw = append(raw, '\n')
+		if jsonOut == "-" {
+			os.Stdout.Write(raw)
+			return nil
+		}
+		return os.WriteFile(jsonOut, raw, 0o644)
+	}
+	return nil
+}
+
 func cmdHistory(args []string) error {
 	fs := flag.NewFlagSet("history", flag.ContinueOnError)
 	repoPath := fs.String("repo", "", "repository page file")
@@ -1044,6 +1206,7 @@ func cmdServe(args []string) error {
 	cacheSize := fs.Int("cache", 1024, "result-cache capacity in entries (negative disables)")
 	maxBody := fs.Int64("max-body", 256<<20, "request body limit in bytes")
 	loadWorkers := fs.Int("load-workers", 0, "ingest pipeline fan-out per load request (0 = GOMAXPROCS)")
+	readCacheMB := fs.Int("read-cache-mb", 64, "decoded-node read cache budget in MB, split across shards (0 disables the cache and the batched read fast path)")
 	slowQueryMS := fs.Int("slow-query-ms", 0, "log requests slower than this many milliseconds together with their span tree (0 disables)")
 	traceAll := fs.Bool("trace", false, "collect a span tree on every request (clients still opt into the echo with ?debug=trace)")
 	pprofOn := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
@@ -1066,6 +1229,7 @@ func cmdServe(args []string) error {
 		}
 	}
 	defer repo.Close()
+	repo.SetReadCacheMB(*readCacheMB)
 	logf := func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) }
 	if *quiet {
 		logf = nil

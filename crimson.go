@@ -375,6 +375,34 @@ func assemble(dbs []*relstore.DB) (*Repository, error) {
 // Shards reports the repository's shard count.
 func (r *Repository) Shards() int { return r.router.N() }
 
+// SetReadCacheMB (re)configures the decoded-node read cache of every
+// shard's storage engine, splitting the budget evenly across shards. The
+// cache keys decoded interior B+tree nodes by (page, epoch) — immutable
+// under copy-on-write commits — so hot descents skip the copy+decode per
+// level; enabling it also switches tree queries onto the batched point
+// read and LCA-memo fast path. mb <= 0 disables the cache and restores
+// the legacy per-row read path. Results are byte-identical either way.
+func (r *Repository) SetReadCacheMB(mb int) {
+	per := int64(mb) << 20
+	if n := int64(len(r.dbs)); n > 1 && per > 0 {
+		per /= n
+	}
+	for _, db := range r.dbs {
+		db.Store().SetReadCacheBytes(per)
+	}
+}
+
+// ReadCacheStats reports the decoded-node cache's entry count and resident
+// bytes summed across shards (zeros when disabled).
+func (r *Repository) ReadCacheStats() (entries int, bytes int64) {
+	for _, db := range r.dbs {
+		e, b := db.Store().ReadCacheStats()
+		entries += e
+		bytes += b
+	}
+	return entries, bytes
+}
+
 // Commit makes all buffered changes of every shard durable.
 func (r *Repository) Commit() error {
 	var errs []error

@@ -52,6 +52,14 @@ const (
 	CtrWALBytes
 	// CtrWALSyncs counts WAL fsync batches.
 	CtrWALSyncs
+	// CtrReadCacheHits counts decoded-node cache hits on the read path.
+	CtrReadCacheHits
+	// CtrReadCacheMisses counts decoded-node cache misses (cacheable
+	// interior nodes that had to be decoded from the page).
+	CtrReadCacheMisses
+	// CtrReadCacheEvicts counts decoded-node cache evictions under the
+	// byte budget.
+	CtrReadCacheEvicts
 
 	NumCounters
 )
@@ -68,6 +76,9 @@ var counterNames = [NumCounters]string{
 	"cow_pages",
 	"wal_bytes",
 	"wal_syncs",
+	"read_cache_hits",
+	"read_cache_misses",
+	"read_cache_evicts",
 }
 
 // Name returns the counter's snake_case wire name.

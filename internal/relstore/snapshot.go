@@ -35,10 +35,15 @@ func (db *DB) Snapshot() *Snap {
 	ss := db.store.Snapshot()
 	sn := &Snap{ss: ss, views: make(map[string]*TableView)}
 	if root := ss.Root(catalogRootSlot); root != 0 {
-		sn.catalog = storage.OpenBTree(db.store, root)
+		sn.catalog = storage.OpenBTreeAt(db.store, root, ss.Epoch())
 	}
 	return sn
 }
+
+// Store exposes the underlying storage engine the snapshot reads from;
+// higher layers use it to inspect engine-level configuration such as
+// whether the decoded-node read cache is enabled.
+func (s *Snap) Store() *storage.Store { return s.ss.Store() }
 
 // Epoch reports the committed epoch this snapshot reads.
 func (s *Snap) Epoch() uint64 { return s.ss.Epoch() }
@@ -70,14 +75,17 @@ func (s *Snap) Table(name string) (*TableView, error) {
 		return nil, fmt.Errorf("relstore: catalog entry for %s: %w", name, err)
 	}
 	keyCol, _ := ent.Schema.colIndex(ent.Schema.Key)
+	// Views are pinned to the snapshot's epoch: their pages are immutable
+	// for the snapshot's lifetime, so decoded-node cache entries keyed
+	// (page, epoch) are shared by every reader of this epoch.
 	v := &TableView{
 		schema:  ent.Schema,
 		keyCol:  keyCol,
-		primary: storage.OpenBTree(s.ss.Store(), ent.PrimaryRoot),
+		primary: storage.OpenBTreeAt(s.ss.Store(), ent.PrimaryRoot, s.ss.Epoch()),
 		indexes: make(map[string]*storage.BTree, len(ent.IndexRoots)),
 	}
 	for ixName, root := range ent.IndexRoots {
-		v.indexes[ixName] = storage.OpenBTree(s.ss.Store(), root)
+		v.indexes[ixName] = storage.OpenBTreeAt(s.ss.Store(), root, s.ss.Epoch())
 	}
 	s.mu.Lock()
 	if prev, ok := s.views[name]; ok {

@@ -389,6 +389,24 @@ func (t *Table) GetCtx(ctx context.Context, key Value) (Row, bool, error) {
 	return t.TableView.GetCtx(ctx, key)
 }
 
+// GetBatchCtx fetches many rows by primary key under one acquisition of
+// the database read lock, sharing B+tree descents across keys that land in
+// the same leaf. Results are positional — rows[i]/found[i] answer keys[i].
+func (t *Table) GetBatchCtx(ctx context.Context, keys []Value) ([]Row, []bool, error) {
+	t.db.mu.RLock()
+	defer t.db.mu.RUnlock()
+	return t.TableView.GetBatchCtx(ctx, keys)
+}
+
+// GetLeafCtx returns the decoded rows of the storage leaf containing (or
+// that would contain) key, under one acquisition of the database read
+// lock. See TableView.GetLeafCtx.
+func (t *Table) GetLeafCtx(ctx context.Context, key Value) ([]Row, error) {
+	t.db.mu.RLock()
+	defer t.db.mu.RUnlock()
+	return t.TableView.GetLeafCtx(ctx, key)
+}
+
 // Len returns the row count. Safe for concurrent readers.
 func (t *Table) Len() (int, error) {
 	t.db.mu.RLock()

@@ -123,6 +123,59 @@ func (v *TableView) GetCtx(ctx context.Context, key Value) (Row, bool, error) {
 	return row, err == nil, err
 }
 
+// GetBatchCtx fetches many rows by primary key in one storage pass:
+// encoded keys are handed to the B+tree's batched point read, which visits
+// them in sorted order and shares one descent across keys landing in the
+// same leaf. Results are positional — rows[i]/found[i] answer keys[i].
+func (v *TableView) GetBatchCtx(ctx context.Context, keys []Value) ([]Row, []bool, error) {
+	keyType := v.schema.Columns[v.keyCol].Type
+	enc := make([][]byte, len(keys))
+	for i, key := range keys {
+		if key.Type != keyType {
+			return nil, nil, fmt.Errorf("%w: key wants %s, got %s",
+				ErrSchemaRow, keyType, key.Type)
+		}
+		enc[i] = EncodeKey(key)
+	}
+	vals, found, err := v.primary.GetBatch(ctx, enc)
+	if err != nil {
+		return nil, nil, err
+	}
+	rows := make([]Row, len(keys))
+	for i, val := range vals {
+		if !found[i] {
+			continue
+		}
+		if rows[i], err = decodeRow(val); err != nil {
+			return nil, nil, err
+		}
+	}
+	return rows, found, nil
+}
+
+// GetLeafCtx returns the decoded rows of the storage leaf that contains
+// (or would contain) key, in key order. One descent harvests every
+// neighboring row the point read already decoded; batch-oriented readers
+// memoize them so nearby lookups never descend again. The requested key
+// may be absent — callers check the rows they got.
+func (v *TableView) GetLeafCtx(ctx context.Context, key Value) ([]Row, error) {
+	keyType := v.schema.Columns[v.keyCol].Type
+	if key.Type != keyType {
+		return nil, fmt.Errorf("%w: key wants %s, got %s", ErrSchemaRow, keyType, key.Type)
+	}
+	_, vals, err := v.primary.GetLeaf(ctx, EncodeKey(key))
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Row, len(vals))
+	for i, val := range vals {
+		if rows[i], err = decodeRow(val); err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
+}
+
 // Len returns the row count.
 func (v *TableView) Len() (int, error) {
 	return v.primary.Len()

@@ -254,16 +254,19 @@ func writeStandardFamilies(b *strings.Builder, s StatsSnapshot) {
 
 // engineHelp documents each obs engine counter for /metrics HELP lines.
 var engineHelp = map[string]string{
-	"btree_descents": "B+tree root-to-leaf descents.",
-	"cells_decoded":  "B+tree cells decoded while reading nodes.",
-	"rows_scanned":   "Rows produced by range scans.",
-	"pool_hits":      "Buffer-pool page read hits.",
-	"pool_misses":    "Buffer-pool page read misses.",
-	"pages_read":     "Pages read from disk.",
-	"pages_written":  "Pages written at commit.",
-	"cow_pages":      "Pages copied by copy-on-write before modification.",
-	"wal_bytes":      "Bytes appended to the write-ahead log.",
-	"wal_syncs":      "Write-ahead log fsyncs.",
+	"btree_descents":    "B+tree root-to-leaf descents.",
+	"cells_decoded":     "B+tree cells decoded while reading nodes.",
+	"rows_scanned":      "Rows produced by range scans.",
+	"pool_hits":         "Buffer-pool page read hits.",
+	"pool_misses":       "Buffer-pool page read misses.",
+	"pages_read":        "Pages read from disk.",
+	"pages_written":     "Pages written at commit.",
+	"cow_pages":         "Pages copied by copy-on-write before modification.",
+	"wal_bytes":         "Bytes appended to the write-ahead log.",
+	"wal_syncs":         "Write-ahead log fsyncs.",
+	"read_cache_hits":   "Decoded-node read cache hits.",
+	"read_cache_misses": "Decoded-node read cache misses (cacheable interior nodes decoded).",
+	"read_cache_evicts": "Decoded-node read cache evictions under the byte budget.",
 }
 
 // writeEngineFamilies emits one counter family per process-global engine

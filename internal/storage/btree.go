@@ -56,6 +56,15 @@ type BTree struct {
 	store *Store
 	root  PageID
 	size  atomic.Int64 // cached entry count; -1 when unknown (opened from disk)
+
+	// epoch/pinned key this tree's entries in the store's decoded-node
+	// cache. A tree opened from a snapshot is pinned to the snapshot's
+	// epoch (its pages are immutable for the snapshot's lifetime); an
+	// unpinned tree keys by the store's last published epoch, so entries
+	// cached before a commit are simply superseded — never stale — after
+	// it.
+	epoch  uint64
+	pinned bool
 }
 
 // NewBTree creates an empty tree in the store.
@@ -76,6 +85,25 @@ func OpenBTree(store *Store, root PageID) *BTree {
 	t := &BTree{store: store, root: root}
 	t.size.Store(-1)
 	return t
+}
+
+// OpenBTreeAt opens an existing tree rooted at root, pinned to the given
+// committed epoch for decoded-node cache keying. Use it for trees opened
+// from a snapshot: the snapshot guarantees every reachable page is
+// immutable, so (page, epoch) names the decode for the snapshot's whole
+// lifetime and concurrent readers of the same epoch share entries.
+func OpenBTreeAt(store *Store, root PageID, epoch uint64) *BTree {
+	t := &BTree{store: store, root: root, epoch: epoch, pinned: true}
+	t.size.Store(-1)
+	return t
+}
+
+// cacheEpoch resolves the epoch this tree keys cache entries by.
+func (t *BTree) cacheEpoch() uint64 {
+	if t.pinned {
+		return t.epoch
+	}
+	return t.store.pubEpoch.Load()
 }
 
 // Root returns the current root page id. Under copy-on-write it changes on
@@ -224,6 +252,38 @@ func (t *BTree) readNodeC(id PageID, c *obs.Counters) (*node, error) {
 	return n, nil
 }
 
+// readNodeShared is readNodeC for strictly read-only descent paths: it
+// consults the store's decoded-node cache before touching the page, and
+// publishes interior nodes it had to decode. The returned node may be
+// shared with other goroutines — callers must not modify it (the mutation
+// and maintenance paths keep using readNode/readNodeC, whose nodes are
+// private copies they splice in place). Leaves are never cached, so every
+// leaf returned here is a private decode and its vals may be handed out.
+func (t *BTree) readNodeShared(id PageID, c *obs.Counters) (*node, error) {
+	rc := t.store.rcache.Load()
+	if rc == nil {
+		return t.readNodeC(id, c)
+	}
+	epoch := t.cacheEpoch()
+	if n, ok := rc.get(id, epoch); ok {
+		obs.Engine.Add(obs.CtrReadCacheHits, 1)
+		c.Add(obs.CtrReadCacheHits, 1)
+		return n, nil
+	}
+	n, err := t.readNodeC(id, c)
+	if err != nil {
+		return nil, err
+	}
+	if n.kind == pageInternal {
+		// Only cacheable nodes count as misses, so hits+misses tracks the
+		// interior working set rather than being diluted by leaf reads.
+		obs.Engine.Add(obs.CtrReadCacheMisses, 1)
+		c.Add(obs.CtrReadCacheMisses, 1)
+		rc.put(id, epoch, n)
+	}
+	return n, nil
+}
+
 // childIndex returns the child to descend into for key: the first separator
 // strictly greater than key bounds the child on its left.
 func childIndex(n *node, key []byte) int {
@@ -256,12 +316,12 @@ func (t *BTree) GetCtx(ctx context.Context, key []byte) ([]byte, bool, error) {
 func (t *BTree) GetC(key []byte, c *obs.Counters) ([]byte, bool, error) {
 	obs.Engine.Add(obs.CtrBTreeDescents, 1)
 	c.Add(obs.CtrBTreeDescents, 1)
-	n, err := t.readNodeC(t.root, c)
+	n, err := t.readNodeShared(t.root, c)
 	if err != nil {
 		return nil, false, err
 	}
 	for n.kind == pageInternal {
-		if n, err = t.readNodeC(n.children[childIndex(n, key)], c); err != nil {
+		if n, err = t.readNodeShared(n.children[childIndex(n, key)], c); err != nil {
 			return nil, false, err
 		}
 	}
@@ -284,6 +344,120 @@ func (t *BTree) resolveValue(n *node, pos int) ([]byte, bool, error) {
 func (t *BTree) Has(key []byte) (bool, error) {
 	_, ok, err := t.Get(key)
 	return ok, err
+}
+
+// GetBatch performs many point reads in one pass: keys are visited in
+// sorted order and every key landing in the current leaf is answered
+// without a fresh descent, so k keys cost one descent per distinct leaf
+// instead of k. Results are positional — vals[i]/found[i] answer keys[i]
+// regardless of the internal visit order. The context is checked
+// periodically; engine counters attribute to the request span carried by
+// ctx, if any.
+func (t *BTree) GetBatch(ctx context.Context, keys [][]byte) ([][]byte, []bool, error) {
+	return t.GetBatchC(ctx, keys, obs.CountersFrom(ctx))
+}
+
+// GetBatchC is GetBatch with explicit per-request counter attribution (c
+// may be nil).
+func (t *BTree) GetBatchC(ctx context.Context, keys [][]byte, c *obs.Counters) ([][]byte, []bool, error) {
+	vals := make([][]byte, len(keys))
+	found := make([]bool, len(keys))
+	if len(keys) == 0 {
+		return vals, found, nil
+	}
+	order := make([]int, len(keys))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return bytes.Compare(keys[order[a]], keys[order[b]]) < 0
+	})
+	var (
+		leaf *node
+		hi   []byte // first key routed past the current leaf; nil when rightmost
+	)
+	// descend routes to key's leaf, tracking the tightest upper separator
+	// seen on the path: every key below it is guaranteed to live in (or be
+	// absent from) this leaf, which is what lets the sorted walk reuse it.
+	descend := func(key []byte) error {
+		obs.Engine.Add(obs.CtrBTreeDescents, 1)
+		c.Add(obs.CtrBTreeDescents, 1)
+		n, err := t.readNodeShared(t.root, c)
+		if err != nil {
+			return err
+		}
+		hi = nil
+		for n.kind == pageInternal {
+			idx := childIndex(n, key)
+			if idx < len(n.keys) {
+				hi = n.keys[idx]
+			}
+			if n, err = t.readNodeShared(n.children[idx], c); err != nil {
+				return err
+			}
+		}
+		leaf = n
+		return nil
+	}
+	for visited, oi := range order {
+		if visited&63 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, nil, err
+			}
+		}
+		key := keys[oi]
+		if leaf == nil || (hi != nil && bytes.Compare(key, hi) >= 0) {
+			if err := descend(key); err != nil {
+				return nil, nil, err
+			}
+		}
+		pos, ok := leafIndex(leaf, key)
+		if !ok {
+			continue
+		}
+		v, ok, err := t.resolveValue(leaf, pos)
+		if err != nil {
+			return nil, nil, err
+		}
+		vals[oi], found[oi] = v, ok
+	}
+	return vals, found, nil
+}
+
+// GetLeaf returns every key/value pair residing in the leaf that contains
+// (or would contain) key, in key order, resolving overflow values. One
+// descent buys the whole leaf: batch-friendly readers harvest the
+// neighbors a point read already paid to decode instead of descending for
+// each of them separately.
+func (t *BTree) GetLeaf(ctx context.Context, key []byte) ([][]byte, [][]byte, error) {
+	return t.GetLeafC(key, obs.CountersFrom(ctx))
+}
+
+// GetLeafC is GetLeaf with explicit per-request counter attribution (c may
+// be nil).
+func (t *BTree) GetLeafC(key []byte, c *obs.Counters) ([][]byte, [][]byte, error) {
+	obs.Engine.Add(obs.CtrBTreeDescents, 1)
+	c.Add(obs.CtrBTreeDescents, 1)
+	n, err := t.readNodeShared(t.root, c)
+	if err != nil {
+		return nil, nil, err
+	}
+	for n.kind == pageInternal {
+		if n, err = t.readNodeShared(n.children[childIndex(n, key)], c); err != nil {
+			return nil, nil, err
+		}
+	}
+	keys := make([][]byte, len(n.keys))
+	vals := make([][]byte, len(n.keys))
+	copy(keys, n.keys)
+	for i := range n.keys {
+		v, _, err := t.resolveValue(n, i)
+		if err != nil {
+			return nil, nil, err
+		}
+		vals[i] = v
+	}
+	return keys, vals, nil
 }
 
 type splitResult struct {
@@ -679,7 +853,7 @@ func (c *Cursor) Close() {
 func (c *Cursor) descend(id PageID, key []byte) error {
 	obs.Engine.Add(obs.CtrBTreeDescents, 1)
 	c.c.Add(obs.CtrBTreeDescents, 1)
-	n, err := c.tree.readNodeC(id, c.c)
+	n, err := c.tree.readNodeShared(id, c.c)
 	if err != nil {
 		return err
 	}
@@ -689,7 +863,7 @@ func (c *Cursor) descend(id PageID, key []byte) error {
 			idx = childIndex(n, key)
 		}
 		c.stack = append(c.stack, cursorFrame{n: n, idx: idx})
-		if n, err = c.tree.readNodeC(n.children[idx], c.c); err != nil {
+		if n, err = c.tree.readNodeShared(n.children[idx], c.c); err != nil {
 			return err
 		}
 	}

@@ -310,7 +310,53 @@ type Store struct {
 	// when opened (fresh stores count as clean: nothing can have leaked).
 	wasClean bool
 
+	// rcache, when non-nil, is the version-keyed decoded-node cache the
+	// B+tree read paths consult before decoding pages (see readcache.go).
+	// Held atomically so SetReadCacheBytes may flip it while readers run.
+	rcache atomic.Pointer[readCache]
+
+	// pubEpoch mirrors ep.current for lock-free reads: trees not pinned to
+	// a snapshot key their cache entries by the last published epoch.
+	pubEpoch atomic.Uint64
+
 	ep epochs
+}
+
+// SetReadCacheBytes (re)configures the decoded-node read cache. A size of
+// zero or less disables it; any other value installs a fresh cache bounded
+// to roughly that many bytes. Safe to call at any time — readers pick up
+// the new cache on their next node read — though it is typically called
+// once right after open.
+func (s *Store) SetReadCacheBytes(n int64) {
+	if n <= 0 {
+		s.rcache.Store(nil)
+		return
+	}
+	s.rcache.Store(newReadCache(n))
+}
+
+// ReadCacheEnabled reports whether a decoded-node read cache is installed.
+// Higher layers use it to choose between the batched fast read path and
+// the legacy per-row path.
+func (s *Store) ReadCacheEnabled() bool { return s.rcache.Load() != nil }
+
+// ReadCacheStats reports the decoded-node cache's entry count and resident
+// bytes (zeros when disabled).
+func (s *Store) ReadCacheStats() (entries int, bytes int64) {
+	if rc := s.rcache.Load(); rc != nil {
+		return rc.stats()
+	}
+	return 0, 0
+}
+
+// dropCached removes every cached decode of the page. Must be called
+// whenever a page's bytes may change under an id a reader could still look
+// up: on free (the id becomes reallocatable) and on in-place writes of
+// writer-owned pages.
+func (s *Store) dropCached(id PageID) {
+	if rc := s.rcache.Load(); rc != nil {
+		rc.drop(id)
+	}
 }
 
 // Open opens a file-backed store, creating it if absent, and replays any
@@ -363,6 +409,7 @@ func (s *Store) init() error {
 			return err
 		}
 		s.ep.init(s.meta.epoch, s.meta.roots)
+		s.pubEpoch.Store(s.meta.epoch)
 		s.wasClean = true // fresh store: nothing can have leaked
 		return nil
 	}
@@ -374,6 +421,7 @@ func (s *Store) init() error {
 		return err
 	}
 	s.ep.init(s.meta.epoch, s.meta.roots)
+	s.pubEpoch.Store(s.meta.epoch)
 	s.wasClean = s.meta.clean
 	if s.meta.clean {
 		// Clear the flag durably (through the WAL) before anyone mutates:
@@ -441,6 +489,9 @@ func (s *Store) Free(id PageID) error {
 }
 
 func (s *Store) free(id PageID) error {
+	// The id is about to become reallocatable: no reader may resolve a
+	// cached decode of its old contents once it is reused.
+	s.dropCached(id)
 	var buf [PageSize]byte
 	binary.LittleEndian.PutUint64(buf[:], uint64(s.meta.freeHead))
 	if err := s.pool.Put(id, buf[:]); err != nil {
@@ -562,6 +613,8 @@ func (s *Store) WritePage(id PageID, buf []byte) error {
 	if s.closed.Load() {
 		return ErrClosed
 	}
+	// In-place rewrite: any cached decode of the page is now stale.
+	s.dropCached(id)
 	return s.pool.Put(id, buf)
 }
 
@@ -576,6 +629,8 @@ func (s *Store) WriteCOW(id PageID, buf []byte) (PageID, error) {
 		return 0, ErrClosed
 	}
 	if _, ok := s.fresh[id]; ok {
+		// Fresh pages are rewritten in place; drop any cached decode.
+		s.dropCached(id)
 		return id, s.pool.Put(id, buf)
 	}
 	nid, err := s.allocate()
@@ -658,6 +713,7 @@ func (s *Store) commit() error {
 	e.current = s.meta.epoch
 	e.published = s.meta.roots
 	e.mu.Unlock()
+	s.pubEpoch.Store(s.meta.epoch)
 	// Everything allocated this transaction is now committed state.
 	s.fresh = make(map[PageID]struct{})
 	return nil

@@ -1,0 +1,235 @@
+package treestore
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/phylo"
+	"repro/internal/treegen"
+)
+
+// counterCtx returns a context carrying a fresh span tree, so the
+// assertions below are immune to other tests ticking the global obs.Engine
+// counters. Operations open child spans and attribute counters to them;
+// read the totals over the whole tree after the call.
+func counterCtx() (context.Context, *obs.Span) {
+	root := obs.NewRoot("test")
+	return obs.ContextWithSpan(context.Background(), root), root
+}
+
+// total sums one counter over the span tree.
+func total(root *obs.Span, name string) int64 {
+	return root.Summary().Totals()[name]
+}
+
+// TestProjectCacheCutsDecodesAndDescents is the headline acceptance check
+// for the hot read path: on a 10k-leaf tree, a k=50 projection with the
+// decoded-node cache enabled (warm) must issue at least 3x fewer B+tree
+// descents and decode at least 3x fewer cells than the same projection on
+// the legacy path, while producing the identical tree.
+func TestProjectCacheCutsDecodesAndDescents(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10k-leaf tree load")
+	}
+	gold, err := treegen.Yule(10000, 1.0, rand.New(rand.NewSource(11)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := OpenMem()
+	defer s.Close()
+	if _, err := s.Load("big", gold, 4, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := s.Tree("big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := st.SampleUniformCtx(context.Background(), 50, rand.New(rand.NewSource(12)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]int, len(sel))
+	for i, n := range sel {
+		ids[i] = n.ID
+	}
+
+	// Legacy path: cache disabled, per-row reads.
+	offCtx, offSpan := counterCtx()
+	want, err := st.ProjectCtx(offCtx, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offDescents := total(offSpan, "btree_descents")
+	offCells := total(offSpan, "cells_decoded")
+
+	// Fast path: cache on (handles opened now see it), one warm-up run so
+	// the interior working set is resident, then the measured run.
+	s.dbs[0].Store().SetReadCacheBytes(64 << 20)
+	fast, err := s.Tree("big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fast.batch {
+		t.Fatal("tree handle did not pick up the batched fast path")
+	}
+	if _, err := fast.ProjectCtx(context.Background(), ids); err != nil {
+		t.Fatal(err)
+	}
+	onCtx, onSpan := counterCtx()
+	got, err := fast.ProjectCtx(onCtx, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	onDescents := total(onSpan, "btree_descents")
+	onCells := total(onSpan, "cells_decoded")
+
+	if !phylo.Equal(got, want, 1e-12) {
+		t.Fatal("cache-on projection differs from cache-off projection")
+	}
+	if onDescents == 0 || offDescents < 3*onDescents {
+		t.Fatalf("btree_descents: off=%d on=%d, want >= 3x reduction", offDescents, onDescents)
+	}
+	if onCells == 0 || offCells < 3*onCells {
+		t.Fatalf("cells_decoded: off=%d on=%d, want >= 3x reduction", offCells, onCells)
+	}
+	t.Logf("descents off=%d on=%d (%.1fx); cells off=%d on=%d (%.1fx)",
+		offDescents, onDescents, float64(offDescents)/float64(onDescents),
+		offCells, onCells, float64(offCells)/float64(onCells))
+}
+
+// TestQueriesByteIdenticalAcrossCacheSizes runs the same query mix at every
+// cache configuration — disabled, too small to admit anything, small
+// enough to evict constantly, and comfortably large — and requires
+// identical answers from all of them.
+func TestQueriesByteIdenticalAcrossCacheSizes(t *testing.T) {
+	gold, err := treegen.Yule(2000, 1.0, rand.New(rand.NewSource(21)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := OpenMem()
+	defer s.Close()
+	if _, err := s.Load("t", gold, 4, nil); err != nil {
+		t.Fatal(err)
+	}
+	base, err := s.Tree("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	sel, err := base.SampleUniformCtx(ctx, 40, rand.New(rand.NewSource(22)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]int, len(sel))
+	for i, n := range sel {
+		ids[i] = n.ID
+	}
+
+	type answers struct {
+		project *phylo.Tree
+		export  *phylo.Tree
+		clade   []Node
+		lcas    []int
+	}
+	run := func(tr *Tree) (answers, error) {
+		var a answers
+		var err error
+		if a.project, err = tr.ProjectCtx(ctx, ids); err != nil {
+			return a, err
+		}
+		if a.export, err = tr.ExportCtx(ctx); err != nil {
+			return a, err
+		}
+		if a.clade, err = tr.MinimalSpanningCladeCtx(ctx, ids); err != nil {
+			return a, err
+		}
+		for i := 0; i+1 < len(ids); i += 2 {
+			l, err := tr.LCACtx(ctx, ids[i], ids[i+1])
+			if err != nil {
+				return a, err
+			}
+			a.lcas = append(a.lcas, l)
+		}
+		return a, nil
+	}
+
+	want, err := run(base) // cache disabled: the reference answers
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bytes := range []int64{64 << 10, 256 << 10, 64 << 20} {
+		t.Run(fmt.Sprintf("cache=%d", bytes), func(t *testing.T) {
+			s.dbs[0].Store().SetReadCacheBytes(bytes)
+			tr, err := s.Tree("t")
+			if err != nil {
+				t.Fatal(err)
+			}
+			for pass := 0; pass < 2; pass++ { // cold, then warm
+				got, err := run(tr)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !phylo.Equal(got.project, want.project, 0) {
+					t.Fatalf("pass %d: projection differs", pass)
+				}
+				if !phylo.Equal(got.export, want.export, 0) {
+					t.Fatalf("pass %d: export differs", pass)
+				}
+				if len(got.clade) != len(want.clade) {
+					t.Fatalf("pass %d: clade size %d != %d", pass, len(got.clade), len(want.clade))
+				}
+				for i := range got.clade {
+					if got.clade[i] != want.clade[i] {
+						t.Fatalf("pass %d: clade[%d] differs", pass, i)
+					}
+				}
+				for i := range got.lcas {
+					if got.lcas[i] != want.lcas[i] {
+						t.Fatalf("pass %d: lca[%d] = %d != %d", pass, i, got.lcas[i], want.lcas[i])
+					}
+				}
+			}
+		})
+	}
+	s.dbs[0].Store().SetReadCacheBytes(0) // leave the store as found
+}
+
+// TestChildrenCtxOrdinalOrder pins the by_parent scan contract the sort
+// removal relies on: children come back in ordinal order directly from the
+// index scan.
+func TestChildrenCtxOrdinalOrder(t *testing.T) {
+	gold, err := treegen.Yule(300, 1.0, rand.New(rand.NewSource(31)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := OpenMem()
+	defer s.Close()
+	st, err := s.Load("t", gold, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	total := 0
+	for id := 0; id < gold.NumNodes(); id++ {
+		kids, err := st.ChildrenCtx(ctx, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, kid := range kids {
+			if kid.Ord != i+1 {
+				t.Fatalf("node %d child %d has ordinal %d, want %d", id, i, kid.Ord, i+1)
+			}
+			if kid.Parent != id {
+				t.Fatalf("node %d child %d reports parent %d", id, i, kid.Parent)
+			}
+		}
+		total += len(kids)
+	}
+	if total != gold.NumNodes()-1 {
+		t.Fatalf("children total %d, want %d", total, gold.NumNodes()-1)
+	}
+}

@@ -84,6 +84,8 @@ func (s *Store) dbFor(name string) *relstore.DB {
 type table interface {
 	Get(key relstore.Value) (relstore.Row, bool, error)
 	GetCtx(ctx context.Context, key relstore.Value) (relstore.Row, bool, error)
+	GetBatchCtx(ctx context.Context, keys []relstore.Value) ([]relstore.Row, []bool, error)
+	GetLeafCtx(ctx context.Context, key relstore.Value) ([]relstore.Row, error)
 	ScanCtx(ctx context.Context, fn func(relstore.Row) (bool, error)) error
 	ScanRangeCtx(ctx context.Context, lo, hi relstore.Value, fn func(relstore.Row) (bool, error)) error
 	IndexScanCtx(ctx context.Context, index string, vals []relstore.Value, fn func(relstore.Row) (bool, error)) error
@@ -493,12 +495,14 @@ func (s *Store) LoadOpts(name string, t *phylo.Tree, f int, opts LoadOptions, pr
 // Tree opens a handle on a stored tree over the live tables of its shard.
 func (s *Store) Tree(name string) (*Tree, error) {
 	db := s.dbFor(name)
-	return openTree(name, func(tab string) (table, error) { return db.Table(tab) })
+	batch := db.Store().ReadCacheEnabled()
+	return openTree(name, func(tab string) (table, error) { return db.Table(tab) }, batch)
 }
 
 // openTree assembles a tree handle from whatever table source it is given
-// — the live database or a snapshot.
-func openTree(name string, get func(string) (table, error)) (*Tree, error) {
+// — the live database or a snapshot. batch selects the batched/memoized
+// read path (see Tree.batch).
+func openTree(name string, get func(string) (table, error), batch bool) (*Tree, error) {
 	trees, err := get("trees")
 	if err != nil {
 		if errors.Is(err, relstore.ErrNoTable) {
@@ -518,7 +522,7 @@ func openTree(name string, get func(string) (table, error)) (*Tree, error) {
 	if err != nil {
 		return nil, err
 	}
-	t := &Tree{info: info, nodes: nodeTab}
+	t := &Tree{info: info, nodes: nodeTab, batch: batch}
 	for k := 0; k < info.Layers; k++ {
 		subTab, err := get(subsTable(name, k))
 		if err != nil {
@@ -620,7 +624,8 @@ func (sn *Snap) Close() {
 // snapshot was taken) ErrNoTree — never a torn state.
 func (sn *Snap) Tree(name string) (*Tree, error) {
 	rs := sn.sns[sn.router.Place(name)]
-	return openTree(name, func(tab string) (table, error) { return rs.Table(tab) })
+	batch := rs.Store().ReadCacheEnabled()
+	return openTree(name, func(tab string) (table, error) { return rs.Table(tab) }, batch)
 }
 
 // Trees lists the trees stored as of the snapshot, merged across shards in
@@ -708,6 +713,15 @@ type Tree struct {
 	nodes  table
 	layers []table // layer 1.. (index 0 = layer 1)
 	subs   []table // layer 0..
+
+	// batch selects the hot read path: node sets are fetched with batched
+	// point reads (GetBatchCtx) and the LCA recursion inside Project and
+	// MinimalSpanningClade runs over a request-scoped cell memo. It is set
+	// when the underlying store has the decoded-node read cache enabled —
+	// the two optimizations ship as one knob, so with the cache disabled
+	// queries take exactly the legacy per-row path. Both paths produce
+	// byte-identical results.
+	batch bool
 }
 
 // Info returns the tree's summary.
@@ -756,7 +770,11 @@ func (t *Tree) NodeByName(name string) (Node, error) {
 	return t.NodeByNameCtx(context.Background(), name)
 }
 
-// ChildrenCtx lists a node's children in ordinal order under ctx.
+// ChildrenCtx lists a node's children in ordinal order under ctx. The
+// by_parent index is keyed (parent, id) and ids are preorder, so siblings
+// arrive from the scan already in ordinal order — ordinals are assigned in
+// child order and a preorder numbering visits children in that order — and
+// no post-hoc sort is needed.
 func (t *Tree) ChildrenCtx(ctx context.Context, id int) ([]Node, error) {
 	var out []Node
 	err := t.nodes.IndexScanCtx(ctx, "by_parent", []relstore.Value{relstore.Int(int64(id))}, func(row relstore.Row) (bool, error) {
@@ -766,7 +784,6 @@ func (t *Tree) ChildrenCtx(ctx context.Context, id int) ([]Node, error) {
 	if err != nil {
 		return nil, err
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Ord < out[j].Ord })
 	return out, nil
 }
 
@@ -785,26 +802,137 @@ type layerCell struct {
 	ldepth  int
 }
 
+// cellMemoMax bounds a request-scoped cell memo. Once full the memo keeps
+// serving hits but stops admitting new entries, so one adversarial request
+// cannot grow it without limit.
+const cellMemoMax = 1 << 14
+
+// cellMemoKey addresses one memoized cell: layer and node id.
+type cellMemoKey struct{ k, id int }
+
+// cellMemo memoizes the point reads of the layered LCA recursion within
+// one request: layer cells by (layer, id), subtree sources by (layer,
+// subtree), and full layer-0 node rows by id. Project and
+// MinimalSpanningClade run the recursion over many pairs whose ancestor
+// chains overlap heavily; the memo collapses those repeat chain walks into
+// map hits. It is request-scoped — created per call, never shared across
+// requests — and used from a single goroutine, so it needs no locking.
+// All methods are nil-safe: a nil memo disables memoization, which is the
+// legacy path.
+type cellMemo struct {
+	m    map[cellMemoKey]layerCell
+	subs map[cellMemoKey]int // (layer, subtree) -> source node id
+	rows map[int]Node        // layer-0 node rows
+}
+
+func newCellMemo() *cellMemo {
+	return &cellMemo{
+		m:    make(map[cellMemoKey]layerCell),
+		subs: make(map[cellMemoKey]int),
+		rows: make(map[int]Node),
+	}
+}
+
+func (m *cellMemo) get(k, id int) (layerCell, bool) {
+	if m == nil {
+		return layerCell{}, false
+	}
+	c, ok := m.m[cellMemoKey{k: k, id: id}]
+	return c, ok
+}
+
+func (m *cellMemo) put(k, id int, c layerCell) {
+	if m == nil || len(m.m) >= cellMemoMax {
+		return
+	}
+	m.m[cellMemoKey{k: k, id: id}] = c
+}
+
+func (m *cellMemo) getSub(k, s int) (int, bool) {
+	if m == nil {
+		return 0, false
+	}
+	src, ok := m.subs[cellMemoKey{k: k, id: s}]
+	return src, ok
+}
+
+func (m *cellMemo) putSub(k, s, src int) {
+	if m == nil || len(m.subs) >= cellMemoMax {
+		return
+	}
+	m.subs[cellMemoKey{k: k, id: s}] = src
+}
+
+func (m *cellMemo) getRow(id int) (Node, bool) {
+	if m == nil {
+		return Node{}, false
+	}
+	n, ok := m.rows[id]
+	return n, ok
+}
+
+func (m *cellMemo) putRow(n Node) {
+	if m == nil || len(m.rows) >= cellMemoMax {
+		return
+	}
+	m.rows[n.ID] = n
+}
+
 // cell fetches the LCA recursion fields of node id at layer k, checking
 // ctx first: the layered recursion's loops are chains of point reads, so
 // this check is what makes a long LCA (and everything built on it —
-// Project, pattern match, clade) abort promptly on cancellation.
-func (t *Tree) cell(ctx context.Context, k, id int) (layerCell, error) {
+// Project, pattern match, clade) abort promptly on cancellation. A non-nil
+// memo is consulted before the store and learns every fetch.
+func (t *Tree) cell(ctx context.Context, memo *cellMemo, k, id int) (layerCell, error) {
 	if err := ctx.Err(); err != nil {
 		return layerCell{}, err
+	}
+	if c, ok := memo.get(k, id); ok {
+		return c, nil
 	}
 	// Point-read failures after the context died are reported as the
 	// cancellation: a cancelled reader whose snapshot pins were released
 	// may hit reclaimed pages, and that must not masquerade as corruption.
 	if k == 0 {
-		n, err := t.NodeCtx(ctx, id)
+		n, err := t.nodeRow(ctx, memo, id)
 		if err != nil {
 			if cerr := ctx.Err(); cerr != nil {
 				return layerCell{}, cerr
 			}
 			return layerCell{}, err
 		}
-		return layerCell{sub: n.Sub, lparent: n.LocalParent, ldepth: n.LocalDepth}, nil
+		c := layerCell{sub: n.Sub, lparent: n.LocalParent, ldepth: n.LocalDepth}
+		memo.put(k, id, c)
+		return c, nil
+	}
+	if memo != nil {
+		// Memoized path: one descent harvests the whole leaf, so chain
+		// walks through this region of the layer become map hits.
+		rows, err := t.layers[k-1].GetLeafCtx(ctx, relstore.Int(int64(id)))
+		if err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return layerCell{}, cerr
+			}
+			return layerCell{}, err
+		}
+		hit := false
+		var c layerCell
+		for _, row := range rows {
+			rc := layerCell{
+				sub:     int(row[3].Int64()),
+				lparent: int(row[4].Int64()),
+				ldepth:  int(row[5].Int64()),
+			}
+			rid := int(row[0].Int64())
+			memo.put(k, rid, rc)
+			if rid == id {
+				c, hit = rc, true
+			}
+		}
+		if !hit {
+			return layerCell{}, fmt.Errorf("%w: layer %d id %d", ErrNoNode, k, id)
+		}
+		return c, nil
 	}
 	row, ok, err := t.layers[k-1].GetCtx(ctx, relstore.Int(int64(id)))
 	if err != nil {
@@ -816,15 +944,60 @@ func (t *Tree) cell(ctx context.Context, k, id int) (layerCell, error) {
 	if !ok {
 		return layerCell{}, fmt.Errorf("%w: layer %d id %d", ErrNoNode, k, id)
 	}
-	return layerCell{
+	c := layerCell{
 		sub:     int(row[3].Int64()),
 		lparent: int(row[4].Int64()),
 		ldepth:  int(row[5].Int64()),
-	}, nil
+	}
+	memo.put(k, id, c)
+	return c, nil
 }
 
-// subSource returns the source node of subtree s at layer k (-1 if none).
-func (t *Tree) subSource(ctx context.Context, k, s int) (int, error) {
+// nodeRow fetches a full layer-0 node row through the request memo (if
+// any): on the memoized path one descent harvests the whole storage leaf
+// around the row, so the walk's repeat visits to nearby ancestors become
+// map hits instead of descents.
+func (t *Tree) nodeRow(ctx context.Context, memo *cellMemo, id int) (Node, error) {
+	if n, ok := memo.getRow(id); ok {
+		return n, nil
+	}
+	n, err := t.NodeCtx(ctx, id)
+	if err != nil {
+		return Node{}, err
+	}
+	memo.putRow(n)
+	memo.put(0, n.ID, layerCell{sub: n.Sub, lparent: n.LocalParent, ldepth: n.LocalDepth})
+	return n, nil
+}
+
+// subSource returns the source node of subtree s at layer k (-1 if none),
+// consulting the request memo first: ascend walks the same subtree chains
+// for every pair rooted in the same region, and on the memoized path one
+// descent harvests the whole leaf of the subtree relation.
+func (t *Tree) subSource(ctx context.Context, memo *cellMemo, k, s int) (int, error) {
+	if src, ok := memo.getSub(k, s); ok {
+		return src, nil
+	}
+	if memo != nil {
+		rows, err := t.subs[k].GetLeafCtx(ctx, relstore.Int(int64(s)))
+		if err != nil {
+			return 0, err
+		}
+		hit := false
+		src := 0
+		for _, row := range rows {
+			sid := int(row[0].Int64())
+			v := int(row[2].Int64())
+			memo.putSub(k, sid, v)
+			if sid == s {
+				src, hit = v, true
+			}
+		}
+		if !hit {
+			return 0, fmt.Errorf("%w: layer %d subtree %d", ErrNoNode, k, s)
+		}
+		return src, nil
+	}
 	row, ok, err := t.subs[k].GetCtx(ctx, relstore.Int(int64(s)))
 	if err != nil {
 		return 0, err
@@ -839,7 +1012,7 @@ func (t *Tree) subSource(ctx context.Context, k, s int) (int, error) {
 // relations under ctx, using the same layered recursion as core.Index but
 // fetching only the rows the query touches.
 func (t *Tree) LCACtx(ctx context.Context, a, b int) (int, error) {
-	return t.lcaAt(ctx, 0, a, b)
+	return t.lcaAt(ctx, nil, 0, a, b)
 }
 
 // LCA answers least-common-ancestor queries against the stored relations.
@@ -850,70 +1023,70 @@ func (t *Tree) LCA(a, b int) (int, error) {
 	return t.LCACtx(context.Background(), a, b)
 }
 
-func (t *Tree) lcaAt(ctx context.Context, k, a, b int) (int, error) {
-	ca, err := t.cell(ctx, k, a)
+func (t *Tree) lcaAt(ctx context.Context, memo *cellMemo, k, a, b int) (int, error) {
+	ca, err := t.cell(ctx, memo, k, a)
 	if err != nil {
 		return 0, err
 	}
-	cb, err := t.cell(ctx, k, b)
+	cb, err := t.cell(ctx, memo, k, b)
 	if err != nil {
 		return 0, err
 	}
 	if ca.sub == cb.sub {
-		return t.lcaLocal(ctx, k, a, ca, b, cb)
+		return t.lcaLocal(ctx, memo, k, a, ca, b, cb)
 	}
-	s, err := t.lcaAt(ctx, k+1, ca.sub, cb.sub)
+	s, err := t.lcaAt(ctx, memo, k+1, ca.sub, cb.sub)
 	if err != nil {
 		return 0, err
 	}
-	ap, capCell, err := t.ascend(ctx, k, a, ca, s)
+	ap, capCell, err := t.ascend(ctx, memo, k, a, ca, s)
 	if err != nil {
 		return 0, err
 	}
-	bp, cbpCell, err := t.ascend(ctx, k, b, cb, s)
+	bp, cbpCell, err := t.ascend(ctx, memo, k, b, cb, s)
 	if err != nil {
 		return 0, err
 	}
-	return t.lcaLocal(ctx, k, ap, capCell, bp, cbpCell)
+	return t.lcaLocal(ctx, memo, k, ap, capCell, bp, cbpCell)
 }
 
-func (t *Tree) lcaLocal(ctx context.Context, k, a int, ca layerCell, b int, cb layerCell) (int, error) {
+func (t *Tree) lcaLocal(ctx context.Context, memo *cellMemo, k, a int, ca layerCell, b int, cb layerCell) (int, error) {
 	for ca.ldepth > cb.ldepth {
 		a = ca.lparent
 		var err error
-		if ca, err = t.cell(ctx, k, a); err != nil {
+		if ca, err = t.cell(ctx, memo, k, a); err != nil {
 			return 0, err
 		}
 	}
 	for cb.ldepth > ca.ldepth {
 		b = cb.lparent
 		var err error
-		if cb, err = t.cell(ctx, k, b); err != nil {
+		if cb, err = t.cell(ctx, memo, k, b); err != nil {
 			return 0, err
 		}
 	}
 	for a != b {
 		var err error
 		a = ca.lparent
-		if ca, err = t.cell(ctx, k, a); err != nil {
+		if ca, err = t.cell(ctx, memo, k, a); err != nil {
 			return 0, err
 		}
 		b = cb.lparent
-		if cb, err = t.cell(ctx, k, b); err != nil {
+		if cb, err = t.cell(ctx, memo, k, b); err != nil {
 			return 0, err
 		}
 	}
 	return a, nil
 }
 
-func (t *Tree) ascend(ctx context.Context, k, id int, c layerCell, s int) (int, layerCell, error) {
+func (t *Tree) ascend(ctx context.Context, memo *cellMemo, k, id int, c layerCell, s int) (int, layerCell, error) {
 	for c.sub != s {
-		src, err := t.subSource(ctx, k, c.sub)
+		src, err := t.subSource(ctx, memo, k, c.sub)
 		if err != nil {
 			return 0, layerCell{}, err
 		}
 		id = src
-		if c, err = t.cell(ctx, k, id); err != nil {
+		if c, err = t.cell(ctx, memo, k, id); err != nil {
 			return 0, layerCell{}, err
 		}
 	}
@@ -1014,10 +1187,14 @@ func (t *Tree) MinimalSpanningCladeCtx(ctx context.Context, ids []int) ([]Node, 
 	if len(ids) == 0 {
 		return nil, errors.New("treestore: empty node set")
 	}
+	memo, err := t.seedMemo(ctx, ids)
+	if err != nil {
+		return nil, err
+	}
 	l := ids[0]
 	for _, id := range ids[1:] {
 		var err error
-		if l, err = t.LCACtx(ctx, l, id); err != nil {
+		if l, err = t.lcaAt(ctx, memo, 0, l, id); err != nil {
 			return nil, err
 		}
 	}
@@ -1179,6 +1356,70 @@ func (t *Tree) SampleWithTime(time float64, k int, r *rand.Rand) ([]Node, error)
 	return t.SampleWithTimeCtx(context.Background(), time, k, r)
 }
 
+// fetchNodes fetches the rows for the given ids. On the batched path one
+// GetBatchCtx call fetches all of them in leaf order (one B+tree descent
+// per distinct leaf); on the legacy path each id is an independent point
+// read. Any missing id is an ErrNoNode error.
+func (t *Tree) fetchNodes(ctx context.Context, ids []int) ([]Node, error) {
+	rows := make([]Node, len(ids))
+	if t.batch {
+		keys := make([]relstore.Value, len(ids))
+		for i, id := range ids {
+			keys[i] = relstore.Int(int64(id))
+		}
+		raw, found, err := t.nodes.GetBatchCtx(ctx, keys)
+		if err != nil {
+			return nil, err
+		}
+		for i, id := range ids {
+			if !found[i] {
+				return nil, fmt.Errorf("%w: id %d", ErrNoNode, id)
+			}
+			rows[i] = decodeNode(raw[i])
+		}
+		return rows, nil
+	}
+	for i, id := range ids {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		var err error
+		if rows[i], err = t.NodeCtx(ctx, id); err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
+}
+
+// seedMemo builds a request-scoped cell memo for an LCA fold over ids,
+// prefetching their rows in one leaf-order batch and seeding the layer-0
+// cells. On the legacy path (batch off) it returns a nil memo, which the
+// recursion treats as no memoization at all.
+func (t *Tree) seedMemo(ctx context.Context, ids []int) (*cellMemo, error) {
+	if !t.batch || len(ids) < 2 {
+		return nil, nil
+	}
+	uniq := append([]int(nil), ids...)
+	sort.Ints(uniq)
+	n := 0
+	for i, id := range uniq {
+		if i == 0 || uniq[i-1] != id {
+			uniq[n] = id
+			n++
+		}
+	}
+	rows, err := t.fetchNodes(ctx, uniq[:n])
+	if err != nil {
+		return nil, err
+	}
+	memo := newCellMemo()
+	for _, r := range rows {
+		memo.putRow(r)
+		memo.put(0, r.ID, layerCell{sub: r.Sub, lparent: r.LocalParent, ldepth: r.LocalDepth})
+	}
+	return memo, nil
+}
+
 // ProjectCtx computes the tree projection over the given node ids under
 // ctx, directly against the store: ids are sorted (preorder), and the
 // rightmost-path insertion runs on stored LCA/depth/distance lookups.
@@ -1195,19 +1436,11 @@ func (t *Tree) ProjectCtx(ctx context.Context, ids []int) (*phylo.Tree, error) {
 		}
 	}
 	fetchCtx, fetchSpan := obs.StartSpan(ctx, "fetch_nodes")
-	rows := make([]Node, len(uniq))
-	for i, id := range uniq {
-		if err := ctx.Err(); err != nil {
-			fetchSpan.End()
-			return nil, err
-		}
-		var err error
-		if rows[i], err = t.NodeCtx(fetchCtx, id); err != nil {
-			fetchSpan.End()
-			return nil, err
-		}
-	}
+	rows, err := t.fetchNodes(fetchCtx, uniq)
 	fetchSpan.End()
+	if err != nil {
+		return nil, err
+	}
 	if len(rows) == 1 {
 		tr := phylo.New(&phylo.Node{Name: rows[0].Name})
 		tr.Reindex()
@@ -1223,14 +1456,26 @@ func (t *Tree) ProjectCtx(ctx context.Context, ids []int) (*phylo.Tree, error) {
 	}
 	lcaCtx, lcaSpan := obs.StartSpan(ctx, "lca_walk")
 	defer lcaSpan.End()
+	// On the batched path the LCA walk runs over a request-scoped memo,
+	// seeded with the layer-0 cells of the rows just fetched: consecutive
+	// pairs share long ancestor chains, and the memo collapses the repeat
+	// chain reads into map hits.
+	var memo *cellMemo
+	if t.batch {
+		memo = newCellMemo()
+		for _, r := range rows {
+			memo.putRow(r)
+			memo.put(0, r.ID, layerCell{sub: r.Sub, lparent: r.LocalParent, ldepth: r.LocalDepth})
+		}
+	}
 	stack := []*entry{{row: rows[0], nw: &phylo.Node{Name: rows[0].Name}}}
 	for _, x := range rows[1:] {
 		top := stack[len(stack)-1]
-		lid, err := t.LCACtx(lcaCtx, top.row.ID, x.ID)
+		lid, err := t.lcaAt(lcaCtx, memo, 0, top.row.ID, x.ID)
 		if err != nil {
 			return nil, err
 		}
-		lrow, err := t.NodeCtx(lcaCtx, lid)
+		lrow, err := t.nodeRow(lcaCtx, memo, lid)
 		if err != nil {
 			return nil, err
 		}

@@ -20,6 +20,7 @@ import (
 	"math/rand"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"strconv"
@@ -631,10 +632,16 @@ func cmdBench(args []string) error {
 	readReps := fs.Int("read-reps", 3, "repetitions in --read mode (best run is reported)")
 	readCacheMB := fs.Int("read-cache-mb", 64, "decoded-node read cache budget in --read mode, MB (0 disables the cache and the batched fast path)")
 	projectK := fs.Int("project-k", 50, "species sample size for the projection / clade / match queries in --read mode")
-	baseline := fs.String("baseline", "", "in --ingest or --read mode, compare the throughput scalar against this baseline JSON report (e.g. BENCH_load.json, BENCH_read.json)")
+	commitBench := fs.Bool("commit", false, "instead of a reconstruction benchmark, measure durable commit throughput (concurrent small committers + one bulk load against a file-backed repository)")
+	commitWriters := fs.Int("commit-writers", 8, "concurrent small committers in --commit mode")
+	commitOps := fs.Int("commit-ops", 64, "commits per writer in --commit mode")
+	baseline := fs.String("baseline", "", "in --ingest, --read or --commit mode, compare the throughput scalar against this baseline JSON report (e.g. BENCH_load.json, BENCH_read.json, BENCH_commit.json)")
 	maxRegress := fs.Float64("max-regress", 0.10, "with --baseline, fail when throughput regresses by more than this fraction")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *commitBench {
+		return runCommitBench(*commitWriters, *commitOps, *seed, *jsonOut, *baseline, *maxRegress)
 	}
 	if *readBench {
 		return runReadBench(*loadLeaves, *readReps, *projectK, *readCacheMB, *seed, *jsonOut, *baseline, *maxRegress)
@@ -1102,6 +1109,188 @@ func runReadBench(leaves, reps, projectK, cacheMB int, seed int64, jsonOut, base
 	return nil
 }
 
+// commitBenchReport is the JSON body of a --commit run: durable commit
+// throughput under concurrency — N small committers racing one bulk
+// writer against a file-backed single-shard repository. CI writes it to
+// bench-commit.json and gates commits_per_sec against the committed
+// BENCH_commit.json baseline; fsyncs_per_commit shows how well group
+// commit coalesces WAL flushes, and the checkpoint fields how far the
+// async writeback pipeline ran.
+type commitBenchReport struct {
+	Writers                int              `json:"writers"`
+	OpsPerWriter           int              `json:"ops_per_writer"`
+	BulkRows               int              `json:"bulk_rows"`
+	GOMAXPROCS             int              `json:"gomaxprocs"`
+	Commits                int64            `json:"commits"`
+	Seconds                float64          `json:"seconds"`
+	CommitsPerSec          float64          `json:"commits_per_sec"`
+	FsyncsPerCommit        float64          `json:"fsyncs_per_commit"`
+	AvgBatch               float64          `json:"avg_batch"`
+	CheckpointRuns         int64            `json:"checkpoint_runs"`
+	CheckpointBacklogBytes int64            `json:"checkpoint_backlog_bytes"`
+	WALBytes               int64            `json:"wal_bytes"`
+	Counters               map[string]int64 `json:"counters"`
+}
+
+// runCommitBench measures the pipelined durability path: writers
+// goroutines each issue ops small species writes — capture the
+// transaction under a shared mutex, release it, then wait for the WAL
+// fsync — while one bulk goroutine commits batches of 256 rows the same
+// way. Every waiter that blocks behind an in-flight fsync coalesces into
+// the next group-commit batch, so fsyncs_per_commit falls well below 1
+// whenever there is any concurrency. With baseline set it gates
+// commits_per_sec, mirroring the ingest and read gates.
+func runCommitBench(writers, ops int, seed int64, jsonOut, baseline string, maxRegress float64) error {
+	if writers < 1 || ops < 1 {
+		return fmt.Errorf("bench: --commit-writers and --commit-ops must be >= 1")
+	}
+	dir, err := os.MkdirTemp("", "crimson-commit-bench-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	repo, err := crimson.Open(filepath.Join(dir, "bench.crimson"))
+	if err != nil {
+		return err
+	}
+	defer repo.Close()
+
+	const bulkBatch = 256
+	bulkRows := writers * ops
+	payload := make([]byte, 64)
+	rand.New(rand.NewSource(seed)).Read(payload)
+
+	before := crimson.EngineCounters()
+	var (
+		mu       sync.Mutex // write discipline: capture under mu, wait after release
+		commits  int64
+		countMu  sync.Mutex
+		errsMu   sync.Mutex
+		firstErr error
+	)
+	commitOne := func(mutate func() error) {
+		mu.Lock()
+		err := mutate()
+		w := repo.CommitAsync()
+		mu.Unlock()
+		if werr := w.Wait(); err == nil {
+			err = werr
+		}
+		if err != nil {
+			errsMu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			errsMu.Unlock()
+			return
+		}
+		countMu.Lock()
+		commits++
+		countMu.Unlock()
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for wid := 0; wid < writers; wid++ {
+		wg.Add(1)
+		go func(wid int) {
+			defer wg.Done()
+			for i := 0; i < ops; i++ {
+				sp := fmt.Sprintf("w%d-s%d", wid, i)
+				commitOne(func() error {
+					return repo.Species.Put("bench", sp, "seq:bench", payload)
+				})
+			}
+		}(wid)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for off := 0; off < bulkRows; off += bulkBatch {
+			end := off + bulkBatch
+			if end > bulkRows {
+				end = bulkRows
+			}
+			commitOne(func() error {
+				for j := off; j < end; j++ {
+					sp := fmt.Sprintf("bulk-s%d", j)
+					if err := repo.Species.Put("bench-bulk", sp, "seq:bench", payload); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+		}
+	}()
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return fmt.Errorf("bench: commit failed: %w", firstErr)
+	}
+	after := crimson.EngineCounters()
+	delta := make(map[string]int64)
+	for name, v := range after {
+		if d := v - before[name]; d != 0 {
+			delta[name] = d
+		}
+	}
+	rep := commitBenchReport{
+		Writers:                writers,
+		OpsPerWriter:           ops,
+		BulkRows:               bulkRows,
+		GOMAXPROCS:             runtime.GOMAXPROCS(0),
+		Commits:                commits,
+		Seconds:                elapsed.Seconds(),
+		CommitsPerSec:          float64(commits) / elapsed.Seconds(),
+		CheckpointRuns:         delta["checkpoint_runs"],
+		CheckpointBacklogBytes: repo.CheckpointBacklog(),
+		WALBytes:               repo.WALSize(),
+		Counters:               delta,
+	}
+	if ec := delta["commits"]; ec > 0 {
+		rep.FsyncsPerCommit = float64(delta["wal_syncs"]) / float64(ec)
+		if b := delta["group_commit_batches"]; b > 0 {
+			rep.AvgBatch = float64(ec) / float64(b)
+		}
+	}
+	fmt.Fprintf(os.Stderr,
+		"commit %d writers x %d ops + %d bulk rows: %d commits in %.2fs => %.0f commits/s, %.2f fsyncs/commit, avg batch %.1f, checkpoints %d (backlog %d B, wal %d B, GOMAXPROCS=%d)\n",
+		rep.Writers, rep.OpsPerWriter, rep.BulkRows, rep.Commits, rep.Seconds,
+		rep.CommitsPerSec, rep.FsyncsPerCommit, rep.AvgBatch, rep.CheckpointRuns,
+		rep.CheckpointBacklogBytes, rep.WALBytes, rep.GOMAXPROCS)
+	if baseline != "" {
+		raw, err := os.ReadFile(baseline)
+		if err != nil {
+			return fmt.Errorf("bench: reading baseline: %w", err)
+		}
+		var base commitBenchReport
+		if err := json.Unmarshal(raw, &base); err != nil {
+			return fmt.Errorf("bench: parsing baseline %s: %w", baseline, err)
+		}
+		if base.CommitsPerSec > 0 {
+			ratio := rep.CommitsPerSec / base.CommitsPerSec
+			fmt.Fprintf(os.Stderr, "commit gate: baseline %.0f commits/s, current %.0f commits/s (%.1f%% of baseline, floor %.1f%%)\n",
+				base.CommitsPerSec, rep.CommitsPerSec, ratio*100, (1-maxRegress)*100)
+			if ratio < 1-maxRegress {
+				return fmt.Errorf("bench: commit throughput regressed %.1f%% vs %s (limit %.1f%%)",
+					(1-ratio)*100, baseline, maxRegress*100)
+			}
+		}
+	}
+	if jsonOut != "" {
+		raw, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		raw = append(raw, '\n')
+		if jsonOut == "-" {
+			os.Stdout.Write(raw)
+			return nil
+		}
+		return os.WriteFile(jsonOut, raw, 0o644)
+	}
+	return nil
+}
+
 func cmdHistory(args []string) error {
 	fs := flag.NewFlagSet("history", flag.ContinueOnError)
 	repoPath := fs.String("repo", "", "repository page file")
@@ -1212,6 +1401,8 @@ func cmdServe(args []string) error {
 	pprofOn := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	logJSON := fs.Bool("log-json", false, "emit structured JSON request logs (slog) alongside the plain server log")
 	quiet := fs.Bool("quiet", false, "suppress log output")
+	checkpointMB := fs.Int("checkpoint-mb", 0, "per-shard checkpoint writeback threshold in MB (0 = default 4MB): flush committed pages to the page file once this much accumulates")
+	checkpointInterval := fs.Duration("checkpoint-interval", 0, "checkpoint age bound (0 = default 1s): flush committed pages at least this often while any are pending")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -1230,6 +1421,7 @@ func cmdServe(args []string) error {
 	}
 	defer repo.Close()
 	repo.SetReadCacheMB(*readCacheMB)
+	repo.SetCheckpointPolicy(int64(*checkpointMB)<<20, *checkpointInterval)
 	logf := func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) }
 	if *quiet {
 		logf = nil

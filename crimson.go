@@ -80,6 +80,7 @@ import (
 	"math/rand"
 	"os"
 	"sync"
+	"time"
 
 	"repro/internal/benchmark"
 	"repro/internal/core"
@@ -403,15 +404,95 @@ func (r *Repository) ReadCacheStats() (entries int, bytes int64) {
 	return entries, bytes
 }
 
+// CommitWaiter tracks the durability of commits issued across one or more
+// shards (see Repository.CommitAsync).
+type CommitWaiter struct {
+	waiters []*relstore.CommitWaiter
+}
+
+// Wait blocks until every shard's commit is durable. Multi-shard waits fan
+// out across goroutines: each waiting goroutine may lead its own store's
+// group flush, so the per-shard WAL fsyncs run in parallel rather than
+// serializing behind one another.
+func (w *CommitWaiter) Wait() error {
+	if w == nil || len(w.waiters) == 0 {
+		return nil
+	}
+	if len(w.waiters) == 1 {
+		if err := w.waiters[0].Wait(); err != nil {
+			return fmt.Errorf("shard 0: %w", err)
+		}
+		return nil
+	}
+	errs := make([]error, len(w.waiters))
+	var wg sync.WaitGroup
+	for i, cw := range w.waiters {
+		wg.Add(1)
+		go func(i int, cw *relstore.CommitWaiter) {
+			defer wg.Done()
+			if err := cw.Wait(); err != nil {
+				errs[i] = fmt.Errorf("shard %d: %w", i, err)
+			}
+		}(i, cw)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
 // Commit makes all buffered changes of every shard durable.
 func (r *Repository) Commit() error {
+	return r.CommitAsync().Wait()
+}
+
+// CommitAsync captures every shard's pending transaction and returns a
+// waiter for their durability.
+func (r *Repository) CommitAsync() *CommitWaiter {
+	w := &CommitWaiter{waiters: make([]*relstore.CommitWaiter, len(r.dbs))}
+	for i, db := range r.dbs {
+		w.waiters[i] = db.CommitAsync()
+	}
+	return w
+}
+
+// Checkpoint synchronously flushes every shard's committed pages to its
+// page file and truncates the WALs (a no-op for in-memory repositories).
+func (r *Repository) Checkpoint() error {
 	var errs []error
 	for i, db := range r.dbs {
-		if err := db.Commit(); err != nil {
+		if err := db.Checkpoint(); err != nil {
 			errs = append(errs, fmt.Errorf("shard %d: %w", i, err))
 		}
 	}
 	return errors.Join(errs...)
+}
+
+// SetCheckpointPolicy adjusts every shard's background checkpointer: flush
+// the writeback backlog once it reaches bytes (per shard), or after
+// interval regardless. Non-positive values leave the respective knob at
+// its default.
+func (r *Repository) SetCheckpointPolicy(bytes int64, interval time.Duration) {
+	for _, db := range r.dbs {
+		db.SetCheckpointPolicy(bytes, interval)
+	}
+}
+
+// CheckpointBacklog reports the total bytes of committed pages awaiting
+// background checkpoint writeback, summed across shards.
+func (r *Repository) CheckpointBacklog() int64 {
+	var n int64
+	for _, db := range r.dbs {
+		n += db.CheckpointBacklog()
+	}
+	return n
+}
+
+// WALSize reports the combined size of every shard's write-ahead log.
+func (r *Repository) WALSize() int64 {
+	var n int64
+	for _, db := range r.dbs {
+		n += db.WALSize()
+	}
+	return n
 }
 
 // Check verifies the integrity of every table, tree and index in every
@@ -431,9 +512,13 @@ func (r *Repository) Close() error { return shard.CloseAll(r.dbs) }
 // hold any facade writer mutex when calling (shard 0's included).
 func (r *Repository) recordCommit(kind string, args map[string]any, summary string) error {
 	r.writeMus[0].Lock()
-	defer r.writeMus[0].Unlock()
 	_, _ = r.Queries.Record(kind, args, summary)
-	if err := r.dbs[0].Commit(); err != nil {
+	// The prepare under the mutex captures the record atomically; waiting
+	// for the WAL fsync happens after release, so concurrent history
+	// writers coalesce into one group flush.
+	w := r.dbs[0].CommitAsync()
+	r.writeMus[0].Unlock()
+	if err := w.Wait(); err != nil {
 		return fmt.Errorf("crimson: committing history shard: %w", err)
 	}
 	return nil
@@ -499,14 +584,17 @@ func (r *Repository) LoadNexusOpts(doc *NexusDocument, name string, f int, opts 
 		}
 		progress.Say("stored %d sequences in the species repository", len(ch.Order))
 	}
-	err = r.dbs[si].Commit() // sequences live on the tree's shard
+	// Sequences live on the tree's shard. Capture that commit under the
+	// mutex, then overlap its WAL flush with the shard-0 history commit:
+	// the two shards' fsyncs proceed in parallel.
+	w := r.dbs[si].CommitAsync()
 	r.writeMus[si].Unlock()
-	if err != nil {
+	recErr := r.recordCommit("load", map[string]any{"tree": name, "f": f, "nodes": st.Info().Nodes},
+		fmt.Sprintf("loaded %d nodes", st.Info().Nodes))
+	if err := w.Wait(); err != nil {
 		return nil, fmt.Errorf("crimson: committing shard %d: %w", si, err)
 	}
-	err = r.recordCommit("load", map[string]any{"tree": name, "f": f, "nodes": st.Info().Nodes},
-		fmt.Sprintf("loaded %d nodes", st.Info().Nodes))
-	return st, err
+	return st, recErr
 }
 
 // Tree opens a stored tree by name.

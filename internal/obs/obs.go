@@ -60,6 +60,26 @@ const (
 	// CtrReadCacheEvicts counts decoded-node cache evictions under the
 	// byte budget.
 	CtrReadCacheEvicts
+	// CtrCommits counts durable commits (each waiter that returned from a
+	// successful Commit/CommitAsync wait).
+	CtrCommits
+	// CtrGroupBatches counts group-commit flushes (one WAL append + fsync
+	// covering one or more commits).
+	CtrGroupBatches
+	// CtrGroupFsyncsSaved counts fsyncs avoided by group commit: for each
+	// flushed batch of n commits, n-1 syncs were saved versus the serial
+	// one-fsync-per-commit path.
+	CtrGroupFsyncsSaved
+	// CtrCheckpointRuns counts background/synchronous checkpoint passes
+	// that wrote at least one page back to the page file.
+	CtrCheckpointRuns
+	// CtrCheckpointPages counts pages written back by checkpoints.
+	CtrCheckpointPages
+	// CtrCheckpointBytes counts bytes written back by checkpoints.
+	CtrCheckpointBytes
+	// CtrWALHighwaterBytes tracks (via Max) the largest WAL size observed
+	// between truncations.
+	CtrWALHighwaterBytes
 
 	NumCounters
 )
@@ -79,6 +99,13 @@ var counterNames = [NumCounters]string{
 	"read_cache_hits",
 	"read_cache_misses",
 	"read_cache_evicts",
+	"commits",
+	"group_commit_batches",
+	"group_fsyncs_saved",
+	"checkpoint_runs",
+	"checkpoint_pages",
+	"checkpoint_bytes",
+	"wal_highwater_bytes",
 }
 
 // Name returns the counter's snake_case wire name.
@@ -99,6 +126,12 @@ type Counters struct {
 // It aggregates across every open store in the process.
 var Engine = &Counters{}
 
+// GroupBatch is the process-global group-commit batch-size histogram.
+// It reuses the log2 latency histogram with "microseconds" standing in
+// for "commits per flushed batch": a flush of n commits is recorded as
+// Observe(n µs), so bucket i counts batches of ≤ 2^i commits.
+var GroupBatch = &Histogram{}
+
 // Add increments counter c by n. A nil receiver is a no-op.
 func (cs *Counters) Add(c Counter, n int64) {
 	if cs == nil {
@@ -113,6 +146,20 @@ func (cs *Counters) Get(c Counter) int64 {
 		return 0
 	}
 	return cs.v[c].Load()
+}
+
+// Max raises counter c to n if n is larger (a monotonic high-water
+// mark). A nil receiver is a no-op.
+func (cs *Counters) Max(c Counter, n int64) {
+	if cs == nil {
+		return
+	}
+	for {
+		cur := cs.v[c].Load()
+		if n <= cur || cs.v[c].CompareAndSwap(cur, n) {
+			return
+		}
+	}
 }
 
 // AddAll adds every counter of other into cs. Nil receivers and nil

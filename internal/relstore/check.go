@@ -12,6 +12,12 @@ import (
 // backing of the CLI's fsck command. The per-table logic lives on
 // TableView.Check, so snapshots can be checked the same way.
 func (db *DB) Check() error {
+	// Synchronous checkpoint fallback: flush the writeback table first so
+	// the page file Check reads matches the WAL-durable state (and so fsck
+	// over a copied page file sees everything).
+	if err := db.Checkpoint(); err != nil {
+		return fmt.Errorf("relstore: pre-check checkpoint: %w", err)
+	}
 	db.mu.RLock()
 	err := db.catalog.Check()
 	db.mu.RUnlock()

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/storage"
 )
@@ -333,14 +334,45 @@ func (db *DB) syncCatalogRoot() {
 
 func catalogKey(name string) []byte { return []byte("table/" + name) }
 
+// CommitWaiter is the handle for an in-flight commit (see CommitAsync).
+type CommitWaiter = storage.CommitWaiter
+
 // Commit makes all buffered changes durable and publishes them as a new
 // epoch: snapshots taken after Commit see the new state, snapshots taken
 // before keep their own.
 func (db *DB) Commit() error {
+	return db.CommitAsync().Wait()
+}
+
+// CommitAsync captures the transaction under the database lock and returns
+// a waiter for its durability. The caller may release its own write mutex
+// before Wait — that window is what lets concurrent committers coalesce
+// into one WAL fsync (group commit).
+func (db *DB) CommitAsync() *CommitWaiter {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	return db.store.Commit()
+	return db.store.CommitAsync()
 }
+
+// Checkpoint synchronously flushes committed pages to the page file and
+// truncates the WAL (a no-op for in-memory databases). Used by fsck-style
+// verification and crash tests that copy the page file directly.
+func (db *DB) Checkpoint() error {
+	return db.store.Checkpoint()
+}
+
+// SetCheckpointPolicy adjusts the background checkpointer's byte threshold
+// and age interval (non-positive values leave a knob unchanged).
+func (db *DB) SetCheckpointPolicy(bytes int64, interval time.Duration) {
+	db.store.SetCheckpointPolicy(bytes, interval)
+}
+
+// CheckpointBacklog reports the bytes of committed pages awaiting
+// checkpoint writeback (surfaced in server stats and the commit bench).
+func (db *DB) CheckpointBacklog() int64 { return db.store.CheckpointBacklog() }
+
+// WALSize reports the write-ahead log's current size in bytes.
+func (db *DB) WALSize() int64 { return db.store.WALSize() }
 
 // Close commits and closes the underlying store.
 func (db *DB) Close() error {

@@ -163,6 +163,16 @@ type StatsSnapshot struct {
 	// Shards breaks the MVCC state down per shard (one entry even on
 	// single-shard repositories).
 	Shards []ShardMVCC `json:"shards"`
+
+	// Durability pipeline gauges, aggregated across shards:
+	// CheckpointBacklogBytes is committed page data awaiting background
+	// writeback to the page file; WALBytes is the current size of the
+	// write-ahead logs. GroupCommit summarizes batch sizes since startup
+	// (cumulative fsync counts live in the engine map: commits,
+	// group_commit_batches, group_fsyncs_saved, checkpoint_*).
+	CheckpointBacklogBytes int64             `json:"checkpoint_backlog_bytes"`
+	WALBytes               int64             `json:"wal_bytes"`
+	GroupCommit            *GroupCommitStats `json:"group_commit,omitempty"`
 	// HistoryDropped counts read-path query-history records discarded
 	// because the async recorder's queue was full.
 	HistoryDropped int64 `json:"history_dropped"`
@@ -189,12 +199,25 @@ type OpLatency struct {
 }
 
 // ShardMVCC is one shard's storage-engine state: its committed epoch, open
-// snapshot count and reclamation backlog.
+// snapshot count, reclamation backlog, and durability-pipeline gauges.
 type ShardMVCC struct {
-	Shard               int    `json:"shard"`
-	Epoch               uint64 `json:"epoch"`
-	OpenSnapshots       int    `json:"open_snapshots"`
-	PendingReclaimPages int    `json:"pending_reclaim_pages"`
+	Shard                  int    `json:"shard"`
+	Epoch                  uint64 `json:"epoch"`
+	OpenSnapshots          int    `json:"open_snapshots"`
+	PendingReclaimPages    int    `json:"pending_reclaim_pages"`
+	CheckpointBacklogBytes int64  `json:"checkpoint_backlog_bytes"`
+	WALBytes               int64  `json:"wal_bytes"`
+}
+
+// GroupCommitStats summarizes the group-commit batch-size distribution:
+// how many commits each flushed WAL batch carried. Percentile values are
+// upper bounds of the log2 bucket containing the rank.
+type GroupCommitStats struct {
+	Batches  int64   `json:"batches"`
+	Commits  int64   `json:"commits"`
+	AvgBatch float64 `json:"avg_batch"`
+	P50Batch float64 `json:"p50_batch"`
+	P95Batch float64 `json:"p95_batch"`
 }
 
 // ErrorResponse is the body of every non-2xx JSON response.

@@ -236,8 +236,18 @@ func (s *Server) recordLoop() {
 			s.logf("crimsond: recording %s query: %v", rec.kind, err)
 		}
 	}
-	commit := func() {
-		if err := s.commitShard(context.Background(), 0); err != nil {
+	// capture snapshots the pending records' transaction under the shard-0
+	// writer mutex; wait awaits its durability after the mutex is released,
+	// so the recorder's fsync coalesces with concurrent write endpoints.
+	capture := func() *relstore.CommitWaiter { return s.be.DBs[0].CommitAsync() }
+	wait := func(w *relstore.CommitWaiter) {
+		if w == nil {
+			return
+		}
+		start := time.Now()
+		err := w.Wait()
+		s.observeCommitWaiter(context.Background(), w, time.Since(start))
+		if err != nil {
 			s.logf("crimsond: committing history batch: %v", err)
 		}
 	}
@@ -250,11 +260,13 @@ func (s *Server) recordLoop() {
 			if !ok {
 				if pending > 0 {
 					s.writeMus[0].Lock()
-					commit()
+					w := capture()
 					s.writeMus[0].Unlock()
+					wait(w)
 				}
 				return
 			}
+			var w *relstore.CommitWaiter
 			s.writeMus[0].Lock()
 			recordOne(rec)
 			pending++
@@ -272,7 +284,7 @@ func (s *Server) recordLoop() {
 				}
 			}
 			if pending >= recCommitBatch || time.Since(lastCommit) >= recCommitInterval {
-				commit()
+				w = capture()
 				pending = 0
 				lastCommit = time.Now()
 				flush = nil
@@ -280,14 +292,16 @@ func (s *Server) recordLoop() {
 				flush = time.After(recCommitInterval)
 			}
 			s.writeMus[0].Unlock()
+			wait(w)
 		case <-flush:
 			flush = nil
 			if pending > 0 {
 				s.writeMus[0].Lock()
-				commit()
+				w := capture()
+				s.writeMus[0].Unlock()
 				pending = 0
 				lastCommit = time.Now()
-				s.writeMus[0].Unlock()
+				wait(w)
 			}
 		}
 	}
@@ -409,10 +423,26 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 	s.recMu.Unlock()
 	s.recWG.Wait()
+	// Capture every shard's final transaction first, then wait on all of
+	// them together: the shards' WAL fsyncs run concurrently instead of
+	// back to back.
+	waiters := make([]*relstore.CommitWaiter, len(s.be.DBs))
 	for i := range s.be.DBs {
 		s.writeMus[i].Lock()
-		cerr := s.commitShard(context.Background(), i)
+		waiters[i] = s.be.DBs[i].CommitAsync()
 		s.writeMus[i].Unlock()
+	}
+	errs := make([]error, len(waiters))
+	var wg sync.WaitGroup
+	for i, w := range waiters {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[i] = w.Wait()
+		}()
+	}
+	wg.Wait()
+	for i, cerr := range errs {
 		if err == nil && cerr != nil {
 			err = fmt.Errorf("committing shard %d: %w", i, cerr)
 		}
@@ -429,14 +459,28 @@ func (s *Server) snapshot() StatsSnapshot {
 	st.Shards = make([]ShardMVCC, len(s.be.DBs))
 	for i, db := range s.be.DBs {
 		mv := db.MVCC()
+		backlog, wal := db.CheckpointBacklog(), db.WALSize()
 		st.Epoch += mv.Epoch
 		st.OpenSnapshots += mv.OpenSnapshots
 		st.PendingReclaimPages += mv.PendingReclaimPages
+		st.CheckpointBacklogBytes += backlog
+		st.WALBytes += wal
 		st.Shards[i] = ShardMVCC{
-			Shard:               i,
-			Epoch:               mv.Epoch,
-			OpenSnapshots:       mv.OpenSnapshots,
-			PendingReclaimPages: mv.PendingReclaimPages,
+			Shard:                  i,
+			Epoch:                  mv.Epoch,
+			OpenSnapshots:          mv.OpenSnapshots,
+			PendingReclaimPages:    mv.PendingReclaimPages,
+			CheckpointBacklogBytes: backlog,
+			WALBytes:               wal,
+		}
+	}
+	if gb := obs.GroupBatch.Snapshot(); gb.Count > 0 {
+		st.GroupCommit = &GroupCommitStats{
+			Batches:  gb.Count,
+			Commits:  gb.SumNS / int64(time.Microsecond),
+			AvgBatch: float64(gb.SumNS) / float64(time.Microsecond) / float64(gb.Count),
+			P50Batch: gb.Quantile(0.50) * 1e6,
+			P95Batch: gb.Quantile(0.95) * 1e6,
 		}
 	}
 	return st
@@ -576,16 +620,71 @@ func (s *Server) dropTree(name string) {
 	s.cache.invalidateTree(name)
 }
 
-// commitShard commits shard si, recording the commit's latency in the
-// commit histogram and, when the calling request is traced, as a
-// "commit" child span.
+// commitShard commits shard si synchronously, recording the commit's
+// latency in the commit histogram and, when the calling request is traced,
+// as a "commit" child span with the durability pipeline's stage breakdown.
 func (s *Server) commitShard(ctx context.Context, si int) error {
 	start := time.Now()
-	err := s.be.DBs[si].Commit()
-	d := time.Since(start)
-	s.stats.observeCommit(d)
-	obs.SpanFrom(ctx).AddTimed("commit", d)
+	w := s.be.DBs[si].CommitAsync()
+	err := w.Wait()
+	s.observeCommitWaiter(ctx, w, time.Since(start))
 	return err
+}
+
+// observeCommitWaiter records one awaited commit: total latency in the
+// commit histogram plus, on traced requests, the pipeline stages as child
+// spans — "wal_append" (the WAL write+fsync the commit rode in),
+// "group_wait" (time queued behind the group-commit leader) and
+// "checkpoint" (an inline backpressure checkpoint, when one ran).
+func (s *Server) observeCommitWaiter(ctx context.Context, w *relstore.CommitWaiter, d time.Duration) {
+	s.stats.observeCommit(d)
+	sp := obs.SpanFrom(ctx)
+	if sp == nil {
+		return
+	}
+	sp.AddTimed("commit", d)
+	wal := w.WALTime()
+	ckpt := w.CheckpointTime()
+	if wal > 0 {
+		sp.AddTimed("wal_append", wal)
+	}
+	if gw := d - wal - ckpt; gw > 0 && w.BatchSize() > 0 {
+		sp.AddTimed("group_wait", gw)
+	}
+	if ckpt > 0 {
+		sp.AddTimed("checkpoint", ckpt)
+	}
+}
+
+// commitCollector gathers commits captured while a shard's writer mutex is
+// held; the write wrapper awaits their durability after the mutex is
+// released. That window — transaction captured, lock released, fsync
+// pending — is what lets concurrent write requests coalesce into one WAL
+// flush (group commit).
+type commitCollector struct {
+	s       *Server
+	waiters []*relstore.CommitWaiter
+}
+
+// commitAsync captures shard si's pending transaction now. Durability is
+// awaited by the write wrapper.
+func (cc *commitCollector) commitAsync(si int) {
+	cc.waiters = append(cc.waiters, cc.s.be.DBs[si].CommitAsync())
+}
+
+// wait blocks until every collected commit is durable and returns the
+// first error.
+func (cc *commitCollector) wait(ctx context.Context) error {
+	var firstErr error
+	for _, w := range cc.waiters {
+		start := time.Now()
+		err := w.Wait()
+		cc.s.observeCommitWaiter(ctx, w, time.Since(start))
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
 }
 
 // --- handler plumbing ------------------------------------------------------
@@ -670,8 +769,11 @@ func injectTrace(v any, sum *obs.SpanSummary) any {
 
 // writeFunc is a mutation handler; it runs under its tree's shard writer
 // mutex against the live repository. si is the shard index the wrapper
-// locked.
-type writeFunc func(r *http.Request, si int) (any, error)
+// locked. Handlers whose commit need not publish before their response is
+// assembled (species and history writes) register it on cc instead of
+// committing inline; the wrapper waits for durability after the shard
+// mutex is released.
+type writeFunc func(r *http.Request, si int, cc *commitCollector) (any, error)
 
 // readFunc is a query handler; it runs against the request's own MVCC
 // snapshot and takes no repository lock.
@@ -745,9 +847,15 @@ func (s *Server) write(op string, fn writeFunc) http.HandlerFunc {
 		s.stats.countRequest(op)
 		r, oc := s.beginOp(op, w, r)
 		si := s.be.Router.Place(r.PathValue("name"))
+		cc := &commitCollector{s: s}
 		s.writeMus[si].Lock()
-		defer s.writeMus[si].Unlock()
-		v, err := fn(r, si)
+		v, err := fn(r, si, cc)
+		s.writeMus[si].Unlock()
+		// Await collected commits outside the shard mutex: the next writer
+		// may already be preparing, and its flush coalesces with ours.
+		if werr := cc.wait(r.Context()); werr != nil && err == nil {
+			v, err = nil, werr
+		}
 		sum := s.endOp(oc, err)
 		if err == nil && sum != nil && v != nil {
 			v = injectTrace(v, sum)
@@ -955,13 +1063,14 @@ func queryInt64(r *http.Request, key string, def int64) (int64, error) {
 	return v, nil
 }
 
-// recordWrite appends a mutation's history record on shard 0 and commits
-// it. The caller holds shard si's writer mutex; when the history shard is
-// a different one, its mutex is taken here — commits on a shard require
-// its writer lock, or a concurrent history commit could publish another
-// load's half-applied tables. Lock order is safe: shard 0's mutex is only
-// ever acquired bare or after another shard's, never the other way.
-func (s *Server) recordWrite(si int, kind string, args any, summary string) error {
+// recordWrite appends a mutation's history record on shard 0 and captures
+// its commit on cc (awaited by the write wrapper after every mutex drops).
+// The caller holds shard si's writer mutex; when the history shard is a
+// different one, its mutex is taken here — capturing a commit on a shard
+// requires its writer lock, or a concurrent history commit could capture
+// another load's half-applied tables. Lock order is safe: shard 0's mutex
+// is only ever acquired bare or after another shard's, never the other way.
+func (s *Server) recordWrite(cc *commitCollector, si int, kind string, args any, summary string) error {
 	if si != 0 {
 		s.writeMus[0].Lock()
 		defer s.writeMus[0].Unlock()
@@ -969,7 +1078,8 @@ func (s *Server) recordWrite(si int, kind string, args any, summary string) erro
 	if _, err := s.be.Queries.Record(kind, args, summary); err != nil {
 		s.logf("crimsond: recording %s query: %v", kind, err)
 	}
-	return s.commitShard(context.Background(), 0)
+	cc.commitAsync(0)
+	return nil
 }
 
 // recordAsync enqueues a read-path history record for the recorder
@@ -1071,7 +1181,7 @@ func (s *Server) handleInfo(r *http.Request, sn *reqSnap) (any, error) {
 // handleLoad stores a tree posted as a Newick or NEXUS body. The body
 // streams through the parser for NEXUS; Newick is read whole (the
 // grammar needs the full string) but still bounded by MaxBodyBytes.
-func (s *Server) handleLoad(r *http.Request, si int) (any, error) {
+func (s *Server) handleLoad(r *http.Request, si int, cc *commitCollector) (any, error) {
 	name := r.PathValue("name")
 	f, err := queryInt(r, "f", core.DefaultFanout)
 	if err != nil {
@@ -1151,12 +1261,12 @@ func (s *Server) handleLoad(r *http.Request, si int) (any, error) {
 		sp.AddTimed("insert", time.Duration(metrics.InsertNS))
 	}
 	s.bumpTree(name, si)
-	return resp, s.recordWrite(si, "load",
+	return resp, s.recordWrite(cc, si, "load",
 		map[string]any{"tree": name, "f": f, "nodes": resp.Tree.Nodes},
 		fmt.Sprintf("loaded %d nodes", resp.Tree.Nodes))
 }
 
-func (s *Server) handleDelete(r *http.Request, si int) (any, error) {
+func (s *Server) handleDelete(r *http.Request, si int, cc *commitCollector) (any, error) {
 	name := r.PathValue("name")
 	if err := s.be.Trees.Delete(name); err != nil {
 		return nil, err
@@ -1172,7 +1282,7 @@ func (s *Server) handleDelete(r *http.Request, si int) (any, error) {
 	if err := s.commitShard(r.Context(), si); err != nil {
 		return nil, err
 	}
-	return nil, s.recordWrite(si, "delete", map[string]any{"tree": name}, "deleted")
+	return nil, s.recordWrite(cc, si, "delete", map[string]any{"tree": name}, "deleted")
 }
 
 // handleExport streams the stored tree as chunked Newick: one relation
@@ -1482,7 +1592,7 @@ func (s *Server) handleBench(r *http.Request, sn *reqSnap) (any, error) {
 
 // --- species handlers ------------------------------------------------------
 
-func (s *Server) handleSpeciesPut(r *http.Request, si int) (any, error) {
+func (s *Server) handleSpeciesPut(r *http.Request, si int, cc *commitCollector) (any, error) {
 	name, sp, kind := r.PathValue("name"), r.PathValue("sp"), r.PathValue("kind")
 	data, err := io.ReadAll(r.Body)
 	if err != nil {
@@ -1491,7 +1601,8 @@ func (s *Server) handleSpeciesPut(r *http.Request, si int) (any, error) {
 	if err := s.be.Species.Put(name, sp, kind, data); err != nil {
 		return nil, err
 	}
-	return nil, s.commitShard(r.Context(), si)
+	cc.commitAsync(si)
+	return nil, nil
 }
 
 func (s *Server) handleSpeciesGet(r *http.Request, sn *reqSnap) (string, string, error) {
@@ -1503,7 +1614,7 @@ func (s *Server) handleSpeciesGet(r *http.Request, sn *reqSnap) (string, string,
 	return string(data), "application/octet-stream", nil
 }
 
-func (s *Server) handleSpeciesDelete(r *http.Request, si int) (any, error) {
+func (s *Server) handleSpeciesDelete(r *http.Request, si int, cc *commitCollector) (any, error) {
 	ok, err := s.be.Species.Delete(r.PathValue("name"), r.PathValue("sp"), r.PathValue("kind"))
 	if err != nil {
 		return nil, err
@@ -1512,7 +1623,8 @@ func (s *Server) handleSpeciesDelete(r *http.Request, si int) (any, error) {
 		return nil, fmt.Errorf("%w: %s/%s/%s", species.ErrNoData,
 			r.PathValue("name"), r.PathValue("sp"), r.PathValue("kind"))
 	}
-	return nil, s.commitShard(r.Context(), si)
+	cc.commitAsync(si)
+	return nil, nil
 }
 
 func (s *Server) handleSpeciesList(r *http.Request, sn *reqSnap) (any, error) {

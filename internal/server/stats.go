@@ -182,6 +182,7 @@ func metricsText(s StatsSnapshot, hists []opHistEntry) string {
 	writeStandardFamilies(&sb, s)
 	writeEngineFamilies(&sb, s.Engine)
 	writeHistogramFamilies(&sb, hists)
+	writeGroupCommitFamily(&sb)
 	writeRuntimeFamilies(&sb, s)
 	return sb.String()
 }
@@ -233,6 +234,17 @@ func writeStandardFamilies(b *strings.Builder, s StatsSnapshot) {
 		fmt.Fprintf(b, "crimsond_shard_reclaim_pending_pages{shard=\"%d\"} %d\n", sh.Shard, sh.PendingReclaimPages)
 	}
 
+	gauge("crimsond_checkpoint_backlog_bytes", "Committed page bytes awaiting checkpoint writeback across shards.", s.CheckpointBacklogBytes)
+	gauge("crimsond_wal_bytes", "Current write-ahead log size across shards.", s.WALBytes)
+	family("crimsond_shard_checkpoint_backlog_bytes", "Committed page bytes awaiting checkpoint writeback on one shard.", "gauge")
+	for _, sh := range s.Shards {
+		fmt.Fprintf(b, "crimsond_shard_checkpoint_backlog_bytes{shard=\"%d\"} %d\n", sh.Shard, sh.CheckpointBacklogBytes)
+	}
+	family("crimsond_shard_wal_bytes", "Current write-ahead log size of one shard.", "gauge")
+	for _, sh := range s.Shards {
+		fmt.Fprintf(b, "crimsond_shard_wal_bytes{shard=\"%d\"} %d\n", sh.Shard, sh.WALBytes)
+	}
+
 	counter("crimsond_history_dropped_total", "Query-history records dropped because the recorder queue was full.", s.HistoryDropped)
 	gauge("crimsond_load_workers", "Configured ingest fan-out.", int64(s.LoadWorkers))
 	counter("crimsond_loads_total", "Completed tree loads.", s.Loads)
@@ -254,19 +266,26 @@ func writeStandardFamilies(b *strings.Builder, s StatsSnapshot) {
 
 // engineHelp documents each obs engine counter for /metrics HELP lines.
 var engineHelp = map[string]string{
-	"btree_descents":    "B+tree root-to-leaf descents.",
-	"cells_decoded":     "B+tree cells decoded while reading nodes.",
-	"rows_scanned":      "Rows produced by range scans.",
-	"pool_hits":         "Buffer-pool page read hits.",
-	"pool_misses":       "Buffer-pool page read misses.",
-	"pages_read":        "Pages read from disk.",
-	"pages_written":     "Pages written at commit.",
-	"cow_pages":         "Pages copied by copy-on-write before modification.",
-	"wal_bytes":         "Bytes appended to the write-ahead log.",
-	"wal_syncs":         "Write-ahead log fsyncs.",
-	"read_cache_hits":   "Decoded-node read cache hits.",
-	"read_cache_misses": "Decoded-node read cache misses (cacheable interior nodes decoded).",
-	"read_cache_evicts": "Decoded-node read cache evictions under the byte budget.",
+	"btree_descents":       "B+tree root-to-leaf descents.",
+	"cells_decoded":        "B+tree cells decoded while reading nodes.",
+	"rows_scanned":         "Rows produced by range scans.",
+	"pool_hits":            "Buffer-pool page read hits.",
+	"pool_misses":          "Buffer-pool page read misses.",
+	"pages_read":           "Pages read from disk.",
+	"pages_written":        "Pages written at commit.",
+	"cow_pages":            "Pages copied by copy-on-write before modification.",
+	"wal_bytes":            "Bytes appended to the write-ahead log.",
+	"wal_syncs":            "Write-ahead log fsyncs.",
+	"read_cache_hits":      "Decoded-node read cache hits.",
+	"read_cache_misses":    "Decoded-node read cache misses (cacheable interior nodes decoded).",
+	"read_cache_evicts":    "Decoded-node read cache evictions under the byte budget.",
+	"commits":              "Storage-engine commits made durable.",
+	"group_commit_batches": "WAL batches flushed by group commit (each is one fsync).",
+	"group_fsyncs_saved":   "Fsyncs avoided by coalescing commits into group-commit batches.",
+	"checkpoint_runs":      "Background checkpoint passes completed.",
+	"checkpoint_pages":     "Pages written back to the page file by checkpoints.",
+	"checkpoint_bytes":     "Bytes written back to the page file by checkpoints.",
+	"wal_highwater_bytes":  "Largest write-ahead log size observed (high-water mark).",
 }
 
 // writeEngineFamilies emits one counter family per process-global engine
@@ -298,6 +317,23 @@ func writeHistogramFamilies(b *strings.Builder, hists []opHistEntry) {
 		fmt.Fprintf(b, "crimsond_op_duration_seconds_sum{op=\"%s\"} %s\n", e.op, fnum(float64(e.h.SumNS)/1e9))
 		fmt.Fprintf(b, "crimsond_op_duration_seconds_count{op=\"%s\"} %d\n", e.op, e.h.Count)
 	}
+}
+
+// writeGroupCommitFamily renders the group-commit batch-size distribution:
+// one observation per flushed WAL batch, valued at the number of commits
+// the batch carried. The histogram reuses obs.Histogram's log2 buckets, so
+// le bounds are powers of two of commits-per-batch (not seconds).
+func writeGroupCommitFamily(b *strings.Builder) {
+	gb := obs.GroupBatch.Snapshot()
+	fmt.Fprintf(b, "# HELP crimsond_group_commit_batch_size Commits coalesced per flushed WAL batch.\n")
+	fmt.Fprintf(b, "# TYPE crimsond_group_commit_batch_size histogram\n")
+	for i := 0; i < obs.HistBuckets; i++ {
+		fmt.Fprintf(b, "crimsond_group_commit_batch_size_bucket{le=\"%d\"} %d\n",
+			obs.BucketBoundUS(i), gb.Counts[i])
+	}
+	fmt.Fprintf(b, "crimsond_group_commit_batch_size_bucket{le=\"+Inf\"} %d\n", gb.Counts[obs.HistBuckets])
+	fmt.Fprintf(b, "crimsond_group_commit_batch_size_sum %d\n", gb.SumNS/1000)
+	fmt.Fprintf(b, "crimsond_group_commit_batch_size_count %d\n", gb.Count)
 }
 
 func writeRuntimeFamilies(b *strings.Builder, s StatsSnapshot) {

@@ -3,6 +3,7 @@ package storage
 import (
 	"container/list"
 	"fmt"
+	"sort"
 	"sync"
 )
 
@@ -33,6 +34,7 @@ type BufferPool struct {
 	frames map[PageID]*frame
 	lru    *list.List // clean frames only, front = most recent
 	limit  int
+	dirtyN int // number of dirty frames
 }
 
 // NewBufferPool creates a pool holding at most limit clean frames.
@@ -142,7 +144,10 @@ func (bp *BufferPool) markDirty(f *frame) {
 		bp.lru.Remove(f.elem)
 		f.elem = nil
 	}
-	f.dirty = true
+	if !f.dirty {
+		f.dirty = true
+		bp.dirtyN++
+	}
 }
 
 // evict trims the LRU list to the pool limit. Only clean frames are ever
@@ -168,19 +173,22 @@ type DirtyPage struct {
 func (bp *BufferPool) DirtyPages() []DirtyPage {
 	bp.mu.Lock()
 	defer bp.mu.Unlock()
-	var out []DirtyPage
+	out := make([]DirtyPage, 0, bp.dirtyN)
 	for _, f := range bp.frames {
 		if f.dirty {
 			out = append(out, DirtyPage{ID: f.id, Data: f.data})
 		}
 	}
 	// Sort by page id for deterministic WAL contents.
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j].ID < out[j-1].ID; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
+}
+
+// DirtyCount reports the number of dirty frames without collecting them.
+func (bp *BufferPool) DirtyCount() int {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return bp.dirtyN
 }
 
 // ClearDirty moves all dirty frames onto the clean LRU list after a commit.
@@ -193,6 +201,7 @@ func (bp *BufferPool) ClearDirty() {
 			f.elem = bp.lru.PushFront(f)
 		}
 	}
+	bp.dirtyN = 0
 	bp.evict()
 }
 

@@ -1,0 +1,235 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestCheckpointDrainsBacklogAndTruncatesWAL pins the pipeline lifecycle:
+// after a commit the WAL holds the batch and the writeback table holds the
+// images; a synchronous Checkpoint writes them to the page file, empties
+// the backlog, and truncates the WAL.
+func TestCheckpointDrainsBacklogAndTruncatesWAL(t *testing.T) {
+	s, _ := openTempStore(t)
+	tree, err := NewBTree(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetRoot(0, tree.Root())
+	for i := 0; i < 50; i++ {
+		if err := tree.Put([]byte(fmt.Sprintf("key-%03d", i)), bytes.Repeat([]byte{byte(i)}, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.SetRoot(0, tree.Root())
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if s.CheckpointBacklog() == 0 {
+		t.Fatal("no writeback backlog after commit — images were not staged")
+	}
+	if s.WALSize() == 0 {
+		t.Fatal("empty WAL after commit — batch was not appended")
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.CheckpointBacklog(); got != 0 {
+		t.Fatalf("backlog %d after synchronous checkpoint, want 0", got)
+	}
+	if got := s.WALSize(); got != 0 {
+		t.Fatalf("WAL size %d after checkpoint, want 0 (not truncated)", got)
+	}
+	for i := 0; i < 50; i++ {
+		v, ok, err := tree.Get([]byte(fmt.Sprintf("key-%03d", i)))
+		if err != nil || !ok {
+			t.Fatalf("key-%03d lost after checkpoint (ok=%v err=%v)", i, ok, err)
+		}
+		if !bytes.Equal(v, bytes.Repeat([]byte{byte(i)}, 100)) {
+			t.Fatalf("key-%03d value corrupted after checkpoint", i)
+		}
+	}
+}
+
+// TestCheckpointSkipsUndurableEpochs pins the torn-page-safety invariant:
+// the checkpointer only writes images whose WAL batch has fsynced, so a
+// torn page-file write is always repairable by WAL replay. A prepared but
+// not yet flushed commit must survive a checkpoint untouched.
+func TestCheckpointSkipsUndurableEpochs(t *testing.T) {
+	s, _ := openTempStore(t)
+	tree, err := NewBTree(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetRoot(0, tree.Root())
+	if err := tree.Put([]byte("durable"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	s.SetRoot(0, tree.Root())
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Prepare a second transaction but do not Wait: its WAL batch has not
+	// fsynced, so its images must not be checkpointed.
+	if err := tree.Put([]byte("pending"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	s.SetRoot(0, tree.Root())
+	w := s.CommitAsync()
+
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if s.CheckpointBacklog() == 0 {
+		t.Fatal("checkpoint consumed images of a commit whose WAL fsync has not landed")
+	}
+
+	if err := w.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.CheckpointBacklog(); got != 0 {
+		t.Fatalf("backlog %d after the batch became durable and checkpointed, want 0", got)
+	}
+}
+
+// TestCheckpointBackpressure pins the hard cap: a committer whose backlog
+// exceeds backpressureFactor times the byte threshold runs an inline
+// synchronous checkpoint during Wait instead of letting the backlog grow
+// without bound.
+func TestCheckpointBackpressure(t *testing.T) {
+	s, _ := openTempStore(t)
+	// Tiny threshold, effectively-disabled timer: only backpressure flushes.
+	s.SetCheckpointPolicy(PageSize, time.Hour)
+	runsBefore := obs.Engine.Snapshot()["checkpoint_runs"]
+
+	tree, err := NewBTree(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetRoot(0, tree.Root())
+	sawInline := false
+	for i := 0; i < 40 && !sawInline; i++ {
+		if err := tree.Put([]byte(fmt.Sprintf("key-%03d", i)), bytes.Repeat([]byte{byte(i)}, 512)); err != nil {
+			t.Fatal(err)
+		}
+		s.SetRoot(0, tree.Root())
+		w := s.CommitAsync()
+		if err := w.Wait(); err != nil {
+			t.Fatal(err)
+		}
+		sawInline = w.CheckpointTime() > 0
+	}
+	if !sawInline {
+		t.Fatal("no commit ran an inline backpressure checkpoint despite a 4-page cap")
+	}
+	if d := obs.Engine.Snapshot()["checkpoint_runs"] - runsBefore; d == 0 {
+		t.Fatal("checkpoint_runs did not advance")
+	}
+	if got := s.CheckpointBacklog(); got > backpressureFactor*PageSize {
+		t.Fatalf("backlog %d above the hard cap after backpressure", got)
+	}
+}
+
+// TestWritePagesCoalesced exercises the coalesced page-file writer
+// directly: adjacent runs, gaps, and a run longer than maxCoalescePages
+// must all land byte-exact.
+func TestWritePagesCoalesced(t *testing.T) {
+	dir := t.TempDir()
+	pager, err := OpenFilePager(filepath.Join(dir, "pages.db"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pager.Close()
+
+	const n = maxCoalescePages + 70 // forces a run split plus stragglers
+	for i := 0; i < n; i++ {
+		if _, err := pager.Grow(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	page := func(id PageID) []byte {
+		buf := make([]byte, PageSize)
+		for i := range buf {
+			buf[i] = byte(uint64(id)*31 + uint64(i))
+		}
+		return buf
+	}
+	// One long adjacent run (0..maxCoalescePages+9), then gapped singles.
+	var pages []DirtyPage
+	for id := PageID(0); id < maxCoalescePages+10; id++ {
+		pages = append(pages, DirtyPage{ID: id, Data: page(id)})
+	}
+	for id := PageID(maxCoalescePages + 12); id < n; id += 3 {
+		pages = append(pages, DirtyPage{ID: id, Data: page(id)})
+	}
+	if err := pager.WritePages(pages); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, PageSize)
+	for _, p := range pages {
+		if err := pager.ReadPage(p.ID, buf); err != nil {
+			t.Fatalf("read %d: %v", p.ID, err)
+		}
+		if !bytes.Equal(buf, p.Data) {
+			t.Fatalf("page %d corrupted by coalesced write", p.ID)
+		}
+	}
+}
+
+// TestWritebackReadThroughUnderEviction shrinks the buffer pool far below
+// the working set so clean frames are evicted constantly, and verifies that
+// every pool miss re-reads the newest committed image from the writeback
+// table rather than the stale page file (no checkpoint runs during the
+// test; the page file never catches up).
+func TestWritebackReadThroughUnderEviction(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tiny.db")
+	s, err := openFile(path, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	// Keep the background checkpointer out of the picture: the point is to
+	// read committed-but-not-checkpointed images through eviction misses.
+	s.SetCheckpointPolicy(1<<40, time.Hour)
+
+	tree, err := NewBTree(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetRoot(0, tree.Root())
+	const rounds, keys = 6, 60
+	for r := 0; r < rounds; r++ {
+		for i := 0; i < keys; i++ {
+			val := []byte(fmt.Sprintf("r%d-v%03d", r, i))
+			if err := tree.Put([]byte(fmt.Sprintf("key-%03d", i)), val); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s.SetRoot(0, tree.Root())
+		if err := s.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.CheckpointBacklog() == 0 {
+		t.Fatal("backlog drained — the test is no longer exercising writeback reads")
+	}
+	for i := 0; i < keys; i++ {
+		want := fmt.Sprintf("r%d-v%03d", rounds-1, i)
+		v, ok, err := tree.Get([]byte(fmt.Sprintf("key-%03d", i)))
+		if err != nil || !ok {
+			t.Fatalf("key-%03d: ok=%v err=%v", i, ok, err)
+		}
+		if string(v) != want {
+			t.Fatalf("key-%03d read %q through eviction, want %q (stale page file image)", i, v, want)
+		}
+	}
+}

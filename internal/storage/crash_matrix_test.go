@@ -1,0 +1,167 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// This file is the storage-level crash matrix for the durability pipeline:
+// commit -> WAL fsync -> [checkpoint writeback -> WAL truncate]. A "crash"
+// copies the page file and WAL to a fresh directory while the store is
+// still open (the images on disk at that instant are exactly what a kill
+// would leave) and reopens the copy. Recovery must land on the last
+// group-committed epoch at every stage:
+//
+//	stage A: after the WAL fsync, before any checkpoint — the page file
+//	         is arbitrarily stale; everything lives in the WAL tail.
+//	stage B: mid-checkpoint — half the captured images written and synced,
+//	         WAL not truncated; replay must repair the mixed page file.
+//	stage C: checkpoint fully written and synced but killed before the WAL
+//	         truncate; replay is a no-op rewrite of identical images.
+//
+// The facade-level matrix (crash_matrix_test.go at the repo root) runs the
+// same A/C stages across shard layouts.
+
+// crashSnapshot copies the page file and WAL as a crash would leave them.
+func crashSnapshot(t *testing.T, path string) string {
+	t.Helper()
+	dir := t.TempDir()
+	copyTo := filepath.Join(dir, "copy.db")
+	for _, suffix := range []string{"", ".wal"} {
+		data, err := os.ReadFile(path + suffix)
+		if err != nil {
+			if suffix == ".wal" && os.IsNotExist(err) {
+				continue
+			}
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(copyTo+suffix, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return copyTo
+}
+
+// crashWorkload commits `commits` transactions and returns the expected
+// key set. Checkpoints are disabled by policy so the caller controls
+// exactly how far the pipeline ran before the crash.
+func crashWorkload(t *testing.T, s *Store, commits int) map[string]string {
+	t.Helper()
+	tree, err := NewBTree(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetRoot(0, tree.Root())
+	want := make(map[string]string)
+	for c := 0; c < commits; c++ {
+		for i := 0; i < 8; i++ {
+			k := fmt.Sprintf("c%02d-k%02d", c, i)
+			v := fmt.Sprintf("v%d-%d", c, i)
+			if err := tree.Put([]byte(k), []byte(v)); err != nil {
+				t.Fatal(err)
+			}
+			want[k] = v
+		}
+		s.SetRoot(0, tree.Root())
+		if err := s.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return want
+}
+
+// verifyRecovered opens the copied files and asserts the recovered store
+// holds exactly the last committed state.
+func verifyRecovered(t *testing.T, path string, wantEpoch uint64, want map[string]string) {
+	t.Helper()
+	re, err := Open(path)
+	if err != nil {
+		t.Fatalf("reopening crash copy: %v", err)
+	}
+	defer re.Close()
+	if got := re.MVCC().Epoch; got != wantEpoch {
+		t.Fatalf("recovered epoch %d, want %d", got, wantEpoch)
+	}
+	tree := OpenBTree(re, re.Root(0))
+	for k, v := range want {
+		got, ok, err := tree.Get([]byte(k))
+		if err != nil || !ok {
+			t.Fatalf("key %s lost in crash (ok=%v err=%v)", k, ok, err)
+		}
+		if string(got) != v {
+			t.Fatalf("key %s recovered as %q, want %q", k, got, v)
+		}
+	}
+	if err := tree.Check(); err != nil {
+		t.Fatalf("post-recovery tree integrity: %v", err)
+	}
+}
+
+// TestCrashMatrixAfterWALFsync kills after the commits' WAL fsyncs with no
+// checkpoint at all: the page file still holds the pre-workload state and
+// recovery must rebuild everything from the WAL.
+func TestCrashMatrixAfterWALFsync(t *testing.T) {
+	s, path := openTempStore(t)
+	s.SetCheckpointPolicy(1<<40, time.Hour) // no background/backpressure flushes
+	want := crashWorkload(t, s, 10)
+	epoch := s.MVCC().Epoch
+	if s.CheckpointBacklog() == 0 {
+		t.Fatal("backlog empty — a checkpoint ran and the stage is not what it claims")
+	}
+	verifyRecovered(t, crashSnapshot(t, path), epoch, want)
+}
+
+// TestCrashMatrixMidCheckpoint kills halfway through a checkpoint's page
+// writes: half the captured images (sorted by page id) are written and
+// synced, the rest are not, and the WAL is not truncated. The page file is
+// a mix of old and new images; replay must repair it completely.
+func TestCrashMatrixMidCheckpoint(t *testing.T) {
+	s, path := openTempStore(t)
+	s.SetCheckpointPolicy(1<<40, time.Hour)
+	want := crashWorkload(t, s, 10)
+	epoch := s.MVCC().Epoch
+
+	// Simulate the first half of runCheckpoint by hand: capture the
+	// WAL-durable images, write only half of them, sync, and crash before
+	// the rest (and before the WAL truncate).
+	pages := s.wb.capture()
+	if len(pages) < 2 {
+		t.Fatalf("captured %d pages, need >= 2 for a meaningful split", len(pages))
+	}
+	if err := s.pager.WritePages(pages[:len(pages)/2]); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.pager.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	copyPath := crashSnapshot(t, path)
+	s.wb.fail() // hand the capture back so the deferred Close stays sound
+	verifyRecovered(t, copyPath, epoch, want)
+}
+
+// TestCrashMatrixAfterCheckpointBeforeTruncate kills after the checkpoint
+// has fully written and synced the page file but before the WAL truncate:
+// replay rewrites identical images and must be a harmless no-op.
+func TestCrashMatrixAfterCheckpointBeforeTruncate(t *testing.T) {
+	s, path := openTempStore(t)
+	s.SetCheckpointPolicy(1<<40, time.Hour)
+	want := crashWorkload(t, s, 10)
+	epoch := s.MVCC().Epoch
+
+	pages := s.wb.capture()
+	if len(pages) == 0 {
+		t.Fatal("nothing captured — workload produced no durable backlog")
+	}
+	if err := s.pager.WritePages(pages); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.pager.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	s.wb.finish()
+	// Crash here: WAL still holds every batch the checkpoint just wrote.
+	verifyRecovered(t, crashSnapshot(t, path), epoch, want)
+}

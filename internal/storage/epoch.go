@@ -46,14 +46,19 @@ func (e *epochs) init(epoch uint64, roots [NumRoots]PageID) {
 	e.active = make(map[uint64]int)
 }
 
-// retire records a superseded committed page under the current epoch.
-func (e *epochs) retire(id PageID) {
+// retireAt records a superseded committed page under the given epoch — the
+// last *prepared* epoch (Store.meta.epoch under Store.mu), not the published
+// one. With group commit the publish of a prepared epoch is asynchronous, so
+// attributing to the published epoch could free a page that a
+// prepared-but-unpublished epoch still references. Prepared epochs are
+// monotonic under Store.mu, so the pending list stays epoch-sorted.
+func (e *epochs) retireAt(epoch uint64, id PageID) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if n := len(e.pending); n > 0 && e.pending[n-1].epoch == e.current {
+	if n := len(e.pending); n > 0 && e.pending[n-1].epoch == epoch {
 		e.pending[n-1].pages = append(e.pending[n-1].pages, id)
 	} else {
-		e.pending = append(e.pending, retireBatch{epoch: e.current, pages: []PageID{id}})
+		e.pending = append(e.pending, retireBatch{epoch: epoch, pages: []PageID{id}})
 	}
 	e.pendingN++
 }

@@ -54,6 +54,10 @@ type Pager interface {
 	ReadPage(id PageID, buf []byte) error
 	// WritePage writes buf (PageSize long) to the page.
 	WritePage(id PageID, buf []byte) error
+	// WritePages writes a batch of page images, sorted ascending by id.
+	// Implementations may coalesce runs of adjacent ids into single
+	// larger writes (the checkpoint fast path).
+	WritePages(pages []DirtyPage) error
 	// Grow extends the file by one page and returns its id.
 	Grow() (PageID, error)
 	// PageCount returns the number of pages, including the meta page.
@@ -118,6 +122,48 @@ func (p *filePager) WritePage(id PageID, buf []byte) error {
 	}
 	if _, err := p.f.WriteAt(buf[:PageSize], int64(id)*PageSize); err != nil {
 		return fmt.Errorf("storage: write page %d: %w", id, err)
+	}
+	return nil
+}
+
+// maxCoalescePages caps one coalesced checkpoint write (256 pages = 1 MiB),
+// bounding the staging buffer while still amortizing syscall costs.
+const maxCoalescePages = 256
+
+func (p *filePager) WritePages(pages []DirtyPage) error {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.f == nil {
+		return ErrClosed
+	}
+	var buf []byte
+	for i := 0; i < len(pages); {
+		j := i + 1
+		for j < len(pages) && pages[j].ID == pages[j-1].ID+1 && j-i < maxCoalescePages {
+			j++
+		}
+		run := pages[i:j]
+		if last := run[len(run)-1].ID; last >= p.count {
+			return fmt.Errorf("%w: write %d of %d", ErrPageBounds, last, p.count)
+		}
+		if len(run) == 1 {
+			if _, err := p.f.WriteAt(run[0].Data[:PageSize], int64(run[0].ID)*PageSize); err != nil {
+				return fmt.Errorf("storage: write page %d: %w", run[0].ID, err)
+			}
+		} else {
+			need := len(run) * PageSize
+			if cap(buf) < need {
+				buf = make([]byte, need)
+			}
+			buf = buf[:need]
+			for k, pg := range run {
+				copy(buf[k*PageSize:(k+1)*PageSize], pg.Data)
+			}
+			if _, err := p.f.WriteAt(buf, int64(run[0].ID)*PageSize); err != nil {
+				return fmt.Errorf("storage: write pages %d..%d: %w", run[0].ID, run[len(run)-1].ID, err)
+			}
+		}
+		i = j
 	}
 	return nil
 }
@@ -197,6 +243,15 @@ func (p *memPager) WritePage(id PageID, buf []byte) error {
 		return fmt.Errorf("%w: write %d of %d", ErrPageBounds, id, len(p.pages))
 	}
 	copy(p.pages[id], buf[:PageSize])
+	return nil
+}
+
+func (p *memPager) WritePages(pages []DirtyPage) error {
+	for _, pg := range pages {
+		if err := p.WritePage(pg.ID, pg.Data); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -320,6 +375,18 @@ type Store struct {
 	pubEpoch atomic.Uint64
 
 	ep epochs
+
+	// wb holds committed page images awaiting page-file writeback, and gc
+	// coalesces concurrent commits into shared WAL flushes. Both are nil /
+	// unused for in-memory stores, which commit inline.
+	wb   *writeback
+	gc   groupQueue
+	ckpt checkpointer
+
+	// Checkpoint policy knobs (see SetCheckpointPolicy); zero means the
+	// package default.
+	ckptBytes    atomic.Int64
+	ckptInterval atomic.Int64
 }
 
 // SetReadCacheBytes (re)configures the decoded-node read cache. A size of
@@ -362,7 +429,11 @@ func (s *Store) dropCached(id PageID) {
 // Open opens a file-backed store, creating it if absent, and replays any
 // committed WAL records left behind by a crash. The WAL lives next to the
 // page file at path+".wal".
-func Open(path string) (*Store, error) {
+func Open(path string) (*Store, error) { return openFile(path, DefaultPoolSize) }
+
+// openFile is Open with an explicit buffer-pool frame limit (tests shrink it
+// to force evictions through the writeback read path).
+func openFile(path string, poolLimit int) (*Store, error) {
 	wal, err := openWAL(path + ".wal")
 	if err != nil {
 		return nil, err
@@ -372,12 +443,22 @@ func Open(path string) (*Store, error) {
 		wal.Close()
 		return nil, err
 	}
-	s := &Store{pager: pager, pool: NewBufferPool(pager, DefaultPoolSize), wal: wal, fresh: make(map[PageID]struct{})}
+	wb := newWriteback()
+	// The pool reads through the writeback table: committed images that
+	// have not been checkpointed yet must win over the (stale) page file.
+	s := &Store{
+		pager: pager,
+		pool:  NewBufferPool(&writebackPager{Pager: pager, wb: wb}, poolLimit),
+		wal:   wal,
+		wb:    wb,
+		fresh: make(map[PageID]struct{}),
+	}
 	if err := s.init(); err != nil {
 		pager.Close()
 		wal.Close()
 		return nil, err
 	}
+	s.startCheckpointer()
 	return s, nil
 }
 
@@ -430,11 +511,30 @@ func (s *Store) init() error {
 		// open sees an unclean file and sweeps.
 		s.meta.clean = false
 		s.writeMeta()
-		if err := s.commit(); err != nil {
+		if err := s.commitSync(); err != nil {
+			return err
+		}
+		// Checkpoint right away so a freshly opened store starts with an
+		// empty WAL, as it always has.
+		if err := s.Checkpoint(); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// commitSync prepares and flushes one commit synchronously. Used on paths
+// with exclusive access to the store (init, Close) where coalescing with
+// other committers is impossible by construction.
+func (s *Store) commitSync() error {
+	req, err := s.prepareLocked()
+	if err != nil {
+		return err
+	}
+	if req == nil {
+		return nil
+	}
+	return s.gc.wait(s, req)
 }
 
 // WasCleanShutdown reports whether the store was last closed with no
@@ -521,7 +621,10 @@ func (s *Store) retire(id PageID) error {
 		delete(s.fresh, id)
 		return s.free(id)
 	}
-	s.ep.retire(id)
+	// Attribute to the last *prepared* epoch (meta.epoch), not the published
+	// one: with group commit a prepared-but-unpublished epoch may still
+	// reference this page, and it must not free before that epoch publishes.
+	s.ep.retireAt(s.meta.epoch, id)
 	return nil
 }
 
@@ -648,75 +751,16 @@ func (s *Store) WriteCOW(id PageID, buf []byte) (PageID, error) {
 }
 
 // Commit makes all buffered mutations durable and publishes them as a new
-// epoch. For file-backed stores the dirty pages are first appended to the
-// WAL with a commit record and synced, then written to the page file; the
-// WAL is truncated once the page file is synced. In-memory stores simply
-// clear dirty flags. After the flush the root set and epoch become the
-// published state new snapshots read, and pages retired in superseded
-// epochs are reclaimed if no snapshot still pins them.
+// epoch. For file-backed stores the dirty pages are appended to the WAL with
+// a commit record and synced — the WAL fsync is the durability boundary;
+// the page-file writeback happens asynchronously in the checkpointer (see
+// checkpoint.go), and concurrent commits coalesce into shared WAL flushes
+// (see groupcommit.go). In-memory stores simply clear dirty flags. After the
+// flush the root set and epoch become the published state new snapshots
+// read, and pages retired in superseded epochs are reclaimed if no snapshot
+// still pins them.
 func (s *Store) Commit() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed.Load() {
-		return ErrClosed
-	}
-	if err := s.commit(); err != nil {
-		return err
-	}
-	// Reclaim: anything retired before the (new) current epoch with no
-	// snapshot pinning it is safe to reuse.
-	e := &s.ep
-	e.mu.Lock()
-	free := e.collectLocked()
-	e.mu.Unlock()
-	for _, id := range free {
-		if err := s.free(id); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-func (s *Store) commit() error {
-	dirty := s.pool.DirtyPages()
-	if len(dirty) == 0 {
-		return nil
-	}
-	// Stamp the new epoch into the meta page so recovery lands on it, then
-	// re-collect so the stamped meta page is part of the batch.
-	s.meta.epoch++
-	s.writeMeta()
-	dirty = s.pool.DirtyPages()
-	if s.wal != nil {
-		if err := s.wal.LogCommit(dirty); err != nil {
-			return err
-		}
-	}
-	for _, d := range dirty {
-		if err := s.pager.WritePage(d.ID, d.Data); err != nil {
-			return err
-		}
-	}
-	obs.Engine.Add(obs.CtrPagesWritten, int64(len(dirty)))
-	if err := s.pager.Sync(); err != nil {
-		return err
-	}
-	if s.wal != nil {
-		if err := s.wal.Reset(); err != nil {
-			return err
-		}
-	}
-	s.pool.ClearDirty()
-	// Publish: snapshots taken from here on see the new roots and epoch.
-	e := &s.ep
-	e.mu.Lock()
-	e.current = s.meta.epoch
-	e.published = s.meta.roots
-	e.mu.Unlock()
-	s.pubEpoch.Store(s.meta.epoch)
-	// Everything allocated this transaction is now committed state.
-	s.fresh = make(map[PageID]struct{})
-	return nil
+	return s.CommitAsync().Wait()
 }
 
 // PageCount reports the current number of pages, including the meta page.
@@ -739,8 +783,12 @@ func OpenMemWithPoolLimit(limit int) *Store {
 	return s
 }
 
-// Close commits outstanding changes and releases the underlying files.
+// Close commits outstanding changes, runs a final synchronous checkpoint
+// and releases the underlying files.
 func (s *Store) Close() error {
+	// Stop the background checkpointer first so no flush races the final
+	// synchronous passes below.
+	s.stopCheckpointer()
 	// Two commits: the first flushes the transaction, and its reclamation
 	// pass may push pages onto the free list (dirtying the free-list
 	// links); the second makes those durable so reopened stores reuse them.
@@ -750,8 +798,8 @@ func (s *Store) Close() error {
 		}
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed.Load() {
+		s.mu.Unlock()
 		return nil
 	}
 	// Stamp the clean-shutdown flag — but only if no retired pages are
@@ -760,12 +808,28 @@ func (s *Store) Close() error {
 	s.ep.mu.Lock()
 	pending := s.ep.pendingN
 	s.ep.mu.Unlock()
+	var cleanErr error
 	if pending == 0 {
 		s.meta.clean = true
 		s.writeMeta()
-		if err := s.commit(); err != nil {
+		cleanErr = s.commitSync()
+	}
+	s.mu.Unlock()
+	if cleanErr != nil {
+		return cleanErr
+	}
+	// Final synchronous checkpoint: drain the writeback table into the page
+	// file and truncate the WAL, so a cleanly closed store reopens without
+	// replay work.
+	if s.wb != nil {
+		if err := s.Checkpoint(); err != nil {
 			return err
 		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed.Load() {
+		return nil
 	}
 	s.closed.Store(true)
 	if s.wal != nil {

@@ -7,6 +7,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"sync"
 
 	"repro/internal/obs"
 )
@@ -30,8 +31,11 @@ const (
 //
 // The CRC covers everything in the frame before it.
 type WAL struct {
-	f    *os.File
-	path string
+	mu      sync.Mutex
+	f       *os.File
+	path    string
+	size    int64  // bytes appended since the last truncation
+	scratch []byte // grow-only encode buffer reused across commits
 }
 
 func openWAL(path string) (*WAL, error) {
@@ -39,15 +43,20 @@ func openWAL(path string) (*WAL, error) {
 	if err != nil {
 		return nil, fmt.Errorf("storage: open wal: %w", err)
 	}
-	return &WAL{f: f, path: path}, nil
+	w := &WAL{f: f, path: path}
+	if st, err := f.Stat(); err == nil {
+		w.size = st.Size()
+		if _, err := f.Seek(0, io.SeekEnd); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("storage: open wal: %w", err)
+		}
+	}
+	return w, nil
 }
 
-// LogCommit appends the dirty page images and a commit frame, then syncs.
-func (w *WAL) LogCommit(pages []DirtyPage) error {
-	if w.f == nil {
-		return ErrClosed
-	}
-	buf := make([]byte, 0, len(pages)*(PageSize+20)+12)
+// appendWALBatch encodes one commit batch (page frames terminated by a
+// commit frame) onto buf and returns the extended slice.
+func appendWALBatch(buf []byte, pages []DirtyPage) []byte {
 	var scratch [16]byte
 	for _, p := range pages {
 		binary.LittleEndian.PutUint32(scratch[0:], walFramePage)
@@ -66,17 +75,76 @@ func (w *WAL) LogCommit(pages []DirtyPage) error {
 	buf = append(buf, scratch[:8]...)
 	crc := crc32.ChecksumIEEE(buf[frameStart:])
 	binary.LittleEndian.PutUint32(scratch[0:], crc)
-	buf = append(buf, scratch[:4]...)
+	return append(buf, scratch[:4]...)
+}
 
+// AppendGroup encodes every batch back to back, appends them with a single
+// Write, and syncs once. This is the group-commit fast path: a flush of N
+// coalesced commits costs one fsync instead of N. A non-nil onDurable hook
+// runs after the fsync while the WAL mutex is still held, so whatever it
+// records is ordered before any later Size() sample — the checkpointer
+// relies on this to never truncate a batch it has not written back.
+func (w *WAL) AppendGroup(batches [][]DirtyPage, onDurable func()) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return ErrClosed
+	}
+	buf := w.scratch[:0]
+	for _, pages := range batches {
+		buf = appendWALBatch(buf, pages)
+	}
+	w.scratch = buf
 	if _, err := w.f.Write(buf); err != nil {
 		return fmt.Errorf("storage: wal append: %w", err)
 	}
 	if err := w.f.Sync(); err != nil {
 		return err
 	}
+	w.size += int64(len(buf))
 	obs.Engine.Add(obs.CtrWALBytes, int64(len(buf)))
 	obs.Engine.Add(obs.CtrWALSyncs, 1)
+	obs.Engine.Max(obs.CtrWALHighwaterBytes, w.size)
+	if onDurable != nil {
+		onDurable()
+	}
 	return nil
+}
+
+// LogCommit appends the dirty page images and a commit frame, then syncs.
+func (w *WAL) LogCommit(pages []DirtyPage) error {
+	return w.AppendGroup([][]DirtyPage{pages}, nil)
+}
+
+// Size reports the bytes appended since the last truncation.
+func (w *WAL) Size() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.size
+}
+
+// TruncateIf truncates the log only if its size still equals size — i.e. no
+// commit has been appended since the caller sampled Size(). The checkpointer
+// uses this so a truncation can never discard a batch it did not write back.
+func (w *WAL) TruncateIf(size int64) (bool, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return false, ErrClosed
+	}
+	if w.size != size {
+		return false, nil
+	}
+	// Cross-check the physical size: if it disagrees with our bookkeeping,
+	// another handle owns the file now (a test reopened an abandoned store's
+	// path) — never truncate bytes we did not append.
+	if fi, err := w.f.Stat(); err != nil || fi.Size() != size {
+		return false, err
+	}
+	if err := w.resetLocked(); err != nil {
+		return false, err
+	}
+	return true, nil
 }
 
 // Recover replays committed batches onto the pager and truncates the log.
@@ -176,20 +244,32 @@ func (w *WAL) truncateTail(readErr error) error {
 
 // Reset truncates the log; called after the page file is durably synced.
 func (w *WAL) Reset() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	if w.f == nil {
 		return ErrClosed
 	}
+	return w.resetLocked()
+}
+
+func (w *WAL) resetLocked() error {
 	if err := w.f.Truncate(0); err != nil {
 		return err
 	}
 	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
 		return err
 	}
-	return w.f.Sync()
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.size = 0
+	return nil
 }
 
 // Close closes the log file.
 func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	if w.f == nil {
 		return nil
 	}

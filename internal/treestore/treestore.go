@@ -158,14 +158,29 @@ func initShard(db *relstore.DB) error {
 	return err
 }
 
-// Commit flushes buffered pages of every shard to disk.
+// Commit flushes buffered pages of every shard to disk. The per-shard
+// commits are issued concurrently: each shard's WAL fsync proceeds in
+// parallel instead of serializing behind the previous shard's.
 func (s *Store) Commit() error {
-	for i, db := range s.dbs {
-		if err := db.Commit(); err != nil {
-			return fmt.Errorf("treestore: committing shard %d: %w", i, err)
+	if len(s.dbs) == 1 {
+		if err := s.dbs[0].Commit(); err != nil {
+			return fmt.Errorf("treestore: committing shard 0: %w", err)
 		}
+		return nil
 	}
-	return nil
+	errs := make([]error, len(s.dbs))
+	var wg sync.WaitGroup
+	for i, db := range s.dbs {
+		wg.Add(1)
+		go func(i int, db *relstore.DB) {
+			defer wg.Done()
+			if err := db.Commit(); err != nil {
+				errs[i] = fmt.Errorf("treestore: committing shard %d: %w", i, err)
+			}
+		}(i, db)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
 }
 
 // Close commits and closes every shard's database. All shards are closed

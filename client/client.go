@@ -18,6 +18,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"iter"
@@ -25,6 +26,8 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/benchmark"
@@ -77,11 +80,23 @@ func (e *APIError) Error() string {
 	return fmt.Sprintf("crimsond: %s (HTTP %d)", e.Message, e.Status)
 }
 
-// Client talks to one crimsond server.
+// Client talks to one crimsond deployment: a primary, optionally backed
+// by read replicas (WithReplicas). Data reads round-robin across the
+// replicas and fail over to the primary on a connection error or when a
+// replica lags a requested epoch; writes always go to the primary. The
+// client tracks the highest epoch vector it has seen (from the
+// X-Crimson-Epoch response header), which WithReadYourWrites turns into
+// an X-Crimson-Min-Epoch bound on replica reads.
 type Client struct {
-	base    string
-	hc      *http.Client
-	timeout time.Duration
+	base     string
+	replicas []string
+	rr       atomic.Uint32 // round-robin cursor over replicas
+	hc       *http.Client
+	timeout  time.Duration
+	ryw      bool // attach last-seen epochs to replica reads
+
+	epochMu    sync.Mutex
+	lastEpochs []uint64 // pointwise max X-Crimson-Epoch seen, per shard
 }
 
 // Option tunes a Client at construction.
@@ -137,7 +152,38 @@ func apiError(resp *http.Response) *APIError {
 func (c *Client) do(ctx context.Context, method, path string, query url.Values, body io.Reader, contentType string, out any) error {
 	ctx, cancel := c.reqCtx(ctx)
 	defer cancel()
-	u := c.base + path
+	bases := c.endpoints(method, path, body)
+	var lastErr error
+	for i, base := range bases {
+		err := c.doOnce(ctx, base, method, path, query, body, contentType, out)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		// Fail over to the next endpoint (the primary is always last)
+		// only for errors a different server can fix: a connection
+		// failure, or a replica refusing because it lags the requested
+		// epoch (409) or is overloaded (503).
+		if i == len(bases)-1 || ctx.Err() != nil || !failoverErr(err) {
+			return err
+		}
+	}
+	return lastErr
+}
+
+// failoverErr reports whether a replica's failure should be retried on
+// the primary.
+func failoverErr(err error) bool {
+	var ae *APIError
+	if errors.As(err, &ae) {
+		return ae.Status == http.StatusConflict || ae.Status == http.StatusServiceUnavailable
+	}
+	return true // transport-level failure
+}
+
+// doOnce issues the request against one base URL and decodes the result.
+func (c *Client) doOnce(ctx context.Context, base, method, path string, query url.Values, body io.Reader, contentType string, out any) error {
+	u := base + path
 	if len(query) > 0 {
 		u += "?" + query.Encode()
 	}
@@ -148,11 +194,15 @@ func (c *Client) do(ctx context.Context, method, path string, query url.Values, 
 	if contentType != "" {
 		req.Header.Set("Content-Type", contentType)
 	}
+	if me := c.minEpochFor(ctx, base); me != "" {
+		req.Header.Set("X-Crimson-Min-Epoch", me)
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return err
 	}
 	defer resp.Body.Close()
+	c.noteEpochs(resp)
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
 		return apiError(resp)
 	}
@@ -389,25 +439,36 @@ func (c *cancelReadCloser) Close() error {
 // server abort its scan and release its snapshot. The stream ends with a
 // trailing newline after the terminating ";".
 func (c *Client) ExportReader(ctx context.Context, name string) (io.ReadCloser, error) {
+	path := "/v1/trees/" + url.PathEscape(name) + "/export"
 	ctx, cancel := c.reqCtx(ctx)
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
-		c.base+"/v1/trees/"+url.PathEscape(name)+"/export", nil)
-	if err != nil {
-		cancel()
-		return nil, err
+	bases := c.endpoints(http.MethodGet, path, nil)
+	var lastErr error
+	for i, base := range bases {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+path, nil)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		if me := c.minEpochFor(ctx, base); me != "" {
+			req.Header.Set("X-Crimson-Min-Epoch", me)
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			lastErr = err
+		} else {
+			c.noteEpochs(resp)
+			if resp.StatusCode >= 200 && resp.StatusCode <= 299 {
+				return &cancelReadCloser{rc: resp.Body, cancel: cancel}, nil
+			}
+			lastErr = apiError(resp)
+			resp.Body.Close()
+		}
+		if i == len(bases)-1 || ctx.Err() != nil || !failoverErr(lastErr) {
+			break
+		}
 	}
-	resp, err := c.hc.Do(req)
-	if err != nil {
-		cancel()
-		return nil, err
-	}
-	if resp.StatusCode < 200 || resp.StatusCode > 299 {
-		err := apiError(resp)
-		resp.Body.Close()
-		cancel()
-		return nil, err
-	}
-	return &cancelReadCloser{rc: resp.Body, cancel: cancel}, nil
+	cancel()
+	return nil, lastErr
 }
 
 // ExportCtx fetches the complete stored tree as an in-memory tree (the

@@ -71,6 +71,7 @@ func init() {
 		{"view", "render a Newick file as ascii/dot/libsea/nexus", cmdView},
 		{"fsck", "verify the integrity of a repository's trees and indexes", cmdFsck},
 		{"serve", "serve the repository over HTTP (crimsond)", cmdServe},
+		{"promote", "promote a follower crimsond to writable primary", cmdPromote},
 	}
 }
 
@@ -635,10 +636,17 @@ func cmdBench(args []string) error {
 	commitBench := fs.Bool("commit", false, "instead of a reconstruction benchmark, measure durable commit throughput (concurrent small committers + one bulk load against a file-backed repository)")
 	commitWriters := fs.Int("commit-writers", 8, "concurrent small committers in --commit mode")
 	commitOps := fs.Int("commit-ops", 64, "commits per writer in --commit mode")
-	baseline := fs.String("baseline", "", "in --ingest, --read or --commit mode, compare the throughput scalar against this baseline JSON report (e.g. BENCH_load.json, BENCH_read.json, BENCH_commit.json)")
+	replBench := fs.Bool("repl", false, "instead of a reconstruction benchmark, measure replication: concurrent writes against an in-process primary with every write read back from a streaming follower, reporting apply lag")
+	replWriters := fs.Int("repl-writers", 8, "concurrent writers in --repl mode")
+	replOps := fs.Int("repl-ops", 16, "writes per writer in --repl mode")
+	replLeaves := fs.Int("repl-leaves", 2000, "leaves in the pre-loaded gold tree in --repl mode")
+	baseline := fs.String("baseline", "", "in --ingest, --read, --commit or --repl mode, compare the throughput scalar against this baseline JSON report (e.g. BENCH_load.json, BENCH_read.json, BENCH_commit.json, BENCH_repl.json)")
 	maxRegress := fs.Float64("max-regress", 0.10, "with --baseline, fail when throughput regresses by more than this fraction")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *replBench {
+		return runReplBench(*replWriters, *replOps, *replLeaves, *seed, *jsonOut, *baseline, *maxRegress)
 	}
 	if *commitBench {
 		return runCommitBench(*commitWriters, *commitOps, *seed, *jsonOut, *baseline, *maxRegress)
@@ -1403,18 +1411,34 @@ func cmdServe(args []string) error {
 	quiet := fs.Bool("quiet", false, "suppress log output")
 	checkpointMB := fs.Int("checkpoint-mb", 0, "per-shard checkpoint writeback threshold in MB (0 = default 4MB): flush committed pages to the page file once this much accumulates")
 	checkpointInterval := fs.Duration("checkpoint-interval", 0, "checkpoint age bound (0 = default 1s): flush committed pages at least this often while any are pending")
+	follow := fs.String("follow", "", "run as a read-only follower replicating from this primary crimsond URL (requires --repo; promote with `crimson promote`)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	var repo *crimson.Repository
+	var fl *crimson.Follower
 	var err error
-	if *mem {
+	switch {
+	case *follow != "":
+		if *mem {
+			return fmt.Errorf("serve: --follow needs a durable repository, not --mem")
+		}
+		if *repoPath == "" {
+			return fmt.Errorf("serve: --follow requires --repo (the follower's local copy)")
+		}
+		fctx, fcancel := context.WithCancel(context.Background())
+		defer fcancel()
+		if repo, fl, err = crimson.OpenFollower(fctx, *repoPath, *follow); err != nil {
+			return err
+		}
+		defer fl.Stop()
+	case *mem:
 		n := *shards
 		if n == 0 {
 			n = 1
 		}
 		repo = crimson.OpenMemSharded(n)
-	} else {
+	default:
 		if repo, err = openRepoSharded(*repoPath, *shards); err != nil {
 			return err
 		}
@@ -1430,7 +1454,7 @@ func cmdServe(args []string) error {
 	if *logJSON && !*quiet {
 		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
 	}
-	srv := repo.NewServer(crimson.ServerConfig{
+	cfg := crimson.ServerConfig{
 		Addr:             *addr,
 		MaxInFlightReads: *maxReads,
 		ResultCacheSize:  *cacheSize,
@@ -1441,11 +1465,21 @@ func cmdServe(args []string) error {
 		SlowQueryMS:      *slowQueryMS,
 		Trace:            *traceAll,
 		EnablePprof:      *pprofOn,
-	})
+	}
+	var srv *crimson.Server
+	if fl != nil {
+		srv = repo.NewFollowerServer(fl, cfg)
+	} else {
+		srv = repo.NewServer(cfg)
+	}
 	if err := srv.Start(); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "crimsond listening on %s (%d shard(s), Ctrl-C to stop)\n", srv.Addr(), repo.Shards())
+	role := "primary"
+	if fl != nil {
+		role = fmt.Sprintf("follower of %s", *follow)
+	}
+	fmt.Fprintf(os.Stderr, "crimsond listening on %s (%d shard(s), %s, Ctrl-C to stop)\n", srv.Addr(), repo.Shards(), role)
 	// Surface the MVCC machinery while serving: the committed epoch, how
 	// many snapshot readers are open, and the reclamation backlog.
 	stopStats := make(chan struct{})

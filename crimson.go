@@ -93,6 +93,7 @@ import (
 	"repro/internal/queryrepo"
 	"repro/internal/recon"
 	"repro/internal/relstore"
+	"repro/internal/repl"
 	"repro/internal/sample"
 	"repro/internal/seqsim"
 	"repro/internal/server"
@@ -169,6 +170,13 @@ type (
 	// pages awaiting reclamation (aggregated across shards by
 	// Repository.MVCC, per shard by Repository.MVCCShards).
 	MVCCStats = storage.MVCCStats
+	// Follower is a WAL-shipping replication follower: it streams durable
+	// commit batches from a primary crimsond and applies them locally (see
+	// OpenFollower).
+	Follower = repl.Follower
+	// ReplStatus is the /v1/repl/status body: per-shard replication state
+	// of a primary or follower.
+	ReplStatus = repl.StatusResponse
 )
 
 // DefaultFanout is the default depth bound f for hierarchical labels.
@@ -370,6 +378,72 @@ func assemble(dbs []*relstore.DB) (*Repository, error) {
 		Trees:    trees,
 		Species:  sp,
 		Queries:  q,
+	}, nil
+}
+
+// OpenFollower opens (creating if needed) path as a streaming replica of
+// the primary crimsond at primaryURL: it probes the primary for its
+// shard count, opens every shard store in replica mode, starts the
+// per-shard apply loops, waits under ctx for the initial catch-up (ring,
+// WAL tail or full snapshot, whichever the primary chooses), and
+// assembles a read-only Repository over the replica.
+//
+// The returned Repository serves snapshot reads that trail the primary
+// by the apply lag; writes are rejected until the follower is promoted
+// (Follower.Promote via the server's /v1/repl/promote, after which the
+// repository must be reopened or served through NewFollowerServer, which
+// refreshes it in place). Closing the Repository closes the replica
+// stores; call Follower.Stop first.
+func OpenFollower(ctx context.Context, path, primaryURL string) (*Repository, *Follower, error) {
+	fl, err := repl.OpenFollower(path, primaryURL, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	fl.Start(ctx)
+	if err := fl.WaitSynced(ctx); err != nil {
+		fl.Stop()
+		for _, st := range fl.Stores() {
+			st.Close()
+		}
+		return nil, nil, fmt.Errorf("crimson: initial replica sync: %w", err)
+	}
+	dbs := make([]*relstore.DB, len(fl.Stores()))
+	for i, st := range fl.Stores() {
+		dbs[i] = relstore.NewOnReplicaStore(st)
+	}
+	r, err := assembleReplica(dbs)
+	if err != nil {
+		fl.Stop()
+		shard.CloseAll(dbs)
+		return nil, nil, err
+	}
+	return r, fl, nil
+}
+
+// assembleReplica builds the repository surface over replica databases
+// without initializing anything: replica repositories are read-only and
+// every read the follower server issues goes through snapshots, which
+// resolve tables lazily at their pinned epoch.
+func assembleReplica(dbs []*relstore.DB) (*Repository, error) {
+	router, err := shard.NewRouter(len(dbs))
+	if err != nil {
+		return nil, err
+	}
+	trees, err := treestore.NewOnShardsReplica(dbs, router)
+	if err != nil {
+		return nil, err
+	}
+	sp, err := species.NewOnShardsReplica(dbs, router)
+	if err != nil {
+		return nil, err
+	}
+	return &Repository{
+		dbs:      dbs,
+		router:   router,
+		writeMus: make([]sync.Mutex, len(dbs)),
+		Trees:    trees,
+		Species:  sp,
+		Queries:  queryrepo.NewOnReplicaDB(dbs[0]),
 	}, nil
 }
 
@@ -771,6 +845,23 @@ func (r *Repository) NewServer(cfg ServerConfig) *Server {
 
 // NewServer builds crimsond over repo; see Repository.NewServer.
 func NewServer(repo *Repository, cfg ServerConfig) *Server { return repo.NewServer(cfg) }
+
+// NewFollowerServer builds crimsond over a replica repository opened
+// with OpenFollower. The server rejects writes with 403, serves every
+// read at the shard's last applied epoch, reports apply lag in
+// /v1/stats and /metrics, and turns into a writable primary on
+// POST /v1/repl/promote (which re-resolves the repository's live table
+// handles in place — no reopen needed).
+func (r *Repository) NewFollowerServer(fl *Follower, cfg ServerConfig) *Server {
+	return server.New(server.Backend{
+		DBs:      r.dbs,
+		Router:   r.router,
+		Trees:    r.Trees,
+		Species:  r.Species,
+		Queries:  r.Queries,
+		Follower: fl,
+	}, cfg)
+}
 
 // EngineCounters snapshots the process-global storage-engine work
 // counters (B+tree descents, cells decoded, rows scanned, buffer-pool

@@ -80,6 +80,23 @@ const (
 	// CtrWALHighwaterBytes tracks (via Max) the largest WAL size observed
 	// between truncations.
 	CtrWALHighwaterBytes
+	// CtrReplBatchesShipped counts commit batches shipped to replication
+	// subscribers (one per batch per subscriber).
+	CtrReplBatchesShipped
+	// CtrReplBytesShipped counts page-image bytes shipped to subscribers.
+	CtrReplBytesShipped
+	// CtrReplSnapshotPages counts pages streamed in snapshot catch-ups.
+	CtrReplSnapshotPages
+	// CtrReplBatchesApplied counts replicated batches applied by a follower.
+	CtrReplBatchesApplied
+	// CtrReplPagesApplied counts page images applied by a follower.
+	CtrReplPagesApplied
+	// CtrReplApplyConflicts counts batches applied after the reclaim-horizon
+	// grace period expired with local snapshots still open (possible stale
+	// reads on those snapshots).
+	CtrReplApplyConflicts
+	// CtrReplReconnects counts follower stream reconnect attempts.
+	CtrReplReconnects
 
 	NumCounters
 )
@@ -106,6 +123,13 @@ var counterNames = [NumCounters]string{
 	"checkpoint_pages",
 	"checkpoint_bytes",
 	"wal_highwater_bytes",
+	"repl_batches_shipped",
+	"repl_bytes_shipped",
+	"repl_snapshot_pages",
+	"repl_batches_applied",
+	"repl_pages_applied",
+	"repl_apply_conflicts",
+	"repl_reconnects",
 }
 
 // Name returns the counter's snake_case wire name.

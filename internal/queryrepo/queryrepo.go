@@ -46,9 +46,27 @@ type Repo struct {
 
 // NewOnDB layers the repository over an existing database.
 func NewOnDB(db *relstore.DB) (*Repo, error) {
-	tab, err := db.Table(tableName)
+	r := &Repo{db: db}
+	if err := r.Reload(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// NewOnReplicaDB layers the repository over a replica database without
+// touching it: the live table handle stays unresolved (a replica can
+// neither create the table nor record queries), while snapshot Views —
+// the only history read path the follower server uses — resolve the
+// table per snapshot as usual. After a promote, Reload resolves it.
+func NewOnReplicaDB(db *relstore.DB) *Repo { return &Repo{db: db} }
+
+// Reload (re-)resolves the live table handle, creating the table where
+// missing. Called at construction and after a promote flips the
+// underlying store writable.
+func (r *Repo) Reload() error {
+	tab, err := r.db.Table(tableName)
 	if errors.Is(err, relstore.ErrNoTable) {
-		tab, err = db.CreateTable(relstore.Schema{
+		tab, err = r.db.CreateTable(relstore.Schema{
 			Name: tableName,
 			Columns: []relstore.Column{
 				{Name: "id", Type: relstore.TInt},
@@ -64,9 +82,12 @@ func NewOnDB(db *relstore.DB) (*Repo, error) {
 		})
 	}
 	if err != nil {
-		return nil, err
+		return err
 	}
-	return &Repo{db: db, tab: tab}, nil
+	r.mu.Lock()
+	r.tab = tab
+	r.mu.Unlock()
+	return nil
 }
 
 // Record appends a query to the history. Args is JSON-marshalled.

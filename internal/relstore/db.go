@@ -86,6 +86,9 @@ func OpenDB(path string) (*DB, error) {
 // use the sweep backs off entirely: it cannot prove reachability for a
 // layout it does not understand.
 func (db *DB) sweepLeaked() (int, error) {
+	if db.catalog == nil {
+		return 0, nil
+	}
 	for slot := 0; slot < storage.NumRoots; slot++ {
 		if slot != catalogRootSlot && db.store.Root(slot) != 0 {
 			return 0, nil
@@ -115,6 +118,45 @@ func (db *DB) sweepLeaked() (int, error) {
 		}
 	}
 	return db.store.ReclaimUnreachable(reachable)
+}
+
+// NewOnReplicaStore layers a database over a replication-follower store.
+// Nothing is bootstrapped or committed: a replica's pages arrive solely
+// through applied batches, so the catalog is opened at whatever root the
+// replicated meta page names (nil until the primary's first commit
+// arrives; Reload picks it up). No reclamation sweep runs either — a
+// replica never frees pages on its own.
+func NewOnReplicaStore(store *storage.Store) *DB {
+	db := &DB{store: store, tables: make(map[string]*Table)}
+	if root := store.Root(catalogRootSlot); root != 0 {
+		db.catalog = storage.OpenBTree(store, root)
+	}
+	return db
+}
+
+// Reload reopens the catalog at the store's current root slot and drops
+// every cached table handle. On a follower the live handles go stale as
+// applied batches move roots (snapshot reads don't — they re-resolve per
+// snapshot); Reload is how a promote refreshes the live surface.
+func (db *DB) Reload() {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if root := db.store.Root(catalogRootSlot); root != 0 {
+		db.catalog = storage.OpenBTree(db.store, root)
+	} else {
+		db.catalog = nil
+	}
+	db.tables = make(map[string]*Table)
+}
+
+// Sweep runs the leaked-page reclamation sweep (see OpenDB) on demand: a
+// promoted follower calls it because snapshot catch-ups synthesize an
+// empty free list, leaking whatever the old primary's free list held.
+// The caller must ensure no writer is active; concurrent snapshot reads
+// are safe — the sweep only frees pages unreachable from every epoch a
+// replica ever applied.
+func (db *DB) Sweep() (int, error) {
+	return db.sweepLeaked()
 }
 
 // OpenMemDB opens a database backed entirely by memory.
@@ -158,6 +200,9 @@ func (db *DB) MVCC() storage.MVCCStats { return db.store.MVCC() }
 func (db *DB) CreateTable(schema Schema) (*Table, error) {
 	if err := schema.Validate(); err != nil {
 		return nil, err
+	}
+	if db.store.IsReplica() {
+		return nil, fmt.Errorf("relstore: replica is read-only: cannot create table %s", schema.Name)
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -208,6 +253,9 @@ func (db *DB) loadTable(name string) (*Table, error) {
 	if t, ok := db.tables[name]; ok {
 		return t, nil
 	}
+	if db.catalog == nil {
+		return nil, fmt.Errorf("%w: %s", ErrNoTable, name)
+	}
 	enc, ok, err := db.catalog.Get(catalogKey(name))
 	if err != nil {
 		return nil, err
@@ -243,6 +291,9 @@ func (db *DB) loadTable(name string) (*Table, error) {
 func (db *DB) Tables() ([]string, error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
+	if db.catalog == nil {
+		return nil, nil
+	}
 	var names []string
 	c, err := db.catalog.First()
 	if err != nil {

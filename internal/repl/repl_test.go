@@ -1,0 +1,335 @@
+package repl
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/storage"
+)
+
+// TestWireRoundTrip pushes every frame kind through one stream and reads
+// it back: headers, roots, and page payloads (ids and images) must
+// survive byte-exactly.
+func TestWireRoundTrip(t *testing.T) {
+	var roots [storage.NumRoots]storage.PageID
+	roots[0], roots[7] = 42, 99
+	mkPage := func(id storage.PageID, fill byte) storage.DirtyPage {
+		d := make([]byte, storage.PageSize)
+		for i := range d {
+			d[i] = fill
+		}
+		return storage.DirtyPage{ID: id, Data: d}
+	}
+	frames := []struct {
+		f     Frame
+		pages []storage.DirtyPage
+	}{
+		{Frame{Kind: KindHello, Epoch: 7, Snapshot: true, PageTotal: 123}, nil},
+		{Frame{Kind: KindPages}, []storage.DirtyPage{mkPage(1, 0xAA), mkPage(9, 0x55)}},
+		{Frame{Kind: KindSnapEnd, Epoch: 7, Roots: rootsToWire(roots)}, nil},
+		{Frame{Kind: KindBatch, Epoch: 8, Horizon: 3}, []storage.DirtyPage{mkPage(0, 0x01)}},
+		{Frame{Kind: KindPing, Epoch: 8}, nil},
+	}
+
+	var buf bytes.Buffer
+	fw := newFrameWriter(&buf)
+	for _, fr := range frames {
+		if err := fw.writeFrame(fr.f, fr.pages); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rd := newFrameReader(&buf)
+	for i, want := range frames {
+		got, pages, err := rd.readFrame()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got.Kind != want.f.Kind || got.Epoch != want.f.Epoch || got.Horizon != want.f.Horizon ||
+			got.Snapshot != want.f.Snapshot || got.PageTotal != want.f.PageTotal {
+			t.Fatalf("frame %d header = %+v, want %+v", i, got, want.f)
+		}
+		if want.f.Roots != nil && rootsFromWire(got.Roots) != roots {
+			t.Fatalf("frame %d roots = %v, want %v", i, got.Roots, roots)
+		}
+		if len(pages) != len(want.pages) {
+			t.Fatalf("frame %d carried %d pages, want %d", i, len(pages), len(want.pages))
+		}
+		for j, p := range pages {
+			if p.ID != want.pages[j].ID || !bytes.Equal(p.Data, want.pages[j].Data) {
+				t.Fatalf("frame %d page %d corrupted in transit", i, j)
+			}
+		}
+	}
+}
+
+// primaryFixture is an in-package stand-in for the crimsond endpoints a
+// follower speaks to: a file-backed store, its publisher, and an HTTP
+// server exposing /v1/repl/status and /v1/repl/stream.
+type primaryFixture struct {
+	store *storage.Store
+	pub   *Publisher
+	srv   *httptest.Server
+	tree  *storage.BTree
+}
+
+func newPrimaryFixture(t *testing.T) *primaryFixture {
+	t.Helper()
+	dir := t.TempDir()
+	// The follower probes shard layout from the status response only; the
+	// primary's own dir layout is irrelevant here, a flat store suffices.
+	st, err := storage.Open(filepath.Join(dir, "primary.db"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.SetCheckpointPolicy(1<<40, time.Hour) // tests control truncation explicitly
+	pub := NewPublisher(st)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/repl/status", func(w http.ResponseWriter, r *http.Request) {
+		resp := StatusResponse{Role: "primary", Shards: []ShardStatus{{Shard: 0, Epoch: st.PublishedEpoch()}}}
+		json.NewEncoder(w).Encode(resp)
+	})
+	mux.HandleFunc("/v1/repl/stream", func(w http.ResponseWriter, r *http.Request) {
+		from, _ := strconv.ParseUint(r.URL.Query().Get("from_epoch"), 10, 64)
+		pub.ServeStream(r.Context(), w, from)
+	})
+	srv := httptest.NewServer(mux)
+	tree, err := storage.NewBTree(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.SetRoot(0, tree.Root())
+	if err := st.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	f := &primaryFixture{store: st, pub: pub, srv: srv, tree: tree}
+	t.Cleanup(func() {
+		srv.Close()
+		pub.Close()
+		st.Close()
+	})
+	return f
+}
+
+// commit writes n keys with the given prefix, one commit per key, and
+// returns the primary's resulting epoch.
+func (f *primaryFixture) commit(t *testing.T, prefix string, n int) uint64 {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("%s-%03d", prefix, i)
+		if err := f.tree.Put([]byte(k), []byte("v:"+k)); err != nil {
+			t.Fatal(err)
+		}
+		f.store.SetRoot(0, f.tree.Root())
+		if err := f.store.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return f.store.PublishedEpoch()
+}
+
+// waitEpoch blocks until the store's published epoch reaches want.
+func waitEpoch(t *testing.T, st *storage.Store, want uint64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for st.PublishedEpoch() < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("store stuck at epoch %d, want %d", st.PublishedEpoch(), want)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// verifyKeys asserts every key the primary committed is readable on the
+// replica store with the right value.
+func verifyKeys(t *testing.T, st *storage.Store, prefix string, n int) {
+	t.Helper()
+	tree := storage.OpenBTree(st, st.Root(0))
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("%s-%03d", prefix, i)
+		got, ok, err := tree.Get([]byte(k))
+		if err != nil || !ok {
+			t.Fatalf("replica missing key %s (ok=%v err=%v)", k, ok, err)
+		}
+		if want := "v:" + k; string(got) != want {
+			t.Fatalf("replica key %s = %q, want %q", k, got, want)
+		}
+	}
+	if err := tree.Check(); err != nil {
+		t.Fatalf("replica tree integrity: %v", err)
+	}
+}
+
+func startFollower(t *testing.T, ctx context.Context, dir, url string) *Follower {
+	t.Helper()
+	fl, err := OpenFollower(dir, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl.Start(ctx)
+	if err := fl.WaitSynced(ctx); err != nil {
+		t.Fatalf("initial sync: %v", err)
+	}
+	return fl
+}
+
+// TestFollowerTailsWAL covers the WAL catch-up path (the primary's log
+// still holds every batch) and live streaming: a follower connecting from
+// epoch zero must reach the primary's epoch with identical content, then
+// track subsequent commits.
+func TestFollowerTailsWAL(t *testing.T) {
+	p := newPrimaryFixture(t)
+	epoch := p.commit(t, "wal", 5)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	fl := startFollower(t, ctx, t.TempDir(), p.srv.URL)
+	defer fl.Stop()
+
+	st := fl.Stores()[0]
+	waitEpoch(t, st, epoch)
+	verifyKeys(t, st, "wal", 5)
+
+	// Live tail: new commits must stream through without reconnects.
+	epoch = p.commit(t, "live", 5)
+	waitEpoch(t, st, epoch)
+	verifyKeys(t, st, "live", 5)
+
+	sts := fl.Status()
+	if sts.Role != "follower" || len(sts.Shards) != 1 {
+		t.Fatalf("follower status = %+v", sts)
+	}
+	if sh := sts.Shards[0]; !sh.Connected || !sh.Synced || sh.Epoch != epoch {
+		t.Fatalf("shard status = %+v, want connected+synced at epoch %d", sh, epoch)
+	}
+}
+
+// TestFollowerSnapshotCatchUp truncates the primary's WAL before the
+// follower ever connects, forcing the full page-file snapshot path, and
+// then checks the stream degrades gracefully into ordinary batch tailing.
+func TestFollowerSnapshotCatchUp(t *testing.T) {
+	p := newPrimaryFixture(t)
+	epoch := p.commit(t, "snap", 8)
+	if err := p.store.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if p.store.WALSize() != 0 {
+		t.Fatal("setup: WAL not truncated, the test would not exercise the snapshot path")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	fl := startFollower(t, ctx, t.TempDir(), p.srv.URL)
+	defer fl.Stop()
+
+	st := fl.Stores()[0]
+	waitEpoch(t, st, epoch)
+	verifyKeys(t, st, "snap", 8)
+
+	epoch = p.commit(t, "after", 3)
+	waitEpoch(t, st, epoch)
+	verifyKeys(t, st, "after", 3)
+}
+
+// TestFollowerResumesFromLocalWAL stops a synced follower, lets the
+// primary advance, and reopens the same directory: the follower must
+// recover its applied epoch from its own WAL and resume from there (ring
+// or WAL catch-up), not re-snapshot from scratch.
+func TestFollowerResumesFromLocalWAL(t *testing.T) {
+	p := newPrimaryFixture(t)
+	epoch := p.commit(t, "one", 4)
+
+	dir := t.TempDir()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	fl := startFollower(t, ctx, dir, p.srv.URL)
+	waitEpoch(t, fl.Stores()[0], epoch)
+	resumeFrom := fl.Stores()[0].PublishedEpoch()
+	fl.Stop()
+	for _, st := range fl.Stores() {
+		if err := st.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	epoch = p.commit(t, "two", 4)
+
+	fl2 := startFollower(t, ctx, dir, p.srv.URL)
+	defer fl2.Stop()
+	st := fl2.Stores()[0]
+	if got := st.PublishedEpoch(); got < resumeFrom {
+		t.Fatalf("reopened follower recovered to epoch %d, want >= %d", got, resumeFrom)
+	}
+	waitEpoch(t, st, epoch)
+	verifyKeys(t, st, "one", 4)
+	verifyKeys(t, st, "two", 4)
+}
+
+// TestFollowerPromote syncs a follower, stops it, promotes it, and writes
+// to it: the promoted store must accept local commits on top of the
+// replicated history while keeping everything it applied.
+func TestFollowerPromote(t *testing.T) {
+	p := newPrimaryFixture(t)
+	epoch := p.commit(t, "pre", 5)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	fl := startFollower(t, ctx, t.TempDir(), p.srv.URL)
+	st := fl.Stores()[0]
+	waitEpoch(t, st, epoch)
+
+	fl.Promote()
+	if !fl.Promoted() {
+		t.Fatal("Promoted() false after Promote")
+	}
+	if st.IsReplica() {
+		t.Fatal("store still flags replica after promote")
+	}
+
+	tree := storage.OpenBTree(st, st.Root(0))
+	if err := tree.Put([]byte("post-promote"), []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	st.SetRoot(0, tree.Root())
+	if err := st.Commit(); err != nil {
+		t.Fatalf("commit on promoted store: %v", err)
+	}
+	verifyKeys(t, st, "pre", 5)
+	got, ok, err := storage.OpenBTree(st, st.Root(0)).Get([]byte("post-promote"))
+	if err != nil || !ok || string(got) != "ok" {
+		t.Fatalf("post-promote key: %q ok=%v err=%v", got, ok, err)
+	}
+	if st.PublishedEpoch() <= epoch {
+		t.Fatalf("promoted commit did not advance the epoch past %d", epoch)
+	}
+}
+
+// TestReplicaRejectsLocalCommit pins the fork-prevention rule: a replica
+// store must refuse local commits until promoted.
+func TestReplicaRejectsLocalCommit(t *testing.T) {
+	p := newPrimaryFixture(t)
+	epoch := p.commit(t, "guard", 2)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	fl := startFollower(t, ctx, t.TempDir(), p.srv.URL)
+	defer fl.Stop()
+	st := fl.Stores()[0]
+	waitEpoch(t, st, epoch)
+
+	tree := storage.OpenBTree(st, st.Root(0))
+	if err := tree.Put([]byte("illegal"), []byte("write")); err != nil {
+		t.Fatal(err)
+	}
+	st.SetRoot(0, tree.Root())
+	if err := st.Commit(); err == nil {
+		t.Fatal("local commit on a replica store succeeded, want ErrReplica")
+	}
+}

@@ -3,7 +3,11 @@
 // JSON except tree export (text/plain Newick) and /metrics (plain text).
 package server
 
-import "time"
+import (
+	"time"
+
+	"repro/internal/repl"
+)
 
 // TreeInfo is the JSON form of a stored tree's catalog row.
 type TreeInfo struct {
@@ -186,6 +190,13 @@ type StatsSnapshot struct {
 	LoadIndexNS  int64 `json:"load_index_ns"`
 	LoadStageNS  int64 `json:"load_stage_ns"`
 	LoadInsertNS int64 `json:"load_insert_ns"`
+
+	// Repl reports this server's replication role and per-shard state:
+	// on a primary, each shard's published epoch and connected
+	// subscriber count; on a follower, additionally the primary's epoch,
+	// the apply lag in epochs, and stream liveness (connected / synced /
+	// time since last frame).
+	Repl *repl.StatusResponse `json:"repl,omitempty"`
 }
 
 // OpLatency summarizes one operation's latency histogram. Percentiles

@@ -82,6 +82,14 @@ func (c *resultCache) invalidateTree(tree string) {
 	}
 }
 
+// purge drops every entry (promote resets all epoch-keyed state).
+func (c *resultCache) purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	c.items = make(map[string]*list.Element)
+}
+
 func (c *resultCache) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()

@@ -1,0 +1,288 @@
+// Replication endpoints and read-your-writes plumbing. A crimsond
+// process plays one of two roles: a primary serves the full API plus
+// the WAL-shipping stream (`GET /v1/repl/stream`), a follower
+// (Backend.Follower set) serves reads at its last applied epoch,
+// rejects writes with 403, and can be flipped into a primary with
+// `POST /v1/repl/promote`. Both roles answer `GET /v1/repl/status`.
+//
+// Every response carries an `X-Crimson-Epoch` header: the per-shard
+// published-epoch vector (comma separated, one entry per shard), the
+// shard epoch a commit published at on a primary, the last applied
+// epoch on a follower. A read request may carry `X-Crimson-Min-Epoch`
+// (same format): the server then waits — bounded — until every shard
+// has reached the requested epoch before pinning the snapshot, giving
+// a client read-your-writes on a lagging replica; if the replica does
+// not catch up in time the request fails with 409 and the client is
+// expected to fail over to the primary.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/repl"
+)
+
+const (
+	// replWaitMax bounds how long a read blocks on X-Crimson-Min-Epoch
+	// before giving up with 409 (a tighter request deadline wins).
+	replWaitMax = 2 * time.Second
+	// replWaitPoll is the apply-progress polling interval during that wait.
+	replWaitPoll = 5 * time.Millisecond
+)
+
+// epochVector reports each shard's published epoch: the last committed
+// epoch on a primary, the last replicated-applied epoch on a follower.
+func (s *Server) epochVector() []uint64 {
+	eps := make([]uint64, len(s.be.DBs))
+	for i, db := range s.be.DBs {
+		eps[i] = db.Store().PublishedEpoch()
+	}
+	return eps
+}
+
+func formatEpochVector(eps []uint64) string {
+	var sb strings.Builder
+	for i, e := range eps {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(strconv.FormatUint(e, 10))
+	}
+	return sb.String()
+}
+
+func parseEpochVector(raw string) ([]uint64, error) {
+	parts := strings.Split(raw, ",")
+	eps := make([]uint64, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseUint(strings.TrimSpace(p), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad epoch %q: %w", p, err)
+		}
+		eps[i] = v
+	}
+	return eps, nil
+}
+
+// setEpochHeader stamps the response with the current epoch vector. It
+// must run before the status line is written.
+func (s *Server) setEpochHeader(w http.ResponseWriter) {
+	w.Header().Set("X-Crimson-Epoch", formatEpochVector(s.epochVector()))
+}
+
+// awaitMinEpoch implements the X-Crimson-Min-Epoch wait. The vector is
+// compared pointwise — shard epochs advance independently, so a sum or a
+// max would accept states where one shard still lags the client's last
+// write. A single value is accepted as shorthand for "every shard at
+// least this". Returns nil when the store has caught up, a 409 when the
+// wait times out, a 400 on a malformed header.
+func (s *Server) awaitMinEpoch(r *http.Request) error {
+	raw := r.Header.Get("X-Crimson-Min-Epoch")
+	if raw == "" {
+		return nil
+	}
+	want, err := parseEpochVector(raw)
+	if err != nil {
+		return badRequest("bad X-Crimson-Min-Epoch: %v", err)
+	}
+	if len(want) == 1 && len(s.be.DBs) > 1 {
+		v := want[0]
+		want = make([]uint64, len(s.be.DBs))
+		for i := range want {
+			want[i] = v
+		}
+	}
+	if len(want) != len(s.be.DBs) {
+		return badRequest("X-Crimson-Min-Epoch has %d entries, server has %d shards", len(want), len(s.be.DBs))
+	}
+	reached := func() bool {
+		for i, db := range s.be.DBs {
+			if db.Store().PublishedEpoch() < want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if reached() {
+		return nil
+	}
+	deadline := time.Now().Add(replWaitMax)
+	if d, ok := r.Context().Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	ticker := time.NewTicker(replWaitPoll)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return &httpErr{status: http.StatusConflict,
+				msg: "replica has not reached the requested epoch (request cancelled)"}
+		case <-ticker.C:
+			if reached() {
+				return nil
+			}
+			if time.Now().After(deadline) {
+				return &httpErr{status: http.StatusConflict, msg: fmt.Sprintf(
+					"replica lags the requested epoch (have %s, want %s); retry on the primary",
+					formatEpochVector(s.epochVector()), formatEpochVector(want))}
+			}
+		}
+	}
+}
+
+// replRoutes mounts the replication endpoints. The stream and promote
+// handlers bypass the read/write wrappers: the stream holds its
+// connection open indefinitely (it must not consume a bounded read
+// slot), and promote is a role change, not a data write.
+func (s *Server) replRoutes() {
+	s.mux.HandleFunc("GET /v1/repl/status", s.handleReplStatus)
+	s.mux.HandleFunc("GET /v1/repl/stream", s.handleReplStream)
+	s.mux.HandleFunc("POST /v1/repl/promote", s.handleReplPromote)
+}
+
+// replStatus builds the role + per-shard replication view served by
+// /v1/repl/status and embedded in /v1/stats and /metrics.
+func (s *Server) replStatus() repl.StatusResponse {
+	if fl := s.be.Follower; fl != nil && s.readOnly.Load() {
+		st := fl.Status()
+		for i := range st.Shards {
+			if i < len(s.pubs) {
+				st.Shards[i].Subscribers = s.pubs[i].Subscribers()
+			}
+		}
+		return st
+	}
+	st := repl.StatusResponse{Role: "primary", Shards: make([]repl.ShardStatus, len(s.pubs))}
+	for i, p := range s.pubs {
+		ps := p.Status()
+		st.Shards[i] = repl.ShardStatus{Shard: i, Epoch: ps.Epoch, Subscribers: ps.Subscribers}
+	}
+	return st
+}
+
+func (s *Server) handleReplStatus(w http.ResponseWriter, r *http.Request) {
+	s.stats.countRequest("repl_status")
+	s.setEpochHeader(w)
+	writeJSON(w, http.StatusOK, s.replStatus())
+}
+
+// handleReplStream serves one shard's replication stream: catch-up
+// (ring, WAL scan or full snapshot) followed by live batches as the
+// group committer fsyncs them. The response streams until the client
+// disconnects or the server shuts down.
+func (s *Server) handleReplStream(w http.ResponseWriter, r *http.Request) {
+	s.stats.countRequest("repl_stream")
+	if s.readOnly.Load() {
+		s.fail(w, http.StatusConflict,
+			errors.New("follower cannot serve the replication stream; connect to the primary"))
+		return
+	}
+	si, err := queryInt(r, "shard", 0)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	if si < 0 || si >= len(s.pubs) {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("shard %d out of range (server has %d)", si, len(s.pubs)))
+		return
+	}
+	from := uint64(0)
+	if raw := r.URL.Query().Get("from_epoch"); raw != "" {
+		if from, err = strconv.ParseUint(raw, 10, 64); err != nil {
+			s.fail(w, http.StatusBadRequest, fmt.Errorf("bad from_epoch %q: %v", raw, err))
+			return
+		}
+	}
+	// End the stream either when the subscriber goes away (request
+	// context) or when this server shuts down (streamCtx) — Shutdown
+	// drains active requests, and a stream never ends on its own.
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	go func() {
+		select {
+		case <-s.streamCtx.Done():
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
+	if err := s.pubs[si].ServeStream(ctx, w, from); err != nil && ctx.Err() == nil {
+		s.logf("crimsond: repl stream shard %d: %v", si, err)
+	}
+}
+
+// handleReplPromote flips a follower into a writable primary.
+func (s *Server) handleReplPromote(w http.ResponseWriter, r *http.Request) {
+	s.stats.countRequest("repl_promote")
+	start := time.Now()
+	err := s.promote()
+	s.stats.observeOp("repl_promote", time.Since(start))
+	if err != nil {
+		s.fail(w, errStatus(err), err)
+		return
+	}
+	s.setEpochHeader(w)
+	writeJSON(w, http.StatusOK, s.replStatus())
+}
+
+// promote completes a failover: stop the apply loops, flip the stores
+// writable, re-resolve every repository's live handles (creating tables
+// a young replica never saw), sweep pages the snapshot catch-up leaked
+// onto no free list, commit, and open the write path. Idempotent — a
+// second call returns 409. The writer mutexes are all held across the
+// flip so the first real write starts against fully promoted state.
+func (s *Server) promote() error {
+	s.promoteMu.Lock()
+	defer s.promoteMu.Unlock()
+	fl := s.be.Follower
+	if fl == nil || !s.readOnly.Load() {
+		return &httpErr{status: http.StatusConflict, msg: "already primary"}
+	}
+	for i := range s.writeMus {
+		s.writeMus[i].Lock()
+		defer s.writeMus[i].Unlock()
+	}
+	fl.Promote()
+	for _, db := range s.be.DBs {
+		db.Reload()
+	}
+	if err := s.be.Trees.Reload(); err != nil {
+		return fmt.Errorf("promote: reloading tree repository: %w", err)
+	}
+	if err := s.be.Species.Reload(); err != nil {
+		return fmt.Errorf("promote: reloading species repository: %w", err)
+	}
+	if err := s.be.Queries.Reload(); err != nil {
+		return fmt.Errorf("promote: reloading query repository: %w", err)
+	}
+	for i, db := range s.be.DBs {
+		n, err := db.Sweep()
+		if err != nil {
+			return fmt.Errorf("promote: sweeping shard %d: %w", i, err)
+		}
+		if n > 0 {
+			s.logf("crimsond: promote: reclaimed %d leaked pages on shard %d", n, i)
+		}
+	}
+	for i, db := range s.be.DBs {
+		if err := db.Commit(); err != nil {
+			return fmt.Errorf("promote: committing shard %d: %w", i, err)
+		}
+	}
+	// Old epoch-keyed state (handles, versions, cached results) was
+	// accumulated read-only; drop it wholesale before writes can move
+	// the epochs.
+	s.handleMu.Lock()
+	s.handles = make(map[string]epochHandle)
+	s.vers = make(map[string]uint64)
+	s.handleMu.Unlock()
+	s.cache.purge()
+	s.readOnly.Store(false)
+	s.logf("crimsond: promoted to primary (epochs %s)", formatEpochVector(s.epochVector()))
+	return nil
+}

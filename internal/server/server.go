@@ -59,6 +59,7 @@ import (
 	"repro/internal/queryrepo"
 	"repro/internal/recon"
 	"repro/internal/relstore"
+	"repro/internal/repl"
 	"repro/internal/shard"
 	"repro/internal/species"
 	"repro/internal/treecmp"
@@ -75,6 +76,11 @@ type Backend struct {
 	Trees   *treestore.Store
 	Species *species.Repo
 	Queries *queryrepo.Repo
+	// Follower, when set, marks this server as a read-only replica fed
+	// by the given apply loops: writes return 403, reads serve at each
+	// shard's last applied epoch, and POST /v1/repl/promote flips the
+	// process into a writable primary.
+	Follower *repl.Follower
 }
 
 // Config tunes the server. The zero value is usable.
@@ -149,6 +155,22 @@ type Server struct {
 	readSem  chan struct{} // bounds in-flight reads
 	writeMus []sync.Mutex  // one writer mutex per shard; mutations lock their tree's shard
 
+	// pubs streams each shard's WAL batches to replication subscribers.
+	// Publishers exist on every server (they are inert without
+	// subscribers), so any primary can feed followers without restart.
+	pubs []*repl.Publisher
+	// readOnly is true while this server is an unpromoted follower:
+	// writes 403, the result cache and version maps stay cold (epochs
+	// move under replication without the write path's invalidation
+	// hooks), and reads serve at the last applied epoch.
+	readOnly  atomic.Bool
+	promoteMu sync.Mutex // serializes POST /v1/repl/promote
+	// streamCtx cancels open replication streams at Shutdown —
+	// http.Server.Shutdown waits for active requests, and a stream never
+	// ends on its own.
+	streamCtx    context.Context
+	streamCancel context.CancelFunc
+
 	handleMu sync.Mutex
 	handles  map[string]epochHandle // per-tree handles, keyed to the epoch they read
 	// vers maps each tree to its version: the shard epoch at which the
@@ -197,6 +219,12 @@ func New(be Backend, cfg Config) *Server {
 		}
 		be.Router = r
 	}
+	if be.Follower != nil {
+		// A follower's epochs advance under replication, outside the
+		// write path's invalidation hooks — caching results would serve
+		// stale incarnations. Keep the cache off until promote.
+		cfg.ResultCacheSize = 0
+	}
 	s := &Server{
 		cfg:      cfg,
 		be:       be,
@@ -210,7 +238,14 @@ func New(be Backend, cfg Config) *Server {
 		recCh:    make(chan histRecord, 256),
 	}
 	s.slogger = cfg.Logger
+	s.streamCtx, s.streamCancel = context.WithCancel(context.Background())
+	s.readOnly.Store(be.Follower != nil)
+	s.pubs = make([]*repl.Publisher, len(be.DBs))
+	for i, db := range be.DBs {
+		s.pubs[i] = repl.NewPublisher(db.Store())
+	}
 	s.routes()
+	s.replRoutes()
 	s.httpSrv = &http.Server{Handler: s}
 	return s
 }
@@ -415,7 +450,11 @@ func (s *Server) Addr() string {
 // recorder, then commits every shard so buffered query-history records
 // (and any other pending pages) reach the page files.
 func (s *Server) Shutdown(ctx context.Context) error {
+	s.streamCancel() // unhook replication streams so Shutdown can drain
 	err := s.httpSrv.Shutdown(ctx)
+	for _, p := range s.pubs {
+		p.Close()
+	}
 	s.recMu.Lock()
 	if !s.recClosed {
 		s.recClosed = true
@@ -474,6 +513,8 @@ func (s *Server) snapshot() StatsSnapshot {
 			WALBytes:               wal,
 		}
 	}
+	rs := s.replStatus()
+	st.Repl = &rs
 	if gb := obs.GroupBatch.Snapshot(); gb.Count > 0 {
 		st.GroupCommit = &GroupCommitStats{
 			Batches:  gb.Count,
@@ -556,6 +597,13 @@ func (s *Server) treeVer(name string, ep uint64) (uint64, bool) {
 // (dropTree runs strictly after the delete publishes).
 func (s *Server) tree(sn *reqSnap, name string) (*treestore.Tree, error) {
 	rs, si := sn.forTree(name)
+	if s.readOnly.Load() {
+		// On a follower, epochs advance under replication without
+		// bumpTree/dropTree running, so the handle and version maps
+		// would go stale silently. Open fresh against the snapshot;
+		// promote purges the maps before re-enabling them.
+		return treestore.SnapOn(rs).Tree(name)
+	}
 	ep := rs.Epoch()
 	s.handleMu.Lock()
 	h, ok := s.handles[name]
@@ -710,6 +758,7 @@ func (s *Server) beginOp(op string, w http.ResponseWriter, r *http.Request) (*ht
 	oc.debug = r.URL.Query().Get("debug") == "trace"
 	oc.rid = "r" + strconv.FormatInt(s.reqSeq.Add(1), 10)
 	w.Header().Set("X-Request-Id", oc.rid)
+	s.setEpochHeader(w)
 	if oc.debug || s.cfg.Trace || s.cfg.SlowQueryMS > 0 {
 		oc.root = obs.NewRoot(op)
 		r = r.WithContext(obs.ContextWithSpan(r.Context(), oc.root))
@@ -804,6 +853,11 @@ func (s *Server) read(op string, fn readFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.stats.countRequest(op)
 		r, oc := s.beginOp(op, w, r)
+		if err := s.awaitMinEpoch(r); err != nil {
+			s.endOp(oc, err)
+			s.fail(w, errStatus(err), err)
+			return
+		}
 		select {
 		case s.readSem <- struct{}{}:
 		case <-r.Context().Done():
@@ -846,6 +900,13 @@ func (s *Server) write(op string, fn writeFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.stats.countRequest(op)
 		r, oc := s.beginOp(op, w, r)
+		if s.readOnly.Load() {
+			err := &httpErr{status: http.StatusForbidden,
+				msg: "this server is a read-only replica; send writes to the primary or promote it"}
+			s.endOp(oc, err)
+			s.fail(w, errStatus(err), err)
+			return
+		}
 		si := s.be.Router.Place(r.PathValue("name"))
 		cc := &commitCollector{s: s}
 		s.writeMus[si].Lock()
@@ -869,6 +930,11 @@ func (s *Server) readText(op string, fn func(r *http.Request, sn *reqSnap) (stri
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.stats.countRequest(op)
 		r, oc := s.beginOp(op, w, r)
+		if err := s.awaitMinEpoch(r); err != nil {
+			s.endOp(oc, err)
+			s.fail(w, errStatus(err), err)
+			return
+		}
 		select {
 		case s.readSem <- struct{}{}:
 		case <-r.Context().Done():
@@ -928,6 +994,11 @@ func (s *Server) readStream(op string, fn func(r *http.Request, sn *reqSnap, w h
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.stats.countRequest(op)
 		r, oc := s.beginOp(op, w, r)
+		if err := s.awaitMinEpoch(r); err != nil {
+			s.endOp(oc, err)
+			s.fail(w, errStatus(err), err)
+			return
+		}
 		select {
 		case s.readSem <- struct{}{}:
 		case <-r.Context().Done():
@@ -967,6 +1038,9 @@ func (s *Server) readStream(op string, fn func(r *http.Request, sn *reqSnap, w h
 }
 
 func (s *Server) finish(w http.ResponseWriter, v any, err error) {
+	// Refresh the epoch header stamped at beginOp: a write has published
+	// a new epoch since, and a min-epoch wait may have ridden out applies.
+	s.setEpochHeader(w)
 	if err != nil {
 		s.fail(w, errStatus(err), err)
 		return
@@ -1091,6 +1165,9 @@ func (s *Server) recordWrite(cc *commitCollector, si int, kind string, args any,
 // and never queried leaks nothing; once queries have flowed, Shutdown is
 // what stops the recorder.
 func (s *Server) recordAsync(kind string, args any, summary string) {
+	if s.readOnly.Load() {
+		return // a replica's history is replicated, not locally written
+	}
 	s.recMu.RLock()
 	defer s.recMu.RUnlock()
 	if s.recClosed {

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/repl"
 	"repro/internal/treestore"
 )
 
@@ -24,10 +25,11 @@ var opNames = []string{
 	"bench", "export",
 	"species_put", "species_get", "species_delete", "species_list",
 	"history", "history_get",
+	"repl_status", "repl_stream", "repl_promote",
 	"other",
 }
 
-const numOps = 19 // len(opNames); a constant so the stat arrays can size on it
+const numOps = 22 // len(opNames); a constant so the stat arrays can size on it
 
 // opIndexOf maps op name -> array slot. Built once and read-only
 // afterwards, so lock-free lookups are safe.
@@ -180,6 +182,7 @@ func (st *serverStats) snapshot(cacheEntries, openTrees int) StatsSnapshot {
 func metricsText(s StatsSnapshot, hists []opHistEntry) string {
 	var sb strings.Builder
 	writeStandardFamilies(&sb, s)
+	writeReplFamilies(&sb, s)
 	writeEngineFamilies(&sb, s.Engine)
 	writeHistogramFamilies(&sb, hists)
 	writeGroupCommitFamily(&sb)
@@ -264,6 +267,58 @@ func writeStandardFamilies(b *strings.Builder, s StatsSnapshot) {
 	}
 }
 
+// writeReplFamilies renders the replication gauges: role, and per shard
+// the published/applied epoch, subscriber count and — on a follower —
+// the primary's epoch, the apply lag in epochs and stream liveness. All
+// families are emitted on every server (a primary simply reports zero
+// lag and no follower flags), so the strict-parse metrics gate sees the
+// series from startup.
+func writeReplFamilies(b *strings.Builder, s StatsSnapshot) {
+	family := func(name, help string) {
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+	}
+	rs := s.Repl
+	if rs == nil {
+		rs = &repl.StatusResponse{Role: "primary"}
+	}
+	boolv := func(v bool) int {
+		if v {
+			return 1
+		}
+		return 0
+	}
+	family("crimsond_repl_primary", "1 when this server is a writable primary, 0 while it is a follower.")
+	fmt.Fprintf(b, "crimsond_repl_primary %d\n", boolv(rs.Role == "primary"))
+	family("crimsond_repl_epoch", "Published epoch of one shard (committed on a primary, applied on a follower).")
+	for _, sh := range rs.Shards {
+		fmt.Fprintf(b, "crimsond_repl_epoch{shard=\"%d\"} %d\n", sh.Shard, sh.Epoch)
+	}
+	family("crimsond_repl_subscribers", "Connected replication subscribers of one shard.")
+	for _, sh := range rs.Shards {
+		fmt.Fprintf(b, "crimsond_repl_subscribers{shard=\"%d\"} %d\n", sh.Shard, sh.Subscribers)
+	}
+	family("crimsond_repl_primary_epoch", "Last epoch the primary reported for one shard (follower only; 0 on a primary).")
+	for _, sh := range rs.Shards {
+		fmt.Fprintf(b, "crimsond_repl_primary_epoch{shard=\"%d\"} %d\n", sh.Shard, sh.PrimaryEpoch)
+	}
+	family("crimsond_repl_lag_epochs", "Apply lag of one shard in epochs behind the primary (0 on a primary).")
+	for _, sh := range rs.Shards {
+		fmt.Fprintf(b, "crimsond_repl_lag_epochs{shard=\"%d\"} %d\n", sh.Shard, sh.LagEpochs)
+	}
+	family("crimsond_repl_connected", "1 while one shard's replication stream is connected (0 on a primary).")
+	for _, sh := range rs.Shards {
+		fmt.Fprintf(b, "crimsond_repl_connected{shard=\"%d\"} %d\n", sh.Shard, boolv(sh.Connected))
+	}
+	family("crimsond_repl_synced", "1 once one shard's follower has caught up to the primary (0 on a primary).")
+	for _, sh := range rs.Shards {
+		fmt.Fprintf(b, "crimsond_repl_synced{shard=\"%d\"} %d\n", sh.Shard, boolv(sh.Synced))
+	}
+	family("crimsond_repl_last_contact_ms", "Milliseconds since one shard's stream last heard from the primary.")
+	for _, sh := range rs.Shards {
+		fmt.Fprintf(b, "crimsond_repl_last_contact_ms{shard=\"%d\"} %d\n", sh.Shard, sh.LastContactMS)
+	}
+}
+
 // engineHelp documents each obs engine counter for /metrics HELP lines.
 var engineHelp = map[string]string{
 	"btree_descents":       "B+tree root-to-leaf descents.",
@@ -286,6 +341,13 @@ var engineHelp = map[string]string{
 	"checkpoint_pages":     "Pages written back to the page file by checkpoints.",
 	"checkpoint_bytes":     "Bytes written back to the page file by checkpoints.",
 	"wal_highwater_bytes":  "Largest write-ahead log size observed (high-water mark).",
+	"repl_batches_shipped": "WAL commit batches shipped to replication subscribers.",
+	"repl_bytes_shipped":   "Bytes shipped on replication streams (page payloads).",
+	"repl_snapshot_pages":  "Pages shipped in full-snapshot replica catch-ups.",
+	"repl_batches_applied": "Replicated batches applied by this follower.",
+	"repl_pages_applied":   "Pages applied from replicated batches and snapshots.",
+	"repl_apply_conflicts": "Replica applies that proceeded after waiting out a local snapshot pin.",
+	"repl_reconnects":      "Replication stream reconnect attempts.",
 }
 
 // writeEngineFamilies emits one counter family per process-global engine

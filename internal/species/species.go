@@ -29,6 +29,7 @@ const tableName = "species_data"
 // are routed to the shard that owns the tree they belong to, so a tree and
 // its sequences always live (and are deleted) together.
 type Repo struct {
+	dbs    []*relstore.DB
 	tabs   []*relstore.Table // one species_data table per shard
 	router *shard.Router
 }
@@ -68,20 +69,76 @@ func NewOnShards(dbs []*relstore.DB, router *shard.Router) (*Repo, error) {
 	if router.N() != len(dbs) {
 		return nil, fmt.Errorf("species: router covers %d shards, got %d databases", router.N(), len(dbs))
 	}
-	r := &Repo{tabs: make([]*relstore.Table, len(dbs)), router: router}
-	for i, db := range dbs {
+	r := &Repo{dbs: dbs, tabs: make([]*relstore.Table, len(dbs)), router: router}
+	if err := r.Reload(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// NewOnShardsReplica layers the repository over replica databases without
+// touching them: the live table handles stay unresolved (a replica can
+// neither create the table nor accept writes), while snapshot Views — the
+// only read path the follower server uses — resolve tables per snapshot
+// as usual. After a promote, Reload resolves the live handles.
+func NewOnShardsReplica(dbs []*relstore.DB, router *shard.Router) (*Repo, error) {
+	if router.N() != len(dbs) {
+		return nil, fmt.Errorf("species: router covers %d shards, got %d databases", router.N(), len(dbs))
+	}
+	return &Repo{dbs: dbs, tabs: make([]*relstore.Table, len(dbs)), router: router}, nil
+}
+
+// Reload (re-)resolves the live table handle of every shard, creating the
+// table where missing. Called at construction and after a promote flips
+// the underlying stores writable.
+func (r *Repo) Reload() error {
+	for i, db := range r.dbs {
 		tab, err := initShard(db)
 		if err != nil {
-			return nil, fmt.Errorf("species: initializing shard %d: %w", i, err)
+			return fmt.Errorf("species: initializing shard %d: %w", i, err)
 		}
 		r.tabs[i] = tab
 	}
-	return r, nil
+	return nil
 }
 
 // tabFor returns the shard table that owns records of the given tree.
 func (r *Repo) tabFor(tree string) *relstore.Table {
 	return r.tabs[r.router.Place(tree)]
+}
+
+// writeTabFor is tabFor for the write paths: on a replica the live handle
+// is unresolved, and a clear error beats a nil dereference.
+func (r *Repo) writeTabFor(tree string) (*relstore.Table, error) {
+	tab := r.tabFor(tree)
+	if tab == nil {
+		return nil, fmt.Errorf("species: repository is a read-only replica (promote before writing)")
+	}
+	return tab, nil
+}
+
+// readerFor returns a read surface for the shard owning tree plus a
+// release func. On a primary it is the live table (release is a no-op);
+// on a replica — where live handles stay unresolved because applied
+// batches move roots under them — it resolves the table through a fresh
+// snapshot pinned at the last applied epoch. A nil reader with nil error
+// means the table does not exist yet (no species data ever committed).
+func (r *Repo) readerFor(tree string) (reader, func(), error) {
+	idx := r.router.Place(tree)
+	if tab := r.tabs[idx]; tab != nil {
+		return tab, func() {}, nil
+	}
+	sn := r.dbs[idx].Snapshot()
+	tab, err := sn.Table(tableName)
+	if errors.Is(err, relstore.ErrNoTable) {
+		sn.Close()
+		return nil, func() {}, nil
+	}
+	if err != nil {
+		sn.Close()
+		return nil, nil, err
+	}
+	return tab, sn.Close, nil
 }
 
 func key(tree, sp, kind string) string { return tree + "/" + sp + "/" + kind }
@@ -104,7 +161,11 @@ func (r *Repo) Put(tree, sp, kind string, data []byte) error {
 			return err
 		}
 	}
-	return r.tabFor(tree).Put(relstore.Row{
+	tab, err := r.writeTabFor(tree)
+	if err != nil {
+		return err
+	}
+	return tab.Put(relstore.Row{
 		relstore.Str(key(tree, sp, kind)),
 		relstore.Str(tree),
 		relstore.Str(sp),
@@ -146,9 +207,18 @@ func listRecords(tab reader, tree, sp string) ([]Record, error) {
 	return out, err
 }
 
-// Get fetches one record.
+// Get fetches one record. On a replica repository the read runs against a
+// fresh snapshot of the owning shard (the live handle is unresolved).
 func (r *Repo) Get(tree, sp, kind string) ([]byte, error) {
-	return getRecord(r.tabFor(tree), tree, sp, kind)
+	tab, release, err := r.readerFor(tree)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	if tab == nil {
+		return nil, fmt.Errorf("%w: %s", ErrNoData, key(tree, sp, kind))
+	}
+	return getRecord(tab, tree, sp, kind)
 }
 
 // Record is one stored species-data item.
@@ -159,9 +229,18 @@ type Record struct {
 	Data    []byte
 }
 
-// List returns all records for one species of one tree.
+// List returns all records for one species of one tree. Like Get it
+// falls back to a snapshot read on a replica repository.
 func (r *Repo) List(tree, sp string) ([]Record, error) {
-	return listRecords(r.tabFor(tree), tree, sp)
+	tab, release, err := r.readerFor(tree)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	if tab == nil {
+		return nil, nil
+	}
+	return listRecords(tab, tree, sp)
 }
 
 // View is a read-only snapshot view of the species repository: Get and
@@ -219,14 +298,21 @@ func (v *View) List(tree, sp string) ([]Record, error) {
 
 // Delete removes one record, reporting whether it existed.
 func (r *Repo) Delete(tree, sp, kind string) (bool, error) {
-	return r.tabFor(tree).Delete(relstore.Str(key(tree, sp, kind)))
+	tab, err := r.writeTabFor(tree)
+	if err != nil {
+		return false, err
+	}
+	return tab.Delete(relstore.Str(key(tree, sp, kind)))
 }
 
 // DeleteTree removes all species data of one tree.
 func (r *Repo) DeleteTree(tree string) (int, error) {
-	tab := r.tabFor(tree)
+	tab, err := r.writeTabFor(tree)
+	if err != nil {
+		return 0, err
+	}
 	var keys []string
-	err := tab.IndexScan("by_tree", []relstore.Value{relstore.Str(tree)}, func(row relstore.Row) (bool, error) {
+	err = tab.IndexScan("by_tree", []relstore.Value{relstore.Str(tree)}, func(row relstore.Row) (bool, error) {
 		keys = append(keys, row[0].Text())
 		return true, nil
 	})

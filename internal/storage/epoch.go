@@ -65,8 +65,12 @@ func (e *epochs) retireAt(epoch uint64, id PageID) {
 
 // collectLocked removes and returns every pending page that is now safe to
 // reuse: its batch epoch precedes both the current epoch (the superseding
-// commit has published) and every open snapshot. Callers hold e.mu.
-func (e *epochs) collectLocked() []PageID {
+// commit has published) and every open snapshot. The second result is the
+// newest retire epoch among the collected batches (zero when none) — the
+// replication reclaim horizon: once pages retired at that epoch can be
+// reused here, a follower must not apply the commits that reuse them while
+// it still serves snapshots older than the horizon. Callers hold e.mu.
+func (e *epochs) collectLocked() ([]PageID, uint64) {
 	min := e.current
 	for ep := range e.active {
 		if ep < min {
@@ -75,14 +79,16 @@ func (e *epochs) collectLocked() []PageID {
 	}
 	i := 0
 	var out []PageID
+	var maxEpoch uint64
 	for ; i < len(e.pending) && e.pending[i].epoch < min; i++ {
 		out = append(out, e.pending[i].pages...)
+		maxEpoch = e.pending[i].epoch
 	}
 	if i > 0 {
 		e.pending = append([]retireBatch(nil), e.pending[i:]...)
 		e.pendingN -= len(out)
 	}
-	return out
+	return out, maxEpoch
 }
 
 // Snap is a point-in-time read handle on a Store. It pins the epoch it was
@@ -129,8 +135,9 @@ func (s *Store) releaseSnapshot(epoch uint64) {
 	} else {
 		e.active[epoch] = n - 1
 	}
-	free := e.collectLocked()
+	free, hz := e.collectLocked()
 	e.mu.Unlock()
+	s.noteHorizon(hz)
 	s.freeReclaimed(free)
 }
 

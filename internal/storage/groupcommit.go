@@ -111,12 +111,21 @@ func (s *Store) flushBatch(batch []*commitReq) error {
 	// The durability mark runs under the WAL mutex: once any later Size()
 	// sample can observe these bytes, the checkpointer can also see that
 	// their epochs are durable (so it never truncates an image it skipped).
-	err := s.wal.AppendGroup(batches, func() { s.wb.setDurable(last.epoch) })
+	err := s.wal.AppendGroup(batches, batch[0].epoch, last.epoch, func() { s.wb.setDurable(last.epoch) })
 	walDur := time.Since(start)
 	if err != nil {
 		return err
 	}
 	s.publish(last.epoch, last.roots)
+	// Replication hook: hand each durable commit to the publisher, in epoch
+	// order, after the fsync that made it durable. The page slabs are
+	// immutable after prepare, so the hook may retain them without copying.
+	if h := s.commitHook.Load(); h != nil {
+		hz := s.horizon.Load()
+		for _, r := range batch {
+			(*h)(ReplBatch{Epoch: r.epoch, Roots: r.roots, Horizon: hz, Pages: r.pages})
+		}
+	}
 	n := int64(len(batch))
 	for _, r := range batch {
 		r.walDur = walDur
@@ -220,8 +229,9 @@ func (s *Store) reclaim() error {
 	}
 	e := &s.ep
 	e.mu.Lock()
-	free := e.collectLocked()
+	free, hz := e.collectLocked()
 	e.mu.Unlock()
+	s.noteHorizon(hz)
 	for _, id := range free {
 		if err := s.free(id); err != nil {
 			return err
@@ -257,10 +267,21 @@ func (s *Store) prepareLocked() (*commitReq, error) {
 	if s.pool.DirtyCount() == 0 {
 		return nil, nil
 	}
+	if s.replica.Load() {
+		return nil, ErrReplica
+	}
 	// Stamp the new epoch into the meta page before collecting, so the
 	// stamped meta page is part of the batch and recovery lands on it.
 	s.meta.epoch++
 	s.writeMeta()
+	return s.captureLocked()
+}
+
+// captureLocked collects the dirty pages under the already-stamped meta
+// (prepareLocked stamps the next epoch; the replica apply path installs the
+// primary's meta image verbatim) and enqueues them for the next group
+// flush. Callers hold Store.mu.
+func (s *Store) captureLocked() (*commitReq, error) {
 	dirty := s.pool.DirtyPages()
 
 	if s.wal == nil || s.wb == nil {

@@ -387,6 +387,22 @@ type Store struct {
 	// package default.
 	ckptBytes    atomic.Int64
 	ckptInterval atomic.Int64
+
+	// replica marks a store opened as a replication follower: it never
+	// stamps epochs or the clean-shutdown flag itself — every mutation
+	// arrives pre-stamped through ApplyReplicated — so its page file stays
+	// byte-compatible with the primary's. Promote flips it off; wasReplica
+	// stays set so Close never stamps the clean flag on a file that may
+	// carry snapshot-catch-up leaks (the reopen sweep reclaims them).
+	replica    atomic.Bool
+	wasReplica bool
+
+	// commitHook, when set, receives every durable commit (epoch, roots and
+	// immutable page images) right after its WAL fsync — the replication
+	// publisher's feed. horizon is the reclaim horizon: the newest retire
+	// epoch whose pages have been returned for reuse (see epoch.go).
+	commitHook atomic.Pointer[func(ReplBatch)]
+	horizon    atomic.Uint64
 }
 
 // SetReadCacheBytes (re)configures the decoded-node read cache. A size of
@@ -434,6 +450,16 @@ func Open(path string) (*Store, error) { return openFile(path, DefaultPoolSize) 
 // openFile is Open with an explicit buffer-pool frame limit (tests shrink it
 // to force evictions through the writeback read path).
 func openFile(path string, poolLimit int) (*Store, error) {
+	return openFileMode(path, poolLimit, false)
+}
+
+// OpenReplica opens a file-backed store as a replication follower: WAL
+// recovery still runs (restart resumes on the last fully applied epoch),
+// but the store never stamps epochs or the clean flag itself — all state
+// advances arrive through ApplyReplicated. See Promote.
+func OpenReplica(path string) (*Store, error) { return openFileMode(path, DefaultPoolSize, true) }
+
+func openFileMode(path string, poolLimit int, replica bool) (*Store, error) {
 	wal, err := openWAL(path + ".wal")
 	if err != nil {
 		return nil, err
@@ -453,6 +479,8 @@ func openFile(path string, poolLimit int) (*Store, error) {
 		wb:    wb,
 		fresh: make(map[PageID]struct{}),
 	}
+	s.replica.Store(replica)
+	s.wasReplica = replica
 	if err := s.init(); err != nil {
 		pager.Close()
 		wal.Close()
@@ -504,7 +532,10 @@ func (s *Store) init() error {
 	s.ep.init(s.meta.epoch, s.meta.roots)
 	s.pubEpoch.Store(s.meta.epoch)
 	s.wasClean = s.meta.clean
-	if s.meta.clean {
+	// A replica never commits on its own behalf: clearing the clean flag
+	// here would stamp a local epoch and diverge the file from the primary.
+	// The flag is handled at Promote time instead.
+	if s.meta.clean && !s.replica.Load() {
 		// Clear the flag durably (through the WAL) before anyone mutates:
 		// if this session crashes — even without ever committing, after
 		// growing the file inside an uncommitted transaction — the next
@@ -809,7 +840,11 @@ func (s *Store) Close() error {
 	pending := s.ep.pendingN
 	s.ep.mu.Unlock()
 	var cleanErr error
-	if pending == 0 {
+	// Replicas skip the clean stamp: it would advance the epoch past the
+	// primary's, and the next open resyncs/sweeps anyway. Promoted
+	// replicas skip it too — snapshot catch-ups synthesize an empty free
+	// list, and only the reopen sweep provably reclaims what that leaked.
+	if pending == 0 && !s.wasReplica {
 		s.meta.clean = true
 		s.writeMeta()
 		cleanErr = s.commitSync()

@@ -36,6 +36,15 @@ type WAL struct {
 	path    string
 	size    int64  // bytes appended since the last truncation
 	scratch []byte // grow-only encode buffer reused across commits
+
+	// first/last are the epochs of the oldest and newest batches currently
+	// in the log (zero when empty or unknown). retain is the replication
+	// retain floor: while non-zero, truncation is refused as long as the log
+	// still holds any batch with epoch >= retain, so a connected follower
+	// that has not consumed those batches can always catch up from the log
+	// instead of falling back to a full snapshot.
+	first, last uint64
+	retain      uint64
 }
 
 func openWAL(path string) (*WAL, error) {
@@ -80,11 +89,14 @@ func appendWALBatch(buf []byte, pages []DirtyPage) []byte {
 
 // AppendGroup encodes every batch back to back, appends them with a single
 // Write, and syncs once. This is the group-commit fast path: a flush of N
-// coalesced commits costs one fsync instead of N. A non-nil onDurable hook
-// runs after the fsync while the WAL mutex is still held, so whatever it
-// records is ordered before any later Size() sample — the checkpointer
-// relies on this to never truncate a batch it has not written back.
-func (w *WAL) AppendGroup(batches [][]DirtyPage, onDurable func()) error {
+// coalesced commits costs one fsync instead of N. firstEpoch/lastEpoch are
+// the epochs of the oldest and newest batches in the group (zero when
+// unknown); they maintain the log's content-epoch range for the replication
+// retain floor. A non-nil onDurable hook runs after the fsync while the WAL
+// mutex is still held, so whatever it records is ordered before any later
+// Size() sample — the checkpointer relies on this to never truncate a batch
+// it has not written back.
+func (w *WAL) AppendGroup(batches [][]DirtyPage, firstEpoch, lastEpoch uint64, onDurable func()) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.f == nil {
@@ -102,6 +114,12 @@ func (w *WAL) AppendGroup(batches [][]DirtyPage, onDurable func()) error {
 		return err
 	}
 	w.size += int64(len(buf))
+	if w.first == 0 && firstEpoch > 0 {
+		w.first = firstEpoch
+	}
+	if lastEpoch > w.last {
+		w.last = lastEpoch
+	}
 	obs.Engine.Add(obs.CtrWALBytes, int64(len(buf)))
 	obs.Engine.Add(obs.CtrWALSyncs, 1)
 	obs.Engine.Max(obs.CtrWALHighwaterBytes, w.size)
@@ -113,7 +131,98 @@ func (w *WAL) AppendGroup(batches [][]DirtyPage, onDurable func()) error {
 
 // LogCommit appends the dirty page images and a commit frame, then syncs.
 func (w *WAL) LogCommit(pages []DirtyPage) error {
-	return w.AppendGroup([][]DirtyPage{pages}, nil)
+	return w.AppendGroup([][]DirtyPage{pages}, 0, 0, nil)
+}
+
+// RetainFrom sets the replication retain floor: while epoch is non-zero,
+// TruncateIf refuses to discard the log as long as it still holds a batch
+// with epoch >= the floor. A floor of zero (replication off, or every
+// follower caught up past the log's content) restores normal truncation.
+func (w *WAL) RetainFrom(epoch uint64) {
+	w.mu.Lock()
+	w.retain = epoch
+	w.mu.Unlock()
+}
+
+// RetainFloor reports the current retain floor (zero when unset).
+func (w *WAL) RetainFloor() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.retain
+}
+
+// ContentEpochs reports the epoch range [first, last] of the batches
+// currently in the log (zeros when the log is empty or the range is
+// unknown, e.g. batches appended without epoch information).
+func (w *WAL) ContentEpochs() (first, last uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.first, w.last
+}
+
+// ScanCommitted replays every fully committed batch currently in the log
+// through fn, oldest first, without disturbing the append position. A torn
+// tail ends the scan silently (exactly as Recover would discard it). The
+// page images passed to fn are freshly allocated and may be retained.
+//
+// Callers that need the scanned range to stay stable (the replication
+// catch-up path) must hold a retain floor covering it, otherwise a
+// concurrent checkpoint may truncate the file mid-scan; a truncated read
+// surfaces as a clean end of scan, not corruption.
+func (w *WAL) ScanCommitted(fn func(pages []DirtyPage) error) error {
+	w.mu.Lock()
+	if w.f == nil {
+		w.mu.Unlock()
+		return ErrClosed
+	}
+	f, size := w.f, w.size
+	w.mu.Unlock()
+
+	r := newWALReader(io.NewSectionReader(f, 0, size))
+	var pending []DirtyPage
+	for {
+		kind, err := r.u32()
+		if err != nil {
+			return nil // clean EOF or torn tail: end of committed content
+		}
+		switch kind {
+		case walFramePage:
+			id, err := r.u64()
+			if err != nil {
+				return nil
+			}
+			n, err := r.u32()
+			if err != nil || n != PageSize {
+				return nil
+			}
+			data := make([]byte, n)
+			if err := r.bytes(data); err != nil {
+				return nil
+			}
+			crc, err := r.u32()
+			if err != nil || crc != r.frameCRC() {
+				return nil
+			}
+			pending = append(pending, DirtyPage{ID: PageID(id), Data: data})
+		case walFrameCommit:
+			if _, err := r.u32(); err != nil {
+				return nil
+			}
+			crc, err := r.u32()
+			if err != nil || crc != r.frameCRC() {
+				return nil
+			}
+			if len(pending) > 0 {
+				if err := fn(pending); err != nil {
+					return err
+				}
+			}
+			pending = nil
+		default:
+			return nil
+		}
+		r.endFrame()
+	}
 }
 
 // Size reports the bytes appended since the last truncation.
@@ -124,8 +233,10 @@ func (w *WAL) Size() int64 {
 }
 
 // TruncateIf truncates the log only if its size still equals size — i.e. no
-// commit has been appended since the caller sampled Size(). The checkpointer
-// uses this so a truncation can never discard a batch it did not write back.
+// commit has been appended since the caller sampled Size() — and no
+// replication retain floor covers its content. The checkpointer uses this so
+// a truncation can never discard a batch it did not write back, nor one a
+// connected follower has not consumed.
 func (w *WAL) TruncateIf(size int64) (bool, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -133,6 +244,12 @@ func (w *WAL) TruncateIf(size int64) (bool, error) {
 		return false, ErrClosed
 	}
 	if w.size != size {
+		return false, nil
+	}
+	if w.retain != 0 && w.size > 0 && w.last >= w.retain {
+		// A follower still needs batches in this log: keep it whole. The
+		// images are already checkpointed, so recovery replaying them again
+		// is idempotent.
 		return false, nil
 	}
 	// Cross-check the physical size: if it disagrees with our bookkeeping,
@@ -263,6 +380,7 @@ func (w *WAL) resetLocked() error {
 		return err
 	}
 	w.size = 0
+	w.first, w.last = 0, 0
 	return nil
 }
 

@@ -139,6 +139,29 @@ func NewOnShards(dbs []*relstore.DB, router *shard.Router) (*Store, error) {
 	return s, nil
 }
 
+// NewOnShardsReplica layers a tree repository over replica databases
+// without initializing them: the trees catalog table arrives via
+// replication, and the repository resolves every table lazily per
+// operation anyway (it caches no handles). After a promote, Reload makes
+// sure the catalog table exists (it may not on a never-written primary).
+func NewOnShardsReplica(dbs []*relstore.DB, router *shard.Router) (*Store, error) {
+	if router.N() != len(dbs) {
+		return nil, fmt.Errorf("treestore: router covers %d shards, got %d databases", router.N(), len(dbs))
+	}
+	return &Store{dbs: dbs, router: router}, nil
+}
+
+// Reload re-initializes every shard (creating the trees catalog table
+// where missing). Called after a promote flips the stores writable.
+func (s *Store) Reload() error {
+	for i, db := range s.dbs {
+		if err := initShard(db); err != nil {
+			return fmt.Errorf("treestore: initializing shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
 func initShard(db *relstore.DB) error {
 	_, err := db.Table("trees")
 	if errors.Is(err, relstore.ErrNoTable) {

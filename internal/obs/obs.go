@@ -92,11 +92,19 @@ const (
 	// CtrReplPagesApplied counts page images applied by a follower.
 	CtrReplPagesApplied
 	// CtrReplApplyConflicts counts batches applied after the reclaim-horizon
-	// grace period expired with local snapshots still open (possible stale
-	// reads on those snapshots).
+	// grace period expired with local snapshots still open (those snapshots
+	// are invalidated before the apply proceeds).
 	CtrReplApplyConflicts
 	// CtrReplReconnects counts follower stream reconnect attempts.
 	CtrReplReconnects
+	// CtrReplSnapshotsInvalidated counts replica applies that invalidated
+	// still-open local snapshots (their in-flight reads fail with a
+	// retryable error instead of observing rewritten pages).
+	CtrReplSnapshotsInvalidated
+	// CtrWALRetainDrops counts WAL truncations that proceeded past a
+	// replication retain floor because the log outgrew the retain cap —
+	// the lagging subscriber falls back to a full snapshot catch-up.
+	CtrWALRetainDrops
 
 	NumCounters
 )
@@ -130,6 +138,8 @@ var counterNames = [NumCounters]string{
 	"repl_pages_applied",
 	"repl_apply_conflicts",
 	"repl_reconnects",
+	"repl_snapshots_invalidated",
+	"wal_retain_drops",
 }
 
 // Name returns the counter's snake_case wire name.

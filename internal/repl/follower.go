@@ -20,8 +20,11 @@ import (
 
 const (
 	// horizonGrace bounds how long an apply waits for local snapshots
-	// older than the shipped reclaim horizon to close before applying
-	// anyway (counted in repl_apply_conflicts).
+	// older than the shipped reclaim horizon to close. When the grace
+	// expires, those snapshots are invalidated (their in-flight reads fail
+	// with a retryable error) before the apply proceeds — never applied
+	// over, which would let pinned readers silently observe rewritten
+	// pages. Counted in repl_apply_conflicts / repl_snapshots_invalidated.
 	horizonGrace = 250 * time.Millisecond
 	// reconnect backoff bounds.
 	backoffMin = 100 * time.Millisecond
@@ -29,9 +32,13 @@ const (
 )
 
 // StatusResponse is the /v1/repl/status body, served by both roles.
+// Degraded is set on a follower whose promote attempt failed after the
+// stores were already flipped writable: apply loops are stopped, nothing
+// is replicating, and retrying POST /v1/repl/promote is the remediation.
 type StatusResponse struct {
-	Role   string        `json:"role"` // "primary" or "follower"
-	Shards []ShardStatus `json:"shards"`
+	Role     string        `json:"role"` // "primary" or "follower"
+	Degraded bool          `json:"degraded,omitempty"`
+	Shards   []ShardStatus `json:"shards"`
 }
 
 // ShardStatus is one shard's replication state. On a primary, Epoch is
@@ -332,8 +339,11 @@ func (sh *followerShard) notePrimaryEpoch(e uint64) {
 }
 
 // waitHorizon blocks (up to horizonGrace) while any open local snapshot
-// pins an epoch below limit, then proceeds regardless, counting a
-// conflict when the grace expired with snapshots still open.
+// pins an epoch below limit. If the grace expires with such snapshots
+// still open, they are invalidated — their subsequent reads fail with
+// storage.ErrSnapshotInvalidated (a retryable error the serving layer
+// maps to a failover status) — so the apply that follows can never be
+// silently observed by a pinned reader as torn pages.
 func (f *Follower) waitHorizon(st *storage.Store, limit uint64) {
 	deadline := time.Now().Add(horizonGrace)
 	for {
@@ -343,6 +353,12 @@ func (f *Follower) waitHorizon(st *storage.Store, limit uint64) {
 		}
 		if time.Now().After(deadline) {
 			obs.Engine.Add(obs.CtrReplApplyConflicts, 1)
+			obs.Engine.Add(obs.CtrReplSnapshotsInvalidated, 1)
+			// Must happen before ApplyReplicated touches the pool: readers
+			// check the mark after each page read, so ordering the store
+			// before any frame mutation closes the race (see
+			// InvalidateSnapshotsBelow).
+			st.InvalidateSnapshotsBelow(limit)
 			return
 		}
 		time.Sleep(2 * time.Millisecond)

@@ -2,6 +2,7 @@ package repl
 
 import (
 	"context"
+	"io"
 	"net/http"
 	"sync"
 	"time"
@@ -19,6 +20,12 @@ const (
 	pingInterval = 3 * time.Second
 	// snapChunkPages sizes the page frames of a snapshot catch-up.
 	snapChunkPages = 256
+	// streamWriteTimeout bounds each write on a subscriber stream. A
+	// follower whose connection hangs (stops reading but stays
+	// established) trips it on the next frame or ping, so the stream ends,
+	// the subscriber unregisters, and its WAL retain floor is released
+	// instead of pinning the log forever.
+	streamWriteTimeout = 30 * time.Second
 )
 
 // Publisher streams one shard store's durable commits to replication
@@ -193,7 +200,7 @@ func (p *Publisher) ServeStream(ctx context.Context, w http.ResponseWriter, from
 	sub := p.register(from)
 	defer p.unregister(sub)
 
-	fw := newFrameWriter(w)
+	fw := newFrameWriter(&deadlineWriter{w: w, rc: http.NewResponseController(w)})
 	flusher, _ := w.(http.Flusher)
 	flush := func() {
 		if flusher != nil {
@@ -233,6 +240,21 @@ func (p *Publisher) ServeStream(ctx context.Context, w http.ResponseWriter, from
 			flush()
 		}
 	}
+}
+
+// deadlineWriter arms a fresh write deadline before every write so a hung
+// subscriber connection fails the stream within streamWriteTimeout (the
+// periodic pings guarantee regular writes even when idle). Transports
+// without deadline support (SetWriteDeadline returns ErrNotSupported,
+// e.g. some test ResponseWriters) degrade to plain writes.
+type deadlineWriter struct {
+	w  io.Writer
+	rc *http.ResponseController
+}
+
+func (dw *deadlineWriter) Write(p []byte) (int, error) {
+	_ = dw.rc.SetWriteDeadline(time.Now().Add(streamWriteTimeout))
+	return dw.w.Write(p)
 }
 
 // catchUp ships batches until the subscriber's cursor passes the store's

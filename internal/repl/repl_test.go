@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -308,6 +309,65 @@ func TestFollowerPromote(t *testing.T) {
 	}
 	if st.PublishedEpoch() <= epoch {
 		t.Fatalf("promoted commit did not advance the epoch past %d", epoch)
+	}
+}
+
+// TestFollowerInvalidatesPinnedSnapshots pins the torn-read guard: when a
+// batch whose reclaim horizon covers an open local snapshot must be
+// applied (the grace period expired), the snapshot is invalidated — its
+// reads fail with storage.ErrSnapshotInvalidated — and the apply loop
+// still makes progress, rather than silently rewriting pages under the
+// pinned reader.
+func TestFollowerInvalidatesPinnedSnapshots(t *testing.T) {
+	p := newPrimaryFixture(t)
+	epoch := p.commit(t, "inv", 4)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	fl := startFollower(t, ctx, t.TempDir(), p.srv.URL)
+	defer fl.Stop()
+	st := fl.Stores()[0]
+	waitEpoch(t, st, epoch)
+
+	// A long-running read on the replica: pin a snapshot and keep it open.
+	sn := st.Snapshot()
+	defer sn.Close()
+	pinned := storage.OpenBTreeAt(st, sn.Root(0), sn.Epoch())
+	if _, ok, err := pinned.Get([]byte("inv-000")); err != nil || !ok {
+		t.Fatalf("pinned read before conflict: ok=%v err=%v", ok, err)
+	}
+
+	// Churn the primary until its reclaim horizon covers the snapshot's
+	// epoch: pages the snapshot may still reference have been reused, so
+	// the shipped batches now conflict with the open pin.
+	deadline := time.Now().Add(10 * time.Second)
+	round := 0
+	for p.store.ReclaimHorizon() < sn.Epoch() {
+		if time.Now().After(deadline) {
+			t.Fatalf("primary reclaim horizon stuck at %d, want >= %d", p.store.ReclaimHorizon(), sn.Epoch())
+		}
+		p.commit(t, fmt.Sprintf("churn%d", round), 2)
+		round++
+	}
+	target := p.commit(t, "final", 1)
+
+	// The apply loop must get past the conflict (after the grace period)
+	// instead of stalling behind the open snapshot...
+	waitEpoch(t, st, target)
+	verifyKeys(t, st, "final", 1)
+
+	// ...and the pinned reader must now fail with the retryable error, not
+	// observe rewritten pages.
+	if _, _, err := pinned.Get([]byte("inv-001")); !errors.Is(err, storage.ErrSnapshotInvalidated) {
+		t.Fatalf("pinned read after conflicting apply: err=%v, want ErrSnapshotInvalidated", err)
+	}
+
+	// A fresh snapshot at the applied epoch reads normally.
+	sn2 := st.Snapshot()
+	defer sn2.Close()
+	fresh := storage.OpenBTreeAt(st, sn2.Root(0), sn2.Epoch())
+	if _, ok, err := fresh.Get([]byte("inv-000")); err != nil || !ok {
+		t.Fatalf("fresh snapshot read after conflict: ok=%v err=%v", ok, err)
 	}
 }
 

@@ -151,6 +151,7 @@ func (s *Server) replRoutes() {
 func (s *Server) replStatus() repl.StatusResponse {
 	if fl := s.be.Follower; fl != nil && s.readOnly.Load() {
 		st := fl.Status()
+		st.Degraded = s.promoteDegraded.Load()
 		for i := range st.Shards {
 			if i < len(s.pubs) {
 				st.Shards[i].Subscribers = s.pubs[i].Subscribers()
@@ -248,6 +249,29 @@ func (s *Server) promote() error {
 		defer s.writeMus[i].Unlock()
 	}
 	fl.Promote()
+	// Everything past this point runs with the stores already writable
+	// and the apply loops stopped. A failure here leaves the server
+	// half-promoted: still read-only, nothing replicating. Flag the
+	// state (degraded in /v1/repl/status) and tell the operator that
+	// retrying promote — every step below is idempotent — completes the
+	// failover.
+	if err := s.finishPromote(); err != nil {
+		s.promoteDegraded.Store(true)
+		s.logf("crimsond: promote failed after stores flipped writable; "+
+			"server is degraded (read-only, not replicating) until POST /v1/repl/promote is retried: %v", err)
+		return fmt.Errorf("%w (stores are already writable and the apply loops are stopped; retry promote to complete the failover)", err)
+	}
+	s.promoteDegraded.Store(false)
+	s.readOnly.Store(false)
+	s.logf("crimsond: promoted to primary (epochs %s)", formatEpochVector(s.epochVector()))
+	return nil
+}
+
+// finishPromote runs the post-flip promotion steps: re-resolve every
+// repository's live handles, sweep catch-up leaks, commit, and drop the
+// read-only epoch-keyed caches. Idempotent, so a failed promote can be
+// retried end to end.
+func (s *Server) finishPromote() error {
 	for _, db := range s.be.DBs {
 		db.Reload()
 	}
@@ -282,7 +306,5 @@ func (s *Server) promote() error {
 	s.vers = make(map[string]uint64)
 	s.handleMu.Unlock()
 	s.cache.purge()
-	s.readOnly.Store(false)
-	s.logf("crimsond: promoted to primary (epochs %s)", formatEpochVector(s.epochVector()))
 	return nil
 }

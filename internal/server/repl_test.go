@@ -344,12 +344,23 @@ func TestReplicaPromote(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	fst, err := fcl.ReplStatusCtx(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fst.Degraded {
+		t.Fatal("healthy follower reports degraded")
+	}
+
 	st, err := fcl.PromoteCtx(ctx)
 	if err != nil {
 		t.Fatalf("promote: %v", err)
 	}
 	if st.Role != "primary" {
 		t.Fatalf("post-promote role = %q, want primary", st.Role)
+	}
+	if st.Degraded {
+		t.Fatal("successful promote reports degraded")
 	}
 	// No committed epoch lost: the promoted server is at or beyond every
 	// epoch the old primary had published when we stopped writing.
@@ -384,6 +395,23 @@ func TestReplicaPromote(t *testing.T) {
 	}
 	if exp.NumLeaves() != gold.NumLeaves() {
 		t.Fatalf("promoted tree has %d leaves, want %d", exp.NumLeaves(), gold.NumLeaves())
+	}
+
+	// The promoted server regains the result cache at full size: repeating
+	// a cacheable query must score a hit (the cache used to be permanently
+	// disabled on promoted followers). Three rounds: the first seeds the
+	// tree version, the second populates the cache, the third hits.
+	for i := 0; i < 3; i++ {
+		if _, err := fcl.LCACtx(ctx, "p", leaves[0], leaves[1]); err != nil {
+			t.Fatalf("post-promote lca %d: %v", i, err)
+		}
+	}
+	stats, err := fcl.StatsCtx(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.CacheHits < 1 {
+		t.Fatalf("promoted server result cache scored %d hits, want >= 1", stats.CacheHits)
 	}
 }
 

@@ -62,6 +62,7 @@ import (
 	"repro/internal/repl"
 	"repro/internal/shard"
 	"repro/internal/species"
+	"repro/internal/storage"
 	"repro/internal/treecmp"
 	"repro/internal/treestore"
 )
@@ -165,6 +166,11 @@ type Server struct {
 	// hooks), and reads serve at the last applied epoch.
 	readOnly  atomic.Bool
 	promoteMu sync.Mutex // serializes POST /v1/repl/promote
+	// promoteDegraded is set when a promote attempt failed after the
+	// stores were already flipped writable: the server still reports as a
+	// follower but nothing is replicating. Surfaced in /v1/repl/status;
+	// retrying promote clears it.
+	promoteDegraded atomic.Bool
 	// streamCtx cancels open replication streams at Shutdown —
 	// http.Server.Shutdown waits for active requests, and a stream never
 	// ends on its own.
@@ -219,12 +225,11 @@ func New(be Backend, cfg Config) *Server {
 		}
 		be.Router = r
 	}
-	if be.Follower != nil {
-		// A follower's epochs advance under replication, outside the
-		// write path's invalidation hooks — caching results would serve
-		// stale incarnations. Keep the cache off until promote.
-		cfg.ResultCacheSize = 0
-	}
+	// Note: the result cache is built at the configured size even for a
+	// follower. It stays naturally unused while readOnly — cache lookups
+	// are gated on tree versions (vers), which only the write path seeds —
+	// and promote() purges it before the new primary starts writing, so a
+	// promoted follower regains caching at full size.
 	s := &Server{
 		cfg:      cfg,
 		be:       be,
@@ -1086,6 +1091,11 @@ func errStatus(err error) int {
 		errors.Is(err, species.ErrNoData), errors.Is(err, queryrepo.ErrNoEntry):
 		return http.StatusNotFound
 	case errors.Is(err, treestore.ErrTreeExists):
+		return http.StatusConflict
+	case errors.Is(err, storage.ErrSnapshotInvalidated):
+		// A replica apply invalidated the request's snapshot mid-read.
+		// 409 is what the client failover path retries against another
+		// base (typically the primary).
 		return http.StatusConflict
 	case errors.Is(err, treestore.ErrBadName), errors.Is(err, species.ErrBadKey),
 		errors.Is(err, newick.ErrSyntax):

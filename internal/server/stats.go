@@ -321,33 +321,35 @@ func writeReplFamilies(b *strings.Builder, s StatsSnapshot) {
 
 // engineHelp documents each obs engine counter for /metrics HELP lines.
 var engineHelp = map[string]string{
-	"btree_descents":       "B+tree root-to-leaf descents.",
-	"cells_decoded":        "B+tree cells decoded while reading nodes.",
-	"rows_scanned":         "Rows produced by range scans.",
-	"pool_hits":            "Buffer-pool page read hits.",
-	"pool_misses":          "Buffer-pool page read misses.",
-	"pages_read":           "Pages read from disk.",
-	"pages_written":        "Pages written at commit.",
-	"cow_pages":            "Pages copied by copy-on-write before modification.",
-	"wal_bytes":            "Bytes appended to the write-ahead log.",
-	"wal_syncs":            "Write-ahead log fsyncs.",
-	"read_cache_hits":      "Decoded-node read cache hits.",
-	"read_cache_misses":    "Decoded-node read cache misses (cacheable interior nodes decoded).",
-	"read_cache_evicts":    "Decoded-node read cache evictions under the byte budget.",
-	"commits":              "Storage-engine commits made durable.",
-	"group_commit_batches": "WAL batches flushed by group commit (each is one fsync).",
-	"group_fsyncs_saved":   "Fsyncs avoided by coalescing commits into group-commit batches.",
-	"checkpoint_runs":      "Background checkpoint passes completed.",
-	"checkpoint_pages":     "Pages written back to the page file by checkpoints.",
-	"checkpoint_bytes":     "Bytes written back to the page file by checkpoints.",
-	"wal_highwater_bytes":  "Largest write-ahead log size observed (high-water mark).",
-	"repl_batches_shipped": "WAL commit batches shipped to replication subscribers.",
-	"repl_bytes_shipped":   "Bytes shipped on replication streams (page payloads).",
-	"repl_snapshot_pages":  "Pages shipped in full-snapshot replica catch-ups.",
-	"repl_batches_applied": "Replicated batches applied by this follower.",
-	"repl_pages_applied":   "Pages applied from replicated batches and snapshots.",
-	"repl_apply_conflicts": "Replica applies that proceeded after waiting out a local snapshot pin.",
-	"repl_reconnects":      "Replication stream reconnect attempts.",
+	"btree_descents":             "B+tree root-to-leaf descents.",
+	"cells_decoded":              "B+tree cells decoded while reading nodes.",
+	"rows_scanned":               "Rows produced by range scans.",
+	"pool_hits":                  "Buffer-pool page read hits.",
+	"pool_misses":                "Buffer-pool page read misses.",
+	"pages_read":                 "Pages read from disk.",
+	"pages_written":              "Pages written at commit.",
+	"cow_pages":                  "Pages copied by copy-on-write before modification.",
+	"wal_bytes":                  "Bytes appended to the write-ahead log.",
+	"wal_syncs":                  "Write-ahead log fsyncs.",
+	"read_cache_hits":            "Decoded-node read cache hits.",
+	"read_cache_misses":          "Decoded-node read cache misses (cacheable interior nodes decoded).",
+	"read_cache_evicts":          "Decoded-node read cache evictions under the byte budget.",
+	"commits":                    "Storage-engine commits made durable.",
+	"group_commit_batches":       "WAL batches flushed by group commit (each is one fsync).",
+	"group_fsyncs_saved":         "Fsyncs avoided by coalescing commits into group-commit batches.",
+	"checkpoint_runs":            "Background checkpoint passes completed.",
+	"checkpoint_pages":           "Pages written back to the page file by checkpoints.",
+	"checkpoint_bytes":           "Bytes written back to the page file by checkpoints.",
+	"wal_highwater_bytes":        "Largest write-ahead log size observed (high-water mark).",
+	"repl_batches_shipped":       "WAL commit batches shipped to replication subscribers.",
+	"repl_bytes_shipped":         "Bytes shipped on replication streams (page payloads).",
+	"repl_snapshot_pages":        "Pages shipped in full-snapshot replica catch-ups.",
+	"repl_batches_applied":       "Replicated batches applied by this follower.",
+	"repl_pages_applied":         "Pages applied from replicated batches and snapshots.",
+	"repl_apply_conflicts":       "Replica applies that waited out the snapshot grace period and invalidated the still-open snapshots.",
+	"repl_reconnects":            "Replication stream reconnect attempts.",
+	"repl_snapshots_invalidated": "Replica applies that invalidated still-open local snapshots (their reads fail with a retryable error).",
+	"wal_retain_drops":           "WAL truncations that overrode a replication retain floor because the log outgrew the retain cap.",
 }
 
 // writeEngineFamilies emits one counter family per process-global engine

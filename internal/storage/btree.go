@@ -212,6 +212,13 @@ func (t *BTree) readNodeC(id PageID, c *obs.Counters) (*node, error) {
 	if err := t.store.readPageInto(id, buf[:], c); err != nil {
 		return nil, err
 	}
+	// Checked after the read on purpose: the invalidation mark is stored
+	// before a replicated apply mutates any pool frame, and pool access
+	// serializes on the pool mutex, so a read that saw post-apply bytes is
+	// ordered after the mark and fails here instead of decoding them.
+	if t.pinned && t.store.snapshotInvalid(t.epoch) {
+		return nil, ErrSnapshotInvalidated
+	}
 	n := &node{kind: buf[0], page: id}
 	nkeys := int(binary.LittleEndian.Uint16(buf[1:]))
 	switch n.kind {
@@ -751,6 +758,12 @@ func (t *BTree) readOverflow(ref []byte) ([]byte, error) {
 		buf, err := t.store.ReadPage(id)
 		if err != nil {
 			return nil, err
+		}
+		// Same post-read invalidation check as readNodeC: overflow chains
+		// follow page pointers, so a replicated apply reusing a chain page
+		// must surface as an error, not silently spliced bytes.
+		if t.pinned && t.store.snapshotInvalid(t.epoch) {
+			return nil, ErrSnapshotInvalidated
 		}
 		if buf[0] != pageOverflow {
 			return nil, fmt.Errorf("storage: page %d in overflow chain has kind %d", id, buf[0])

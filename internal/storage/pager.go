@@ -403,6 +403,12 @@ type Store struct {
 	// epoch whose pages have been returned for reuse (see epoch.go).
 	commitHook atomic.Pointer[func(ReplBatch)]
 	horizon    atomic.Uint64
+
+	// snapInvalid is an exclusive upper bound on snapshot epochs whose page
+	// images may have been overwritten in place by a replicated apply (see
+	// InvalidateSnapshotsBelow). Pinned reads below it fail with
+	// ErrSnapshotInvalidated instead of silently decoding mutated pages.
+	snapInvalid atomic.Uint64
 }
 
 // SetReadCacheBytes (re)configures the decoded-node read cache. A size of

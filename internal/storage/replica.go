@@ -93,6 +93,43 @@ func (s *Store) SetWALRetainFloor(epoch uint64) {
 	}
 }
 
+// SetWALRetainCap bounds the WAL bytes a retain floor may pin before
+// truncation proceeds anyway (the laggard falls back to a snapshot
+// catch-up). Non-positive means unlimited. No-op on in-memory stores.
+func (s *Store) SetWALRetainCap(bytes int64) {
+	if s.wal != nil {
+		s.wal.SetRetainCap(bytes)
+	}
+}
+
+// ErrSnapshotInvalidated is returned by reads on a pinned snapshot whose
+// pages may have been overwritten by a replicated apply: the follower
+// waited out its grace period for the snapshot to close, then invalidated
+// it rather than let its reads silently observe mutated pages. The read is
+// retryable on a fresh snapshot (or, at the serving layer, on the primary).
+var ErrSnapshotInvalidated = errors.New("storage: snapshot invalidated by replication apply; retry the read")
+
+// InvalidateSnapshotsBelow marks every snapshot with epoch < limit invalid:
+// their subsequent page reads fail with ErrSnapshotInvalidated. The mark is
+// monotonic. It must be stored BEFORE the apply mutates any pool frame —
+// pool reads and writes serialize on the pool mutex, so a reader that
+// observes post-apply bytes is ordered after the apply's Put, hence after
+// this store, and its post-read check sees the mark.
+func (s *Store) InvalidateSnapshotsBelow(limit uint64) {
+	for {
+		cur := s.snapInvalid.Load()
+		if limit <= cur || s.snapInvalid.CompareAndSwap(cur, limit) {
+			return
+		}
+	}
+}
+
+// snapshotInvalid reports whether a snapshot pinned at epoch has been
+// invalidated by a replicated apply.
+func (s *Store) snapshotInvalid(epoch uint64) bool {
+	return epoch < s.snapInvalid.Load()
+}
+
 // WALEpochRange reports the first and last commit epochs whose batches are
 // currently in the WAL (zeros when empty or in-memory). The range is what
 // the publisher consults to decide between log catch-up and a full

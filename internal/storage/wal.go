@@ -42,17 +42,25 @@ type WAL struct {
 	// retain floor: while non-zero, truncation is refused as long as the log
 	// still holds any batch with epoch >= retain, so a connected follower
 	// that has not consumed those batches can always catch up from the log
-	// instead of falling back to a full snapshot.
+	// instead of falling back to a full snapshot. retainCap bounds how many
+	// bytes the floor may pin: once the log outgrows it, truncation proceeds
+	// despite the floor and the laggard falls back to a snapshot catch-up —
+	// a hung subscriber must not grow the primary's WAL without bound.
 	first, last uint64
 	retain      uint64
+	retainCap   int64
 }
+
+// DefaultRetainCapBytes is the default bound on how much WAL a replication
+// retain floor may pin before truncation proceeds anyway.
+const DefaultRetainCapBytes = 64 << 20
 
 func openWAL(path string) (*WAL, error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("storage: open wal: %w", err)
 	}
-	w := &WAL{f: f, path: path}
+	w := &WAL{f: f, path: path, retainCap: DefaultRetainCapBytes}
 	if st, err := f.Stat(); err == nil {
 		w.size = st.Size()
 		if _, err := f.Seek(0, io.SeekEnd); err != nil {
@@ -130,8 +138,15 @@ func (w *WAL) AppendGroup(batches [][]DirtyPage, firstEpoch, lastEpoch uint64, o
 }
 
 // LogCommit appends the dirty page images and a commit frame, then syncs.
+// The batch's epoch is recovered from the stamped meta page riding in it
+// (when present), so the log's content-epoch range stays accurate for this
+// append path too.
 func (w *WAL) LogCommit(pages []DirtyPage) error {
-	return w.AppendGroup([][]DirtyPage{pages}, 0, 0, nil)
+	var first, last uint64
+	if ep, _, ok := BatchMeta(pages); ok {
+		first, last = ep, ep
+	}
+	return w.AppendGroup([][]DirtyPage{pages}, first, last, nil)
 }
 
 // RetainFrom sets the replication retain floor: while epoch is non-zero,
@@ -149,6 +164,14 @@ func (w *WAL) RetainFloor() uint64 {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return w.retain
+}
+
+// SetRetainCap bounds the bytes a retain floor may pin; non-positive means
+// unlimited (the floor always wins).
+func (w *WAL) SetRetainCap(bytes int64) {
+	w.mu.Lock()
+	w.retainCap = bytes
+	w.mu.Unlock()
 }
 
 // ContentEpochs reports the epoch range [first, last] of the batches
@@ -247,10 +270,17 @@ func (w *WAL) TruncateIf(size int64) (bool, error) {
 		return false, nil
 	}
 	if w.retain != 0 && w.size > 0 && w.last >= w.retain {
-		// A follower still needs batches in this log: keep it whole. The
-		// images are already checkpointed, so recovery replaying them again
-		// is idempotent.
-		return false, nil
+		if w.retainCap <= 0 || w.size <= w.retainCap {
+			// A follower still needs batches in this log: keep it whole. The
+			// images are already checkpointed, so recovery replaying them
+			// again is idempotent.
+			return false, nil
+		}
+		// The floor has pinned more than the cap: truncate anyway. The
+		// lagging subscriber's next catch-up finds the log range gone and
+		// falls back to a full snapshot; a scan already in flight sees a
+		// clean end of scan.
+		obs.Engine.Add(obs.CtrWALRetainDrops, 1)
 	}
 	// Cross-check the physical size: if it disagrees with our bookkeeping,
 	// another handle owns the file now (a test reopened an abandoned store's
